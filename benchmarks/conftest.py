@@ -1,0 +1,14 @@
+"""Benchmark defaults: each scenario is one deterministic simulation, so a
+single round per benchmark is the meaningful unit."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a (possibly expensive) scenario exactly once under timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

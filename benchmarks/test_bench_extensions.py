@@ -1,0 +1,58 @@
+"""Benches for the paper's §2.3/§3.4 open-question extensions."""
+
+from repro.experiments import deployment
+
+
+def test_bench_incremental_deployment(once):
+    rows = once(deployment.run, num_jobs=6)
+    print()
+    print(deployment.format_table(rows))
+    by = {r.stage: r for r in rows}
+    # Each upgrade stage pays off, monotonically.
+    assert by["static"].mean_s < by["unicast"].mean_s
+    assert by["cores"].mean_s < by["static"].mean_s
+    assert by["full"].mean_s <= by["cores"].mean_s * 1.05
+    # And multicast stages move far fewer bytes than unicast.
+    assert by["static"].fabric_bytes < 0.7 * by["unicast"].fabric_bytes
+
+
+def test_bench_multipath_striping(once):
+    """§2.3 open question: striping over diverse trees lowers the hottest
+    core link's load at equal delivered bytes."""
+    from repro.collectives import (
+        CollectiveEnv,
+        Gpu,
+        Group,
+        OptimalBroadcast,
+        StripedMulticastBroadcast,
+    )
+    from repro.sim import SimConfig
+    from repro.topology import FatTree
+
+    def hottest_core_link(scheme):
+        topo = FatTree(8, hosts_per_tor=4)
+        env = CollectiveEnv(topo, SimConfig(segment_bytes=65536))
+        hosts = [h for h in topo.hosts if h.startswith(("host:p1", "host:p2"))]
+        gpus = tuple(Gpu(h, 0) for h in [topo.hosts[0]] + hosts)
+        handle = scheme.launch(env, Group(gpus[0], gpus), 32 * 2**20, 0.0)
+        env.run()
+        assert handle.complete
+        core_loads = [
+            p.bytes_sent
+            for (u, v), p in env.network.ports.items()
+            if (u.startswith("core") or v.startswith("core")) and p.bytes_sent
+        ]
+        return handle.cct_s, max(core_loads)
+
+    def run_pair():
+        return hottest_core_link(OptimalBroadcast()), hottest_core_link(
+            StripedMulticastBroadcast(num_trees=4)
+        )
+
+    (single_cct, single_peak), (striped_cct, striped_peak) = once(run_pair)
+    print()
+    print(f"single tree : cct={single_cct * 1e3:.2f}ms peak core link "
+          f"{single_peak / 2**20:.0f} MiB")
+    print(f"striped x4  : cct={striped_cct * 1e3:.2f}ms peak core link "
+          f"{striped_peak / 2**20:.0f} MiB")
+    assert striped_peak < 0.5 * single_peak

@@ -1,0 +1,15 @@
+"""Figure 3: RSBF Bloom-header size sweep vs PEEL."""
+
+from repro.experiments import fig3_rsbf
+
+
+def test_bench_fig3_rsbf_headers(benchmark):
+    rows = benchmark(fig3_rsbf.run)
+    print()
+    print(fig3_rsbf.format_table(rows))
+    at = {(r.k, r.fpr): r for r in rows}
+    # Paper: "exceeds one full MTU once k > 32; even at a generous FPR".
+    assert at[(64, 0.20)].exceeds_mtu
+    assert at[(64, 0.01)].exceeds_mtu
+    assert not at[(32, 0.20)].exceeds_mtu
+    assert all(r.peel_header_bytes < 8 for r in rows)

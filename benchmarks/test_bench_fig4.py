@@ -1,0 +1,19 @@
+"""Figure 4: Orca's controller flow-setup delay inflates CCT."""
+
+from repro.experiments import fig4_orca, format_cct_table
+
+SIZES_MB = (2, 8, 32)
+
+
+def test_bench_fig4_orca_setup_delay(once):
+    rows = once(fig4_orca.run, sizes_mb=SIZES_MB, num_jobs=8, num_gpus=512)
+    print()
+    print(format_cct_table(rows, "msg (MB)"))
+    for size in SIZES_MB:
+        inflation = fig4_orca.tail_inflation(rows, size)
+        print(f"p99 inflation at {size} MB: {inflation:.1f}x")
+    # Paper: p99 CCT of a 32 MB Broadcast rises ~8x with controller
+    # overhead; small messages inflate the most, large ones amortize.
+    assert fig4_orca.tail_inflation(rows, 2) > fig4_orca.tail_inflation(rows, 32)
+    assert fig4_orca.tail_inflation(rows, 32) > 1.15
+    assert fig4_orca.tail_inflation(rows, 2) > 3.0

@@ -1,0 +1,26 @@
+"""Figure 5: CCT vs message size, all schemes, 512-GPU broadcasts."""
+
+from repro.experiments import fig5_message_size, format_cct_table
+from repro.experiments.common import rows_for
+
+SIZES_MB = (2, 16, 64)
+
+
+def test_bench_fig5_message_size(once):
+    rows = once(
+        fig5_message_size.run, sizes_mb=SIZES_MB, num_jobs=8, num_gpus=512
+    )
+    print()
+    print(format_cct_table(rows, "msg (MB)"))
+    for size in SIZES_MB:
+        at = {r.scheme: r for r in rows if r.x == size}
+        # Paper ordering: optimal <= peel+cores/peel < orca/ring < tree.
+        assert at["optimal"].mean_s <= at["peel"].mean_s * 1.05, size
+        assert at["peel"].mean_s < at["ring"].mean_s, size
+        assert at["peel"].mean_s < at["tree"].mean_s, size
+        assert at["peel"].mean_s < at["orca"].mean_s, size
+    # PEEL stays within a small factor of the bandwidth-optimal baseline.
+    peel = rows_for(rows, "peel")
+    optimal = {r.x: r for r in rows_for(rows, "optimal")}
+    for row in peel:
+        assert row.mean_s < 3.5 * optimal[row.x].mean_s

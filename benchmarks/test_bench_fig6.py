@@ -1,0 +1,27 @@
+"""Figure 6: scale independence at fixed 64 MB messages."""
+
+from repro.experiments import fig6_scale, format_cct_table
+from repro.experiments.common import rows_for
+
+SCALES = (64, 256)
+
+
+def test_bench_fig6_scale(once):
+    rows = once(fig6_scale.run, scales=SCALES, num_jobs=6)
+    print()
+    print(format_cct_table(rows, "GPUs"))
+    for scale in SCALES:
+        at = {r.scheme: r for r in rows if r.x == scale}
+        assert at["peel"].mean_s < at["ring"].mean_s, scale
+        assert at["peel"].mean_s < at["tree"].mean_s, scale
+        assert at["peel"].mean_s < at["orca"].mean_s, scale
+    # Paper at 256 GPUs: PEEL ~5x below Ring, far below Tree, ~2.5x below
+    # Orca; ratios should be in that neighbourhood.
+    at256 = {r.scheme: r for r in rows if r.x == 256}
+    assert at256["ring"].mean_s / at256["peel"].mean_s > 3.0
+    assert at256["tree"].mean_s / at256["peel"].mean_s > 4.0
+    # Ring cost grows with scale (GPU-granular chain); PEEL barely moves.
+    ring = {r.x: r.mean_s for r in rows_for(rows, "ring")}
+    peel = {r.x: r.mean_s for r in rows_for(rows, "peel")}
+    assert ring[256] / ring[64] > 2.0
+    assert peel[256] / peel[64] < 2.5

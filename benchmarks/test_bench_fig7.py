@@ -1,0 +1,18 @@
+"""Figure 7: robustness to random spine-leaf link failures."""
+
+from repro.experiments import fig7_failures, format_cct_table
+
+PCTS = (1, 4, 10)
+
+
+def test_bench_fig7_failures(once):
+    rows = once(fig7_failures.run, failure_pcts=PCTS, num_jobs=10)
+    print()
+    print(format_cct_table(rows, "failed %"))
+    for pct in PCTS:
+        at = {r.scheme: r for r in rows if r.x == pct}
+        # Paper: PEEL stays fastest across the whole failure range.
+        assert at["peel"].mean_s < at["ring"].mean_s, pct
+        assert at["peel"].mean_s < at["tree"].mean_s, pct
+        assert at["peel"].p99_s < at["ring"].p99_s, pct
+        assert at["peel"].p99_s < at["tree"].p99_s, pct

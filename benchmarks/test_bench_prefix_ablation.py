@@ -1,0 +1,39 @@
+"""Design-choice ablations around §3.4: fragmentation vs prefix packing."""
+
+import random
+
+from repro.experiments import fragmentation
+
+
+def test_bench_fragmentation_ablation(once):
+    rows = once(fragmentation.run)
+    print()
+    print(fragmentation.format_table(rows))
+    by = {(r.window_racks, r.policy): r for r in rows}
+    windows = sorted({r.window_racks for r in rows})
+    dense, sparse = windows[0], windows[-1]
+    # Sparser placement splinters the prefix ranges -> more packets.
+    assert by[(sparse, "exact")].mean_packets > by[(dense, "exact")].mean_packets
+    # Exact covers never over-cover.
+    assert all(r.mean_wasted_tors == 0 for r in rows if r.policy == "exact")
+    # Adaptive packing trades packets for over-covered ToRs.
+    assert (
+        by[(sparse, "budget-1")].mean_packets
+        <= by[(sparse, "exact")].mean_packets
+    )
+    assert by[(sparse, "budget-1")].mean_wasted_tors > 0
+    # The refined (programmable-core) cost is immune to the packing policy.
+    assert (
+        by[(sparse, "budget-1")].mean_refined_cost
+        == by[(sparse, "exact")].mean_refined_cost
+    )
+
+
+def test_bench_exact_cover_speed(benchmark):
+    """Cover computation is data-plane-setup cost; keep it microseconds."""
+    from repro.core import exact_cover
+
+    rng = random.Random(0)
+    ids = set(rng.sample(range(32), 17))
+    cover = benchmark(exact_cover, ids, 5)
+    assert cover

@@ -1,0 +1,30 @@
+"""§1/§3.2 headline table: switch state, header size, aggregate bandwidth."""
+
+from repro.experiments import headline
+
+
+def test_bench_state_table(benchmark):
+    rows = benchmark(headline.state_table)
+    print()
+    print(headline.format_state_table(rows))
+    at64 = next(r for r in rows if r.k == 64)
+    # "required entries plummet from over 4x10^9 to fewer than 64".
+    assert at64.peel_rules == 63
+    assert at64.ip_multicast_entries > 4e9
+    # "<8 B of header" up to k=128.
+    assert all(r.header_bytes < 8 for r in rows)
+
+
+def test_bench_bandwidth_headline(once):
+    bw = once(headline.bandwidth_headline, num_gpus=64, trials=20)
+    print()
+    print(
+        f"ring={bw.ring_traversals} peel={bw.peel_static_traversals} "
+        f"optimal={bw.optimal_traversals} "
+        f"saving vs ring={bw.peel_saving_vs_ring:.0%} "
+        f"overhead vs optimal={bw.peel_overhead_vs_optimal:.1%}"
+    )
+    # Paper: "uses 23% less aggregate bandwidth than unicast rings" and
+    # lands close to the Steiner optimum.
+    assert bw.peel_saving_vs_ring > 0.10
+    assert bw.peel_overhead_vs_optimal < 0.30

@@ -1,0 +1,21 @@
+"""State under churn: thousands of concurrent multicast groups (§1/§3)."""
+
+from repro.experiments import state_churn
+
+
+def test_bench_state_churn(once):
+    rows = once(state_churn.run, num_jobs=1500, arrival_rate_per_s=3000.0)
+    print()
+    print(state_churn.format_table(rows))
+    by = {r.scheme: r for r in rows}
+    # PEEL's state is static: no updates, ever, regardless of churn.
+    assert by["peel"].rule_updates == 0
+    assert by["peel"].peak_entries_per_switch == 7  # k-1 at k=8
+    # Orca's per-group entries scale with concurrency and churn both
+    # (entries spread over all 32 agg switches, so the per-switch peak is
+    # the concurrency that funnels through the single hottest agg).
+    assert by["orca"].peak_entries_per_switch > 10 * by["peel"].peak_entries_per_switch
+    assert by["orca"].rule_updates > 1000
+    # IP multicast state is bounded here only because k=8 has 15 possible
+    # ToR subsets per pod; the k=64 worst case is the 4x10^9 analytic row.
+    assert by["ip-multicast"].rule_updates > 0

@@ -1,0 +1,52 @@
+"""Tree construction: polynomial-time claim and quality vs the optimum."""
+
+import random
+
+from repro.core import Peel, layer_peeling_tree, optimal_symmetric_tree
+from repro.experiments import tree_quality
+from repro.topology import FatTree, LeafSpine, asymmetric
+from repro.workloads import place_job
+
+
+def test_bench_layer_peeling_large_fabric(benchmark):
+    """The §2.3 greedy must stay fast on a big asymmetric fabric (the paper's
+    pitch is polynomial tree construction at cloud scale)."""
+    topo, _ = asymmetric(LeafSpine(16, 48, 16), 0.05, seed=1)
+    rng = random.Random(0)
+    hosts = topo.hosts
+    src = hosts[0]
+    dests = rng.sample(hosts[1:], 256)
+    tree = benchmark(layer_peeling_tree, topo, src, dests)
+    assert tree.cost >= len(dests)
+
+
+def test_bench_symmetric_optimal_64ary(benchmark):
+    """Lemma 2.1's O(|D|) construction on a 64-ary fat-tree (65,536 hosts
+    at the paper's headline scale, subsampled destinations)."""
+    ft = FatTree(64, hosts_per_tor=8)  # 16,384 hosts; full graph still large
+    rng = random.Random(0)
+    dests = rng.sample(ft.hosts, 512)
+    src = dests.pop()
+    tree = benchmark(optimal_symmetric_tree, ft, src, dests)
+    assert tree.cost > len(dests)
+
+
+def test_bench_peel_planning(benchmark):
+    """Full PEEL plan (tree + hierarchical covers) for a 512-GPU job."""
+    topo = FatTree(8, hosts_per_tor=32)
+    group = place_job(topo, 512, gpus_per_host=1, rng=random.Random(2))
+    peel = Peel(topo)
+    plan = benchmark(peel.plan, group.source.host, group.receiver_hosts)
+    assert plan.num_prefixes >= 1
+    print(f"\nprefix packets: {plan.num_prefixes}, "
+          f"static/refined cost: {plan.static_cost()}/{plan.refined_cost()}")
+
+
+def test_bench_tree_quality(once):
+    """Greedy vs exact Steiner on randomized failed fabrics (§2.3)."""
+    rows = once(tree_quality.run, failure_fractions=(0.05, 0.2), trials=8)
+    print()
+    print(tree_quality.format_table(rows))
+    for row in rows:
+        assert row.mean_ratio_vs_exact < 1.3
+        assert row.worst_ratio_vs_exact < 1.8

@@ -1,0 +1,55 @@
+"""Scenario: an elastic training job growing and shrinking its group.
+
+Uses the :class:`MulticastService` API: membership churn replans at the
+source only — the switches' power-of-two rule set never changes, which is
+the "deploy-once, touch-never" property that makes PEEL operable.
+
+Run:  python examples/elastic_group.py
+"""
+
+from repro.core import MulticastService
+from repro.topology import FatTree
+
+
+def describe(tag: str, group) -> None:
+    plan = group.plan
+    pods = sorted({h.split(":")[1] for h in plan.destinations})
+    print(f"{tag:<28} members={len(group.members):>3}  pods={pods}  "
+          f"packets={plan.num_prefixes}  static/refined cost="
+          f"{plan.static_cost()}/{plan.refined_cost()}")
+
+
+def main() -> None:
+    fabric = FatTree(8, hosts_per_tor=4)
+    service = MulticastService(fabric)
+    print(f"static data plane: {service.static_rules_per_switch} rules per "
+          f"aggregation switch, installed once\n")
+
+    # A job starts on one rack...
+    group = service.create_group(
+        "host:p2:t0:0", [f"host:p2:t0:{i}" for i in range(1, 4)]
+    )
+    describe("start (one rack)", group)
+
+    # ...scales out to its whole pod...
+    group.add_members(
+        [f"host:p2:t{t}:{i}" for t in range(4) for i in range(4)]
+    )
+    describe("scale-out (whole pod)", group)
+
+    # ...bursts into two more pods...
+    group.add_members(
+        [f"host:p{p}:t{t}:0" for p in (4, 5) for t in range(4)]
+    )
+    describe("burst (pods 2,4,5)", group)
+
+    # ...then shrinks back as preemptions hit.
+    group.remove_members([h for h in group.members if h.startswith("host:p5")])
+    describe("after preemption", group)
+
+    print(f"\nreplans at the source: {service.replans}")
+    print(f"switch rule updates:    {service.switch_rule_updates} (always)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Scenario: will multicast state fit in my switches? (§3, Fig. 3)
+
+For fabrics from k=8 to k=128, compares the per-switch state and per-packet
+header of naive IP multicast, RSBF-style Bloom headers, Orca, and PEEL —
+and checks each against a commodity TCAM budget.
+
+Run:  python examples/switch_state_budget.py
+"""
+
+from repro.core import hierarchical_header_bytes, preinstalled_rules, rule_count
+from repro.state import (
+    DEFAULT_CAPACITY,
+    TcamOverflowError,
+    TcamTable,
+    compare_schemes,
+    format_table,
+    rsbf_header_bytes,
+    worst_case_group_entries,
+)
+
+
+def tcam_fit(entries: int) -> str:
+    return "fits" if entries <= DEFAULT_CAPACITY else "OVERFLOWS"
+
+
+def main() -> None:
+    print(f"commodity TCAM budget: {DEFAULT_CAPACITY} multicast entries\n")
+    header = (f"{'k':>5}{'hosts':>9}{'PEEL rules':>12}{'fit':>11}"
+              f"{'IP mcast':>12}{'fit':>11}{'PEEL hdr':>10}{'RSBF hdr':>10}")
+    print(header)
+    print("-" * len(header))
+    for k in (8, 16, 32, 64, 128):
+        peel = rule_count(k)
+        ip = worst_case_group_entries(k)
+        print(f"{k:>5}{k**3 // 4:>9}{peel:>12}{tcam_fit(peel):>11}"
+              f"{ip:>12.2g}{tcam_fit(ip):>11}"
+              f"{hierarchical_header_bytes(k):>9}B"
+              f"{rsbf_header_bytes(k, 0.05):>9}B")
+
+    # Actually install PEEL's rules into the TCAM model and prove they fit.
+    table = TcamTable()
+    for rule in preinstalled_rules(128):
+        table.install((rule.prefix.value, rule.prefix.length), rule.out_ports)
+    print(f"\ninstalled k=128 PEEL rule set: {len(table)} entries, "
+          f"{table.utilization:.1%} of the TCAM")
+
+    # And show that even a modest per-group scheme cannot.
+    per_group = TcamTable()
+    try:
+        for group_id in range(DEFAULT_CAPACITY + 1):
+            per_group.install(("group", group_id), (0,))
+    except TcamOverflowError as exc:
+        print(f"per-group state at {DEFAULT_CAPACITY + 1} concurrent "
+              f"collectives: {exc}")
+
+    print("\nfull scheme comparison at k=64:")
+    print(format_table(compare_schemes(64)))
+
+
+if __name__ == "__main__":
+    main()

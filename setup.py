@@ -1,0 +1,14 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so PEP-660
+editable installs cannot build. `pip install -e . --no-use-pep517
+--no-build-isolation` (or `python setup.py develop`) works via this file."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["networkx>=3.0", "numpy>=1.24"],
+)

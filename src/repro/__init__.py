@@ -1,0 +1,65 @@
+"""PEEL: scalable datacenter multicast for AI collectives.
+
+A from-scratch reproduction of "One to Many: Closing the Bandwidth Gap in
+AI Datacenters with Scalable Multicast" (HotNets '25): near-optimal
+multicast trees in polynomial time (layer peeling, §2), power-of-two prefix
+state/header co-design (§3), and a discrete-event RDMA-fabric simulator
+that regenerates the paper's evaluation (§4).
+
+Typical entry points:
+
+>>> from repro import FatTree, Peel
+>>> fabric = FatTree(8, hosts_per_tor=4)
+>>> plan = Peel(fabric).plan("host:p0:t0:0", ["host:p1:t0:0"])
+>>> plan.num_prefixes
+1
+
+Subpackages: :mod:`repro.topology` (fabrics), :mod:`repro.steiner`
+(tree oracles), :mod:`repro.core` (PEEL itself), :mod:`repro.state`
+(switch-state models), :mod:`repro.sim` (event simulator),
+:mod:`repro.collectives` (broadcast schemes), :mod:`repro.workloads`,
+:mod:`repro.metrics` and :mod:`repro.experiments` (paper figures).
+"""
+
+from .collectives import (
+    BroadcastScheme,
+    CollectiveEnv,
+    Gpu,
+    Group,
+    scheme_by_name,
+)
+from .core import (
+    Peel,
+    PeelPlan,
+    layer_peeling_tree,
+    optimal_symmetric_tree,
+)
+from .sim import Network, SimConfig, Simulator, Transfer
+from .steiner import MulticastTree, exact_steiner_tree, metric_closure_tree
+from .topology import FatTree, LeafSpine, Topology, asymmetric
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BroadcastScheme",
+    "CollectiveEnv",
+    "Gpu",
+    "Group",
+    "scheme_by_name",
+    "Peel",
+    "PeelPlan",
+    "layer_peeling_tree",
+    "optimal_symmetric_tree",
+    "Network",
+    "SimConfig",
+    "Simulator",
+    "Transfer",
+    "MulticastTree",
+    "exact_steiner_tree",
+    "metric_closure_tree",
+    "FatTree",
+    "LeafSpine",
+    "Topology",
+    "asymmetric",
+    "__version__",
+]

@@ -1,0 +1,139 @@
+"""Command-line interface: run any reproduced experiment from a shell.
+
+    python -m repro fig1
+    python -m repro fig5 --sizes 2 8 32 --jobs 8
+    python -m repro churn --num-jobs 1000
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    deployment,
+    fig1_bandwidth,
+    fig3_rsbf,
+    fig4_orca,
+    fig5_message_size,
+    fig6_scale,
+    fig7_failures,
+    format_cct_table,
+    fragmentation,
+    guard_timer,
+    headline,
+    state_churn,
+    tree_quality,
+)
+
+EXPERIMENTS = {
+    "fig1": "unicast vs multicast bandwidth (analytic)",
+    "fig3": "RSBF Bloom header size sweep (analytic)",
+    "fig4": "Orca controller setup delay (simulation)",
+    "fig5": "CCT vs message size, all schemes (simulation)",
+    "fig6": "CCT vs scale at 64 MB (simulation)",
+    "fig7": "CCT vs failure rate (simulation)",
+    "headline": "state table + aggregate-bandwidth headline",
+    "trees": "layer-peeling quality vs exact Steiner",
+    "guard": "DCQCN guard-timer ablation",
+    "frag": "fragmentation / adaptive prefix packing",
+    "deploy": "incremental deployment stages",
+    "churn": "switch state under group churn",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the PEEL paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+
+    for name in ("fig1", "fig3", "headline", "trees"):
+        sub.add_parser(name, help=EXPERIMENTS[name])
+
+    p = sub.add_parser("fig4", help=EXPERIMENTS["fig4"])
+    p.add_argument("--sizes", type=int, nargs="+", default=[2, 8, 32])
+    p.add_argument("--jobs", type=int, default=8)
+
+    p = sub.add_parser("fig5", help=EXPERIMENTS["fig5"])
+    p.add_argument("--sizes", type=int, nargs="+", default=[2, 16, 64])
+    p.add_argument("--jobs", type=int, default=8)
+    p.add_argument("--gpus", type=int, default=512)
+
+    p = sub.add_parser("fig6", help=EXPERIMENTS["fig6"])
+    p.add_argument("--scales", type=int, nargs="+", default=[64, 256])
+    p.add_argument("--jobs", type=int, default=6)
+
+    p = sub.add_parser("fig7", help=EXPERIMENTS["fig7"])
+    p.add_argument("--failures", type=int, nargs="+", default=[1, 4, 10])
+    p.add_argument("--jobs", type=int, default=20)
+
+    p = sub.add_parser("guard", help=EXPERIMENTS["guard"])
+    p.add_argument("--jobs", type=int, default=12)
+
+    sub.add_parser("frag", help=EXPERIMENTS["frag"])
+
+    p = sub.add_parser("deploy", help=EXPERIMENTS["deploy"])
+    p.add_argument("--jobs", type=int, default=6)
+
+    p = sub.add_parser("churn", help=EXPERIMENTS["churn"])
+    p.add_argument("--num-jobs", type=int, default=1500)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(n) for n in EXPERIMENTS)
+        for name, blurb in EXPERIMENTS.items():
+            print(f"{name:<{width}}  {blurb}")
+    elif args.command == "fig1":
+        print(fig1_bandwidth.format_table(fig1_bandwidth.run()))
+    elif args.command == "fig3":
+        print(fig3_rsbf.format_table(fig3_rsbf.run()))
+    elif args.command == "fig4":
+        rows = fig4_orca.run(sizes_mb=tuple(args.sizes), num_jobs=args.jobs)
+        print(format_cct_table(rows, "msg (MB)"))
+        for size in args.sizes:
+            print(f"p99 inflation at {size} MB: "
+                  f"{fig4_orca.tail_inflation(rows, size):.1f}x")
+    elif args.command == "fig5":
+        rows = fig5_message_size.run(
+            sizes_mb=tuple(args.sizes), num_jobs=args.jobs, num_gpus=args.gpus
+        )
+        print(format_cct_table(rows, "msg (MB)"))
+    elif args.command == "fig6":
+        rows = fig6_scale.run(scales=tuple(args.scales), num_jobs=args.jobs)
+        print(format_cct_table(rows, "GPUs"))
+    elif args.command == "fig7":
+        rows = fig7_failures.run(
+            failure_pcts=tuple(args.failures), num_jobs=args.jobs
+        )
+        print(format_cct_table(rows, "failed %"))
+    elif args.command == "headline":
+        print(headline.format_state_table(headline.state_table()))
+        bw = headline.bandwidth_headline()
+        print(f"\nPEEL saves {bw.peel_saving_vs_ring:.1%} of ring bytes; "
+              f"{bw.peel_overhead_vs_optimal:.1%} above optimal")
+    elif args.command == "trees":
+        print(tree_quality.format_table(tree_quality.run()))
+    elif args.command == "guard":
+        rows = guard_timer.run(num_jobs=args.jobs)
+        for r in rows:
+            print(f"{r.variant:<12} mean={r.mean_s * 1e3:8.2f}ms "
+                  f"p99={r.p99_s * 1e3:8.2f}ms")
+        print(f"tail improvement: {guard_timer.tail_improvement(rows):.1f}x")
+    elif args.command == "frag":
+        print(fragmentation.format_table(fragmentation.run()))
+    elif args.command == "deploy":
+        print(deployment.format_table(deployment.run(num_jobs=args.jobs)))
+    elif args.command == "churn":
+        print(state_churn.format_table(state_churn.run(num_jobs=args.num_jobs)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Broadcast collective schemes: Ring, Binary Tree, Optimal multicast,
+Orca, and PEEL (static and programmable-cores)."""
+
+from .allgather import PeelAllgather, RingAllgather, shard_bytes
+from .allreduce import PeelAllReduce, RingAllReduce
+from .base import BroadcastScheme, CollectiveHandle, Gpu, Group, locality_key
+from .env import CollectiveEnv
+from .multicast import OptimalBroadcast, PeelBroadcast
+from .multipath import StripedMulticastBroadcast
+from .orca import OrcaBroadcast
+from .ring import RingBroadcast
+from .tree import BinaryTreeBroadcast
+
+
+def scheme_by_name(name: str) -> BroadcastScheme:
+    """Factory for the scheme names the experiments use."""
+    factories = {
+        "ring": RingBroadcast,
+        "tree": BinaryTreeBroadcast,
+        "optimal": OptimalBroadcast,
+        "orca": OrcaBroadcast,
+        "orca-nosetup": lambda: OrcaBroadcast(controller_overhead=False),
+        "peel": PeelBroadcast,
+        "peel+cores": lambda: PeelBroadcast(programmable_cores=True),
+        "striped": StripedMulticastBroadcast,
+        "allgather-ring": RingAllgather,
+        "allgather-peel": PeelAllgather,
+        "allreduce-ring": RingAllReduce,
+        "allreduce-peel": PeelAllReduce,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {sorted(factories)}"
+        ) from None
+
+
+__all__ = [
+    "PeelAllgather",
+    "RingAllgather",
+    "PeelAllReduce",
+    "RingAllReduce",
+    "shard_bytes",
+    "BroadcastScheme",
+    "CollectiveHandle",
+    "Gpu",
+    "Group",
+    "locality_key",
+    "CollectiveEnv",
+    "OptimalBroadcast",
+    "PeelBroadcast",
+    "StripedMulticastBroadcast",
+    "OrcaBroadcast",
+    "RingBroadcast",
+    "BinaryTreeBroadcast",
+    "scheme_by_name",
+]

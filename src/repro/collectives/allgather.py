@@ -1,0 +1,142 @@
+"""Allgather collectives: every rank's shard reaches every other rank.
+
+The paper's motivation ("AI training floods fabrics with thousands of
+simultaneous collectives") extends beyond Broadcast; Allgather is the
+bandwidth-heavy phase of sharded training (ref [23] targets it directly).
+Two realizations on the same group:
+
+* :class:`RingAllgather` — the deployed unicast baseline: each shard walks
+  the ring, N-1 forwarding steps, every host NIC both sends and receives
+  the full (N-1)/N of the message.
+* :class:`PeelAllgather` — each rank multicasts its shard through PEEL's
+  static prefix packets: N concurrent multicast groups and still *zero*
+  per-group switch state (the point of §3).
+
+Completion: a host finishes when it holds all N shards (its own plus N-1
+received); the collective finishes when every member host does.
+"""
+
+from __future__ import annotations
+
+from ..sim import Transfer
+from .base import BroadcastScheme, CollectiveHandle, Group, nccl_chunk_bytes
+from .env import CollectiveEnv
+
+
+def shard_bytes(message_bytes: int, num_ranks: int) -> int:
+    """Per-rank shard size (the message is the *result* size)."""
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+    return max(1, -(-message_bytes // num_ranks))
+
+
+class _AllgatherScheme(BroadcastScheme):
+    """Shared completion bookkeeping for allgather variants."""
+
+    def _allgather_handle(
+        self, env: CollectiveEnv, group: Group, message_bytes: int, arrival_s: float
+    ) -> tuple[CollectiveHandle, dict[str, int], int]:
+        hosts = group.hosts
+        if len(group.members) > len(hosts):
+            nvlink_s = message_bytes / env.config.nvlink_bytes_per_s
+        else:
+            nvlink_s = 0.0
+        pending = set(hosts) if len(hosts) > 1 else set()
+        handle = CollectiveHandle(
+            self.name, group, message_bytes, arrival_s, nvlink_s,
+            pending_hosts=pending,
+        )
+        return handle, {h: 0 for h in hosts}, len(hosts) - 1
+
+    @staticmethod
+    def _shard_sink(handle, counters, needed):
+        def on_shard_done(host: str, now: float) -> None:
+            counters[host] += 1
+            if counters[host] == needed:
+                handle.host_done(host, now)
+
+        return on_shard_done
+
+
+class RingAllgather(_AllgatherScheme):
+    """Unicast ring allgather (the deployed baseline)."""
+    name = "allgather-ring"
+
+    def launch(
+        self,
+        env: CollectiveEnv,
+        group: Group,
+        message_bytes: int,
+        arrival_s: float,
+    ) -> CollectiveHandle:
+        handle, counters, needed = self._allgather_handle(
+            env, group, message_bytes, arrival_s
+        )
+        hosts = group.hosts
+        n = len(hosts)
+        if n <= 1:
+            return handle
+        shard = shard_bytes(message_bytes, n)
+        chunk = nccl_chunk_bytes(shard, env.config.mtu_bytes)
+        sink = self._shard_sink(handle, counters, needed)
+
+        for owner in range(n):
+            previous: Transfer | None = None
+            for step in range(n - 1):
+                src = hosts[(owner + step) % n]
+                dst = hosts[(owner + step + 1) % n]
+                transfer = Transfer(
+                    env.network,
+                    env.next_transfer_name(f"ag-ring-{owner}"),
+                    src,
+                    shard,
+                    [env.router.path_tree(src, dst)],
+                    start_at=arrival_s,
+                    is_relay=previous is not None,
+                    on_host_done=sink,
+                    relay_chunk_bytes=chunk,
+                )
+                if previous is not None:
+                    previous.add_relay_child(src, transfer)
+                transfer.start()
+                previous = transfer
+        return handle
+
+
+class PeelAllgather(_AllgatherScheme):
+    """Per-rank PEEL multicast allgather: N groups, zero group state."""
+    name = "allgather-peel"
+
+    def launch(
+        self,
+        env: CollectiveEnv,
+        group: Group,
+        message_bytes: int,
+        arrival_s: float,
+    ) -> CollectiveHandle:
+        handle, counters, needed = self._allgather_handle(
+            env, group, message_bytes, arrival_s
+        )
+        hosts = group.hosts
+        n = len(hosts)
+        if n <= 1:
+            return handle
+        shard = shard_bytes(message_bytes, n)
+        sink = self._shard_sink(handle, counters, needed)
+        peel = env.peel()
+
+        for owner in hosts:
+            others = [h for h in hosts if h != owner]
+            plan = peel.plan(owner, others)
+            transfer = Transfer(
+                env.network,
+                env.next_transfer_name(f"ag-peel-{owner}"),
+                owner,
+                shard,
+                plan.static_trees,
+                receivers=set(others),
+                start_at=arrival_s,
+                on_host_done=sink,
+            )
+            transfer.start()
+        return handle

@@ -1,0 +1,50 @@
+"""Shared runtime for collectives: the simulated fabric plus planners."""
+
+from __future__ import annotations
+
+import random
+
+from ..core import ControllerModel, Peel
+from ..sim import Network, SimConfig, Simulator, UnicastRouter
+from ..topology import Topology
+
+
+class CollectiveEnv:
+    """One simulation environment: network, router, PEEL planner, controller.
+
+    All schemes launched into the same env share the fabric (and therefore
+    contend for it), which is how the Poisson-arrival experiments create
+    background load.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        config: SimConfig | None = None,
+        controller: ControllerModel | None = None,
+    ) -> None:
+        self.topo = topo
+        self.config = config or SimConfig()
+        self.network = Network(topo, self.config)
+        self.sim: Simulator = self.network.sim
+        self.rng = random.Random(self.config.seed + 0x5EED)
+        self.router = UnicastRouter(topo, random.Random(self.config.seed + 1))
+        self.controller = controller or ControllerModel(
+            rng=random.Random(self.config.seed + 2)
+        )
+        self._peel_planners: dict[int | None, Peel] = {}
+        self._transfer_counter = 0
+
+    def peel(self, max_prefixes_per_fanout: int | None = None) -> Peel:
+        planner = self._peel_planners.get(max_prefixes_per_fanout)
+        if planner is None:
+            planner = Peel(self.topo, max_prefixes_per_fanout)
+            self._peel_planners[max_prefixes_per_fanout] = planner
+        return planner
+
+    def next_transfer_name(self, prefix: str) -> str:
+        self._transfer_counter += 1
+        return f"{prefix}-{self._transfer_counter}"
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        return self.sim.run(until=until, max_events=max_events)

@@ -1,0 +1,104 @@
+"""In-network multicast broadcasts: the Optimal baseline and PEEL.
+
+* :class:`OptimalBroadcast` — bandwidth-optimal Steiner-tree multicast
+  (constructive optimum on symmetric fabrics, exact DP on small asymmetric
+  groups, metric-closure otherwise).  An idealized scheme: no setup cost,
+  single copy everywhere.
+* :class:`PeelBroadcast` — PEEL static mode: one copy per prefix packet,
+  zero setup (§3.2); optionally PEEL + programmable cores (§3.3): static
+  start, then single-copy refined trees once the modelled controller
+  finishes, at ``arrival + N(10ms, 5ms)``.
+"""
+
+from __future__ import annotations
+
+from ..sim import Transfer
+from ..steiner import MAX_EXACT_TERMINALS, exact_steiner_tree, metric_closure_tree
+from .base import BroadcastScheme, CollectiveHandle, Group
+from .env import CollectiveEnv
+
+
+class OptimalBroadcast(BroadcastScheme):
+    """Bandwidth-optimal Steiner-tree multicast (idealized baseline)."""
+    name = "optimal"
+
+    def launch(
+        self,
+        env: CollectiveEnv,
+        group: Group,
+        message_bytes: int,
+        arrival_s: float,
+    ) -> CollectiveHandle:
+        handle = self._handle(env, group, message_bytes, arrival_s)
+        receivers = group.receiver_hosts
+        if not receivers:
+            return handle
+        source = group.source.host
+        if env.topo.is_symmetric:
+            from ..core import optimal_symmetric_tree
+
+            tree = optimal_symmetric_tree(env.topo, source, receivers)
+        elif len(receivers) + 1 <= MAX_EXACT_TERMINALS:
+            tree = exact_steiner_tree(env.topo.graph, source, receivers)
+        else:
+            tree = metric_closure_tree(env.topo.graph, source, receivers)
+        transfer = Transfer(
+            env.network,
+            env.next_transfer_name("optimal"),
+            source,
+            message_bytes,
+            [tree],
+            start_at=arrival_s,
+            on_host_done=handle.host_done,
+        )
+        transfer.start()
+        return handle
+
+
+class PeelBroadcast(BroadcastScheme):
+    """PEEL multicast; set ``programmable_cores=True`` for §3.3's two-stage
+    refinement."""
+
+    def __init__(
+        self,
+        programmable_cores: bool = False,
+        max_prefixes_per_fanout: int | None = None,
+    ) -> None:
+        self.programmable_cores = programmable_cores
+        self.max_prefixes_per_fanout = max_prefixes_per_fanout
+        self.name = "peel+cores" if programmable_cores else "peel"
+
+    def launch(
+        self,
+        env: CollectiveEnv,
+        group: Group,
+        message_bytes: int,
+        arrival_s: float,
+    ) -> CollectiveHandle:
+        handle = self._handle(env, group, message_bytes, arrival_s)
+        receivers = group.receiver_hosts
+        if not receivers:
+            return handle
+        source = group.source.host
+        plan = env.peel(self.max_prefixes_per_fanout).plan(source, receivers)
+
+        refined_tree = None
+        refinement_ready_at = None
+        if self.programmable_cores:
+            refined_tree = plan.refined_tree
+            refinement_ready_at = arrival_s + env.controller.setup_delay()
+
+        transfer = Transfer(
+            env.network,
+            env.next_transfer_name(self.name),
+            source,
+            message_bytes,
+            plan.static_trees,
+            refined_tree=refined_tree,
+            refinement_ready_at=refinement_ready_at,
+            receivers=set(receivers),
+            start_at=arrival_s,
+            on_host_done=handle.host_done,
+        )
+        transfer.start()
+        return handle

@@ -1,0 +1,85 @@
+"""PEEL packet-header encoding and size math (§3.2).
+
+Each packet carries a single ``⟨prefix value, prefix length⟩`` tuple:
+
+    header bits = log2(k/2)  +  ceil(log2(log2(k/2) + 1))
+                  `-- value --'  `------ length field ------'
+
+which is ``O(log k)`` — under 8 bytes even for k = 128 (500K+ hosts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .prefix import Prefix
+
+
+def tor_id_bits(k: int) -> int:
+    """Bits in a ToR identifier: ``log2(k/2)`` for a k-ary fat-tree."""
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    if half & (half - 1):
+        raise ValueError(f"k/2 must be a power of two for prefix addressing, got {half}")
+    return half.bit_length() - 1
+
+
+def header_bits(k: int) -> int:
+    """Exact header size in bits for a k-ary fat-tree."""
+    m = tor_id_bits(k)
+    length_field = math.ceil(math.log2(m + 1)) if m else 0
+    return m + length_field
+
+
+def header_bytes(k: int) -> int:
+    """Header size rounded up to whole bytes (what the wire carries)."""
+    return math.ceil(header_bits(k) / 8) if header_bits(k) else 0
+
+
+def hierarchical_header_bits(k: int) -> int:
+    """Header bits when every downward tier carries a prefix tuple (§3.2's
+    "the same principles apply to other downward segments"): a pod-level
+    tuple for the core tier plus the ToR-level tuple for the agg tier."""
+    pod_bits = max((k - 1).bit_length(), 1)
+    pod_length_field = math.ceil(math.log2(pod_bits + 1))
+    return pod_bits + pod_length_field + header_bits(k)
+
+
+def hierarchical_header_bytes(k: int) -> int:
+    """Hierarchical header size rounded up to whole bytes."""
+    return math.ceil(hierarchical_header_bits(k) / 8)
+
+
+@dataclass(frozen=True)
+class PeelHeader:
+    """A concrete encoded header for one prefix packet."""
+
+    prefix: Prefix
+    width: int  # identifier width m = log2(k/2)
+
+    def encode(self) -> int:
+        """Pack into an integer: value in the top field, length below."""
+        length_field = math.ceil(math.log2(self.width + 1)) if self.width else 0
+        value = self.prefix.value << (self.width - self.prefix.length)
+        return (value << length_field) | self.prefix.length
+
+    @classmethod
+    def decode(cls, raw: int, width: int) -> "PeelHeader":
+        length_field = math.ceil(math.log2(width + 1)) if width else 0
+        length = raw & ((1 << length_field) - 1) if length_field else 0
+        if length > width:
+            raise ValueError(f"decoded prefix length {length} exceeds width {width}")
+        padded = raw >> length_field
+        value = padded >> (width - length)
+        return cls(Prefix(value, length), width)
+
+    @property
+    def bits(self) -> int:
+        length_field = math.ceil(math.log2(self.width + 1)) if self.width else 0
+        return self.width + length_field
+
+    @property
+    def nbytes(self) -> int:
+        return math.ceil(self.bits / 8) if self.bits else 0

@@ -1,0 +1,146 @@
+"""Power-of-two prefix cover sets (§3.2) — CIDR-style aggregation of ToR ids.
+
+Every ToR in a pod gets an ``m = log2(k/2)``-bit identifier.  A *prefix*
+``value/length`` names the aligned block of ``2^(m - length)`` identifiers
+sharing the top ``length`` bits — exactly the blocks for which rules are
+pre-installed in every aggregation switch.
+
+Two cover policies are provided:
+
+* :func:`exact_cover` — the unique minimal set of aligned blocks covering a
+  target set exactly (the paper's trie-of-complete-subtrees construction);
+* :func:`bounded_cover` — at most ``max_prefixes`` blocks, minimally
+  over-covering; this implements the "adaptive prefix packing" direction the
+  paper raises for fragmented placements (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An aligned identifier block: top ``length`` bits equal ``value``.
+
+    ``length == 0`` covers every identifier; ``length == width`` covers one.
+    """
+
+    value: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"negative prefix length: {self.length}")
+        if not 0 <= self.value < (1 << self.length):
+            raise ValueError(f"prefix value {self.value} too wide for /{self.length}")
+
+    def block(self, width: int) -> range:
+        """The identifiers this prefix covers in a ``width``-bit space."""
+        if self.length > width:
+            raise ValueError(f"/{self.length} prefix in a {width}-bit space")
+        span = 1 << (width - self.length)
+        return range(self.value * span, (self.value + 1) * span)
+
+    def covers(self, ident: int, width: int) -> bool:
+        return ident >> (width - self.length) == self.value
+
+    def bitstring(self, width: int) -> str:
+        """Human-readable form, e.g. ``01*`` for value=0b01/len 2, width 3."""
+        bits = format(self.value, f"0{self.length}b") if self.length else ""
+        return bits + "*" * (width - self.length)
+
+
+def exact_cover(ids: set[int], width: int) -> list[Prefix]:
+    """Minimal set of aligned power-of-two blocks covering ``ids`` exactly.
+
+    Classic trie decomposition: a trie node whose whole span is in ``ids``
+    becomes one prefix; otherwise recurse into halves.  Result is sorted by
+    block start.
+    """
+    _check_ids(ids, width)
+    out: list[Prefix] = []
+
+    def descend(value: int, length: int) -> None:
+        span = range(value << (width - length), (value + 1) << (width - length))
+        hit = sum(1 for i in span if i in ids)
+        if not hit:
+            return
+        if hit == len(span):
+            out.append(Prefix(value, length))
+            return
+        descend(value << 1, length + 1)
+        descend((value << 1) | 1, length + 1)
+
+    descend(0, 0)
+    return out
+
+
+def bounded_cover(ids: set[int], width: int, max_prefixes: int) -> list[Prefix]:
+    """Cover ``ids`` with at most ``max_prefixes`` blocks, minimum waste.
+
+    *Waste* is the number of covered identifiers outside ``ids`` (packets
+    ToRs will discard, §3.3).  Solved by dynamic programming on the trie:
+    ``best(node, p)`` = minimum waste covering the node's targets with at
+    most ``p`` prefixes, choosing between one block for the whole node or a
+    budget split across the two children.
+    """
+    _check_ids(ids, width)
+    if max_prefixes < 1:
+        raise ValueError(f"max_prefixes must be >= 1, got {max_prefixes}")
+    if not ids:
+        return []
+
+    infinity = float("inf")
+
+    @lru_cache(maxsize=None)
+    def best(value: int, length: int, budget: int) -> tuple[float, tuple[Prefix, ...]]:
+        span = range(value << (width - length), (value + 1) << (width - length))
+        hit = sum(1 for i in span if i in ids)
+        if not hit:
+            return 0, ()
+        if budget == 0:
+            return infinity, ()
+        whole = (len(span) - hit, (Prefix(value, length),))
+        if length == width:
+            return whole
+        options = [whole]
+        # A child with no targets consumes no budget, so the sibling may
+        # take the whole allowance (left_budget 0 or `budget` included).
+        for left_budget in range(0, budget + 1):
+            lw, lp = best(value << 1, length + 1, left_budget)
+            rw, rp = best((value << 1) | 1, length + 1, budget - left_budget)
+            if lw + rw < infinity:
+                options.append((lw + rw, lp + rp))
+        return min(options, key=lambda item: (item[0], len(item[1])))
+
+    waste, prefixes = best(0, 0, max_prefixes)
+    del waste
+    return sorted(prefixes)
+
+
+def cover_waste(prefixes: list[Prefix], ids: set[int], width: int) -> int:
+    """Identifiers covered by ``prefixes`` but not in ``ids``."""
+    covered: set[int] = set()
+    for p in prefixes:
+        covered.update(p.block(width))
+    if not ids <= covered:
+        raise ValueError("prefixes do not cover the target set")
+    return len(covered - ids)
+
+
+def covered_ids(prefixes: list[Prefix], width: int) -> set[int]:
+    """All identifiers covered by a prefix set."""
+    out: set[int] = set()
+    for p in prefixes:
+        out.update(p.block(width))
+    return out
+
+
+def _check_ids(ids: set[int], width: int) -> None:
+    if width < 0:
+        raise ValueError(f"negative identifier width: {width}")
+    bad = [i for i in ids if not 0 <= i < (1 << width)]
+    if bad:
+        raise ValueError(f"identifiers out of {width}-bit range: {sorted(bad)}")

@@ -1,0 +1,51 @@
+"""Two-stage refinement with programmable cores (§3.3) and the SDN
+controller-latency model the paper uses for Orca and PEEL+cores (§3.1, §4).
+
+Flow-setup delay is drawn from ``N(10 ms, 5 ms)`` truncated at zero
+(refs [16, 17] in the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class ControllerModel:
+    """Centralized controller whose only observable is its setup latency."""
+
+    mean_s: float = 10e-3
+    std_s: float = 5e-3
+    rng: random.Random | None = None
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = random.Random(0)
+        if self.mean_s < 0 or self.std_s < 0:
+            raise ValueError("controller delay parameters must be non-negative")
+
+    def setup_delay(self) -> float:
+        """One flow-setup latency sample in seconds (never negative)."""
+        return max(0.0, self.rng.gauss(self.mean_s, self.std_s))
+
+
+@dataclass(frozen=True)
+class RefinementSchedule:
+    """When a collective may switch from static prefixes to the refined tree.
+
+    ``ready_at`` is absolute simulation time; segments injected before it use
+    the static per-prefix trees, segments at or after it use the single-copy
+    refined tree (the programmable cores replicate).
+    """
+
+    ready_at: float
+
+    def mode_at(self, now: float) -> str:
+        return "refined" if now >= self.ready_at else "static"
+
+
+def core_rules_needed(num_destination_pods: int) -> int:
+    """Per-group replication rules the refinement installs at the core —
+    "typically one rule per destination pod" (§3.3)."""
+    return max(0, num_destination_pods)

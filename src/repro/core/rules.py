@@ -1,0 +1,73 @@
+"""Pre-installed power-of-two forwarding rules (§3.2).
+
+For an ``m``-bit ToR identifier space, an aggregation switch holds one entry
+per prefix length ``l`` per block, i.e. ``1 + 2 + ... + 2^m = 2^(m+1) - 1 =
+k - 1`` entries total — *linear* in port count, installed once, never
+touched again ("deploy-once, touch-never").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .header import PeelHeader, tor_id_bits
+from .prefix import Prefix
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """One TCAM entry: a prefix and the downlink ports (ToR indices) it fans
+    out to."""
+
+    prefix: Prefix
+    out_ports: tuple[int, ...]
+
+
+def preinstalled_rules(k: int) -> list[ForwardingRule]:
+    """The full static rule set of one aggregation switch in a k-ary fat-tree."""
+    width = tor_id_bits(k)
+    rules = []
+    for length in range(width + 1):
+        for value in range(1 << length):
+            prefix = Prefix(value, length)
+            rules.append(ForwardingRule(prefix, tuple(prefix.block(width))))
+    return rules
+
+
+def rule_count(k: int) -> int:
+    """Closed form ``k - 1`` (checked against the enumeration in tests)."""
+    return (1 << (tor_id_bits(k) + 1)) - 1
+
+
+class PrefixRuleTable:
+    """The data-plane lookup an aggregation switch performs on a PEEL packet.
+
+    Indexed by ``(value, length)``; a miss on a well-formed header is
+    impossible because every power-of-two block is pre-installed.
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.width = tor_id_bits(k)
+        self._table = {
+            (rule.prefix.value, rule.prefix.length): rule
+            for rule in preinstalled_rules(k)
+        }
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def match(self, header: PeelHeader) -> ForwardingRule:
+        if header.width != self.width:
+            raise ValueError(
+                f"header width {header.width} does not match fabric width {self.width}"
+            )
+        key = (header.prefix.value, header.prefix.length)
+        try:
+            return self._table[key]
+        except KeyError:  # pragma: no cover - unreachable for valid headers
+            raise LookupError(f"no rule for prefix {header.prefix}") from None
+
+    def lookup(self, raw_header: int) -> tuple[int, ...]:
+        """Decode a raw header and return the out-port set."""
+        return self.match(PeelHeader.decode(raw_header, self.width)).out_ports

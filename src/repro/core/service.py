@@ -1,0 +1,165 @@
+"""MulticastService: the library-facing group manager.
+
+What a collective library (an NCCL plugin, say) would actually link
+against: create groups, mutate membership as jobs elastically grow and
+shrink, and get a fresh :class:`PeelPlan` after every change — all without
+a single switch update, because the data plane is the pre-installed
+power-of-two rule set ("deploy-once, touch-never", §3.2).
+
+>>> from repro.topology import FatTree
+>>> from repro.core import MulticastService
+>>> service = MulticastService(FatTree(8, hosts_per_tor=4))
+>>> g = service.create_group("host:p0:t0:0", ["host:p1:t0:0"])
+>>> g.plan.num_prefixes
+1
+>>> service.switch_rule_updates
+0
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..topology import FatTree, Topology
+from .peel import Peel, PeelPlan
+from .rules import PrefixRuleTable
+
+
+class GroupClosedError(RuntimeError):
+    """Raised when a closed group handle is used."""
+
+
+class MulticastGroup:
+    """Handle for one active multicast group; replans on membership change."""
+
+    def __init__(
+        self, service: "MulticastService", group_id: int, source: str,
+        members: Iterable[str],
+    ) -> None:
+        self._service = service
+        self.group_id = group_id
+        self.source = source
+        self._members: set[str] = set(members)
+        self._plan: PeelPlan | None = None
+        self._closed = False
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def members(self) -> frozenset[str]:
+        return frozenset(self._members)
+
+    def add_members(self, hosts: Iterable[str]) -> None:
+        self._check_open()
+        added = set(hosts) - self._members
+        if added:
+            self._members |= added
+            self._plan = None  # replanning is a source-local operation
+
+    def remove_members(self, hosts: Iterable[str]) -> None:
+        self._check_open()
+        removing = set(hosts)
+        if self.source in removing:
+            raise ValueError("the source cannot leave its own group")
+        if removing & self._members:
+            self._members -= removing
+            self._plan = None
+
+    # -- planning ---------------------------------------------------------------
+
+    @property
+    def plan(self) -> PeelPlan:
+        """Current plan; recomputed lazily after membership changes."""
+        self._check_open()
+        if self._plan is None:
+            self._plan = self._service.planner.plan(
+                self.source, sorted(self._members)
+            )
+            self._service.replans += 1
+        return self._plan
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._service._forget(self.group_id)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise GroupClosedError(f"group {self.group_id} is closed")
+
+
+class MulticastService:
+    """Manage many concurrent groups over one fabric's static data plane."""
+
+    def __init__(
+        self, topo: Topology, max_prefixes_per_fanout: int | None = None
+    ) -> None:
+        self.topo = topo
+        self.planner = Peel(topo, max_prefixes_per_fanout)
+        #: The one-time static rule set (per aggregation switch); on
+        #: fat-trees this is materialized so callers can inspect it.
+        self.rule_table = (
+            PrefixRuleTable(topo.k) if isinstance(topo, FatTree) else None
+        )
+        #: Switch rule installations after deployment.  Stays zero by
+        #: construction; exists so audits can assert the §3.2 property.
+        self.switch_rule_updates = 0
+        self.replans = 0
+        self._groups: dict[int, MulticastGroup] = {}
+        self._next_id = 0
+
+    def create_group(self, source: str, members: Iterable[str]) -> MulticastGroup:
+        if source not in self.topo.graph:
+            raise ValueError(f"unknown source {source!r}")
+        group = MulticastGroup(self, self._next_id, source, members)
+        self._groups[self._next_id] = group
+        self._next_id += 1
+        return group
+
+    def _forget(self, group_id: int) -> None:
+        self._groups.pop(group_id, None)
+
+    @property
+    def active_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def static_rules_per_switch(self) -> int:
+        return len(self.rule_table) if self.rule_table is not None else 0
+
+    def group(self, group_id: int) -> MulticastGroup:
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise LookupError(f"no active group {group_id}") from None
+
+    # -- failure handling --------------------------------------------------------
+
+    def handle_link_failure(self, u: str, v: str) -> list[MulticastGroup]:
+        """React to a link failure: fail it in the fabric and replan exactly
+        the groups whose current trees rode it.
+
+        The fabric becomes asymmetric, so affected groups transparently fall
+        back to §2.3's layer-peeling trees.  Still zero switch updates: the
+        static prefix rules keep working; only sources change what they
+        emit.  Returns the groups that were replanned.
+        """
+        self.topo.fail_link(u, v)
+        affected = []
+        edge = {u, v}
+        for group in list(self._groups.values()):
+            plan = group._plan
+            if plan is None:
+                continue  # will replan lazily anyway
+            uses_link = any(
+                {a, b} == edge for tree in plan.static_trees for a, b in tree.edges
+            )
+            if uses_link:
+                group._plan = None
+                _ = group.plan  # replan eagerly so traffic can resume
+                affected.append(group)
+        return affected

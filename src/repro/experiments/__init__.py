@@ -1,0 +1,20 @@
+"""Experiment reproductions: one module per paper figure/table.
+
+Each module exposes ``run(...) -> rows`` with quick defaults (suitable for
+CI and pytest-benchmark) and a ``__main__`` entry printing the table; pass
+larger parameters for paper-scale sweeps.  See DESIGN.md for the
+experiment-to-module index and EXPERIMENTS.md for measured results.
+"""
+
+from .common import CctRow, format_cct_table, mean_ratio, rows_for
+from .runner import ScenarioResult, run_broadcast_scenario, segment_bytes_for
+
+__all__ = [
+    "CctRow",
+    "format_cct_table",
+    "mean_ratio",
+    "rows_for",
+    "ScenarioResult",
+    "run_broadcast_scenario",
+    "segment_bytes_for",
+]

@@ -1,0 +1,75 @@
+"""Figure 1: unicast Ring/Tree vs multicast-optimal bandwidth.
+
+The paper's example: a two-tier leaf-spine with 2 spines, 2 leaves and 4
+GPUs per leaf.  Logical rings and binary trees schedule unicasts but do not
+reduce total bytes; they traverse core links up to ~80% more often than the
+multicast optimum.  This module recomputes those link loads analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives import locality_key
+from ..core import optimal_symmetric_tree
+from ..metrics import BandwidthSummary, chain_link_loads, summarize_loads, tree_link_loads
+from ..sim import UnicastRouter
+from ..topology import LeafSpine
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    scheme: str
+    total_traversals: int
+    core_traversals: int
+    overshoot_vs_optimal: float  # fraction of extra total bytes, 0 == optimal
+
+
+def fig1_fabric() -> LeafSpine:
+    return LeafSpine(2, 2, 4)
+
+
+def _binary_tree_loads(topo: LeafSpine, order: list[str], router: UnicastRouter):
+    loads: dict[tuple[str, str], int] = {}
+    for parent in range(len(order)):
+        for child in (2 * parent + 1, 2 * parent + 2):
+            if child >= len(order):
+                continue
+            path = router.path(order[parent], order[child])
+            for edge in zip(path, path[1:]):
+                loads[edge] = loads.get(edge, 0) + 1
+    return loads
+
+
+def run(topo: LeafSpine | None = None) -> list[Fig1Row]:
+    topo = topo or fig1_fabric()
+    hosts = sorted(topo.hosts, key=locality_key)
+    src, dests = hosts[0], hosts[1:]
+    router = UnicastRouter(topo)
+
+    optimal = summarize_loads(
+        tree_link_loads([optimal_symmetric_tree(topo, src, dests)])
+    )
+    ring = summarize_loads(chain_link_loads(topo, hosts, router))
+    tree = summarize_loads(_binary_tree_loads(topo, hosts, router))
+
+    def row(name: str, summary: BandwidthSummary) -> Fig1Row:
+        overshoot = summary.total_traversals / optimal.total_traversals - 1
+        return Fig1Row(name, summary.total_traversals, summary.core_traversals, overshoot)
+
+    return [row("ring", ring), row("tree", tree), row("optimal", optimal)]
+
+
+def format_table(rows: list[Fig1Row]) -> str:
+    header = f"{'scheme':<10}{'total':>8}{'core':>8}{'overshoot':>11}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.scheme:<10}{r.total_traversals:>8}{r.core_traversals:>8}"
+            f"{r.overshoot_vs_optimal:>10.0%}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table(run()))

@@ -1,0 +1,54 @@
+"""Figure 3: RSBF's Bloom-filter header vs fat-tree degree.
+
+Per-packet overhead (bytes) as the fabric degree grows, for false-positive
+ratios from 1% to 20%.  The headline: the header exceeds one full 1500 B
+MTU once k > 32 even at a generous 20% FPR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import hierarchical_header_bytes
+from ..state import MTU_BYTES, rsbf_header_bytes
+
+DEFAULT_KS = (4, 8, 16, 32, 64)
+DEFAULT_FPRS = (0.01, 0.05, 0.10, 0.15, 0.20)
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    k: int
+    fpr: float
+    rsbf_header_bytes: int
+    peel_header_bytes: int
+    exceeds_mtu: bool
+
+
+def run(
+    ks: tuple[int, ...] = DEFAULT_KS, fprs: tuple[float, ...] = DEFAULT_FPRS
+) -> list[Fig3Row]:
+    rows = []
+    for k in ks:
+        peel = hierarchical_header_bytes(k)
+        for fpr in fprs:
+            size = rsbf_header_bytes(k, fpr)
+            rows.append(Fig3Row(k, fpr, size, peel, size > MTU_BYTES))
+    return rows
+
+
+def format_table(rows: list[Fig3Row]) -> str:
+    header = (
+        f"{'k':>4}{'FPR':>7}{'RSBF hdr (B)':>14}{'PEEL hdr (B)':>14}{'>MTU?':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.k:>4}{r.fpr:>7.0%}{r.rsbf_header_bytes:>14}"
+            f"{r.peel_header_bytes:>14}{'yes' if r.exceeds_mtu else 'no':>8}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table(run()))

@@ -1,0 +1,55 @@
+"""Figure 4: Orca's SDN flow-setup delay inflates collective completion time.
+
+The paper models the controller's flow setup as N(10 ms, 5 ms) on an 8-ary
+fat-tree with 1024 GPUs and shows the 99th-percentile CCT of a 32 MB
+Broadcast rising ~8x with controller overhead versus without.
+"""
+
+from __future__ import annotations
+
+from ..workloads import generate_jobs
+from .common import MB, CctRow, paper_fattree, sim_config
+from .runner import run_broadcast_scenario
+
+DEFAULT_SIZES_MB = (2, 8, 32, 128)
+
+
+def run(
+    sizes_mb: tuple[int, ...] = DEFAULT_SIZES_MB,
+    num_jobs: int = 12,
+    num_gpus: int = 1024,
+    offered_load: float = 0.3,
+    seed: int = 7,
+) -> list[CctRow]:
+    topo = paper_fattree()
+    rows: list[CctRow] = []
+    for size_mb in sizes_mb:
+        msg = size_mb * MB
+        jobs = generate_jobs(
+            topo, num_jobs, num_gpus, msg, offered_load=offered_load,
+            gpus_per_host=1, seed=seed,
+        )
+        cfg = sim_config(msg)
+        for scheme in ("orca", "orca-nosetup"):
+            result = run_broadcast_scenario(topo, scheme, jobs, cfg)
+            rows.append(
+                CctRow(scheme, size_mb, result.stats.mean_s, result.stats.p99_s)
+            )
+    return rows
+
+
+def tail_inflation(rows: list[CctRow], size_mb: int) -> float:
+    """p99 CCT with controller overhead over p99 without, at one size."""
+    with_ctrl = next(r for r in rows if r.scheme == "orca" and r.x == size_mb)
+    without = next(
+        r for r in rows if r.scheme == "orca-nosetup" and r.x == size_mb
+    )
+    return with_ctrl.p99_s / without.p99_s
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .common import format_cct_table
+
+    rows = run()
+    print(format_cct_table(rows, "msg (MB)"))
+    print(f"\np99 inflation at 32 MB: {tail_inflation(rows, 32):.1f}x")

@@ -1,0 +1,47 @@
+"""Figure 5: mean and tail CCT vs message size, 512-GPU Broadcasts at 30%
+offered load on the paper's 8-ary fat-tree.
+
+The paper's claims at this figure: PEEL tracks the bandwidth-optimal
+baseline across sizes, beats Ring/Tree/Orca, and PEEL+programmable-cores
+closes most of the remaining gap for large messages.
+"""
+
+from __future__ import annotations
+
+from ..workloads import generate_jobs
+from .common import MB, CctRow, paper_fattree, sim_config
+from .runner import run_broadcast_scenario
+
+DEFAULT_SIZES_MB = (2, 8, 32, 128, 512)
+DEFAULT_SCHEMES = ("ring", "tree", "optimal", "orca", "peel", "peel+cores")
+
+
+def run(
+    sizes_mb: tuple[int, ...] = DEFAULT_SIZES_MB,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    num_jobs: int = 12,
+    num_gpus: int = 512,
+    offered_load: float = 0.3,
+    seed: int = 7,
+) -> list[CctRow]:
+    topo = paper_fattree()
+    rows: list[CctRow] = []
+    for size_mb in sizes_mb:
+        msg = size_mb * MB
+        jobs = generate_jobs(
+            topo, num_jobs, num_gpus, msg, offered_load=offered_load,
+            gpus_per_host=1, seed=seed,
+        )
+        cfg = sim_config(msg)
+        for scheme in schemes:
+            result = run_broadcast_scenario(topo, scheme, jobs, cfg)
+            rows.append(
+                CctRow(scheme, size_mb, result.stats.mean_s, result.stats.p99_s)
+            )
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .common import format_cct_table
+
+    print(format_cct_table(run(), "msg (MB)"))

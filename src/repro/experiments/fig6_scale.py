@@ -1,0 +1,44 @@
+"""Figure 6: scale independence — CCT vs Broadcast scale at fixed 64 MB.
+
+The paper varies the group from 32 to 1024 GPUs on the 8-ary fat-tree and
+reports PEEL below Ring/Tree/Orca across the whole range (at 256 GPUs:
+5x vs Ring, 13x vs Tree, 2.5x vs Orca in mean CCT).
+"""
+
+from __future__ import annotations
+
+from ..workloads import generate_jobs
+from .common import MB, CctRow, paper_fattree, sim_config
+from .runner import run_broadcast_scenario
+
+DEFAULT_SCALES = (32, 128, 256, 1024)
+DEFAULT_SCHEMES = ("ring", "tree", "optimal", "orca", "peel", "peel+cores")
+
+
+def run(
+    scales: tuple[int, ...] = DEFAULT_SCALES,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    message_mb: int = 64,
+    num_jobs: int = 12,
+    offered_load: float = 0.3,
+    seed: int = 7,
+) -> list[CctRow]:
+    topo = paper_fattree()
+    msg = message_mb * MB
+    cfg = sim_config(msg)
+    rows: list[CctRow] = []
+    for scale in scales:
+        jobs = generate_jobs(
+            topo, num_jobs, scale, msg, offered_load=offered_load,
+            gpus_per_host=1, seed=seed,
+        )
+        for scheme in schemes:
+            result = run_broadcast_scenario(topo, scheme, jobs, cfg)
+            rows.append(CctRow(scheme, scale, result.stats.mean_s, result.stats.p99_s))
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .common import format_cct_table
+
+    print(format_cct_table(run(), "GPUs"))

@@ -1,0 +1,48 @@
+"""Figure 7: robustness to failures in an asymmetric leaf-spine.
+
+The paper's fabric: 16 spines, 48 leaves, 2 servers/leaf, 8 GPUs/server.
+A 64-GPU Broadcast of 8 MB messages repeats while 1-10% of spine-leaf links
+are randomly failed; PEEL's greedy trees stay ahead of Ring, which stays
+ahead of Tree.
+"""
+
+from __future__ import annotations
+
+from ..topology import fail_random_uplinks
+from ..workloads import generate_jobs
+from .common import MB, CctRow, paper_leafspine, sim_config
+from .runner import run_broadcast_scenario
+
+DEFAULT_FAILURE_PCTS = (1, 2, 4, 8, 10)
+DEFAULT_SCHEMES = ("tree", "ring", "peel")
+
+
+def run(
+    failure_pcts: tuple[int, ...] = DEFAULT_FAILURE_PCTS,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    message_mb: int = 8,
+    num_gpus: int = 64,
+    num_jobs: int = 40,
+    offered_load: float = 0.9,
+    seed: int = 11,
+) -> list[CctRow]:
+    msg = message_mb * MB
+    cfg = sim_config(msg)
+    rows: list[CctRow] = []
+    for pct in failure_pcts:
+        topo = paper_leafspine()
+        fail_random_uplinks(topo, pct / 100, seed=seed)
+        jobs = generate_jobs(
+            topo, num_jobs, num_gpus, msg, offered_load=offered_load,
+            gpus_per_host=1, seed=seed,
+        )
+        for scheme in schemes:
+            result = run_broadcast_scenario(topo, scheme, jobs, cfg)
+            rows.append(CctRow(scheme, pct, result.stats.mean_s, result.stats.p99_s))
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .common import format_cct_table
+
+    print(format_cct_table(run(), "failed %"))

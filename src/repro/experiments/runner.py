@@ -1,0 +1,71 @@
+"""Scenario runner: a workload + a scheme + a fabric -> CCT samples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..collectives import BroadcastScheme, CollectiveEnv, scheme_by_name
+from ..metrics import CctStats, summarize_ccts
+from ..sim import SimConfig
+from ..topology import Topology
+from ..workloads import CollectiveJob
+
+
+@dataclass
+class ScenarioResult:
+    scheme: str
+    ccts: list[float]
+    total_bytes: int
+    wasted_bytes: int
+    pfc_pause_events: int
+    stats: CctStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = summarize_ccts(self.ccts)
+
+
+def run_broadcast_scenario(
+    topo: Topology,
+    scheme: BroadcastScheme | str,
+    jobs: list[CollectiveJob],
+    config: SimConfig | None = None,
+    max_events: int | None = None,
+) -> ScenarioResult:
+    """Run every job under one scheme on a fresh fabric; returns all CCTs.
+
+    All jobs share the fabric, so concurrent collectives contend — this is
+    how the Poisson-load experiments produce queueing and tail effects.
+    """
+    if isinstance(scheme, str):
+        scheme = scheme_by_name(scheme)
+    env = CollectiveEnv(topo, config)
+    handles = [
+        scheme.launch(env, job.group, job.message_bytes, job.arrival_s)
+        for job in jobs
+    ]
+    env.run(max_events=max_events)
+    unfinished = [h for h in handles if not h.complete]
+    if unfinished:
+        raise RuntimeError(
+            f"{len(unfinished)} of {len(handles)} collectives never completed "
+            f"({scheme.name}); simulation stalled or max_events too low"
+        )
+    return ScenarioResult(
+        scheme=scheme.name,
+        ccts=[h.cct_s for h in handles],
+        total_bytes=env.network.total_bytes_sent(),
+        wasted_bytes=env.network.wasted_bytes,
+        pfc_pause_events=env.network.pfc_pause_events,
+    )
+
+
+def segment_bytes_for(message_bytes: int, target_segments: int = 64) -> int:
+    """Pick a store-and-forward granularity bounding event counts.
+
+    Small messages use 64 KiB segments; large ones are split into about
+    ``target_segments`` pieces so simulated event counts stay flat across
+    the paper's 2 MB - 512 MB sweep (see DESIGN.md on granularity).
+    """
+    if message_bytes <= 0:
+        raise ValueError("message_bytes must be positive")
+    return max(65536, message_bytes // target_segments)

@@ -1,0 +1,79 @@
+"""Tree quality: layer-peeling greedy vs the Steiner optimum.
+
+The paper claims the greedy stays near-optimal (within 1.4% of the Steiner
+optimum in their fat-tree prototype).  We measure the cost ratio on
+randomized asymmetric fabrics against the exact Dreyfus-Wagner oracle
+(small groups) and the metric-closure 2-approximation (larger ones).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core import layer_peeling_tree
+from ..steiner import exact_steiner_cost, metric_closure_tree
+from ..topology import LeafSpine, asymmetric
+
+
+@dataclass(frozen=True)
+class QualityRow:
+    failure_fraction: float
+    trials: int
+    mean_ratio_vs_exact: float
+    worst_ratio_vs_exact: float
+    mean_ratio_vs_metric_closure: float
+
+
+def run(
+    failure_fractions: tuple[float, ...] = (0.05, 0.1, 0.2),
+    trials: int = 10,
+    num_dests: int = 5,
+    seed: int = 0,
+) -> list[QualityRow]:
+    rng = random.Random(seed)
+    rows = []
+    for fraction in failure_fractions:
+        exact_ratios = []
+        mc_ratios = []
+        for trial in range(trials):
+            topo, _ = asymmetric(
+                LeafSpine(4, 8, 2), fraction, seed=rng.randrange(2**31)
+            )
+            hosts = topo.hosts
+            src = hosts[rng.randrange(len(hosts))]
+            dests = rng.sample([h for h in hosts if h != src], num_dests)
+            greedy = layer_peeling_tree(topo, src, dests).cost
+            exact = exact_steiner_cost(topo.graph, src, dests)
+            approx = metric_closure_tree(topo.graph, src, dests).cost
+            exact_ratios.append(greedy / exact)
+            mc_ratios.append(greedy / approx)
+        rows.append(
+            QualityRow(
+                failure_fraction=fraction,
+                trials=trials,
+                mean_ratio_vs_exact=sum(exact_ratios) / trials,
+                worst_ratio_vs_exact=max(exact_ratios),
+                mean_ratio_vs_metric_closure=sum(mc_ratios) / trials,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[QualityRow]) -> str:
+    header = (
+        f"{'fail %':>8}{'trials':>8}{'mean vs OPT':>13}"
+        f"{'worst vs OPT':>14}{'mean vs 2-apx':>15}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.failure_fraction:>8.0%}{r.trials:>8}"
+            f"{r.mean_ratio_vs_exact:>13.3f}{r.worst_ratio_vs_exact:>14.3f}"
+            f"{r.mean_ratio_vs_metric_closure:>15.3f}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table(run()))

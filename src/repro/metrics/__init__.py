@@ -1,0 +1,18 @@
+"""Measurement helpers: CCT statistics and bandwidth accounting."""
+
+from .bandwidth import (
+    BandwidthSummary,
+    chain_link_loads,
+    summarize_loads,
+    tree_link_loads,
+)
+from .cct import CctStats, summarize_ccts
+
+__all__ = [
+    "BandwidthSummary",
+    "chain_link_loads",
+    "summarize_loads",
+    "tree_link_loads",
+    "CctStats",
+    "summarize_ccts",
+]

@@ -1,0 +1,66 @@
+"""Aggregate-bandwidth accounting: who moved how many bytes where.
+
+Supports both analytic accounting (link traversal counts of a plan or
+logical topology, as in Figure 1) and measured accounting (byte counters of
+a finished simulation)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..steiner import MulticastTree
+from ..topology import Topology
+from ..topology.addressing import NodeKind, kind_of
+
+
+def tree_link_loads(trees: Iterable[MulticastTree]) -> dict[tuple[str, str], int]:
+    """Message copies crossing each directed link for a set of trees."""
+    loads: dict[tuple[str, str], int] = {}
+    for tree in trees:
+        for edge in tree.edges:
+            loads[edge] = loads.get(edge, 0) + 1
+    return loads
+
+
+def chain_link_loads(
+    topo: Topology, chain: list[str], router=None
+) -> dict[tuple[str, str], int]:
+    """Link loads of a unicast relay chain (a logical ring or path)."""
+    from ..sim import UnicastRouter
+
+    router = router or UnicastRouter(topo)
+    loads: dict[tuple[str, str], int] = {}
+    for src, dst in zip(chain, chain[1:]):
+        path = router.path(src, dst)
+        for edge in zip(path, path[1:]):
+            loads[edge] = loads.get(edge, 0) + 1
+    return loads
+
+
+@dataclass(frozen=True)
+class BandwidthSummary:
+    total_traversals: int
+    core_traversals: int  # copies over above-edge-tier links
+    max_link_traversals: int
+
+    def overshoot_vs(self, optimal: "BandwidthSummary") -> float:
+        """Fractional extra total bytes vs a reference (0.0 == equal)."""
+        if optimal.total_traversals == 0:
+            raise ValueError("reference summary has no traffic")
+        return self.total_traversals / optimal.total_traversals - 1.0
+
+
+def summarize_loads(loads: dict[tuple[str, str], int]) -> BandwidthSummary:
+    """Aggregate per-link traversal counts into a summary."""
+    total = sum(loads.values())
+    core = sum(
+        count
+        for (u, v), count in loads.items()
+        if kind_of(u) is not NodeKind.HOST and kind_of(v) is not NodeKind.HOST
+    )
+    return BandwidthSummary(
+        total_traversals=total,
+        core_traversals=core,
+        max_link_traversals=max(loads.values(), default=0),
+    )

@@ -1,0 +1,39 @@
+"""Collective-completion-time statistics (mean and tail, as in §4)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CctStats:
+    count: int
+    mean_s: float
+    p50_s: float
+    p99_s: float
+    max_s: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_s * 1e3:.3f}ms "
+            f"p50={self.p50_s * 1e3:.3f}ms p99={self.p99_s * 1e3:.3f}ms"
+        )
+
+
+def summarize_ccts(ccts: Sequence[float]) -> CctStats:
+    """Mean/median/p99/max over a sample of CCTs (seconds)."""
+    if not ccts:
+        raise ValueError("cannot summarize an empty CCT sample")
+    arr = np.asarray(ccts, dtype=float)
+    if (arr < 0).any():
+        raise ValueError("CCTs must be non-negative")
+    return CctStats(
+        count=len(arr),
+        mean_s=float(arr.mean()),
+        p50_s=float(np.percentile(arr, 50)),
+        p99_s=float(np.percentile(arr, 99)),
+        max_s=float(arr.max()),
+    )

@@ -1,0 +1,29 @@
+"""Discrete-event network simulator: engine, runtime fabric (ports, ECN,
+PFC), DCQCN rate control, unicast routing, and paced transfers."""
+
+from .config import DcqcnConfig, SimConfig
+from .dcqcn import DcqcnSender
+from .engine import EventHandle, Simulator
+from .network import HostNode, Network, Port, SwitchNode
+from .packet import Segment
+from .routing import UnicastRouter
+from .stats import FabricSummary, fabric_summary, format_summary
+from .transfer import Transfer
+
+__all__ = [
+    "DcqcnConfig",
+    "SimConfig",
+    "DcqcnSender",
+    "EventHandle",
+    "Simulator",
+    "Network",
+    "Port",
+    "SwitchNode",
+    "HostNode",
+    "Segment",
+    "UnicastRouter",
+    "FabricSummary",
+    "fabric_summary",
+    "format_summary",
+    "Transfer",
+]

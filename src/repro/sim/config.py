@@ -1,0 +1,87 @@
+"""Simulation configuration: link, buffer, ECN, PFC, DCQCN and granularity
+parameters.  Defaults reproduce the paper's §4 setup (DCQCN+PFC as in
+refs [27, 34]): 12 MB switch buffers, ECN marking between 5 kB and 200 kB at
+1 % probability, PFC at 11 % free buffer with 5-MTU hysteresis, 100 Gb/s
+links, NVLink at 900 GB/s."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DcqcnConfig:
+    """DCQCN rate-control knobs (names follow the original paper).
+
+    ``guard_timer_s`` is PEEL's §4 modification: the *sender* reacts to at
+    most one congestion notification per window across all receivers of a
+    multicast group, replacing DCQCN's receiver-side CNP rate limiter.
+    ``per_cnp_reaction`` disables any moderation — the naive multicast
+    behaviour whose tail the guard timer fixes (12x claim).
+    """
+
+    enabled: bool = True
+    alpha_g: float = 1 / 256
+    alpha_init: float = 1.0
+    rate_ai_bps: float = 5e9  # additive increase per step (scaled for 100G)
+    rate_hai_bps: float = 50e9  # hyper increase per step
+    fast_recovery_steps: int = 5
+    increase_timer_s: float = 55e-6
+    byte_counter_bytes: int = 10_000_000  # recovery also advances per bytes sent
+    min_rate_bps: float = 1e9
+    guard_timer_s: float = 50e-6
+    per_cnp_reaction: bool = False  # ablation: react to every CNP
+
+
+@dataclass
+class SimConfig:
+    """Fabric-wide simulation parameters."""
+
+    mtu_bytes: int = 1500
+    segment_bytes: int = 65536  # store-and-forward granularity (see DESIGN.md)
+    propagation_delay_s: float = 1e-6  # per hop, ~200 m of fiber + PHY
+    switch_buffer_bytes: int = 12_000_000
+    ecn_kmin_bytes: int = 5_000
+    ecn_kmax_bytes: int = 200_000
+    ecn_pmax: float = 0.01
+    pfc_pause_free_fraction: float = 0.11  # pause below this free share
+    pfc_resume_hysteresis_mtus: int = 5
+    nvlink_bytes_per_s: float = 900e9  # NVLink/NVSwitch per-GPU bandwidth
+    host_processing_delay_s: float = 1e-6  # relay turnaround at a host
+    #: Per-link, per-segment corruption probability.  Non-zero values turn
+    #: on receiver state tracking and RDMA-style selective-repeat repair
+    #: (the reliability machinery the paper inherits from RoCE, §1).
+    loss_probability: float = 0.0
+    retransmit_timeout_s: float = 500e-6
+    seed: int = 0
+    dcqcn: DcqcnConfig = field(default_factory=DcqcnConfig)
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes < self.mtu_bytes:
+            raise ValueError("segment_bytes must be at least one MTU")
+        if not 0 < self.pfc_pause_free_fraction < 1:
+            raise ValueError("pfc_pause_free_fraction must be in (0, 1)")
+        if self.ecn_kmin_bytes >= self.ecn_kmax_bytes:
+            raise ValueError("ecn_kmin must be below ecn_kmax")
+        if not 0 <= self.loss_probability < 1:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if self.retransmit_timeout_s <= 0:
+            raise ValueError("retransmit_timeout_s must be positive")
+
+    @property
+    def pfc_pause_threshold_bytes(self) -> float:
+        """Occupancy above which the switch pauses its feeders."""
+        return self.switch_buffer_bytes * (1 - self.pfc_pause_free_fraction)
+
+    @property
+    def pfc_resume_threshold_bytes(self) -> float:
+        return self.pfc_pause_threshold_bytes - (
+            self.pfc_resume_hysteresis_mtus * self.mtu_bytes
+        )
+
+    def segments_for(self, message_bytes: int) -> list[int]:
+        """Segment sizes for one message (last may be short)."""
+        if message_bytes <= 0:
+            raise ValueError("message_bytes must be positive")
+        full, rem = divmod(message_bytes, self.segment_bytes)
+        return [self.segment_bytes] * full + ([rem] if rem else [])

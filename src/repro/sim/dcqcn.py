@@ -1,0 +1,123 @@
+"""DCQCN sender-side rate control (refs [34, 27] in the paper).
+
+The structure follows the original DCQCN state machine: an EWMA congestion
+estimate ``alpha``, multiplicative decrease on congestion notifications, and
+a staged recovery (fast recovery -> additive increase -> hyper increase)
+driven by a periodic timer.
+
+Multicast twist (§4): one ECN mark fans out into many CNPs.  PEEL replaces
+the receiver-side CNP rate limiter with a **sender-side guard timer** — at
+most one rate reaction per ``guard_timer_s`` across the whole group.  The
+``per_cnp_reaction`` flag disables all moderation, reproducing the naive
+behaviour whose 99th-percentile CCT the guard timer improves 12x.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .config import DcqcnConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import EventHandle, Simulator
+
+
+class DcqcnSender:
+    """Per-flow (per-transfer) rate controller at the sending NIC."""
+
+    def __init__(
+        self, sim: "Simulator", cfg: DcqcnConfig, line_rate_bps: float
+    ) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.line_rate_bps = line_rate_bps
+        self.rate_bps = line_rate_bps
+        self.target_rate_bps = line_rate_bps
+        self.alpha = cfg.alpha_init
+        self.stage = 0
+        self.last_reaction_s = -float("inf")
+        self.reactions = 0
+        self.notifications = 0
+        self._timer: "EventHandle | None" = None
+        self._stopped = False
+        self._bytes_since_step = 0
+
+    # -- congestion feedback -------------------------------------------------
+
+    def on_congestion_notification(self) -> None:
+        """One CNP arrived (one receiver saw an ECN-marked segment)."""
+        if not self.cfg.enabled or self._stopped:
+            return
+        self.notifications += 1
+        now = self.sim.now
+        if (
+            not self.cfg.per_cnp_reaction
+            and now - self.last_reaction_s < self.cfg.guard_timer_s
+        ):
+            return
+        self._react(now)
+
+    def _react(self, now: float) -> None:
+        self.reactions += 1
+        self.last_reaction_s = now
+        self.alpha = (1 - self.cfg.alpha_g) * self.alpha + self.cfg.alpha_g
+        self.target_rate_bps = self.rate_bps
+        self.rate_bps = max(
+            self.cfg.min_rate_bps, self.rate_bps * (1 - self.alpha / 2)
+        )
+        self.stage = 0
+        self._bytes_since_step = 0
+        self._restart_timer()
+
+    # -- recovery ------------------------------------------------------------
+
+    def on_bytes_sent(self, nbytes: int) -> None:
+        """Byte-counter recovery (DCQCN advances stages on bytes as well as
+        time): every ``byte_counter_bytes`` sent is one increase step."""
+        if self._stopped or not self.cfg.enabled:
+            return
+        if self.rate_bps >= self.line_rate_bps:
+            return
+        self._bytes_since_step += nbytes
+        while self._bytes_since_step >= self.cfg.byte_counter_bytes:
+            self._bytes_since_step -= self.cfg.byte_counter_bytes
+            self._increase_step()
+
+    def _restart_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.sim.schedule(self.cfg.increase_timer_s, self._on_timer)
+
+    def _on_timer(self) -> None:
+        if self._stopped or not self.cfg.enabled:
+            return
+        self.alpha *= 1 - self.cfg.alpha_g  # decays while no CNP arrives
+        self._increase_step()
+        if self.rate_bps < self.line_rate_bps - 1e-6:
+            self._timer = self.sim.schedule(self.cfg.increase_timer_s, self._on_timer)
+        else:
+            self.rate_bps = self.line_rate_bps
+            self._timer = None
+
+    def _increase_step(self) -> None:
+        self.stage += 1
+        if self.stage > self.cfg.fast_recovery_steps:
+            if self.stage > 2 * self.cfg.fast_recovery_steps:
+                self.target_rate_bps += self.cfg.rate_hai_bps
+            else:
+                self.target_rate_bps += self.cfg.rate_ai_bps
+        self.target_rate_bps = min(self.target_rate_bps, self.line_rate_bps)
+        self.rate_bps = min(
+            self.line_rate_bps, (self.rate_bps + self.target_rate_bps) / 2
+        )
+
+    def stop(self) -> None:
+        """Flow finished: cancel timers so the event queue drains."""
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def current_rate_bps(self) -> float:
+        return self.rate_bps if self.cfg.enabled else self.line_rate_bps

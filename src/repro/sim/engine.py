@@ -1,0 +1,100 @@
+"""Minimal discrete-event simulation engine (heapq-based).
+
+Events are plain callbacks; ordering ties break by insertion sequence so
+runs are fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+
+class Simulator:
+    """Event loop with a monotonically advancing clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self._processed = 0
+
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        event = _Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the event queue; returns the number of events processed.
+
+        ``until`` stops the clock at a horizon (inclusive); ``max_events``
+        guards against runaway simulations.
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            processed += 1
+        self._processed += processed
+        if until is not None and (not self._heap or self._heap[0].time > until):
+            self.now = max(self.now, until)
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        return self._processed

@@ -1,0 +1,284 @@
+"""Runtime network: ports, switches, hosts, ECN marking and PFC.
+
+Built from a :class:`repro.topology.Topology`.  Every directed edge gets a
+:class:`Port` (an output queue serializing at link rate).  Switches hold a
+shared buffer partitioned into per-ingress quotas: when the bytes a given
+upstream port has parked in this switch exceed its quota, that port — and
+only that port — receives a PAUSE (per-ingress PFC, which is what keeps
+lossless fabrics free of the circular-buffer-dependency deadlocks a
+"pause everyone" model invents).  Output queues mark ECN with DCQCN's
+RED-style profile.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from ..topology import Topology
+from ..topology.addressing import NodeKind, kind_of
+from .config import SimConfig
+from .engine import Simulator
+from .packet import Segment
+
+
+class Port:
+    """Unidirectional output port ``src -> dst`` with a FIFO queue."""
+
+    __slots__ = (
+        "sim",
+        "network",
+        "src",
+        "dst",
+        "capacity_bps",
+        "queue",
+        "queue_bytes",
+        "transmitting",
+        "paused",
+        "bytes_sent",
+        "segments_sent",
+        "ecn_marks",
+        "peak_queue_bytes",
+    )
+
+    def __init__(
+        self, sim: Simulator, network: "Network", src: str, dst: str, capacity_bps: float
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.capacity_bps = capacity_bps
+        self.queue: deque[Segment] = deque()
+        self.queue_bytes = 0
+        self.transmitting = False
+        self.paused = False
+        self.bytes_sent = 0
+        self.segments_sent = 0
+        self.ecn_marks = 0
+        self.peak_queue_bytes = 0
+
+    def enqueue(self, segment: Segment) -> None:
+        src_node = self.network.nodes[self.src]
+        if isinstance(src_node, SwitchNode):
+            # ECN decision uses the *waiting* bytes the segment lands behind
+            # (the in-service segment is not queueing delay).
+            if self._ecn_mark():
+                segment.ecn = True
+                self.ecn_marks += 1
+            src_node.buffer_charge(segment)
+        self.queue.append(segment)
+        self.queue_bytes += segment.nbytes
+        self.peak_queue_bytes = max(self.peak_queue_bytes, self.queue_bytes)
+        self._maybe_start()
+
+    def _ecn_mark(self) -> bool:
+        net = self.network
+        depth = self.queue_bytes
+        if depth <= net.ecn_kmin_eff:
+            return False
+        if depth >= net.ecn_kmax_eff:
+            return True
+        ramp = (depth - net.ecn_kmin_eff) / (net.ecn_kmax_eff - net.ecn_kmin_eff)
+        return net.rng.random() < net.config.ecn_pmax * ramp
+
+    def _maybe_start(self) -> None:
+        if self.transmitting or self.paused or not self.queue:
+            return
+        segment = self.queue.popleft()
+        self.queue_bytes -= segment.nbytes
+        self.transmitting = True
+        tx_s = segment.nbytes * 8 / self.capacity_bps
+        self.sim.schedule(tx_s, self._tx_done, segment)
+
+    def _tx_done(self, segment: Segment) -> None:
+        self.bytes_sent += segment.nbytes
+        self.segments_sent += 1
+        self.transmitting = False
+        src_node = self.network.nodes[self.src]
+        if isinstance(src_node, SwitchNode):
+            src_node.buffer_release(segment)
+        cfg = self.network.config
+        if cfg.loss_probability and self.network.rng.random() < cfg.loss_probability:
+            # Corrupted on the wire: the link time was spent, the bytes die.
+            # Selective-repeat recovery happens at the transfer layer.
+            self.network.lost_segments += 1
+        else:
+            dst_node = self.network.nodes[self.dst]
+            self.sim.schedule(
+                cfg.propagation_delay_s, dst_node.receive, segment, self
+            )
+        self._maybe_start()
+
+    def pause(self) -> None:
+        self.paused = True
+
+    def resume(self) -> None:
+        if self.paused:
+            self.paused = False
+            self._maybe_start()
+
+
+class SwitchNode:
+    """A switch: per-ingress buffer quotas (PFC), route-driven replication."""
+
+    __slots__ = (
+        "name",
+        "network",
+        "buffered_bytes",
+        "dropped_bytes",
+        "ingress_bytes",
+        "paused_ingress",
+        "pause_quota",
+        "resume_quota",
+    )
+
+    def __init__(self, name: str, network: "Network") -> None:
+        self.name = name
+        self.network = network
+        self.buffered_bytes = 0
+        self.dropped_bytes = 0  # segments with no onward route (ToR discard)
+        self.ingress_bytes: dict[Port, int] = {}
+        self.paused_ingress: set[Port] = set()
+        self.pause_quota = 0.0  # finalized once ports exist
+        self.resume_quota = 0.0
+
+    def finalize(self) -> None:
+        """Compute per-ingress PFC quotas once the port fan-in is known."""
+        cfg = self.network.config
+        feeders = max(1, len(self.network.feeders[self.name]))
+        quota = cfg.pfc_pause_threshold_bytes / feeders
+        # A quota below the store-and-forward unit would pause on every
+        # arrival; keep at least two segments of headroom per ingress.
+        self.pause_quota = max(quota, 2 * cfg.segment_bytes)
+        hysteresis = max(
+            cfg.pfc_resume_hysteresis_mtus * cfg.mtu_bytes, cfg.segment_bytes
+        )
+        self.resume_quota = max(0.0, self.pause_quota - hysteresis)
+
+    def receive(self, segment: Segment, via: Port | None) -> None:
+        children = segment.route.children(self.name)
+        if not children:
+            # Over-covered ToR (§3.3): the packet arrived, nobody wants it.
+            self.dropped_bytes += segment.nbytes
+            self.network.wasted_bytes += segment.nbytes
+            return
+        ports = self.network.ports
+        last = len(children) - 1
+        for i, child in enumerate(children):
+            copy = segment if i == last else segment.fork()
+            copy.ingress = via
+            ports[self.name, child].enqueue(copy)
+
+    # -- shared buffer + per-ingress PFC ---------------------------------------
+
+    def buffer_charge(self, segment: Segment) -> None:
+        self.buffered_bytes += segment.nbytes
+        via = segment.ingress
+        if via is None:
+            return
+        held = self.ingress_bytes.get(via, 0) + segment.nbytes
+        self.ingress_bytes[via] = held
+        if held > self.pause_quota and via not in self.paused_ingress:
+            self.paused_ingress.add(via)
+            self.network.pfc_pause_events += 1
+            via.pause()
+
+    def buffer_release(self, segment: Segment) -> None:
+        self.buffered_bytes -= segment.nbytes
+        via = segment.ingress
+        if via is None:
+            return
+        held = self.ingress_bytes.get(via, 0) - segment.nbytes
+        self.ingress_bytes[via] = held
+        if via in self.paused_ingress and held <= self.resume_quota:
+            self.paused_ingress.discard(via)
+            via.resume()
+
+
+class HostNode:
+    """A server NIC endpoint: terminates transfers, raises CNP feedback."""
+
+    __slots__ = ("name", "network")
+
+    def __init__(self, name: str, network: "Network") -> None:
+        self.name = name
+        self.network = network
+
+    def receive(self, segment: Segment, via: Port | None = None) -> None:
+        del via  # hosts sink traffic; no onward buffer accounting
+        transfer = segment.transfer
+        if segment.ecn:
+            # Receiver turns the mark into a CNP; one notification per
+            # marked segment, delivered after a short feedback delay.
+            self.network.sim.schedule(
+                self.network.cnp_delay_s, transfer.on_congestion_feedback, self.name
+            )
+        transfer.on_delivered(self.name, segment, self.network.sim.now)
+
+    def send(self, segment: Segment) -> None:
+        """Inject a segment onto the uplink its route dictates."""
+        children = segment.route.children(self.name)
+        if len(children) != 1:
+            raise ValueError(
+                f"host {self.name} route must have exactly one first hop, "
+                f"got {children}"
+            )
+        self.network.ports[self.name, children[0]].enqueue(segment)
+
+
+class Network:
+    """All runtime state for one fabric under simulation."""
+
+    #: Fixed feedback latency for a CNP (receiver NIC -> sender NIC).
+    cnp_delay_s = 4e-6
+
+    def __init__(
+        self, topo: Topology, config: SimConfig | None = None, sim: Simulator | None = None
+    ) -> None:
+        self.topo = topo
+        self.config = config or SimConfig()
+        self.sim = sim or Simulator()
+        self.rng = random.Random(self.config.seed)
+        self.wasted_bytes = 0
+        self.pfc_pause_events = 0
+        self.lost_segments = 0
+        # ECN thresholds cannot resolve below the store-and-forward unit:
+        # scale them up when coarse segments are in use (see DESIGN.md).
+        self.ecn_kmin_eff = max(self.config.ecn_kmin_bytes, self.config.segment_bytes)
+        self.ecn_kmax_eff = max(
+            self.config.ecn_kmax_bytes, 3 * self.config.segment_bytes
+        )
+
+        self.nodes: dict[str, SwitchNode | HostNode] = {}
+        for node in topo.graph.nodes:
+            if kind_of(node) is NodeKind.HOST:
+                self.nodes[node] = HostNode(node, self)
+            else:
+                self.nodes[node] = SwitchNode(node, self)
+
+        self.ports: dict[tuple[str, str], Port] = {}
+        self.feeders: dict[str, list[Port]] = {n: [] for n in topo.graph.nodes}
+        for u, v, data in topo.graph.edges(data=True):
+            cap = data["capacity_bps"]
+            for a, b in ((u, v), (v, u)):
+                port = Port(self.sim, self, a, b, cap)
+                self.ports[a, b] = port
+                self.feeders[b].append(port)
+        for node in self.nodes.values():
+            if isinstance(node, SwitchNode):
+                node.finalize()
+
+    # -- observability --------------------------------------------------------
+
+    def link_bytes(self) -> dict[tuple[str, str], int]:
+        return {key: port.bytes_sent for key, port in self.ports.items()}
+
+    def total_bytes_sent(self) -> int:
+        return sum(port.bytes_sent for port in self.ports.values())
+
+    def host(self, name: str) -> HostNode:
+        node = self.nodes[name]
+        if not isinstance(node, HostNode):
+            raise TypeError(f"{name!r} is not a host")
+        return node

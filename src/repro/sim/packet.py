@@ -1,0 +1,49 @@
+"""Segment: the simulator's unit of data movement.
+
+One segment is a contiguous slice of a message, store-and-forwarded hop by
+hop.  Replication at a switch creates an independent copy (per-copy ECN
+state).  The segment carries its route (a :class:`MulticastTree`), which the
+data plane consults instead of installed state — behaviourally identical to
+matching pre-installed prefix rules, while the state cost itself is
+accounted analytically in :mod:`repro.state`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..steiner import MulticastTree
+    from .transfer import Transfer
+
+
+class Segment:
+    """One store-and-forward unit of a transfer (see module docstring)."""
+    __slots__ = ("transfer", "seq", "nbytes", "route", "ecn", "ingress")
+
+    def __init__(
+        self,
+        transfer: "Transfer",
+        seq: int,
+        nbytes: int,
+        route: "MulticastTree",
+        ecn: bool = False,
+    ) -> None:
+        self.transfer = transfer
+        self.seq = seq
+        self.nbytes = nbytes
+        self.route = route
+        self.ecn = ecn
+        # The port that delivered this copy into the switch currently
+        # buffering it; used for per-ingress PFC accounting.
+        self.ingress = None
+
+    def fork(self) -> "Segment":
+        """Independent copy for replication at a branch point."""
+        return Segment(self.transfer, self.seq, self.nbytes, self.route, self.ecn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Segment {self.transfer.name}#{self.seq} {self.nbytes}B"
+            f"{' ECN' if self.ecn else ''}>"
+        )

@@ -1,0 +1,143 @@
+"""Fabric telemetry: end-of-run summaries of link load and queueing.
+
+The paper leans on existing "cluster-wide telemetry" for observability;
+this module provides the equivalent read-out for the simulator — per-tier
+utilization, the hottest links, queue peaks, and congestion-signal counts —
+so experiments can explain *why* a scheme's CCT moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology.addressing import NodeKind, kind_of
+from .network import Network
+
+#: Link tiers, named by their endpoints' roles.
+TIERS = ("host-edge", "edge-up", "core")
+
+
+def _tier(u: str, v: str) -> str:
+    kinds = {kind_of(u), kind_of(v)}
+    if NodeKind.HOST in kinds:
+        return "host-edge"
+    if kinds & {NodeKind.TOR, NodeKind.LEAF}:
+        return "edge-up"
+    return "core"
+
+
+@dataclass(frozen=True)
+class LinkStat:
+    src: str
+    dst: str
+    bytes_sent: int
+    utilization: float
+    peak_queue_bytes: int
+    ecn_marks: int
+
+
+@dataclass(frozen=True)
+class TierStat:
+    tier: str
+    links: int
+    total_bytes: int
+    mean_utilization: float
+    max_utilization: float
+    peak_queue_bytes: int
+
+
+@dataclass(frozen=True)
+class FabricSummary:
+    elapsed_s: float
+    tiers: tuple[TierStat, ...]
+    hottest_links: tuple[LinkStat, ...]
+    total_ecn_marks: int
+    pfc_pause_events: int
+    wasted_bytes: int
+    lost_segments: int
+
+    def tier(self, name: str) -> TierStat:
+        for stat in self.tiers:
+            if stat.tier == name:
+                return stat
+        raise KeyError(f"unknown tier {name!r}")
+
+
+def fabric_summary(
+    network: Network, elapsed_s: float | None = None, top_links: int = 5
+) -> FabricSummary:
+    """Summarize a finished (or paused) simulation's fabric counters."""
+    if elapsed_s is None:
+        elapsed_s = network.sim.now
+    if elapsed_s <= 0:
+        raise ValueError("no simulated time has elapsed")
+
+    links: list[LinkStat] = []
+    for (u, v), port in network.ports.items():
+        if not port.bytes_sent and not port.peak_queue_bytes:
+            continue
+        links.append(
+            LinkStat(
+                src=u,
+                dst=v,
+                bytes_sent=port.bytes_sent,
+                utilization=port.bytes_sent * 8 / (port.capacity_bps * elapsed_s),
+                peak_queue_bytes=port.peak_queue_bytes,
+                ecn_marks=port.ecn_marks,
+            )
+        )
+
+    tiers = []
+    for tier_name in TIERS:
+        members = [l for l in links if _tier(l.src, l.dst) == tier_name]
+        if members:
+            tiers.append(
+                TierStat(
+                    tier=tier_name,
+                    links=len(members),
+                    total_bytes=sum(l.bytes_sent for l in members),
+                    mean_utilization=sum(l.utilization for l in members)
+                    / len(members),
+                    max_utilization=max(l.utilization for l in members),
+                    peak_queue_bytes=max(l.peak_queue_bytes for l in members),
+                )
+            )
+        else:
+            tiers.append(TierStat(tier_name, 0, 0, 0.0, 0.0, 0))
+
+    hottest = tuple(
+        sorted(links, key=lambda l: l.bytes_sent, reverse=True)[:top_links]
+    )
+    return FabricSummary(
+        elapsed_s=elapsed_s,
+        tiers=tuple(tiers),
+        hottest_links=hottest,
+        total_ecn_marks=sum(l.ecn_marks for l in links),
+        pfc_pause_events=network.pfc_pause_events,
+        wasted_bytes=network.wasted_bytes,
+        lost_segments=network.lost_segments,
+    )
+
+
+def format_summary(summary: FabricSummary) -> str:
+    """Render a fabric summary as a fixed-width text block."""
+    lines = [
+        f"simulated {summary.elapsed_s * 1e3:.2f} ms | "
+        f"ECN marks {summary.total_ecn_marks} | PFC pauses "
+        f"{summary.pfc_pause_events} | lost segments {summary.lost_segments}"
+    ]
+    header = f"{'tier':<10}{'links':>7}{'GiB':>9}{'mean util':>11}{'max util':>10}"
+    lines += [header, "-" * len(header)]
+    for t in summary.tiers:
+        lines.append(
+            f"{t.tier:<10}{t.links:>7}{t.total_bytes / 2**30:>9.2f}"
+            f"{t.mean_utilization:>11.1%}{t.max_utilization:>10.1%}"
+        )
+    lines.append("hottest links:")
+    for link in summary.hottest_links:
+        lines.append(
+            f"  {link.src} -> {link.dst}: {link.bytes_sent / 2**20:.1f} MiB "
+            f"({link.utilization:.0%}), peak queue "
+            f"{link.peak_queue_bytes / 1024:.0f} KiB"
+        )
+    return "\n".join(lines)

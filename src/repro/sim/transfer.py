@@ -1,0 +1,300 @@
+"""Transfer: one logical message moving from a source host to receivers.
+
+A transfer owns its DCQCN sender, paces segment injection, and tracks
+per-receiver delivery.  It supports the three shapes the collectives need:
+
+* **unicast** — the route is a path; used by Ring/Tree relays and Orca's
+  host agents;
+* **multicast** — one tree, switches replicate (Optimal, Orca's trunk,
+  PEEL refined);
+* **multi-tree multicast** — one copy per tree per segment (PEEL static
+  prefix packets), optionally switching to a single refined tree at a
+  controller-determined time (PEEL + programmable cores, §3.3).
+
+Relays: a transfer may be fed by an upstream transfer; segment ``i`` becomes
+injectable only after the upstream delivers segment ``i`` to this host
+(NCCL-style chunk pipelining).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..steiner import MulticastTree
+from ..topology.addressing import NodeKind, kind_of
+from .dcqcn import DcqcnSender
+from .packet import Segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+HostDoneFn = Callable[[str, float], None]
+
+
+class Transfer:
+    """One paced message transmission over one or more route trees."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        src_host: str,
+        message_bytes: int,
+        static_trees: list[MulticastTree],
+        refined_tree: MulticastTree | None = None,
+        refinement_ready_at: float | None = None,
+        receivers: set[str] | None = None,
+        start_at: float = 0.0,
+        is_relay: bool = False,
+        on_host_done: HostDoneFn | None = None,
+        on_complete: Callable[["Transfer", float], None] | None = None,
+        segment_bytes: int | None = None,
+        relay_chunk_bytes: int | None = None,
+        stripe: bool = False,
+    ) -> None:
+        if not static_trees:
+            raise ValueError("transfer needs at least one route tree")
+        for tree in static_trees + ([refined_tree] if refined_tree else []):
+            if tree.root != src_host:
+                raise ValueError(
+                    f"route tree rooted at {tree.root!r}, expected {src_host!r}"
+                )
+        if refined_tree is not None and refinement_ready_at is None:
+            raise ValueError("refined tree requires refinement_ready_at")
+        if stripe and refined_tree is not None:
+            raise ValueError("striping and refinement are mutually exclusive")
+
+        self.network = network
+        self.sim = network.sim
+        self.name = name
+        self.src_host = src_host
+        self.message_bytes = message_bytes
+        self.static_trees = static_trees
+        self.refined_tree = refined_tree
+        self.refinement_ready_at = refinement_ready_at
+        if segment_bytes is None:
+            self.segment_sizes = network.config.segments_for(message_bytes)
+        else:
+            # Per-transfer granularity override: Ring/Tree relays forward in
+            # NCCL-style chunks (the paper uses 8 per message).
+            if segment_bytes < 1:
+                raise ValueError("segment_bytes must be positive")
+            full, rem = divmod(message_bytes, segment_bytes)
+            self.segment_sizes = [segment_bytes] * full + ([rem] if rem else [])
+        self.num_segments = len(self.segment_sizes)
+        # Cumulative end byte of each segment; drives relay availability.
+        self._seg_end: list[int] = []
+        total = 0
+        for size in self.segment_sizes:
+            total += size
+            self._seg_end.append(total)
+        # Granularity at which downstream relays learn about progress: the
+        # NCCL chunk size for Ring/Tree (8 chunks/message), or None for
+        # segment-level signalling.
+        if relay_chunk_bytes is not None and relay_chunk_bytes < 1:
+            raise ValueError("relay_chunk_bytes must be positive")
+        self.relay_chunk_bytes = relay_chunk_bytes
+        self.start_at = start_at
+        # Striping (multicast + multipath, §2.3's open question): each
+        # segment rides exactly one of the trees, round-robin, instead of
+        # every tree carrying the whole message.
+        self.stripe = stripe
+        self.is_relay = is_relay
+        self.on_host_done = on_host_done
+        self.on_complete = on_complete
+
+        if receivers is None:
+            receivers = set()
+            for tree in self.static_trees:
+                receivers.update(
+                    n
+                    for n in tree.nodes
+                    if kind_of(n) is NodeKind.HOST and n != src_host
+                )
+        self.receivers = receivers
+
+        line_rate = self._uplink_rate()
+        self.dcqcn = DcqcnSender(self.sim, network.config.dcqcn, line_rate)
+
+        self.injected = 0
+        self._next_allowed_s = start_at
+        self._available_bytes = 0  # relay: upstream progress high-watermark
+        self._delivered_count: dict[str, int] = {r: 0 for r in self.receivers}
+        self._delivered_bytes: dict[str, int] = {r: 0 for r in self.receivers}
+        # Selective repeat (RDMA-style reliability, active only on lossy
+        # fabrics): per-receiver segment bitmap plus a timeout-driven
+        # unicast repair loop.
+        self._lossy = network.config.loss_probability > 0
+        self._received: dict[str, set[int]] = (
+            {r: set() for r in self.receivers} if self._lossy else {}
+        )
+        self.retransmissions = 0
+        self._repair_timer_running = False
+        self.finished_hosts: set[str] = set()
+        self.complete = False
+        self.complete_at: float | None = None
+        self._relay_children: dict[str, list["Transfer"]] = {}
+        self._pump_scheduled = False
+
+    # -- setup ----------------------------------------------------------------
+
+    def _uplink_rate(self) -> float:
+        children = self.static_trees[0].children(self.src_host)
+        if not children:
+            return float("inf")
+        return self.network.ports[self.src_host, children[0]].capacity_bps
+
+    def add_relay_child(self, via_host: str, child: "Transfer") -> None:
+        """``child`` forwards this transfer's segments once ``via_host`` has
+        them."""
+        if via_host not in self.receivers:
+            raise ValueError(f"{via_host!r} is not a receiver of {self.name}")
+        self._relay_children.setdefault(via_host, []).append(child)
+
+    def start(self) -> None:
+        if not self.receivers:
+            # Degenerate group (everyone shares the source host): instantly
+            # complete; NVLink handling happens at the collective layer.
+            self._finish(self.sim.now)
+            return
+        self.sim.schedule_at(max(self.start_at, self.sim.now), self._pump)
+
+    # -- injection ------------------------------------------------------------
+
+    def _current_trees(self) -> list[MulticastTree]:
+        if (
+            self.refined_tree is not None
+            and self.refinement_ready_at is not None
+            and self.sim.now >= self.refinement_ready_at
+        ):
+            return [self.refined_tree]
+        return self.static_trees
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        if self.complete:
+            return
+        now = self.sim.now
+        while self.injected < self.num_segments:
+            if (
+                self.is_relay
+                and self._seg_end[self.injected] > self._available_bytes
+            ):
+                return  # upstream delivery will re-pump
+            if now < self._next_allowed_s - 1e-15:
+                self._schedule_pump(self._next_allowed_s)
+                return
+            seq = self.injected
+            size = self.segment_sizes[seq]
+            if self.stripe:
+                trees = [self.static_trees[seq % len(self.static_trees)]]
+            else:
+                trees = self._current_trees()
+            host = self.network.host(self.src_host)
+            for tree in trees:
+                host.send(Segment(self, seq, size, tree))
+            pace_bytes = size * len(trees)
+            self.dcqcn.on_bytes_sent(pace_bytes)
+            rate = self.dcqcn.current_rate_bps
+            self._next_allowed_s = max(now, self._next_allowed_s) + (
+                pace_bytes * 8 / rate
+            )
+            self.injected += 1
+        if self._lossy and self.injected == self.num_segments and not self.complete:
+            self._start_repair_timer()
+
+    def _schedule_pump(self, at: float) -> None:
+        if not self._pump_scheduled:
+            self._pump_scheduled = True
+            self.sim.schedule_at(max(at, self.sim.now), self._pump)
+
+    def set_available_bytes(self, nbytes: int) -> None:
+        """Upstream progress: the first ``nbytes`` of the message are now
+        present at this relay's source host."""
+        if nbytes <= self._available_bytes:
+            return
+        self._available_bytes = nbytes
+        if not self._pump_scheduled:
+            delay = self.network.config.host_processing_delay_s
+            self._pump_scheduled = True
+            self.sim.schedule(delay, self._pump)
+
+    # -- delivery -------------------------------------------------------------
+
+    def on_delivered(self, host: str, segment, now: float) -> None:
+        count = self._delivered_count.get(host)
+        if count is None:
+            return  # e.g. copy reached a non-tracked endpoint; ignore
+        if self._lossy:
+            got = self._received[host]
+            if segment.seq in got:
+                return  # duplicate (original raced a repair copy)
+            got.add(segment.seq)
+        self._delivered_count[host] = count + 1
+        self._delivered_bytes[host] += segment.nbytes
+        children = self._relay_children.get(host)
+        if children:
+            delivered = self._delivered_bytes[host]
+            if self.relay_chunk_bytes is None or delivered >= self.message_bytes:
+                announce = delivered
+            else:
+                announce = (
+                    delivered // self.relay_chunk_bytes
+                ) * self.relay_chunk_bytes
+            for child in children:
+                child.set_available_bytes(announce)
+        if self._delivered_count[host] == self.num_segments:
+            self.finished_hosts.add(host)
+            if self.on_host_done is not None:
+                self.on_host_done(host, now)
+            if len(self.finished_hosts) == len(self.receivers):
+                self._finish(now)
+
+    def on_congestion_feedback(self, host: str) -> None:
+        del host  # all receivers funnel into one sender-side controller
+        self.dcqcn.on_congestion_notification()
+
+    # -- selective-repeat repair ------------------------------------------------
+
+    def _start_repair_timer(self) -> None:
+        if self._repair_timer_running:
+            return
+        self._repair_timer_running = True
+        timeout = self.network.config.retransmit_timeout_s
+        self.sim.schedule(timeout, self._repair_tick)
+
+    def _repair_tick(self) -> None:
+        self._repair_timer_running = False
+        if self.complete:
+            return
+        for host in sorted(self.receivers - self.finished_hosts):
+            missing = [
+                seq
+                for seq in range(self.num_segments)
+                if seq not in self._received[host]
+            ]
+            route = self._repair_route(host)
+            for seq in missing:
+                self.retransmissions += 1
+                self.network.host(self.src_host).send(
+                    Segment(self, seq, self.segment_sizes[seq], route)
+                )
+        self._start_repair_timer()
+
+    def _repair_route(self, host: str) -> MulticastTree:
+        """Unicast path to a laggard receiver, pruned from any route tree
+        that reaches it (repairs do not re-multicast)."""
+        for tree in [self.refined_tree, *self.static_trees]:
+            if tree is not None and host in tree.nodes:
+                path = tree.path_from_root(host)
+                return MulticastTree(
+                    self.src_host, {b: a for a, b in zip(path, path[1:])}
+                )
+        raise ValueError(f"no route tree reaches {host!r}")
+
+    def _finish(self, now: float) -> None:
+        self.complete = True
+        self.complete_at = now
+        self.dcqcn.stop()
+        if self.on_complete is not None:
+            self.on_complete(self, now)

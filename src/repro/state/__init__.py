@@ -1,0 +1,43 @@
+"""Switch-state substrates and competitor models: TCAM capacity, naive IP
+multicast accounting, Bloom filters, the RSBF header-size model (Fig. 3),
+and the cross-scheme comparison table."""
+
+from .bloom import BloomFilter, optimal_bits, optimal_hashes
+from .comparison import SchemeRow, compare_schemes, format_table
+from .ipmulticast import (
+    entries_for_groups,
+    state_reduction_factor,
+    worst_case_group_entries,
+)
+from .rsbf import (
+    MTU_BYTES,
+    bloom_header_bits,
+    exceeds_mtu,
+    false_positive_extra_links,
+    rsbf_bandwidth_overhead,
+    rsbf_header_bytes,
+    tree_links_for_job,
+)
+from .tcam import DEFAULT_CAPACITY, TcamOverflowError, TcamTable
+
+__all__ = [
+    "BloomFilter",
+    "optimal_bits",
+    "optimal_hashes",
+    "SchemeRow",
+    "compare_schemes",
+    "format_table",
+    "entries_for_groups",
+    "state_reduction_factor",
+    "worst_case_group_entries",
+    "MTU_BYTES",
+    "bloom_header_bits",
+    "exceeds_mtu",
+    "false_positive_extra_links",
+    "rsbf_bandwidth_overhead",
+    "rsbf_header_bytes",
+    "tree_links_for_job",
+    "DEFAULT_CAPACITY",
+    "TcamOverflowError",
+    "TcamTable",
+]

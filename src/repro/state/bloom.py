@@ -1,0 +1,77 @@
+"""A real Bloom filter, used to *simulate* (not just size) BF-based multicast
+forwarding and its false-positive redundant traffic (§3.1, §5)."""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Iterable
+
+
+def optimal_bits(num_elements: int, fpr: float) -> int:
+    """Bits for a target false-positive rate: ``-n ln p / (ln 2)^2``."""
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    if not 0 < fpr < 1:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr}")
+    if num_elements == 0:
+        return 1
+    return max(1, math.ceil(-num_elements * math.log(fpr) / math.log(2) ** 2))
+
+
+def optimal_hashes(bits: int, num_elements: int) -> int:
+    """Hash-function count minimizing FPR: ``(m/n) ln 2``."""
+    if num_elements == 0:
+        return 1
+    return max(1, round(bits / num_elements * math.log(2)))
+
+
+class BloomFilter:
+    """Plain Bloom filter over arbitrary hashable items.
+
+    Deterministic (SHA-256 double hashing), so simulations are repeatable.
+    """
+
+    def __init__(self, bits: int, num_hashes: int) -> None:
+        if bits < 1 or num_hashes < 1:
+            raise ValueError("bits and num_hashes must both be >= 1")
+        self.bits = bits
+        self.num_hashes = num_hashes
+        self._array = bytearray((bits + 7) // 8)
+        self.count = 0
+
+    @classmethod
+    def for_capacity(cls, num_elements: int, fpr: float) -> "BloomFilter":
+        bits = optimal_bits(num_elements, fpr)
+        return cls(bits, optimal_hashes(bits, num_elements))
+
+    def _positions(self, item: object) -> list[int]:
+        digest = hashlib.sha256(repr(item).encode()).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        return [(h1 + i * h2) % self.bits for i in range(self.num_hashes)]
+
+    def add(self, item: object) -> None:
+        for pos in self._positions(item):
+            self._array[pos // 8] |= 1 << (pos % 8)
+        self.count += 1
+
+    def update(self, items: Iterable[object]) -> None:
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: object) -> bool:
+        return all(
+            self._array[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item)
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return len(self._array)
+
+    def expected_fpr(self) -> float:
+        """Theoretical FPR at the current fill level."""
+        if self.count == 0:
+            return 0.0
+        exponent = -self.num_hashes * self.count / self.bits
+        return (1 - math.exp(exponent)) ** self.num_hashes

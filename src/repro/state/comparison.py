@@ -1,0 +1,51 @@
+"""Side-by-side scheme comparison: the paper's scalability argument in one
+table (per-switch state, per-packet header, setup latency class)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.header import header_bytes as peel_header_bytes
+from ..core.rules import rule_count as peel_rule_count
+from .ipmulticast import worst_case_group_entries
+from .rsbf import rsbf_header_bytes
+
+
+@dataclass(frozen=True)
+class SchemeRow:
+    scheme: str
+    switch_entries: int
+    header_bytes: int
+    setup_latency: str  # qualitative class: "none" | "controller" | "join"
+
+
+def compare_schemes(k: int, fpr: float = 0.01, active_groups: int = 1000) -> list[SchemeRow]:
+    """State/header/latency comparison for a k-ary fat-tree.
+
+    * IP multicast: worst-case one entry per distinct receiver subset, plus
+      multi-second group-join latency (§5 reports up to 23 s).
+    * RSBF: near-zero switch state but a Bloom header sized for the tree.
+    * Orca: entries only for *active* groups via an SDN controller, paying
+      its flow-setup delay on every collective start.
+    * PEEL: ``k - 1`` static entries, ``O(log k)``-byte header, no setup.
+    """
+    return [
+        SchemeRow(
+            "ip-multicast", worst_case_group_entries(k), 0, "join"
+        ),
+        SchemeRow("rsbf", 0, rsbf_header_bytes(k, fpr), "none"),
+        SchemeRow("orca", active_groups, 0, "controller"),
+        SchemeRow("peel", peel_rule_count(k), peel_header_bytes(k), "none"),
+    ]
+
+
+def format_table(rows: list[SchemeRow]) -> str:
+    """Render the comparison as a fixed-width text table."""
+    header = f"{'scheme':<14}{'switch entries':>16}{'header B':>10}{'setup':>12}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.scheme:<14}{row.switch_entries:>16}"
+            f"{row.header_bytes:>10}{row.setup_latency:>12}"
+        )
+    return "\n".join(lines)

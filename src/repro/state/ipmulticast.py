@@ -1,0 +1,27 @@
+"""State accounting for naive per-group IP multicast (§1, §3.2).
+
+Each distinct receiver subset a switch may have to serve needs its own
+forwarding entry, so the worst-case per-switch state is exponential in the
+fan-out: ``2^(k/2)`` possible ToR subsets per pod — about ``4 x 10^9`` for a
+64-ary fat-tree, versus PEEL's ``k - 1``.
+"""
+
+from __future__ import annotations
+
+
+def worst_case_group_entries(k: int) -> int:
+    """Distinct ToR subsets an aggregation switch can be asked to serve."""
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+    return 2 ** (k // 2)
+
+
+def entries_for_groups(groups: list[frozenset[int]]) -> int:
+    """Entries a switch actually needs for a concrete set of active groups
+    (one per *distinct* receiver subset — best case for IP multicast)."""
+    return len(set(groups))
+
+
+def state_reduction_factor(k: int) -> float:
+    """How much PEEL shrinks worst-case state: ``2^(k/2) / (k - 1)``."""
+    return worst_case_group_entries(k) / (k - 1)

@@ -1,0 +1,68 @@
+"""RSBF-style Bloom-filter header sizing (the Fig. 3 study).
+
+RSBF [18] pushes the multicast tree into the packet header: the outgoing
+ports of every switch on the tree are encoded in a Bloom filter sized for a
+target false-positive ratio.  The header therefore grows linearly with the
+number of directed links in the distribution tree and explodes with fabric
+degree.
+
+The reference workload matches the paper's framing: a large bin-packed
+training job spanning ``num_pods`` pods of a k-ary fat-tree (default 4),
+receiving on every host of those pods.  Per-element cost is the classic
+``1.44 log2(1/p)`` bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+MTU_BYTES = 1500
+
+
+def tree_links_for_job(k: int, num_pods: int = 4) -> int:
+    """Directed links a pod-spanning broadcast tree must encode.
+
+    Per destination pod: one core->agg entry, ``k/2`` agg->ToR links and
+    ``(k/2)^2`` ToR->host links.  The up-funnel adds a constant handful and
+    is ignored.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+    pods = min(num_pods, k)
+    half = k // 2
+    return pods * (1 + half + half * half)
+
+
+def bloom_header_bits(num_elements: int, fpr: float) -> int:
+    """Bits to encode ``num_elements`` at false-positive ratio ``fpr``."""
+    if not 0 < fpr < 1:
+        raise ValueError(f"fpr must be in (0, 1), got {fpr}")
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    return math.ceil(num_elements * 1.44 * math.log2(1 / fpr))
+
+
+def rsbf_header_bytes(k: int, fpr: float, num_pods: int = 4) -> int:
+    """Per-packet Bloom header for the reference job on a k-ary fat-tree."""
+    return math.ceil(bloom_header_bits(tree_links_for_job(k, num_pods), fpr) / 8)
+
+
+def rsbf_bandwidth_overhead(k: int, fpr: float, num_pods: int = 4) -> float:
+    """Header bytes as a fraction of an MTU payload (1.0 == 100 %)."""
+    return rsbf_header_bytes(k, fpr, num_pods) / MTU_BYTES
+
+
+def exceeds_mtu(k: int, fpr: float, num_pods: int = 4) -> bool:
+    """True when the RSBF header alone no longer fits one MTU."""
+    return rsbf_header_bytes(k, fpr, num_pods) > MTU_BYTES
+
+
+def false_positive_extra_links(
+    tree_ports: int, non_tree_ports: int, fpr: float
+) -> float:
+    """Expected redundant link transmissions per packet from BF false
+    positives: every non-tree port a switch tests fires with probability
+    ``fpr`` (§3.1's "spray redundant traffic onto links outside the tree")."""
+    if tree_ports < 0 or non_tree_ports < 0:
+        raise ValueError("port counts must be non-negative")
+    return non_tree_ports * fpr

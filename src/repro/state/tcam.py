@@ -1,0 +1,45 @@
+"""A TCAM-backed multicast table model with a hard capacity.
+
+Commodity switches expose only a few thousand multicast entries (§3, refs
+[12, 18]); this model lets experiments observe when a scheme overflows that
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: A generous commodity budget: "a few thousand multicast entries".
+DEFAULT_CAPACITY = 4096
+
+
+class TcamOverflowError(RuntimeError):
+    """Raised when rule installation exceeds the switch's TCAM capacity."""
+
+
+@dataclass
+class TcamTable:
+    """Per-switch rule storage with capacity accounting."""
+
+    capacity: int = DEFAULT_CAPACITY
+    _rules: dict[object, tuple[int, ...]] = field(default_factory=dict)
+
+    def install(self, key: object, out_ports: tuple[int, ...]) -> None:
+        if key not in self._rules and len(self._rules) >= self.capacity:
+            raise TcamOverflowError(
+                f"TCAM full: {len(self._rules)}/{self.capacity} entries"
+            )
+        self._rules[key] = out_ports
+
+    def remove(self, key: object) -> None:
+        self._rules.pop(key, None)
+
+    def lookup(self, key: object) -> tuple[int, ...] | None:
+        return self._rules.get(key)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def utilization(self) -> float:
+        return len(self._rules) / self.capacity if self.capacity else 1.0

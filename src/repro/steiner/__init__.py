@@ -1,0 +1,25 @@
+"""Steiner-tree substrate: tree representation, exact DP oracle,
+metric-closure approximation, and structural validation."""
+
+from .approx import metric_closure_tree
+from .exact import (
+    MAX_EXACT_TERMINALS,
+    brute_force_steiner_cost,
+    exact_steiner_cost,
+    exact_steiner_tree,
+)
+from .tree import MulticastTree
+from .validate import InvalidTreeError, is_valid_tree, prune_tree, validate_tree
+
+__all__ = [
+    "MulticastTree",
+    "metric_closure_tree",
+    "exact_steiner_tree",
+    "exact_steiner_cost",
+    "brute_force_steiner_cost",
+    "MAX_EXACT_TERMINALS",
+    "InvalidTreeError",
+    "validate_tree",
+    "is_valid_tree",
+    "prune_tree",
+]

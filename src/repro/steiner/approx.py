@@ -1,0 +1,31 @@
+"""Metric-closure Steiner approximation (classical 2-approx).
+
+Used as a topology-agnostic fallback and as a quality yardstick for the
+layer-peeling heuristic on graphs where the exact DP is too slow.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+from networkx.algorithms.approximation import steiner_tree as _nx_steiner
+
+from .tree import MulticastTree
+from .validate import prune_tree
+
+
+def metric_closure_tree(
+    graph: nx.Graph, source: str, destinations: Iterable[str]
+) -> MulticastTree:
+    """2-approximate Steiner tree rooted at ``source``.
+
+    Wraps networkx's Mehlhorn construction and orients/prunes the result
+    into a :class:`MulticastTree`.
+    """
+    terminals = {source, *destinations}
+    if len(terminals) == 1:
+        return MulticastTree(source, {})
+    sub = _nx_steiner(graph, list(terminals), method="mehlhorn")
+    tree = MulticastTree.from_undirected_edges(source, sub.edges)
+    return prune_tree(tree, terminals)

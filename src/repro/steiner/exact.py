@@ -1,0 +1,181 @@
+"""Exact minimum Steiner trees via the Dreyfus–Wagner dynamic program.
+
+Exponential in the number of terminals (``O(3^t poly(n))``), so this is the
+ground-truth oracle for small groups — used to measure how close the
+layer-peeling heuristic (§2.3) lands, never in the data path.  All fabrics in
+this repo have unit link costs, so hop count is the cost metric.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable
+from itertools import combinations
+
+import networkx as nx
+
+from .tree import MulticastTree
+
+#: Refuse terminal sets beyond this size; the DP is exponential in it.
+MAX_EXACT_TERMINALS = 14
+
+
+def exact_steiner_tree(
+    graph: nx.Graph, source: str, destinations: Iterable[str]
+) -> MulticastTree:
+    """Minimum-cost tree spanning ``source`` and ``destinations``.
+
+    Raises ``ValueError`` if a destination is unreachable or the terminal set
+    exceeds :data:`MAX_EXACT_TERMINALS`.
+    """
+    terminals = [source] + [d for d in dict.fromkeys(destinations) if d != source]
+    if len(terminals) > MAX_EXACT_TERMINALS:
+        raise ValueError(
+            f"{len(terminals)} terminals exceed the exact-DP limit "
+            f"({MAX_EXACT_TERMINALS}); use the approximation instead"
+        )
+    if len(terminals) == 1:
+        return MulticastTree(source, {})
+
+    dist, pred = _all_pairs_bfs(graph)
+    for t in terminals:
+        if t not in dist[source]:
+            raise ValueError(f"terminal {t!r} unreachable from {source!r}")
+
+    rest = terminals[1:]
+    full = (1 << len(rest)) - 1
+
+    # cost[(mask, v)]: cheapest tree spanning {rest[i] : bit i set} plus v.
+    cost: dict[tuple[int, str], float] = {}
+    anchor: dict[tuple[int, str], str] = {}
+    split: dict[tuple[int, str], int] = {}
+
+    masks_by_size = sorted(range(1, full + 1), key=lambda m: m.bit_count())
+    for mask in masks_by_size:
+        seeds: dict[str, float] = {}
+        if mask.bit_count() == 1:
+            seeds[rest[mask.bit_length() - 1]] = 0.0
+        else:
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other:  # each unordered split once
+                    for node in graph.nodes:
+                        joined = cost.get((sub, node), float("inf")) + cost.get(
+                            (other, node), float("inf")
+                        )
+                        if joined < seeds.get(node, float("inf")):
+                            seeds[node] = joined
+                            split[(mask, node)] = sub
+                sub = (sub - 1) & mask
+        _relax(graph, mask, seeds, cost, anchor)
+
+    parent_edges: set[tuple[str, str]] = set()
+    _reconstruct(full, source, rest, anchor, split, pred, parent_edges)
+    return MulticastTree.from_undirected_edges(source, parent_edges)
+
+
+def exact_steiner_cost(
+    graph: nx.Graph, source: str, destinations: Iterable[str]
+) -> int:
+    """Cost of the minimum Steiner tree (hop count, unit link costs)."""
+    return exact_steiner_tree(graph, source, destinations).cost
+
+
+def _all_pairs_bfs(
+    graph: nx.Graph,
+) -> tuple[dict[str, dict[str, int]], dict[str, dict[str, str]]]:
+    """BFS from every node: hop distances and deterministic predecessors."""
+    dist: dict[str, dict[str, int]] = {}
+    pred: dict[str, dict[str, str]] = {}
+    for src in graph.nodes:
+        d = {src: 0}
+        p: dict[str, str] = {}
+        frontier = [src]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in sorted(graph.neighbors(u)):
+                    if v not in d:
+                        d[v] = d[u] + 1
+                        p[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        dist[src] = d
+        pred[src] = p
+    return dist, pred
+
+
+def _relax(
+    graph: nx.Graph,
+    mask: int,
+    seeds: dict[str, float],
+    cost: dict[tuple[int, str], float],
+    anchor: dict[tuple[int, str], str],
+) -> None:
+    """Multi-source Dijkstra: cost[mask, v] = min_u seeds[u] + dist(u, v)."""
+    best: dict[str, float] = {}
+    best_anchor: dict[str, str] = {}
+    heap: list[tuple[float, str, str]] = []
+    for node, value in seeds.items():
+        if value < float("inf"):
+            heapq.heappush(heap, (value, node, node))
+    while heap:
+        value, node, origin = heapq.heappop(heap)
+        if node in best:
+            continue
+        best[node] = value
+        best_anchor[node] = origin
+        for neighbor in graph.neighbors(node):
+            if neighbor not in best:
+                heapq.heappush(heap, (value + 1, neighbor, origin))
+    for node, value in best.items():
+        cost[(mask, node)] = value
+        anchor[(mask, node)] = best_anchor[node]
+
+
+def _reconstruct(
+    mask: int,
+    node: str,
+    rest: list[str],
+    anchor: dict[tuple[int, str], str],
+    split: dict[tuple[int, str], int],
+    pred: dict[str, dict[str, str]],
+    edges: set[tuple[str, str]],
+) -> None:
+    origin = anchor[(mask, node)]
+    # Walk the BFS-deterministic shortest path origin -> node.
+    step = node
+    while step != origin:
+        prev = pred[origin][step]
+        edges.add((prev, step))
+        step = prev
+    if mask.bit_count() > 1:
+        sub = split[(mask, origin)]
+        _reconstruct(sub, origin, rest, anchor, split, pred, edges)
+        _reconstruct(mask ^ sub, origin, rest, anchor, split, pred, edges)
+
+
+def brute_force_steiner_cost(
+    graph: nx.Graph, source: str, destinations: Iterable[str], max_extra: int = 4
+) -> int:
+    """Steiner cost by trying every Steiner-node subset (tiny graphs only).
+
+    An independent oracle used in tests to cross-check the DP.  Considers all
+    subsets of non-terminal nodes up to ``max_extra`` additions and returns
+    the best spanning-tree cost found.
+    """
+    terminals = {source, *destinations}
+    others = [n for n in graph.nodes if n not in terminals]
+    best = float("inf")
+    for extra in range(min(max_extra, len(others)) + 1):
+        for added in combinations(others, extra):
+            nodes = terminals | set(added)
+            sub = graph.subgraph(nodes)
+            # A connected node set admits a spanning tree of |nodes| - 1
+            # edges, which is the cheapest tree over exactly those nodes.
+            if nx.number_connected_components(sub) == 1:
+                best = min(best, len(nodes) - 1)
+    if best == float("inf"):
+        raise ValueError("no connected Steiner subgraph found")
+    return int(best)

@@ -1,0 +1,111 @@
+"""Theorem 2.2's NP-hardness reduction, as executable code.
+
+The paper shows minimum-cost multicast in an asymmetric Clos is NP-hard by
+reducing Set-Cover: every universe element becomes a destination leaf,
+every candidate set becomes a core-to-aggregation path touching exactly its
+elements' leaves, and the source attaches to all such paths.  A multicast
+tree then selects a family of paths whose union reaches every leaf — a set
+cover — and tree cost is monotone in the number of chosen sets.
+
+This module builds the gadget for a concrete Set-Cover instance, maps
+multicast trees back to covers, and (for small instances) recovers the
+optimal cover from the exact Steiner oracle — a machine-checked version of
+the proof sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .exact import exact_steiner_tree
+from .tree import MulticastTree
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """Universe elements 0..n-1 and a family of candidate subsets."""
+
+    universe_size: int
+    sets: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        if self.universe_size < 1:
+            raise ValueError("universe must be non-empty")
+        covered = set().union(*self.sets) if self.sets else set()
+        if covered != set(range(self.universe_size)):
+            raise ValueError("the set family must cover the universe")
+
+    def is_cover(self, chosen: set[int]) -> bool:
+        got: set[int] = set()
+        for index in chosen:
+            got |= self.sets[index]
+        return got == set(range(self.universe_size))
+
+
+def element_node(e: int) -> str:
+    return f"leaf:{e}"
+
+
+def element_host(e: int) -> str:
+    return f"host:l{e}:0"
+
+
+def set_node(s: int) -> str:
+    return f"spine:{s}"
+
+
+SOURCE = "host:l999:0"
+SOURCE_LEAF = "leaf:999"
+
+
+def build_gadget(instance: SetCoverInstance) -> nx.Graph:
+    """The reduction's fabric: source -> per-set core paths -> element leaves.
+
+    Uses leaf-spine naming so the rest of the library (layering, tree
+    validation) treats the gadget as a legitimate asymmetric Clos: the
+    source's leaf connects to one spine per candidate set; spine ``s``
+    connects exactly to the leaves of ``sets[s]``; every element leaf has a
+    destination host.
+    """
+    graph = nx.Graph()
+    graph.add_edge(SOURCE, SOURCE_LEAF)
+    for e in range(instance.universe_size):
+        graph.add_edge(element_node(e), element_host(e))
+    for s, members in enumerate(instance.sets):
+        graph.add_edge(SOURCE_LEAF, set_node(s))
+        for e in members:
+            graph.add_edge(set_node(s), element_node(e))
+    return graph
+
+
+def destinations(instance: SetCoverInstance) -> list[str]:
+    return [element_host(e) for e in range(instance.universe_size)]
+
+
+def tree_to_cover(instance: SetCoverInstance, tree: MulticastTree) -> set[int]:
+    """The candidate sets a multicast tree selects (its spine nodes)."""
+    chosen = {
+        int(node.split(":")[1])
+        for node in tree.nodes
+        if node.startswith("spine:")
+    }
+    if not instance.is_cover(chosen):
+        raise ValueError("tree does not span every element leaf")
+    return chosen
+
+
+def tree_cost_for_cover_size(instance: SetCoverInstance, num_sets: int) -> int:
+    """Cost of any gadget tree using ``num_sets`` sets: fixed edges (source
+    link, per-element leaf-host and spine-leaf edges) plus one source-leaf
+    to spine edge per chosen set."""
+    return 1 + 2 * instance.universe_size + num_sets
+
+
+def optimal_cover_via_steiner(instance: SetCoverInstance) -> set[int]:
+    """Solve Set-Cover by running the exact Steiner oracle on the gadget
+    (exponential in the universe size — for validating the reduction only)."""
+    graph = build_gadget(instance)
+    tree = exact_steiner_tree(graph, SOURCE, destinations(instance))
+    return tree_to_cover(instance, tree)

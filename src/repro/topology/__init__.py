@@ -1,0 +1,28 @@
+"""Clos fabric substrates: fat-tree and leaf-spine topologies, addressing,
+link failures, and the hop-layer decomposition used by PEEL's tree builder."""
+
+from .addressing import Address, NodeKind, kind_of, parse, tier_rank
+from .base import DEFAULT_LINK_BPS, Topology
+from .failures import asymmetric, fail_random_uplinks, fail_switch
+from .fattree import FatTree
+from .layers import farthest_destination_layer, hop_layers
+from .leafspine import LeafSpine
+from .rail import RailOptimized
+
+__all__ = [
+    "Address",
+    "NodeKind",
+    "kind_of",
+    "parse",
+    "tier_rank",
+    "DEFAULT_LINK_BPS",
+    "Topology",
+    "FatTree",
+    "LeafSpine",
+    "RailOptimized",
+    "asymmetric",
+    "fail_random_uplinks",
+    "fail_switch",
+    "hop_layers",
+    "farthest_destination_layer",
+]

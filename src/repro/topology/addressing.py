@@ -1,0 +1,118 @@
+"""Node naming and addressing for Clos fabrics.
+
+Every node in a topology is identified by a readable string:
+
+* fat-tree: ``core:{g}:{j}``, ``agg:p{pod}:{i}``, ``tor:p{pod}:{i}``,
+  ``host:p{pod}:t{tor}:{h}``
+* leaf-spine: ``spine:{i}``, ``leaf:{i}``, ``host:l{leaf}:{h}``
+
+The helpers here build and parse those names, and expose the pieces PEEL's
+prefix scheme needs: the pod a node lives in and the ToR identifier used as
+the power-of-two prefix key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class NodeKind(str, Enum):
+    """Role of a node in the fabric."""
+
+    HOST = "host"
+    TOR = "tor"  # top-of-rack (fat-tree edge tier)
+    AGG = "agg"  # aggregation tier
+    CORE = "core"
+    LEAF = "leaf"  # leaf-spine edge tier
+    SPINE = "spine"
+
+
+#: Distance of each kind from the host tier; used to orient links up/down.
+TIER_RANK = {
+    NodeKind.HOST: 0,
+    NodeKind.TOR: 1,
+    NodeKind.LEAF: 1,
+    NodeKind.AGG: 2,
+    NodeKind.SPINE: 2,
+    NodeKind.CORE: 3,
+}
+
+
+@dataclass(frozen=True)
+class Address:
+    """Parsed form of a node name."""
+
+    kind: NodeKind
+    pod: int | None = None
+    tor: int | None = None
+    index: int = 0
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind is not NodeKind.HOST
+
+
+def core_name(group: int, index: int) -> str:
+    return f"core:{group}:{index}"
+
+
+def agg_name(pod: int, index: int) -> str:
+    return f"agg:p{pod}:{index}"
+
+
+def tor_name(pod: int, index: int) -> str:
+    return f"tor:p{pod}:{index}"
+
+
+def fattree_host_name(pod: int, tor: int, index: int) -> str:
+    return f"host:p{pod}:t{tor}:{index}"
+
+
+def spine_name(index: int) -> str:
+    return f"spine:{index}"
+
+
+def leaf_name(index: int) -> str:
+    return f"leaf:{index}"
+
+
+def leafspine_host_name(leaf: int, index: int) -> str:
+    return f"host:l{leaf}:{index}"
+
+
+def parse(name: str) -> Address:
+    """Parse a node name into an :class:`Address`.
+
+    Raises ``ValueError`` for names this module did not produce.
+    """
+    parts = name.split(":")
+    kind = parts[0]
+    if kind == "core" and len(parts) == 3:
+        # Core (g, j) is flattened into index = g * width + j by the caller
+        # when a single index is needed; keep both via pod=None.
+        return Address(NodeKind.CORE, tor=int(parts[1]), index=int(parts[2]))
+    if kind in ("agg", "tor") and len(parts) == 3 and parts[1].startswith("p"):
+        return Address(NodeKind(kind), pod=int(parts[1][1:]), index=int(parts[2]))
+    if kind == "host" and len(parts) == 4 and parts[1].startswith("p"):
+        return Address(
+            NodeKind.HOST,
+            pod=int(parts[1][1:]),
+            tor=int(parts[2][1:]),
+            index=int(parts[3]),
+        )
+    if kind == "host" and len(parts) == 3 and parts[1].startswith("l"):
+        return Address(NodeKind.HOST, tor=int(parts[1][1:]), index=int(parts[2]))
+    if kind in ("spine", "leaf") and len(parts) == 2:
+        return Address(NodeKind(kind), index=int(parts[1]))
+    raise ValueError(f"unrecognized node name: {name!r}")
+
+
+def kind_of(name: str) -> NodeKind:
+    """Return the :class:`NodeKind` encoded in ``name`` (cheap prefix check)."""
+    return NodeKind(name.split(":", 1)[0])
+
+
+def tier_rank(name: str) -> int:
+    """Distance of ``name``'s tier from the host tier (host=0, core=3)."""
+    return TIER_RANK[kind_of(name)]

@@ -1,0 +1,112 @@
+"""k-ary fat-tree construction.
+
+A k-ary fat-tree (k even) has:
+
+* ``k`` pods, each with ``k/2`` ToR (edge) switches and ``k/2`` aggregation
+  switches, fully meshed within the pod;
+* ``(k/2)^2`` core switches arranged in ``k/2`` groups of ``k/2``; core
+  ``(g, j)`` connects to aggregation switch ``g`` of every pod;
+* each ToR serves ``hosts_per_tor`` endpoints (default ``k/2``, the
+  classic full-bisection configuration).  Values above ``k/2`` model
+  oversubscribed racks — the paper's §4 fat-tree attaches 4 servers x 8
+  GPU-NICs = 32 endpoints to each 8-ary ToR, an 8:1 oversubscription.
+
+Full capacity at the default density: ``k^3/4`` hosts.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from . import addressing as addr
+from .base import DEFAULT_LINK_BPS, Topology, add_link
+
+
+class FatTree(Topology):
+    """A k-ary fat-tree with configurable hosts per ToR."""
+
+    def __init__(
+        self,
+        k: int,
+        hosts_per_tor: int | None = None,
+        link_bps: float = DEFAULT_LINK_BPS,
+    ) -> None:
+        if k < 2 or k % 2:
+            raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
+        half = k // 2
+        if hosts_per_tor is None:
+            hosts_per_tor = half
+        if hosts_per_tor < 1:
+            raise ValueError(f"hosts_per_tor must be >= 1, got {hosts_per_tor}")
+
+        graph = nx.Graph()
+        for pod in range(k):
+            for i in range(half):
+                tor = addr.tor_name(pod, i)
+                agg = addr.agg_name(pod, i)
+                graph.add_node(tor)
+                graph.add_node(agg)
+                for h in range(hosts_per_tor):
+                    add_link(graph, addr.fattree_host_name(pod, i, h), tor, link_bps)
+            for i in range(half):  # intra-pod full mesh
+                for j in range(half):
+                    add_link(
+                        graph, addr.tor_name(pod, i), addr.agg_name(pod, j), link_bps
+                    )
+        for group in range(half):
+            for j in range(half):
+                core = addr.core_name(group, j)
+                for pod in range(k):
+                    add_link(graph, core, addr.agg_name(pod, group), link_bps)
+
+        super().__init__(graph, name=f"fattree-k{k}")
+        self.k = k
+        self.hosts_per_tor = hosts_per_tor
+        self.link_bps = link_bps
+
+    # -- structure helpers used by PEEL's prefix scheme ---------------------
+
+    @property
+    def num_pods(self) -> int:
+        return self.k
+
+    @property
+    def tors_per_pod(self) -> int:
+        return self.k // 2
+
+    def tors_in_pod(self, pod: int) -> list[str]:
+        return [addr.tor_name(pod, i) for i in range(self.tors_per_pod)]
+
+    def aggs_in_pod(self, pod: int) -> list[str]:
+        return [addr.agg_name(pod, i) for i in range(self.tors_per_pod)]
+
+    def tor_identifier(self, tor: str) -> int:
+        """The ``log2(k/2)``-bit identifier PEEL assigns each ToR in a pod."""
+        parsed = addr.parse(tor)
+        if parsed.kind is not addr.NodeKind.TOR:
+            raise ValueError(f"{tor!r} is not a ToR")
+        return parsed.index
+
+    def hosts_under_tor(self, tor: str) -> list[str]:
+        parsed = addr.parse(tor)
+        return [
+            addr.fattree_host_name(parsed.pod, parsed.index, h)
+            for h in range(self.hosts_per_tor)
+        ]
+
+    def core_agg_links(self) -> list[tuple[str, str]]:
+        """All core--aggregation links (the tier §2's failures target)."""
+        return [
+            (u, v)
+            for u, v in self.graph.edges
+            if {addr.kind_of(u), addr.kind_of(v)}
+            == {addr.NodeKind.CORE, addr.NodeKind.AGG}
+        ]
+
+    def agg_tor_links(self) -> list[tuple[str, str]]:
+        return [
+            (u, v)
+            for u, v in self.graph.edges
+            if {addr.kind_of(u), addr.kind_of(v)}
+            == {addr.NodeKind.AGG, addr.NodeKind.TOR}
+        ]

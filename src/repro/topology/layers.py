@@ -1,0 +1,45 @@
+"""Hop-layer computation for the layer-peeling heuristic (§2.3).
+
+Layer ``l_j`` holds every node at BFS distance ``j`` from the source host.
+Even in an asymmetric Clos, every node at distance ``j > 0`` has at least one
+neighbor at distance ``j - 1`` (its BFS parent), which is the invariant the
+greedy peeling relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+
+def hop_layers(graph: nx.Graph, source: str) -> list[set[str]]:
+    """Concentric hop layers around ``source``.
+
+    Returns ``layers`` with ``layers[j] = {v | dist(source, v) = j}``;
+    unreachable nodes appear in no layer.  ``layers[0] == {source}``.
+    """
+    dist = nx.single_source_shortest_path_length(graph, source)
+    if not dist:
+        return []
+    radius = max(dist.values())
+    layers: list[set[str]] = [set() for _ in range(radius + 1)]
+    for node, d in dist.items():
+        layers[d].add(node)
+    return layers
+
+
+def farthest_destination_layer(
+    graph: nx.Graph, source: str, destinations: Iterable[str]
+) -> int:
+    """``F`` from §2.3: the hop distance of the farthest destination.
+
+    Raises ``ValueError`` if any destination is unreachable from the source.
+    """
+    dist = nx.single_source_shortest_path_length(graph, source)
+    farthest = 0
+    for d in destinations:
+        if d not in dist:
+            raise ValueError(f"destination {d!r} unreachable from {source!r}")
+        farthest = max(farthest, dist[d])
+    return farthest

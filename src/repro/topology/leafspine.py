@@ -1,0 +1,66 @@
+"""Two-tier leaf-spine fabric construction.
+
+Every leaf connects to every spine (full bipartite mesh); hosts hang off
+leaves.  The paper's §4 failure study uses 16 spines, 48 leaves, 2 servers
+per leaf; its Figure 1 example uses 2 spines, 2 leaves, 4 hosts per leaf.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from . import addressing as addr
+from .base import DEFAULT_LINK_BPS, Topology, add_link
+
+
+class LeafSpine(Topology):
+    """A two-tier leaf-spine Clos."""
+
+    def __init__(
+        self,
+        num_spines: int,
+        num_leaves: int,
+        hosts_per_leaf: int,
+        link_bps: float = DEFAULT_LINK_BPS,
+    ) -> None:
+        if min(num_spines, num_leaves, hosts_per_leaf) < 1:
+            raise ValueError("leaf-spine dimensions must all be >= 1")
+        graph = nx.Graph()
+        for leaf in range(num_leaves):
+            leaf_node = addr.leaf_name(leaf)
+            for h in range(hosts_per_leaf):
+                add_link(graph, addr.leafspine_host_name(leaf, h), leaf_node, link_bps)
+            for spine in range(num_spines):
+                add_link(graph, leaf_node, addr.spine_name(spine), link_bps)
+        super().__init__(graph, name=f"leafspine-{num_spines}x{num_leaves}")
+        self.num_spines = num_spines
+        self.num_leaves = num_leaves
+        self.hosts_per_leaf = hosts_per_leaf
+        self.link_bps = link_bps
+
+    @property
+    def spines(self) -> list[str]:
+        return [addr.spine_name(i) for i in range(self.num_spines)]
+
+    @property
+    def leaves(self) -> list[str]:
+        return [addr.leaf_name(i) for i in range(self.num_leaves)]
+
+    def hosts_under_leaf(self, leaf: str) -> list[str]:
+        index = addr.parse(leaf).index
+        return [
+            addr.leafspine_host_name(index, h) for h in range(self.hosts_per_leaf)
+        ]
+
+    def leaf_identifier(self, leaf: str) -> int:
+        """Identifier used when PEEL's prefix scheme runs on a leaf-spine."""
+        return addr.parse(leaf).index
+
+    def spine_leaf_links(self) -> list[tuple[str, str]]:
+        """All spine--leaf links (the tier §4's failure sweep breaks)."""
+        return [
+            (u, v)
+            for u, v in self.graph.edges
+            if {addr.kind_of(u), addr.kind_of(v)}
+            == {addr.NodeKind.SPINE, addr.NodeKind.LEAF}
+        ]

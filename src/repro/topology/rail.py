@@ -1,0 +1,92 @@
+"""Rail-optimized topology (the §2.1 extension target, ref [28]).
+
+In a rail-optimized cluster every server exposes one NIC per GPU, and NIC
+``r`` of every server connects to *rail switch* ``r`` — GPU ``r``s across
+servers form an isolated full-bisection plane.  Optionally the rails are
+joined by a spine tier so traffic can cross rails.
+
+Node naming reuses the leaf-spine vocabulary so the rest of the library
+(layer peeling, validation, the simulator) works unchanged:
+
+* rail switch ``r``  -> ``leaf:{r}``
+* spine ``j``        -> ``spine:{j}``
+* NIC ``r`` of server ``s`` -> ``host:l{r}:{s}``  (rail-major)
+
+The multicast consequence the paper hints at ("require additional
+bookkeeping"): a broadcast group living on one rail has an optimal
+single-switch tree, while a group spanning rails must either cross the
+spine tier or hop between rails through a server (which this model does
+not allow — servers are endpoints), so the spine tier is mandatory for
+inter-rail multicast.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from . import addressing as addr
+from .base import DEFAULT_LINK_BPS, Topology, add_link
+
+
+class RailOptimized(Topology):
+    """``num_rails`` isolated planes over ``num_servers`` servers, with an
+    optional shared spine tier joining the rail switches."""
+
+    def __init__(
+        self,
+        num_rails: int,
+        num_servers: int,
+        num_spines: int = 0,
+        link_bps: float = DEFAULT_LINK_BPS,
+    ) -> None:
+        if num_rails < 1 or num_servers < 1:
+            raise ValueError("need at least one rail and one server")
+        if num_spines < 0:
+            raise ValueError("num_spines must be non-negative")
+        graph = nx.Graph()
+        for rail in range(num_rails):
+            rail_switch = addr.leaf_name(rail)
+            for server in range(num_servers):
+                add_link(
+                    graph,
+                    addr.leafspine_host_name(rail, server),
+                    rail_switch,
+                    link_bps,
+                )
+            for spine in range(num_spines):
+                add_link(graph, rail_switch, addr.spine_name(spine), link_bps)
+        super().__init__(graph, name=f"rail-{num_rails}x{num_servers}")
+        self.num_rails = num_rails
+        self.num_servers = num_servers
+        self.num_spines = num_spines
+        self.link_bps = link_bps
+
+    @property
+    def rails(self) -> list[str]:
+        return [addr.leaf_name(r) for r in range(self.num_rails)]
+
+    def rail_of(self, nic: str) -> int:
+        """The rail plane a NIC endpoint lives on."""
+        info = addr.parse(nic)
+        if info.kind is not addr.NodeKind.HOST or info.tor is None:
+            raise ValueError(f"{nic!r} is not a rail NIC")
+        return info.tor
+
+    def server_nics(self, server: int) -> list[str]:
+        """All NICs of one server, one per rail."""
+        if not 0 <= server < self.num_servers:
+            raise ValueError(f"server index out of range: {server}")
+        return [
+            addr.leafspine_host_name(rail, server) for rail in range(self.num_rails)
+        ]
+
+    def nics_on_rail(self, rail: int) -> list[str]:
+        if not 0 <= rail < self.num_rails:
+            raise ValueError(f"rail index out of range: {rail}")
+        return [
+            addr.leafspine_host_name(rail, server)
+            for server in range(self.num_servers)
+        ]
+
+    def same_rail(self, nics: list[str]) -> bool:
+        return len({self.rail_of(n) for n in nics}) <= 1

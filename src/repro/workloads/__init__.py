@@ -1,0 +1,25 @@
+"""Synthetic AI-collective workloads: Poisson arrivals, bin-packed
+placement, and offered-load calibration."""
+
+from .arrivals import fixed_count_arrivals, poisson_arrival_times
+from .jobs import CollectiveJob, generate_jobs
+from .load import arrival_rate_for_load, offered_load
+from .placement import (
+    DEFAULT_GPUS_PER_HOST,
+    locality_ordered_hosts,
+    place_job,
+    place_job_racks,
+)
+
+__all__ = [
+    "fixed_count_arrivals",
+    "poisson_arrival_times",
+    "CollectiveJob",
+    "generate_jobs",
+    "arrival_rate_for_load",
+    "offered_load",
+    "DEFAULT_GPUS_PER_HOST",
+    "locality_ordered_hosts",
+    "place_job",
+    "place_job_racks",
+]

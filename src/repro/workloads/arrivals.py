@@ -1,0 +1,47 @@
+"""Collective arrival processes.
+
+The paper's workload: "Broadcast collectives whose arrivals follow a
+Poisson process (CPS)" — collectives per second — parameterized by scale
+and message size (§4, ref [32])."""
+
+from __future__ import annotations
+
+import random
+
+
+def poisson_arrival_times(
+    rate_per_s: float, duration_s: float, rng: random.Random | None = None
+) -> list[float]:
+    """Arrival instants of a homogeneous Poisson process on [0, duration)."""
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = rng or random.Random(0)
+    times: list[float] = []
+    t = rng.expovariate(rate_per_s)
+    while t < duration_s:
+        times.append(t)
+        t += rng.expovariate(rate_per_s)
+    return times
+
+
+def fixed_count_arrivals(
+    rate_per_s: float, count: int, rng: random.Random | None = None
+) -> list[float]:
+    """Exactly ``count`` Poisson arrivals (duration open-ended).
+
+    Experiments that need a fixed sample size use this instead of a fixed
+    horizon, so every scenario measures the same number of collectives.
+    """
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = rng or random.Random(0)
+    times: list[float] = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.expovariate(rate_per_s)
+        times.append(t)
+    return times

@@ -1,0 +1,58 @@
+"""Offered-load calibration.
+
+The paper sets collective arrival rates "in a way that the average network
+offered load in every scenario is 30%".  We define offered load as the
+rate at which collectives *deliver* bytes to receiver NICs, normalized by
+the fabric's total host NIC capacity:
+
+    load = rate * message_bytes * 8 * num_receiver_hosts
+           / (num_hosts * nic_bps)
+
+This makes the load independent of the scheme (all schemes deliver the same
+payload) and lets each scenario solve for the arrival rate.
+"""
+
+from __future__ import annotations
+
+
+def offered_load(
+    rate_per_s: float,
+    message_bytes: int,
+    num_receiver_hosts: int,
+    num_hosts: int,
+    nic_bps: float,
+) -> float:
+    """Offered load produced by a given arrival rate (see module docstring)."""
+    _check(message_bytes, num_receiver_hosts, num_hosts, nic_bps)
+    if rate_per_s < 0:
+        raise ValueError("rate_per_s must be non-negative")
+    delivered_bps = rate_per_s * message_bytes * 8 * num_receiver_hosts
+    return delivered_bps / (num_hosts * nic_bps)
+
+
+def arrival_rate_for_load(
+    load: float,
+    message_bytes: int,
+    num_receiver_hosts: int,
+    num_hosts: int,
+    nic_bps: float,
+) -> float:
+    """Poisson rate achieving a target offered load (inverse of above)."""
+    _check(message_bytes, num_receiver_hosts, num_hosts, nic_bps)
+    if load <= 0:
+        raise ValueError("load must be positive")
+    per_collective_bits = message_bytes * 8 * num_receiver_hosts
+    return load * num_hosts * nic_bps / per_collective_bits
+
+
+def _check(
+    message_bytes: int, num_receiver_hosts: int, num_hosts: int, nic_bps: float
+) -> None:
+    if message_bytes <= 0:
+        raise ValueError("message_bytes must be positive")
+    if num_receiver_hosts < 1:
+        raise ValueError("num_receiver_hosts must be >= 1")
+    if num_hosts < 1:
+        raise ValueError("num_hosts must be >= 1")
+    if nic_bps <= 0:
+        raise ValueError("nic_bps must be positive")

@@ -1,0 +1,103 @@
+"""Group/handle semantics and locality ordering."""
+
+import pytest
+
+from repro.collectives import CollectiveHandle, Gpu, Group, locality_key
+from repro.collectives.base import nccl_chunk_bytes
+
+
+def make_group():
+    gpus = (
+        Gpu("host:p0:t0:0", 0),
+        Gpu("host:p0:t0:0", 1),
+        Gpu("host:p0:t1:0", 0),
+        Gpu("host:p1:t0:0", 0),
+    )
+    return Group(source=gpus[0], members=gpus)
+
+
+class TestGroup:
+    def test_source_must_be_member(self):
+        with pytest.raises(ValueError):
+            Group(source=Gpu("host:p0:t0:0", 0), members=(Gpu("host:p0:t0:0", 1),))
+
+    def test_hosts_deduped_and_ordered(self):
+        group = make_group()
+        assert group.hosts == ["host:p0:t0:0", "host:p0:t1:0", "host:p1:t0:0"]
+
+    def test_receiver_hosts_exclude_source(self):
+        group = make_group()
+        assert group.receiver_hosts == ["host:p0:t1:0", "host:p1:t0:0"]
+
+    def test_gpus_on(self):
+        group = make_group()
+        assert len(group.gpus_on("host:p0:t0:0")) == 2
+        assert group.gpus_on("host:p9:t0:0") == []
+
+    def test_size(self):
+        assert make_group().size == 4
+
+
+class TestLocalityKey:
+    def test_orders_pod_major(self):
+        hosts = ["host:p1:t0:0", "host:p0:t1:0", "host:p0:t0:1", "host:p0:t0:0"]
+        ordered = sorted(hosts, key=locality_key)
+        assert ordered == [
+            "host:p0:t0:0",
+            "host:p0:t0:1",
+            "host:p0:t1:0",
+            "host:p1:t0:0",
+        ]
+
+    def test_numeric_not_lexicographic(self):
+        # pod 10 sorts after pod 2 (string sort would invert them).
+        assert locality_key("host:p10:t0:0") > locality_key("host:p2:t0:0")
+
+    def test_leafspine_hosts(self):
+        assert locality_key("host:l3:1") < locality_key("host:l10:0")
+
+
+class TestCollectiveHandle:
+    def test_completes_when_all_hosts_done(self):
+        group = make_group()
+        handle = CollectiveHandle("x", group, 1000, arrival_s=1.0, nvlink_s=0.001)
+        assert not handle.complete
+        handle.host_done("host:p0:t1:0", 1.5)
+        assert not handle.complete
+        handle.host_done("host:p1:t0:0", 2.0)
+        assert handle.complete
+        assert handle.cct_s == pytest.approx(1.0 + 0.001)
+
+    def test_ignores_unknown_host(self):
+        handle = CollectiveHandle("x", make_group(), 1000, 0.0, 0.0)
+        handle.host_done("host:p7:t0:0", 5.0)
+        assert not handle.complete
+
+    def test_duplicate_done_is_idempotent(self):
+        handle = CollectiveHandle("x", make_group(), 1000, 0.0, 0.0)
+        handle.host_done("host:p0:t1:0", 1.0)
+        handle.host_done("host:p0:t1:0", 2.0)
+        assert handle.host_done_at["host:p0:t1:0"] == 1.0
+
+    def test_source_only_group_completes_immediately(self):
+        gpus = (Gpu("host:l0:0", 0), Gpu("host:l0:0", 1))
+        group = Group(source=gpus[0], members=gpus)
+        handle = CollectiveHandle("x", group, 1000, 3.0, nvlink_s=0.002)
+        assert handle.complete
+        assert handle.cct_s == pytest.approx(0.002)
+
+    def test_cct_before_completion_raises(self):
+        handle = CollectiveHandle("x", make_group(), 1000, 0.0, 0.0)
+        with pytest.raises(RuntimeError):
+            _ = handle.cct_s
+
+
+class TestChunking:
+    def test_eighth_of_message(self):
+        assert nccl_chunk_bytes(8 * 2**20, 1500) == 2**20
+
+    def test_floor_at_mtu(self):
+        assert nccl_chunk_bytes(4000, 1500) == 1500
+
+    def test_rounds_up(self):
+        assert nccl_chunk_bytes(100_001, 1500) == 12501

@@ -1,0 +1,42 @@
+"""CollectiveEnv wiring: planner caching, naming, controller injection."""
+
+import random
+
+from repro.core import ControllerModel
+from repro.collectives import CollectiveEnv
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+
+
+class TestEnv:
+    def test_peel_planner_cached_per_budget(self):
+        env = CollectiveEnv(LeafSpine(2, 4, 2))
+        assert env.peel() is env.peel()
+        assert env.peel(2) is env.peel(2)
+        assert env.peel() is not env.peel(2)
+
+    def test_transfer_names_unique(self):
+        env = CollectiveEnv(LeafSpine(2, 2, 2))
+        names = {env.next_transfer_name("x") for _ in range(100)}
+        assert len(names) == 100
+
+    def test_custom_controller_used(self):
+        ctrl = ControllerModel(mean_s=0.5, std_s=0.0, rng=random.Random(0))
+        env = CollectiveEnv(LeafSpine(2, 2, 2), controller=ctrl)
+        assert env.controller.setup_delay() == 0.5
+
+    def test_default_controller_seeded_from_config(self):
+        a = CollectiveEnv(LeafSpine(2, 2, 2), SimConfig(seed=3))
+        b = CollectiveEnv(LeafSpine(2, 2, 2), SimConfig(seed=3))
+        assert a.controller.setup_delay() == b.controller.setup_delay()
+
+    def test_run_drains_events(self):
+        env = CollectiveEnv(LeafSpine(2, 2, 2))
+        hits = []
+        env.sim.schedule(0.1, hits.append, 1)
+        assert env.run() == 1
+        assert hits == [1]
+
+    def test_network_shares_simulator(self):
+        env = CollectiveEnv(LeafSpine(2, 2, 2))
+        assert env.network.sim is env.sim

@@ -1,0 +1,111 @@
+"""Cross-validation: plan trees vs the real rule table.
+
+The simulator routes segments by consulting the plan's trees (see
+DESIGN.md); these tests close the loop by checking that, at every fan-out
+switch, the tree's behaviour is exactly what the pre-installed
+:class:`PrefixRuleTable` would do with the packet's encoded header.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Peel, PrefixRuleTable
+from repro.topology import FatTree
+from repro.topology import addressing as addr
+from repro.workloads import place_job, place_job_racks
+
+
+def packet_agg_fanout(packet, agg: str) -> set[int]:
+    """ToR indices the packet's tree fans out to at one agg switch."""
+    return {
+        addr.parse(child).index
+        for child in packet.tree.children(agg)
+        if addr.kind_of(child) is addr.NodeKind.TOR
+    }
+
+
+class TestTreeMatchesRules:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agg_fanout_equals_rule_lookup(self, seed):
+        topo = FatTree(8, hosts_per_tor=4)
+        table = PrefixRuleTable(topo.k)
+        group = place_job_racks(topo, 6, 14, random.Random(seed))
+        plan = Peel(topo).plan(group.source.host, group.receiver_hosts)
+        src_tor = topo.tor_of(group.source.host)
+        for packet in plan.packets:
+            rule_ports = set(table.lookup(packet.header.encode()))
+            for node in packet.tree.nodes:
+                if addr.kind_of(node) is not addr.NodeKind.AGG:
+                    continue
+                fanout = packet_agg_fanout(packet, node)
+                if not fanout:
+                    continue
+                # The tree may omit the source's own ToR (it sits on the
+                # trunk) but must otherwise fan out to exactly the rule's
+                # port block.
+                missing = rule_ports - fanout
+                assert fanout <= rule_ports
+                assert missing <= {addr.parse(src_tor).index}
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounded_plans_also_consistent(self, seed):
+        topo = FatTree(8, hosts_per_tor=4)
+        table = PrefixRuleTable(topo.k)
+        group = place_job_racks(topo, 5, 16, random.Random(seed))
+        plan = Peel(topo, max_prefixes_per_fanout=1).plan(
+            group.source.host, group.receiver_hosts
+        )
+        src_tor_idx = addr.parse(topo.tor_of(group.source.host)).index
+        for packet in plan.packets:
+            rule_ports = set(table.lookup(packet.header.encode()))
+            for node in packet.tree.nodes:
+                if addr.kind_of(node) is not addr.NodeKind.AGG:
+                    continue
+                fanout = packet_agg_fanout(packet, node)
+                if fanout:
+                    assert fanout <= rule_ports
+                    assert rule_ports - fanout <= {src_tor_idx}
+
+    def test_wasted_tors_are_in_rule_block(self):
+        """Over-covered ToRs receive traffic because the *rule* says so:
+        every wasted ToR must sit inside the packet's block."""
+        topo = FatTree(8, hosts_per_tor=4)
+        group = place_job_racks(topo, 5, 16, random.Random(2))
+        plan = Peel(topo, max_prefixes_per_fanout=1).plan(
+            group.source.host, group.receiver_hosts
+        )
+        for packet in plan.packets:
+            block = set(packet.prefix.block(packet.width))
+            for tor in packet.wasted_edge_switches:
+                assert addr.parse(tor).index in block
+
+    def test_covered_partition_destinations(self):
+        """Across packets, covered ToRs never repeat (exact covers)."""
+        topo = FatTree(8, hosts_per_tor=4)
+        group = place_job_racks(topo, 6, 12, random.Random(3))
+        plan = Peel(topo).plan(group.source.host, group.receiver_hosts)
+        seen: set[str] = set()
+        for packet in plan.packets:
+            for tor in packet.covered_edge_switches:
+                assert tor not in seen
+                seen.add(tor)
+
+    def test_simulated_delivery_matches_plan(self):
+        """End to end: run the plan through the simulator and verify the
+        bytes on each agg->ToR link match the rule fan-out exactly."""
+        from repro.collectives import CollectiveEnv, Gpu, Group, PeelBroadcast
+        from repro.sim import SimConfig
+
+        topo = FatTree(8, hosts_per_tor=4)
+        env = CollectiveEnv(topo, SimConfig(segment_bytes=65536))
+        group = place_job(topo, 24, gpus_per_host=1, rng=random.Random(4))
+        plan = env.peel().plan(group.source.host, group.receiver_hosts)
+        msg = 2**20
+        handle = PeelBroadcast().launch(env, group, msg, 0.0)
+        env.run()
+        assert handle.complete
+        expected = plan.link_loads("static")
+        for (u, v), port in env.network.ports.items():
+            if u.startswith("agg") and v.startswith("tor"):
+                assert port.bytes_sent == expected.get((u, v), 0) * msg

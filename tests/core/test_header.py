@@ -1,0 +1,77 @@
+"""Header encoding and the <8 B size claim."""
+
+import pytest
+
+from repro.core import (
+    PeelHeader,
+    Prefix,
+    header_bits,
+    header_bytes,
+    hierarchical_header_bits,
+    hierarchical_header_bytes,
+    tor_id_bits,
+)
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "k,expected", [(4, 1), (8, 2), (16, 3), (32, 4), (64, 5), (128, 6)]
+    )
+    def test_tor_id_bits(self, k, expected):
+        assert tor_id_bits(k) == expected
+
+    def test_header_bits_formula(self):
+        # k=64: m=5 value bits + ceil(log2(6))=3 length bits = 8 bits.
+        assert header_bits(64) == 8
+
+    @pytest.mark.parametrize("k", [4, 8, 16, 32, 64, 128])
+    def test_header_under_8_bytes(self, k):
+        """§3.2: 'well under 8 B even for k=128'."""
+        assert header_bytes(k) < 8
+
+    @pytest.mark.parametrize("k", [8, 16, 32, 64, 128])
+    def test_hierarchical_header_under_8_bytes(self, k):
+        assert hierarchical_header_bytes(k) < 8
+
+    def test_hierarchical_exceeds_single_tier(self):
+        assert hierarchical_header_bits(64) > header_bits(64)
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            tor_id_bits(6)  # k/2 = 3 not a power of two
+
+    def test_rejects_tiny_k(self):
+        with pytest.raises(ValueError):
+            tor_id_bits(1)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5])
+    def test_roundtrip_all_prefixes(self, width):
+        for length in range(width + 1):
+            for value in range(1 << length):
+                header = PeelHeader(Prefix(value, length), width)
+                raw = header.encode()
+                back = PeelHeader.decode(raw, width)
+                assert back.prefix == header.prefix
+
+    def test_encode_distinct(self):
+        width = 3
+        seen = set()
+        for length in range(width + 1):
+            for value in range(1 << length):
+                raw = PeelHeader(Prefix(value, length), width).encode()
+                key = (raw, length)
+                assert key not in seen
+                seen.add(key)
+
+    def test_decode_rejects_overlong_length(self):
+        # Length field value beyond the width is malformed (width 4 has a
+        # 3-bit length field, so raw length 7 > 4 must be rejected).
+        with pytest.raises(ValueError):
+            PeelHeader.decode(0b111, 4)
+
+    def test_nbytes(self):
+        header = PeelHeader(Prefix(0b10, 2), 5)
+        assert header.nbytes == 1
+        assert header.bits == 5 + 3

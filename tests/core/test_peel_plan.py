@@ -1,0 +1,187 @@
+"""The PEEL planner end-to-end: packets, trees, waste, hierarchical covers."""
+
+import pytest
+
+from repro.core import Peel, optimal_symmetric_tree
+from repro.steiner import validate_tree
+from repro.topology import FatTree, LeafSpine, asymmetric
+
+
+def hosts_under_pods(ft: FatTree, pods: list[int]) -> list[str]:
+    return [h for h in ft.hosts if int(h.split(":")[1][1:]) in pods]
+
+
+class TestLeafSpinePlans:
+    def test_single_rack_group_is_local_only(self):
+        ls = LeafSpine(2, 4, 4)
+        peel = Peel(ls)
+        plan = peel.plan("host:l0:0", ["host:l0:1", "host:l0:2"])
+        assert plan.num_prefixes == 0
+        assert plan.local_tree is not None
+        assert plan.static_cost() == plan.local_tree.cost
+
+    def test_broadcast_single_prefix_when_aligned(self):
+        ls = LeafSpine(2, 4, 2)  # 4 leaves: ids 0-3 = full 2-bit space
+        peel = Peel(ls)
+        src = "host:l0:0"
+        dests = [h for h in ls.hosts if h != src]
+        plan = peel.plan(src, dests)
+        # Remote leaves 1,2,3 + source leaf 0 is on the trunk; cover of
+        # {1,2,3} = {1}, {1x} -> 2 prefixes.
+        assert plan.num_prefixes == 2
+        for tree in plan.static_trees:
+            validate_tree(tree, ls.graph, src, [])
+
+    def test_all_receivers_served_exactly_once(self):
+        ls = LeafSpine(4, 8, 2)
+        peel = Peel(ls)
+        src = ls.hosts[0]
+        dests = [h for h in ls.hosts if h != src]
+        plan = peel.plan(src, dests)
+        served: list[str] = []
+        for tree in plan.static_trees:
+            served.extend(
+                n for n in tree.nodes if n.startswith("host") and n != src
+            )
+        assert sorted(served) == sorted(dests)
+
+    def test_exact_cover_has_no_waste(self):
+        ls = LeafSpine(2, 8, 2)
+        plan = Peel(ls).plan(ls.hosts[0], ls.hosts[3:10])
+        assert not plan.wasted_edge_switches
+
+    def test_bounded_cover_creates_waste_or_fewer_packets(self):
+        ls = LeafSpine(2, 8, 2)
+        src = ls.hosts[0]
+        dests = [h for h in ls.hosts if h.startswith(("host:l1", "host:l3", "host:l6"))]
+        exact_plan = Peel(ls).plan(src, dests)
+        bounded_plan = Peel(ls, max_prefixes_per_fanout=1).plan(src, dests)
+        assert bounded_plan.num_prefixes <= exact_plan.num_prefixes
+        assert bounded_plan.num_prefixes == 1
+        # The single coarse prefix over-covers leaves not in the group.
+        assert bounded_plan.wasted_edge_switches
+
+    def test_header_bytes_small(self):
+        ls = LeafSpine(16, 48, 2)
+        plan = Peel(ls).plan(ls.hosts[0], ls.hosts[10:50])
+        assert 0 < plan.header_bytes < 8
+
+
+class TestFatTreeHierarchicalPlans:
+    def test_single_pod_group(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        src = "host:p2:t0:0"
+        dests = hosts_under_pods(ft, [2])
+        dests.remove(src)
+        plan = Peel(ft).plan(src, dests)
+        # Whole pod: the source ToR folds into the cover, one prefix covers
+        # all ToRs, and no core link is crossed.
+        assert plan.num_prefixes == 1
+        assert not any(n.startswith("core") for n in plan.packets[0].tree.nodes)
+
+    def test_aligned_pods_share_one_packet(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        src = "host:p4:t0:0"
+        dests = hosts_under_pods(ft, [4, 5, 6, 7])
+        dests.remove(src)
+        plan = Peel(ft).plan(src, dests)
+        # Pods 4-7 = aligned block 1xx; all ToRs needed -> a single packet.
+        assert plan.num_prefixes == 1
+        packet = plan.packets[0]
+        assert packet.pods == [4, 5, 6, 7] or tuple(packet.pods) == (4, 5, 6, 7)
+
+    def test_unaligned_pods_need_more_packets(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        src = "host:p1:t0:0"
+        dests = hosts_under_pods(ft, [1, 2, 3, 4])
+        dests.remove(src)
+        plan = Peel(ft).plan(src, dests)
+        # Pods {1,2,3,4}: blocks {1},{2,3},{4} -> 3 packets.
+        assert plan.num_prefixes == 3
+
+    def test_static_trees_are_valid(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        src = "host:p0:t0:0"
+        dests = hosts_under_pods(ft, [0, 1, 2])
+        dests.remove(src)
+        plan = Peel(ft).plan(src, dests)
+        for tree in plan.static_trees:
+            validate_tree(tree, ft.graph, src, [])
+        served = {
+            n
+            for tree in plan.static_trees
+            for n in tree.nodes
+            if n.startswith("host") and n != src
+        }
+        assert served == set(dests)
+
+    def test_refined_tree_is_base_optimal(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        src = "host:p0:t0:0"
+        dests = hosts_under_pods(ft, [3, 4])
+        plan = Peel(ft).plan(src, dests)
+        expected = optimal_symmetric_tree(ft, src, dests)
+        assert plan.refined_tree.cost == expected.cost
+
+    def test_static_cost_at_least_refined(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        src = "host:p0:t0:0"
+        dests = hosts_under_pods(ft, [1, 2, 5])
+        plan = Peel(ft).plan(src, dests)
+        assert plan.static_cost() >= plan.refined_cost()
+
+    def test_partial_tors_within_pod(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        src = "host:p0:t0:0"
+        dests = [h for h in ft.hosts if h.startswith(("host:p3:t0", "host:p3:t1"))]
+        plan = Peel(ft).plan(src, dests)
+        assert plan.num_prefixes == 1  # ToRs 0-1 = one aligned block
+        packet = plan.packets[0]
+        assert packet.prefix.length == 1
+
+    def test_link_loads_modes(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        src = "host:p0:t0:0"
+        dests = hosts_under_pods(ft, [1, 2])
+        plan = Peel(ft).plan(src, dests)
+        static = plan.link_loads("static")
+        refined = plan.link_loads("refined")
+        assert sum(static.values()) == plan.static_cost()
+        assert sum(refined.values()) == plan.refined_cost()
+        with pytest.raises(ValueError):
+            plan.link_loads("bogus")
+
+    def test_rejects_non_power_of_two_half(self):
+        with pytest.raises(ValueError):
+            Peel(FatTree(6))
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            Peel(FatTree(4), max_prefixes_per_fanout=0)
+
+
+class TestAsymmetricPlans:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_leafspine_failed_plan_valid(self, seed):
+        topo, _ = asymmetric(LeafSpine(4, 8, 2), 0.25, seed=seed)
+        peel = Peel(topo)
+        src = topo.hosts[0]
+        dests = topo.hosts[4:12]
+        plan = peel.plan(src, dests)
+        served: set[str] = set()
+        for tree in plan.static_trees:
+            validate_tree(tree, topo.graph, src, [])
+            served |= {n for n in tree.nodes if n.startswith("host") and n != src}
+        assert served == set(dests)
+
+    def test_fattree_failed_plan_valid(self):
+        topo, _ = asymmetric(FatTree(4), 0.25, seed=2)
+        peel = Peel(topo)
+        src = topo.hosts[0]
+        dests = topo.hosts[6:14]
+        plan = peel.plan(src, dests)
+        served: set[str] = set()
+        for tree in plan.static_trees:
+            validate_tree(tree, topo.graph, src, [])
+            served |= {n for n in tree.nodes if n.startswith("host") and n != src}
+        assert served == set(dests)

@@ -1,0 +1,130 @@
+"""Power-of-two prefix covers: exact decomposition and bounded over-cover."""
+
+import pytest
+
+from repro.core import (
+    Prefix,
+    bounded_cover,
+    cover_waste,
+    covered_ids,
+    exact_cover,
+)
+
+
+class TestPrefix:
+    def test_block_full_space(self):
+        assert list(Prefix(0, 0).block(3)) == list(range(8))
+
+    def test_block_single(self):
+        assert list(Prefix(5, 3).block(3)) == [5]
+
+    def test_block_half(self):
+        assert list(Prefix(1, 1).block(3)) == [4, 5, 6, 7]
+
+    def test_covers(self):
+        p = Prefix(0b01, 2)
+        assert p.covers(0b010, 3)
+        assert p.covers(0b011, 3)
+        assert not p.covers(0b100, 3)
+
+    def test_bitstring(self):
+        assert Prefix(0b1, 1).bitstring(3) == "1**"
+        assert Prefix(0b01, 2).bitstring(3) == "01*"
+        assert Prefix(0, 0).bitstring(3) == "***"
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            Prefix(4, 2)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, -1)
+
+    def test_block_wider_than_space(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 4).block(3)
+
+
+class TestExactCover:
+    def test_paper_example(self):
+        """§3.2: ToRs 010,011,100,101,110,111 -> prefixes 1** and 01*."""
+        ids = {0b010, 0b011, 0b100, 0b101, 0b110, 0b111}
+        cover = exact_cover(ids, 3)
+        assert cover == [Prefix(0b01, 2), Prefix(0b1, 1)]
+
+    def test_empty(self):
+        assert exact_cover(set(), 4) == []
+
+    def test_full_space_single_prefix(self):
+        assert exact_cover(set(range(16)), 4) == [Prefix(0, 0)]
+
+    def test_singleton(self):
+        assert exact_cover({6}, 3) == [Prefix(6, 3)]
+
+    def test_alternating_worst_case(self):
+        ids = {0, 2, 4, 6}
+        cover = exact_cover(ids, 3)
+        assert len(cover) == 4
+        assert all(p.length == 3 for p in cover)
+
+    def test_exactness(self):
+        ids = {1, 2, 3, 9, 10}
+        cover = exact_cover(ids, 4)
+        assert covered_ids(cover, 4) == ids
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            exact_cover({9}, 3)
+
+    def test_zero_width_space(self):
+        assert exact_cover({0}, 0) == [Prefix(0, 0)]
+
+
+class TestBoundedCover:
+    def test_budget_one_covers_everything(self):
+        cover = bounded_cover({1, 6}, 3, 1)
+        assert cover == [Prefix(0, 0)]
+        assert cover_waste(cover, {1, 6}, 3) == 6
+
+    def test_large_budget_matches_exact(self):
+        ids = {0b010, 0b011, 0b100}
+        assert bounded_cover(ids, 3, 8) == exact_cover(ids, 3)
+
+    def test_waste_decreases_with_budget(self):
+        ids = {0, 3, 5, 6}
+        wastes = [
+            cover_waste(bounded_cover(ids, 3, budget), ids, 3)
+            for budget in (1, 2, 3, 4)
+        ]
+        assert wastes == sorted(wastes, reverse=True)
+        assert wastes[-1] == 0
+
+    def test_budget_respected(self):
+        ids = {0, 2, 4, 6, 8, 10, 12, 14}
+        for budget in (1, 2, 3):
+            assert len(bounded_cover(ids, 4, budget)) <= budget
+
+    def test_minimal_waste_choice(self):
+        # {0,1,2}: budget 2 -> 0* (0,1) + prefix for 2 exactly, waste 0.
+        cover = bounded_cover({0, 1, 2}, 2, 2)
+        assert cover_waste(cover, {0, 1, 2}, 2) <= 1
+
+    def test_empty_ids(self):
+        assert bounded_cover(set(), 3, 2) == []
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            bounded_cover({1}, 3, 0)
+
+
+class TestCoverWaste:
+    def test_zero_for_exact(self):
+        ids = {4, 5}
+        assert cover_waste(exact_cover(ids, 3), ids, 3) == 0
+
+    def test_counts_overcover(self):
+        assert cover_waste([Prefix(0, 0)], {0}, 2) == 3
+
+    def test_rejects_non_cover(self):
+        with pytest.raises(ValueError):
+            cover_waste([Prefix(0, 2)], {3}, 2)

@@ -1,0 +1,57 @@
+"""Controller model and refinement schedule."""
+
+import random
+
+import pytest
+
+from repro.core import ControllerModel, RefinementSchedule, core_rules_needed
+
+
+class TestControllerModel:
+    def test_non_negative_samples(self):
+        ctrl = ControllerModel(rng=random.Random(0))
+        assert all(ctrl.setup_delay() >= 0 for _ in range(1000))
+
+    def test_mean_close_to_10ms(self):
+        ctrl = ControllerModel(rng=random.Random(1))
+        samples = [ctrl.setup_delay() for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert 0.009 < mean < 0.012  # truncation shifts slightly above 10ms
+
+    def test_spread(self):
+        ctrl = ControllerModel(rng=random.Random(2))
+        samples = [ctrl.setup_delay() for _ in range(5000)]
+        assert max(samples) > 0.02
+        assert min(samples) < 0.005
+
+    def test_deterministic_with_seed(self):
+        a = ControllerModel(rng=random.Random(7))
+        b = ControllerModel(rng=random.Random(7))
+        assert [a.setup_delay() for _ in range(10)] == [
+            b.setup_delay() for _ in range(10)
+        ]
+
+    def test_zero_variance(self):
+        ctrl = ControllerModel(mean_s=0.005, std_s=0.0, rng=random.Random(0))
+        assert ctrl.setup_delay() == pytest.approx(0.005)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            ControllerModel(mean_s=-1)
+
+
+class TestRefinementSchedule:
+    def test_mode_transitions(self):
+        sched = RefinementSchedule(ready_at=0.010)
+        assert sched.mode_at(0.0) == "static"
+        assert sched.mode_at(0.00999) == "static"
+        assert sched.mode_at(0.010) == "refined"
+        assert sched.mode_at(1.0) == "refined"
+
+
+class TestCoreRules:
+    def test_one_rule_per_destination_pod(self):
+        assert core_rules_needed(5) == 5
+
+    def test_never_negative(self):
+        assert core_rules_needed(-3) == 0

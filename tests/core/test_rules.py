@@ -1,0 +1,88 @@
+"""Pre-installed rule tables: the k-1 entry claim and lookup semantics."""
+
+import pytest
+
+from repro.core import (
+    PeelHeader,
+    Prefix,
+    PrefixRuleTable,
+    preinstalled_rules,
+    rule_count,
+)
+
+
+class TestRuleCount:
+    @pytest.mark.parametrize("k", [4, 8, 16, 32, 64, 128])
+    def test_closed_form_matches_enumeration(self, k):
+        assert len(preinstalled_rules(k)) == rule_count(k)
+
+    def test_headline_63_rules_at_k64(self):
+        """§1: 'In a 64-ary fat-tree ... just 63 rules'."""
+        assert rule_count(64) == 63
+
+    def test_127_rules_at_k128(self):
+        assert rule_count(128) == 127
+
+    def test_rules_linear_not_exponential(self):
+        from repro.state import worst_case_group_entries
+
+        assert rule_count(64) < 64
+        assert worst_case_group_entries(64) > 4e9
+
+
+class TestRuleSemantics:
+    def test_blocks_partition_per_length(self):
+        rules = preinstalled_rules(8)
+        by_length: dict[int, list] = {}
+        for rule in rules:
+            by_length.setdefault(rule.prefix.length, []).append(rule)
+        width = 2  # k=8 -> 4 ToRs -> 2 bits
+        for length, group in by_length.items():
+            assert len(group) == 1 << length
+            covered = sorted(p for rule in group for p in rule.out_ports)
+            assert covered == list(range(1 << width))
+
+    def test_root_rule_covers_all_tors(self):
+        rules = preinstalled_rules(16)
+        root = next(r for r in rules if r.prefix.length == 0)
+        assert root.out_ports == tuple(range(8))
+
+
+class TestRuleTable:
+    def test_len_is_k_minus_1(self):
+        assert len(PrefixRuleTable(32)) == 31
+
+    def test_match_full_block(self):
+        table = PrefixRuleTable(8)
+        rule = table.match(PeelHeader(Prefix(0, 0), 2))
+        assert rule.out_ports == (0, 1, 2, 3)
+
+    def test_match_half_block(self):
+        table = PrefixRuleTable(8)
+        rule = table.match(PeelHeader(Prefix(1, 1), 2))
+        assert rule.out_ports == (2, 3)
+
+    def test_match_single(self):
+        table = PrefixRuleTable(8)
+        rule = table.match(PeelHeader(Prefix(3, 2), 2))
+        assert rule.out_ports == (3,)
+
+    def test_width_mismatch_rejected(self):
+        table = PrefixRuleTable(8)
+        with pytest.raises(ValueError):
+            table.match(PeelHeader(Prefix(0, 0), 5))
+
+    def test_lookup_via_raw_header(self):
+        table = PrefixRuleTable(8)
+        raw = PeelHeader(Prefix(1, 1), 2).encode()
+        assert table.lookup(raw) == (2, 3)
+
+    def test_every_wire_header_hits_a_rule(self):
+        """Deploy-once, touch-never: any well-formed header matches."""
+        table = PrefixRuleTable(16)
+        width = 3
+        for length in range(width + 1):
+            for value in range(1 << length):
+                raw = PeelHeader(Prefix(value, length), width).encode()
+                ports = table.lookup(raw)
+                assert ports == tuple(Prefix(value, length).block(width))

@@ -1,0 +1,154 @@
+"""MulticastService: group lifecycle without switch updates."""
+
+import pytest
+
+from repro.core import MulticastService
+from repro.core.service import GroupClosedError
+from repro.steiner import validate_tree
+from repro.topology import FatTree, LeafSpine
+
+
+@pytest.fixture
+def service():
+    return MulticastService(FatTree(8, hosts_per_tor=4))
+
+
+class TestLifecycle:
+    def test_create_and_plan(self, service):
+        group = service.create_group("host:p0:t0:0", ["host:p1:t0:0"])
+        assert group.plan.num_prefixes == 1
+        assert service.active_groups == 1
+
+    def test_unknown_source_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.create_group("host:p9:t9:9", [])
+
+    def test_close_releases(self, service):
+        group = service.create_group("host:p0:t0:0", ["host:p1:t0:0"])
+        group.close()
+        assert group.closed
+        assert service.active_groups == 0
+        with pytest.raises(GroupClosedError):
+            _ = group.plan
+
+    def test_close_idempotent(self, service):
+        group = service.create_group("host:p0:t0:0", [])
+        group.close()
+        group.close()
+
+    def test_lookup_by_id(self, service):
+        group = service.create_group("host:p0:t0:0", [])
+        assert service.group(group.group_id) is group
+        group.close()
+        with pytest.raises(LookupError):
+            service.group(group.group_id)
+
+
+class TestMembership:
+    def test_add_members_replans(self, service):
+        group = service.create_group("host:p0:t0:0", ["host:p1:t0:0"])
+        before = group.plan
+        group.add_members(["host:p2:t0:0", "host:p2:t1:0"])
+        after = group.plan
+        assert after is not before
+        assert "host:p2:t1:0" in {
+            n for t in after.static_trees for n in t.nodes
+        }
+
+    def test_add_existing_member_keeps_plan(self, service):
+        group = service.create_group("host:p0:t0:0", ["host:p1:t0:0"])
+        plan = group.plan
+        group.add_members(["host:p1:t0:0"])
+        assert group.plan is plan
+
+    def test_remove_members_replans(self, service):
+        group = service.create_group(
+            "host:p0:t0:0", ["host:p1:t0:0", "host:p2:t0:0"]
+        )
+        group.remove_members(["host:p2:t0:0"])
+        served = {n for t in group.plan.static_trees for n in t.nodes}
+        assert "host:p2:t0:0" not in served
+
+    def test_source_cannot_leave(self, service):
+        group = service.create_group("host:p0:t0:0", ["host:p1:t0:0"])
+        with pytest.raises(ValueError):
+            group.remove_members(["host:p0:t0:0"])
+
+    def test_plans_stay_valid_through_churn(self, service):
+        topo = service.topo
+        group = service.create_group("host:p0:t0:0", ["host:p1:t0:0"])
+        group.add_members([f"host:p3:t{t}:0" for t in range(4)])
+        group.remove_members(["host:p1:t0:0"])
+        for tree in group.plan.static_trees:
+            validate_tree(tree, topo.graph, "host:p0:t0:0", [])
+
+
+class TestZeroSwitchUpdates:
+    def test_no_updates_across_heavy_churn(self, service):
+        """The §3.2 property: any amount of group churn leaves the data
+        plane untouched."""
+        hosts = service.topo.hosts
+        for i in range(50):
+            group = service.create_group(hosts[i], hosts[i + 1 : i + 9])
+            _ = group.plan
+            group.add_members(hosts[i + 9 : i + 12])
+            _ = group.plan
+            group.close()
+        assert service.switch_rule_updates == 0
+        assert service.replans == 100
+        assert service.static_rules_per_switch == 7  # k-1 at k=8
+
+    def test_leafspine_service_has_no_materialized_table(self):
+        service = MulticastService(LeafSpine(4, 8, 2))
+        group = service.create_group("host:l0:0", ["host:l3:1"])
+        assert group.plan.num_prefixes == 1
+        assert service.static_rules_per_switch == 0
+
+
+class TestFailureReplanning:
+    def test_affected_group_replans_around_failure(self):
+        service = MulticastService(FatTree(8, hosts_per_tor=4))
+        group = service.create_group(
+            "host:p0:t0:0", ["host:p3:t0:0", "host:p3:t1:0"]
+        )
+        plan = group.plan
+        core_edge = next(
+            (u, v)
+            for tree in plan.static_trees
+            for u, v in tree.edges
+            if u.startswith(("agg", "core")) and v.startswith(("agg", "core"))
+        )
+        affected = service.handle_link_failure(*core_edge)
+        assert group in affected
+        new_plan = group.plan
+        assert new_plan is not plan
+        for tree in new_plan.static_trees:
+            validate_tree(tree, service.topo.graph, "host:p0:t0:0", [])
+            for edge in tree.edges:
+                assert set(edge) != set(core_edge)
+
+    def test_unaffected_groups_untouched(self):
+        service = MulticastService(FatTree(8, hosts_per_tor=4))
+        local = service.create_group("host:p5:t0:0", ["host:p5:t0:1"])
+        local_plan = local.plan
+        remote = service.create_group("host:p0:t0:0", ["host:p2:t0:0"])
+        core_edge = next(
+            (u, v)
+            for tree in remote.plan.static_trees
+            for u, v in tree.edges
+            if u.startswith("core") or v.startswith("core")
+        )
+        affected = service.handle_link_failure(*core_edge)
+        assert local not in affected
+        assert local.plan is local_plan
+
+    def test_still_zero_switch_updates(self):
+        service = MulticastService(FatTree(8, hosts_per_tor=4))
+        group = service.create_group("host:p0:t0:0", ["host:p4:t2:0"])
+        _ = group.plan
+        edge = next(
+            (u, v) for tree in group.plan.static_trees for u, v in tree.edges
+            if u.startswith("core") or v.startswith("core")
+        )
+        service.handle_link_failure(*edge)
+        assert service.switch_rule_updates == 0

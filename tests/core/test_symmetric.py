@@ -1,0 +1,129 @@
+"""Optimal symmetric trees (Lemma 2.1 and its fat-tree extension)."""
+
+import pytest
+
+from repro.core import SymmetryError, optimal_symmetric_cost, optimal_symmetric_tree
+from repro.steiner import exact_steiner_cost, validate_tree
+from repro.topology import FatTree, LeafSpine
+
+
+class TestLeafSpine:
+    def test_same_rack(self):
+        ls = LeafSpine(2, 2, 4)
+        tree = optimal_symmetric_tree(ls, "host:l0:0", ["host:l0:1"])
+        assert tree.cost == 2
+        assert not any(n.startswith("spine") for n in tree.nodes)
+
+    def test_cross_rack_uses_one_spine(self):
+        ls = LeafSpine(4, 4, 2)
+        dests = ["host:l1:0", "host:l2:0", "host:l3:1"]
+        tree = optimal_symmetric_tree(ls, "host:l0:0", dests)
+        spines = [n for n in tree.nodes if n.startswith("spine")]
+        assert len(spines) == 1
+
+    def test_full_broadcast_cost(self):
+        ls = LeafSpine(2, 2, 4)
+        dests = [h for h in ls.hosts if h != "host:l0:0"]
+        # 8 host links + src leaf up + spine + remote leaf down = matches
+        # Figure 1(c)'s optimal: every host link once, core crossed once.
+        tree = optimal_symmetric_tree(ls, "host:l0:0", dests)
+        assert tree.cost == 8 + 2
+
+    def test_matches_exact_dp(self):
+        ls = LeafSpine(3, 4, 2)
+        src = "host:l0:0"
+        dests = ["host:l0:1", "host:l2:0", "host:l3:1"]
+        assert optimal_symmetric_cost(ls, src, dests) == exact_steiner_cost(
+            ls.graph, src, dests
+        )
+
+    def test_asymmetric_raises(self):
+        ls = LeafSpine(1, 2, 1)
+        ls.fail_link("spine:0", "leaf:1")
+        with pytest.raises(SymmetryError):
+            optimal_symmetric_tree(ls, "host:l0:0", ["host:l1:0"])
+
+    def test_spine_fallback_when_first_spine_degraded(self):
+        ls = LeafSpine(2, 2, 1)
+        ls.fail_link("spine:0", "leaf:1")
+        # spine:1 still reaches everything; the builder must pick it.
+        tree = optimal_symmetric_tree(ls, "host:l0:0", ["host:l1:0"])
+        assert "spine:1" in tree.nodes
+
+
+class TestFatTree:
+    def test_same_tor(self):
+        ft = FatTree(4)
+        tree = optimal_symmetric_tree(ft, "host:p0:t0:0", ["host:p0:t0:1"])
+        assert tree.cost == 2
+
+    def test_same_pod(self):
+        ft = FatTree(4)
+        tree = optimal_symmetric_tree(ft, "host:p0:t0:0", ["host:p0:t1:0"])
+        # host-tor-agg-tor-host
+        assert tree.cost == 4
+        assert not any(n.startswith("core") for n in tree.nodes)
+
+    def test_cross_pod_single_core(self):
+        ft = FatTree(8)
+        dests = ["host:p1:t0:0", "host:p3:t2:1", "host:p5:t1:0"]
+        tree = optimal_symmetric_tree(ft, "host:p0:t0:0", dests)
+        cores = [n for n in tree.nodes if n.startswith("core")]
+        assert len(cores) == 1
+        validate_tree(tree, ft.graph, "host:p0:t0:0", dests)
+
+    def test_one_agg_per_destination_pod(self):
+        ft = FatTree(8)
+        dests = [f"host:p2:t{t}:0" for t in range(4)]
+        tree = optimal_symmetric_tree(ft, "host:p0:t0:0", dests)
+        aggs_p2 = [n for n in tree.nodes if n.startswith("agg:p2")]
+        assert len(aggs_p2) == 1
+
+    def test_matches_exact_dp(self):
+        ft = FatTree(4)
+        src = ft.hosts[0]
+        for dests in (
+            [ft.hosts[1]],
+            [ft.hosts[3], ft.hosts[6]],
+            [ft.hosts[2], ft.hosts[7], ft.hosts[12]],
+        ):
+            assert optimal_symmetric_cost(ft, src, dests) == exact_steiner_cost(
+                ft.graph, src, dests
+            )
+
+    def test_full_broadcast_cost_formula(self):
+        ft = FatTree(4)
+        src = ft.hosts[0]
+        dests = [h for h in ft.hosts if h != src]
+        tree = optimal_symmetric_tree(ft, src, dests)
+        # 16 host links, src ToR up, intra-pod agg hop + sibling ToR,
+        # core link, and 3 remote pods x (core->agg + 2 agg->ToR) = 28.
+        assert tree.cost == 28
+        validate_tree(tree, ft.graph, src, dests)
+
+    def test_asymmetric_raises(self):
+        ft = FatTree(4)
+        # Fail a core-agg link the construction actually rides (the builder
+        # spreads its agg/core choice per source, so read it off the tree).
+        tree = optimal_symmetric_tree(ft, "host:p0:t0:0", ["host:p1:t0:0"])
+        core_edge = next(
+            (u, v) for u, v in tree.edges if u.startswith(("core", "agg"))
+            and v.startswith(("core", "agg"))
+        )
+        ft.fail_link(*core_edge)
+        with pytest.raises(SymmetryError):
+            optimal_symmetric_tree(ft, "host:p0:t0:0", ["host:p1:t0:0"])
+
+    def test_duplicate_destinations_ignored(self):
+        ft = FatTree(4)
+        src = "host:p0:t0:0"
+        tree = optimal_symmetric_tree(ft, src, ["host:p1:t0:0", "host:p1:t0:0", src])
+        assert tree.cost == 6
+
+    def test_unsupported_topology_rejected(self):
+        import networkx as nx
+
+        from repro.topology.base import Topology
+
+        with pytest.raises(TypeError):
+            optimal_symmetric_tree(Topology(nx.Graph()), "a", ["b"])

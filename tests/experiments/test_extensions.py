@@ -1,0 +1,83 @@
+"""Extension experiments: fragmentation packing and incremental deployment."""
+
+import random
+
+import pytest
+
+from repro.experiments import deployment, fragmentation
+from repro.topology import FatTree, LeafSpine
+from repro.workloads import place_job_racks
+
+
+class TestPlaceJobRacks:
+    def test_dense_window_is_contiguous(self):
+        topo = FatTree(8, hosts_per_tor=4)
+        group = place_job_racks(topo, 4, 4, random.Random(0))
+        racks = sorted({topo.tor_of(h) for h in group.hosts})
+        assert len(racks) == 4
+        assert len(group.members) == 16  # whole racks
+
+    def test_sparse_window_leaves_gaps(self):
+        topo = FatTree(8, hosts_per_tor=4)
+        hits = 0
+        for seed in range(10):
+            group = place_job_racks(topo, 4, 12, random.Random(seed))
+            racks = {topo.tor_of(h) for h in group.hosts}
+            assert len(racks) == 4
+            ids = sorted(int(r.rsplit(":", 1)[1]) for r in racks)
+            pods = {r.split(":")[1] for r in racks}
+            if len(pods) > 1 or ids != list(range(ids[0], ids[0] + 4)):
+                hits += 1
+        assert hits > 5  # scattered most of the time
+
+    def test_leafspine_supported(self):
+        topo = LeafSpine(4, 8, 2)
+        group = place_job_racks(topo, 3, 6, random.Random(1))
+        assert len({topo.tor_of(h) for h in group.hosts}) == 3
+
+    def test_rejects_bad_window(self):
+        topo = LeafSpine(2, 4, 1)
+        with pytest.raises(ValueError):
+            place_job_racks(topo, 3, 2)
+        with pytest.raises(ValueError):
+            place_job_racks(topo, 1, 100)
+        with pytest.raises(ValueError):
+            place_job_racks(topo, 0, 2)
+
+
+class TestFragmentationStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fragmentation.run(windows=(8, 16), trials=6)
+
+    def test_sparser_needs_more_packets(self, rows):
+        exact = {r.window_racks: r for r in rows if r.policy == "exact"}
+        assert exact[16].mean_packets > exact[8].mean_packets
+
+    def test_exact_never_wastes(self, rows):
+        assert all(r.mean_wasted_tors == 0 for r in rows if r.policy == "exact")
+
+    def test_budget_trades_packets_for_waste(self, rows):
+        at16 = {r.policy: r for r in rows if r.window_racks == 16}
+        assert at16["budget-1"].mean_packets <= at16["exact"].mean_packets
+        assert at16["budget-1"].mean_wasted_tors >= at16["exact"].mean_wasted_tors
+
+    def test_refined_cost_immune_to_policy(self, rows):
+        at16 = {r.policy: r for r in rows if r.window_racks == 16}
+        assert at16["budget-1"].mean_refined_cost == at16["exact"].mean_refined_cost
+
+    def test_table_renders(self, rows):
+        assert "window" in fragmentation.format_table(rows)
+
+
+class TestDeploymentStudy:
+    def test_each_stage_improves(self):
+        rows = deployment.run(num_jobs=4, num_gpus=128, message_mb=16)
+        by = {r.stage: r for r in rows}
+        assert by["static"].mean_s < by["unicast"].mean_s
+        assert by["full"].mean_s <= by["static"].mean_s
+        assert by["static"].fabric_bytes < by["unicast"].fabric_bytes
+
+    def test_table_renders(self):
+        rows = deployment.run(num_jobs=3, num_gpus=64, message_mb=8)
+        assert "stage" in deployment.format_table(rows)

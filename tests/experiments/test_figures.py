@@ -1,0 +1,92 @@
+"""Each figure module runs (tiny configs) and preserves the paper's shape
+where the claim is cheap enough to check in CI."""
+
+import pytest
+
+from repro.experiments import fig1_bandwidth, fig3_rsbf, headline, tree_quality
+from repro.experiments.common import mean_ratio, rows_for
+
+
+class TestFig1:
+    def test_rows_and_shape(self):
+        rows = fig1_bandwidth.run()
+        by_scheme = {r.scheme: r for r in rows}
+        assert by_scheme["optimal"].overshoot_vs_optimal == 0
+        # §1: unicast rings/trees overshoot the multicast optimum by 60-120%.
+        assert by_scheme["ring"].overshoot_vs_optimal > 0.3
+        assert by_scheme["tree"].overshoot_vs_optimal > by_scheme["ring"].overshoot_vs_optimal
+
+    def test_table_renders(self):
+        text = fig1_bandwidth.format_table(fig1_bandwidth.run())
+        assert "ring" in text and "optimal" in text
+
+
+class TestFig3:
+    def test_mtu_crossover_at_k32(self):
+        rows = fig3_rsbf.run()
+        at = {(r.k, r.fpr): r for r in rows}
+        assert not at[(32, 0.20)].exceeds_mtu
+        assert at[(64, 0.20)].exceeds_mtu
+        assert at[(64, 0.01)].exceeds_mtu
+
+    def test_monotone_in_k_and_fpr(self):
+        rows = fig3_rsbf.run()
+        for fpr in (0.01, 0.20):
+            sizes = [r.rsbf_header_bytes for r in rows if r.fpr == fpr]
+            assert sizes == sorted(sizes)
+
+    def test_peel_headers_flat_and_tiny(self):
+        rows = fig3_rsbf.run()
+        assert all(r.peel_header_bytes < 8 for r in rows)
+
+
+class TestHeadline:
+    def test_state_table(self):
+        rows = headline.state_table()
+        at64 = next(r for r in rows if r.k == 64)
+        assert at64.peel_rules == 63
+        assert at64.ip_multicast_entries > 4e9
+        assert at64.header_bytes < 8
+        assert at64.hosts == 65536
+
+    def test_bandwidth_headline(self):
+        bw = headline.bandwidth_headline(num_gpus=64, trials=10)
+        # §1: PEEL uses ~23% less aggregate bandwidth than unicast rings.
+        assert bw.peel_saving_vs_ring > 0.10
+        # And sits close to the Steiner optimum.
+        assert bw.peel_overhead_vs_optimal < 0.30
+
+    def test_tables_render(self):
+        assert "PEEL rules" in headline.format_state_table(headline.state_table())
+
+
+class TestTreeQuality:
+    def test_ratios_bounded(self):
+        rows = tree_quality.run(failure_fractions=(0.1,), trials=5)
+        row = rows[0]
+        assert 1.0 <= row.mean_ratio_vs_exact <= 1.6
+        assert row.worst_ratio_vs_exact < 2.0
+
+    def test_table_renders(self):
+        rows = tree_quality.run(failure_fractions=(0.05,), trials=3)
+        assert "vs OPT" in tree_quality.format_table(rows)
+
+
+class TestCommonHelpers:
+    def test_mean_ratio(self):
+        from repro.experiments import CctRow
+
+        rows = [
+            CctRow("a", 1, 0.2, 0.3),
+            CctRow("b", 1, 0.1, 0.2),
+            CctRow("a", 2, 0.4, 0.5),
+            CctRow("b", 2, 0.2, 0.3),
+        ]
+        assert mean_ratio(rows, "a", "b") == pytest.approx(2.0)
+        assert len(rows_for(rows, "a")) == 2
+
+    def test_mean_ratio_requires_overlap(self):
+        from repro.experiments import CctRow
+
+        with pytest.raises(ValueError):
+            mean_ratio([CctRow("a", 1, 0.1, 0.1)], "a", "b")

@@ -1,0 +1,57 @@
+"""Scenario runner behaviour."""
+
+import pytest
+
+from repro.experiments import run_broadcast_scenario, segment_bytes_for
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+from repro.workloads import generate_jobs
+
+
+@pytest.fixture
+def small_setup():
+    topo = LeafSpine(4, 8, 4)
+    jobs = generate_jobs(
+        topo, 4, num_gpus=8, message_bytes=2**20, gpus_per_host=1, seed=1
+    )
+    return topo, jobs
+
+
+class TestRunner:
+    def test_returns_all_ccts(self, small_setup):
+        topo, jobs = small_setup
+        result = run_broadcast_scenario(topo, "peel", jobs, SimConfig())
+        assert len(result.ccts) == len(jobs)
+        assert all(c > 0 for c in result.ccts)
+        assert result.total_bytes > 0
+
+    def test_accepts_scheme_instance(self, small_setup):
+        from repro.collectives import RingBroadcast
+
+        topo, jobs = small_setup
+        result = run_broadcast_scenario(topo, RingBroadcast(), jobs, SimConfig())
+        assert result.scheme == "ring"
+
+    def test_same_workload_is_reproducible(self, small_setup):
+        topo, jobs = small_setup
+        a = run_broadcast_scenario(topo, "optimal", jobs, SimConfig())
+        b = run_broadcast_scenario(topo, "optimal", jobs, SimConfig())
+        assert a.ccts == b.ccts
+
+    def test_stall_detection(self, small_setup):
+        topo, jobs = small_setup
+        with pytest.raises(RuntimeError, match="never completed"):
+            run_broadcast_scenario(topo, "optimal", jobs, SimConfig(), max_events=3)
+
+
+class TestSegmentSizing:
+    def test_small_messages_floor(self):
+        assert segment_bytes_for(2**20) == 65536
+
+    def test_large_messages_bounded_count(self):
+        size = segment_bytes_for(512 * 2**20)
+        assert 512 * 2**20 / size <= 65
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            segment_bytes_for(0)

@@ -1,0 +1,57 @@
+"""Simulation-backed figures at miniature scale: orderings must hold."""
+
+import pytest
+
+from repro.experiments import fig4_orca, fig5_message_size, fig6_scale, fig7_failures
+from repro.experiments.common import rows_for
+
+
+@pytest.fixture(scope="module")
+def fig5_rows():
+    return fig5_message_size.run(sizes_mb=(8,), num_jobs=6, num_gpus=128)
+
+
+class TestFig5Mini:
+    def test_all_schemes_present(self, fig5_rows):
+        assert {r.scheme for r in fig5_rows} == {
+            "ring", "tree", "optimal", "orca", "peel", "peel+cores",
+        }
+
+    def test_peel_beats_unicast(self, fig5_rows):
+        by = {r.scheme: r for r in fig5_rows}
+        assert by["peel"].mean_s < by["ring"].mean_s
+        assert by["peel"].mean_s < by["tree"].mean_s
+
+    def test_optimal_is_floor(self, fig5_rows):
+        by = {r.scheme: r for r in fig5_rows}
+        for scheme in ("ring", "tree", "orca", "peel"):
+            assert by["optimal"].mean_s <= by[scheme].mean_s * 1.05
+
+
+class TestFig4Mini:
+    def test_controller_overhead_visible(self):
+        rows = fig4_orca.run(sizes_mb=(8,), num_jobs=6, num_gpus=128)
+        inflation = fig4_orca.tail_inflation(rows, 8)
+        assert inflation > 1.5  # ~10 ms setup on a ~10 ms collective
+
+
+class TestFig6Mini:
+    def test_scale_ordering(self):
+        rows = fig6_scale.run(scales=(64,), num_jobs=5, message_mb=16)
+        by = {r.scheme: r for r in rows}
+        assert by["peel"].mean_s < by["ring"].mean_s
+        assert by["peel"].mean_s < by["tree"].mean_s
+
+    def test_ring_grows_with_scale(self):
+        rows = fig6_scale.run(scales=(32, 128), num_jobs=4, message_mb=8)
+        ring = {r.x: r for r in rows_for(rows, "ring")}
+        assert ring[128].mean_s > ring[32].mean_s * 1.5
+
+
+class TestFig7Mini:
+    def test_peel_fastest_under_failures(self):
+        rows = fig7_failures.run(failure_pcts=(4,), num_jobs=6)
+        by = {r.scheme: r for r in rows}
+        assert by["peel"].mean_s < by["ring"].mean_s
+        assert by["peel"].mean_s < by["tree"].mean_s
+        assert by["peel"].p99_s < by["ring"].p99_s

@@ -1,0 +1,37 @@
+"""Group-churn state accounting."""
+
+from repro.experiments import state_churn
+
+
+class TestChurn:
+    def test_rows_and_invariants(self):
+        rows = state_churn.run(num_jobs=200, arrival_rate_per_s=500.0)
+        by = {r.scheme: r for r in rows}
+        assert set(by) == {"ip-multicast", "orca", "peel"}
+        # PEEL: static k-1 rules, zero updates, always fits.
+        assert by["peel"].rule_updates == 0
+        assert by["peel"].peak_entries_per_switch == 7
+        assert not by["peel"].overflows_tcam
+        # Orca churns two updates (install+remove) per group per switch.
+        assert by["orca"].rule_updates >= 2 * by["ip-multicast"].rule_updates / 2
+        assert by["orca"].peak_entries_per_switch >= by["ip-multicast"].peak_entries_per_switch
+
+    def test_more_concurrency_more_orca_state(self):
+        low = state_churn.run(num_jobs=150, arrival_rate_per_s=200.0, seed=1)
+        high = state_churn.run(num_jobs=150, arrival_rate_per_s=2000.0, seed=1)
+        orca_low = next(r for r in low if r.scheme == "orca")
+        orca_high = next(r for r in high if r.scheme == "orca")
+        assert orca_high.peak_entries_per_switch > orca_low.peak_entries_per_switch
+
+    def test_small_tcam_overflows(self):
+        rows = state_churn.run(
+            num_jobs=400, arrival_rate_per_s=2000.0, tcam_capacity=16
+        )
+        by = {r.scheme: r for r in rows}
+        assert by["orca"].overflows_tcam
+        assert not by["peel"].overflows_tcam
+
+    def test_table_renders(self):
+        rows = state_churn.run(num_jobs=50, arrival_rate_per_s=200.0)
+        text = state_churn.format_table(rows)
+        assert "peel" in text and "OVERFLOW" in text or "fits" in text

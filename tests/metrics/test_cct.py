@@ -1,0 +1,35 @@
+"""CCT statistics."""
+
+import pytest
+
+from repro.metrics import summarize_ccts
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize_ccts([0.1, 0.2, 0.3, 0.4])
+        assert stats.count == 4
+        assert stats.mean_s == pytest.approx(0.25)
+        assert stats.max_s == 0.4
+        assert stats.p50_s == pytest.approx(0.25)
+
+    def test_p99_near_max(self):
+        stats = summarize_ccts([0.01] * 99 + [1.0])
+        assert stats.p99_s > 0.9 * stats.max_s * 0.01 or stats.p99_s <= 1.0
+        assert stats.p99_s > stats.p50_s
+
+    def test_single_sample(self):
+        stats = summarize_ccts([0.5])
+        assert stats.mean_s == stats.p99_s == stats.max_s == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ccts([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ccts([0.1, -0.2])
+
+    def test_str_rendering(self):
+        text = str(summarize_ccts([0.001, 0.002]))
+        assert "mean=" in text and "p99=" in text

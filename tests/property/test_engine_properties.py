@@ -1,0 +1,50 @@
+"""Property-based tests for the event engine."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+class TestOrdering:
+    @given(st.lists(st.floats(min_value=0, max_value=100), max_size=60))
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired: list[float] = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=40))
+    def test_clock_never_goes_backwards(self, delays):
+        sim = Simulator()
+        stamps: list[float] = []
+
+        def record():
+            stamps.append(sim.now)
+            assert sim.now >= (stamps[-2] if len(stamps) > 1 else 0.0)
+
+        for d in delays:
+            sim.schedule(d, record)
+        sim.run()
+        assert sim.now == max(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10), min_size=2, max_size=30),
+        st.data(),
+    )
+    def test_cancellation_removes_exactly_those(self, delays, data):
+        sim = Simulator()
+        fired: list[int] = []
+        handles = [
+            sim.schedule(d, fired.append, i) for i, d in enumerate(delays)
+        ]
+        to_cancel = data.draw(
+            st.sets(st.integers(min_value=0, max_value=len(delays) - 1))
+        )
+        for i in to_cancel:
+            handles[i].cancel()
+        sim.run()
+        assert sorted(fired) == sorted(set(range(len(delays))) - to_cancel)

@@ -1,0 +1,118 @@
+"""Property-based tests for power-of-two prefix covers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PeelHeader,
+    Prefix,
+    bounded_cover,
+    cover_waste,
+    covered_ids,
+    exact_cover,
+)
+
+WIDTH = 5  # 32 identifiers, like one pod of a 64-ary fat-tree
+
+id_sets = st.sets(st.integers(min_value=0, max_value=(1 << WIDTH) - 1), max_size=32)
+
+
+class TestExactCoverProperties:
+    @given(id_sets)
+    def test_covers_exactly(self, ids):
+        cover = exact_cover(ids, WIDTH)
+        assert covered_ids(cover, WIDTH) == ids
+
+    @given(id_sets)
+    def test_blocks_disjoint(self, ids):
+        cover = exact_cover(ids, WIDTH)
+        seen: set[int] = set()
+        for prefix in cover:
+            block = set(prefix.block(WIDTH))
+            assert not block & seen
+            seen |= block
+
+    @given(id_sets)
+    def test_minimality_no_mergeable_pair(self, ids):
+        """No two chosen blocks can be merged into one aligned block (the
+        trie construction always emits maximal complete subtrees)."""
+        cover = exact_cover(ids, WIDTH)
+        by_key = {(p.value, p.length) for p in cover}
+        for p in cover:
+            if p.length == 0:
+                continue
+            sibling = (p.value ^ 1, p.length)
+            assert sibling not in by_key, f"{p} and its sibling both chosen"
+
+    @given(id_sets)
+    def test_count_bounded_by_ids(self, ids):
+        assert len(exact_cover(ids, WIDTH)) <= max(1, len(ids))
+
+
+class TestBoundedCoverProperties:
+    @given(id_sets.filter(bool), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_respected_and_covers(self, ids, budget):
+        cover = bounded_cover(ids, WIDTH, budget)
+        assert 1 <= len(cover) <= budget
+        assert ids <= covered_ids(cover, WIDTH)
+
+    @given(id_sets.filter(bool))
+    @settings(max_examples=40, deadline=None)
+    def test_full_budget_means_no_waste(self, ids):
+        cover = bounded_cover(ids, WIDTH, 32)
+        assert cover_waste(cover, ids, WIDTH) == 0
+
+    @given(id_sets.filter(bool), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_waste_monotone_in_budget(self, ids, budget):
+        tighter = cover_waste(bounded_cover(ids, WIDTH, budget), ids, WIDTH)
+        looser = cover_waste(bounded_cover(ids, WIDTH, budget + 1), ids, WIDTH)
+        assert looser <= tighter
+
+
+class TestHeaderProperties:
+    @given(
+        st.integers(min_value=0, max_value=WIDTH).flatmap(
+            lambda length: st.tuples(
+                st.integers(min_value=0, max_value=(1 << length) - 1 if length else 0),
+                st.just(length),
+            )
+        )
+    )
+    def test_encode_decode_roundtrip(self, value_length):
+        value, length = value_length
+        header = PeelHeader(Prefix(value, length), WIDTH)
+        assert PeelHeader.decode(header.encode(), WIDTH).prefix == header.prefix
+
+
+class TestBoundedCoverOptimality:
+    @given(
+        st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=16),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dp_matches_exhaustive_minimum_waste(self, ids, budget):
+        """The trie DP must find the true minimum-waste cover."""
+        from itertools import combinations
+
+        width = 4
+        all_prefixes = [
+            Prefix(value, length)
+            for length in range(width + 1)
+            for value in range(1 << length)
+        ]
+        best_waste = None
+        for size in range(1, budget + 1):
+            for combo in combinations(all_prefixes, size):
+                covered = set()
+                for p in combo:
+                    covered.update(p.block(width))
+                if ids <= covered:
+                    waste = len(covered - ids)
+                    if best_waste is None or waste < best_waste:
+                        best_waste = waste
+        dp_cover = bounded_cover(ids, width, budget)
+        dp_waste = cover_waste(dp_cover, ids, width)
+        assert best_waste is not None
+        assert dp_waste == best_waste

@@ -1,0 +1,65 @@
+"""Property-based tests on simulator invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import optimal_symmetric_tree
+from repro.sim import Network, SimConfig, Transfer
+from repro.topology import LeafSpine
+
+
+@st.composite
+def transfer_scenarios(draw):
+    hosts_per_leaf = draw(st.integers(min_value=2, max_value=4))
+    leaves = draw(st.integers(min_value=2, max_value=4))
+    message = draw(st.sampled_from([1500, 65536, 2**20, 3 * 2**20 + 17]))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    topo = LeafSpine(2, leaves, hosts_per_leaf)
+    rng = random.Random(seed)
+    hosts = topo.hosts
+    src = hosts[rng.randrange(len(hosts))]
+    num = draw(st.integers(min_value=1, max_value=min(6, len(hosts) - 1)))
+    dests = rng.sample([h for h in hosts if h != src], num)
+    return topo, src, dests, message
+
+
+class TestConservation:
+    @given(transfer_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_equal_cost_times_message(self, scenario):
+        topo, src, dests, message = scenario
+        net = Network(topo, SimConfig(segment_bytes=65536))
+        tree = optimal_symmetric_tree(topo, src, dests)
+        done: set[str] = set()
+        t = Transfer(net, "t", src, message, [tree],
+                     on_host_done=lambda h, at: done.add(h))
+        t.start()
+        net.sim.run()
+        assert t.complete
+        assert done == set(dests)
+        assert net.total_bytes_sent() == message * tree.cost
+
+    @given(transfer_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_buffers_drain_completely(self, scenario):
+        topo, src, dests, message = scenario
+        net = Network(topo, SimConfig(segment_bytes=65536))
+        tree = optimal_symmetric_tree(topo, src, dests)
+        Transfer(net, "t", src, message, [tree]).start()
+        net.sim.run()
+        for node in net.nodes.values():
+            if hasattr(node, "buffered_bytes"):
+                assert node.buffered_bytes == 0
+
+    @given(transfer_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_cct_at_least_serialization(self, scenario):
+        topo, src, dests, message = scenario
+        net = Network(topo, SimConfig(segment_bytes=65536))
+        tree = optimal_symmetric_tree(topo, src, dests)
+        t = Transfer(net, "t", src, message, [tree])
+        t.start()
+        net.sim.run()
+        assert t.complete_at >= message * 8 / topo.link_bps

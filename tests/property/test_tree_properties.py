@@ -1,0 +1,93 @@
+"""Property-based tests for tree builders on randomized fabrics."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Peel, layer_peeling_tree, optimal_symmetric_tree
+from repro.steiner import exact_steiner_cost, validate_tree
+from repro.topology import LeafSpine, asymmetric, hop_layers
+
+
+@st.composite
+def leafspine_scenarios(draw):
+    spines = draw(st.integers(min_value=2, max_value=4))
+    leaves = draw(st.integers(min_value=2, max_value=8))
+    hosts_per_leaf = draw(st.integers(min_value=1, max_value=3))
+    fraction = draw(st.sampled_from([0.0, 0.1, 0.2, 0.3]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    topo, _ = asymmetric(LeafSpine(spines, leaves, hosts_per_leaf), fraction, seed=seed)
+    rng = random.Random(seed)
+    hosts = topo.hosts
+    src = hosts[rng.randrange(len(hosts))]
+    num = draw(st.integers(min_value=1, max_value=min(5, len(hosts) - 1)))
+    dests = rng.sample([h for h in hosts if h != src], num)
+    return topo, src, dests
+
+
+class TestLayerPeelingProperties:
+    @given(leafspine_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_always_valid(self, scenario):
+        topo, src, dests = scenario
+        tree = layer_peeling_tree(topo, src, dests)
+        validate_tree(tree, topo.graph, src, dests)
+
+    @given(leafspine_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_2_5_bound(self, scenario):
+        topo, src, dests = scenario
+        tree = layer_peeling_tree(topo, src, dests)
+        opt = exact_steiner_cost(topo.graph, src, dests)
+        layers = hop_layers(topo.graph, src)
+        farthest = max(
+            j for j, layer in enumerate(layers) if any(d in layer for d in dests)
+        )
+        assert tree.cost <= opt * min(farthest, len(dests))
+
+    @given(leafspine_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_layered_structure(self, scenario):
+        """Every tree edge connects adjacent BFS layers (the invariant the
+        peeling preserves)."""
+        topo, src, dests = scenario
+        tree = layer_peeling_tree(topo, src, dests)
+        depth = {
+            node: j
+            for j, layer in enumerate(hop_layers(topo.graph, src))
+            for node in layer
+        }
+        for parent, child in tree.edges:
+            assert depth[child] == depth[parent] + 1
+
+    @given(leafspine_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric_matches_optimal(self, scenario):
+        topo, src, dests = scenario
+        if not topo.is_symmetric:
+            return
+        greedy = layer_peeling_tree(topo, src, dests).cost
+        assert greedy == optimal_symmetric_tree(topo, src, dests).cost
+
+
+class TestPeelPlanProperties:
+    @given(leafspine_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_plan_serves_every_destination_once(self, scenario):
+        topo, src, dests = scenario
+        plan = Peel(topo).plan(src, dests)
+        served: list[str] = []
+        for tree in plan.static_trees:
+            validate_tree(tree, topo.graph, src, [])
+            served.extend(
+                n for n in tree.nodes if n.startswith("host") and n != src
+            )
+        assert sorted(served) == sorted(set(dests))
+
+    @given(leafspine_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_static_never_cheaper_than_refined(self, scenario):
+        topo, src, dests = scenario
+        plan = Peel(topo).plan(src, dests)
+        assert plan.static_cost() >= plan.refined_cost()

@@ -1,0 +1,71 @@
+"""SimConfig / DcqcnConfig validation and derived values."""
+
+import pytest
+
+from repro.sim import DcqcnConfig, SimConfig
+
+
+class TestSimConfig:
+    def test_defaults_match_paper(self):
+        cfg = SimConfig()
+        assert cfg.switch_buffer_bytes == 12_000_000
+        assert cfg.ecn_kmin_bytes == 5_000
+        assert cfg.ecn_kmax_bytes == 200_000
+        assert cfg.ecn_pmax == 0.01
+        assert cfg.pfc_pause_free_fraction == 0.11
+        assert cfg.pfc_resume_hysteresis_mtus == 5
+        assert cfg.nvlink_bytes_per_s == 900e9
+
+    def test_pfc_thresholds(self):
+        cfg = SimConfig()
+        assert cfg.pfc_pause_threshold_bytes == pytest.approx(12e6 * 0.89)
+        assert (
+            cfg.pfc_pause_threshold_bytes - cfg.pfc_resume_threshold_bytes
+            == 5 * cfg.mtu_bytes
+        )
+
+    def test_segments_for_exact_division(self):
+        cfg = SimConfig(segment_bytes=1000 * 1500)
+        sizes = cfg.segments_for(3000 * 1500)
+        assert sizes == [1500000, 1500000, 1500000]
+
+    def test_segments_for_remainder(self):
+        cfg = SimConfig(segment_bytes=65536)
+        sizes = cfg.segments_for(65536 + 100)
+        assert sizes == [65536, 100]
+        assert sum(sizes) == 65536 + 100
+
+    def test_segments_for_tiny_message(self):
+        cfg = SimConfig()
+        assert cfg.segments_for(10) == [10]
+
+    def test_segments_for_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SimConfig().segments_for(0)
+
+    def test_rejects_segment_below_mtu(self):
+        with pytest.raises(ValueError):
+            SimConfig(segment_bytes=100)
+
+    def test_rejects_bad_pfc_fraction(self):
+        with pytest.raises(ValueError):
+            SimConfig(pfc_pause_free_fraction=0.0)
+        with pytest.raises(ValueError):
+            SimConfig(pfc_pause_free_fraction=1.0)
+
+    def test_rejects_inverted_ecn_thresholds(self):
+        with pytest.raises(ValueError):
+            SimConfig(ecn_kmin_bytes=300_000, ecn_kmax_bytes=200_000)
+
+
+class TestDcqcnConfig:
+    def test_defaults(self):
+        cfg = DcqcnConfig()
+        assert cfg.enabled
+        assert cfg.guard_timer_s == 50e-6
+        assert not cfg.per_cnp_reaction
+        assert cfg.alpha_g == 1 / 256
+
+    def test_ablation_flag_independent(self):
+        cfg = DcqcnConfig(per_cnp_reaction=True)
+        assert cfg.guard_timer_s == 50e-6  # ignored, but unchanged

@@ -1,0 +1,134 @@
+"""DCQCN sender state machine: decrease, recovery, guard timer."""
+
+import pytest
+
+from repro.sim import DcqcnSender, Simulator
+from repro.sim.config import DcqcnConfig
+
+LINE = 100e9
+
+
+def make_sender(**kwargs):
+    sim = Simulator()
+    cfg = DcqcnConfig(**kwargs)
+    return sim, DcqcnSender(sim, cfg, LINE)
+
+
+class TestDecrease:
+    def test_first_cnp_halves_rate(self):
+        sim, snd = make_sender()
+        snd.on_congestion_notification()
+        # alpha starts at 1, refreshed to ~1 -> cut by ~alpha/2.
+        assert snd.rate_bps < 0.6 * LINE
+
+    def test_rate_floor(self):
+        sim, snd = make_sender(guard_timer_s=0.0)
+        for _ in range(100):
+            snd.on_congestion_notification()
+        assert snd.rate_bps >= snd.cfg.min_rate_bps
+
+    def test_disabled_ignores_cnp(self):
+        sim, snd = make_sender(enabled=False)
+        snd.on_congestion_notification()
+        assert snd.rate_bps == LINE
+        assert snd.current_rate_bps == LINE
+
+
+class TestGuardTimer:
+    def test_moderates_cnp_storm(self):
+        """The §4 multicast fix: many CNPs inside one window = 1 reaction."""
+        sim, snd = make_sender(guard_timer_s=50e-6)
+        for _ in range(64):
+            snd.on_congestion_notification()
+        assert snd.reactions == 1
+        assert snd.notifications == 64
+
+    def test_reacts_again_after_window(self):
+        sim, snd = make_sender(guard_timer_s=50e-6)
+        snd.on_congestion_notification()
+        sim.schedule(60e-6, snd.on_congestion_notification)
+        sim.run(until=100e-6)
+        assert snd.reactions == 2
+
+    def test_per_cnp_mode_reacts_every_time(self):
+        sim, snd = make_sender(per_cnp_reaction=True)
+        for _ in range(10):
+            snd.on_congestion_notification()
+        assert snd.reactions == 10
+
+    def test_per_cnp_collapses_rate_faster(self):
+        _, guarded = make_sender(guard_timer_s=50e-6)
+        _, naive = make_sender(per_cnp_reaction=True)
+        for _ in range(32):
+            guarded.on_congestion_notification()
+            naive.on_congestion_notification()
+        assert naive.rate_bps < guarded.rate_bps
+
+
+class TestRecovery:
+    def test_rate_recovers_to_line_rate(self):
+        sim, snd = make_sender()
+        snd.on_congestion_notification()
+        assert snd.rate_bps < LINE
+        sim.run(until=1.0)
+        assert snd.rate_bps == pytest.approx(LINE)
+
+    def test_fast_recovery_moves_halfway(self):
+        sim, snd = make_sender()
+        snd.on_congestion_notification()
+        cut = snd.rate_bps
+        target = snd.target_rate_bps
+        sim.run(until=snd.cfg.increase_timer_s * 1.5)
+        assert cut < snd.rate_bps <= target + snd.cfg.rate_ai_bps
+
+    def test_alpha_decays_without_cnps(self):
+        sim, snd = make_sender()
+        snd.on_congestion_notification()
+        alpha = snd.alpha
+        sim.run(until=snd.cfg.increase_timer_s * 4)
+        assert snd.alpha < alpha
+
+    def test_timer_stops_at_line_rate(self):
+        sim, snd = make_sender()
+        snd.on_congestion_notification()
+        sim.run(until=2.0)
+        assert sim.pending == 0  # no zombie timers
+
+    def test_stop_cancels_timer(self):
+        sim, snd = make_sender()
+        snd.on_congestion_notification()
+        snd.stop()
+        assert sim.pending == 0
+        snd.on_congestion_notification()  # no effect after stop
+        assert snd.reactions == 1
+
+
+class TestByteCounter:
+    def test_bytes_advance_recovery(self):
+        sim, snd = make_sender(byte_counter_bytes=1_000_000)
+        snd.on_congestion_notification()
+        cut = snd.rate_bps
+        snd.on_bytes_sent(2_000_000)  # two byte-counter steps, no timer
+        assert snd.rate_bps > cut
+        assert snd.stage == 2
+
+    def test_no_effect_at_line_rate(self):
+        sim, snd = make_sender(byte_counter_bytes=1_000_000)
+        snd.on_bytes_sent(10_000_000)
+        assert snd.rate_bps == LINE
+        assert snd.stage == 0
+
+    def test_bytes_and_timer_compose(self):
+        sim, snd = make_sender(byte_counter_bytes=1_000_000)
+        snd.on_congestion_notification()
+        snd.on_bytes_sent(1_000_000)
+        sim.run(until=snd.cfg.increase_timer_s * 1.5)
+        assert snd.stage >= 2
+
+    def test_counter_resets_on_reaction(self):
+        sim, snd = make_sender(byte_counter_bytes=1_000_000, guard_timer_s=0.0)
+        snd.on_congestion_notification()
+        snd.on_bytes_sent(900_000)
+        snd.on_congestion_notification()
+        snd.on_bytes_sent(900_000)  # must NOT trigger (counter was reset)
+        assert snd.stage == 0

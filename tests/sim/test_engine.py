@@ -1,0 +1,104 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.3, log.append, "c")
+        sim.schedule(0.1, log.append, "a")
+        sim.schedule(0.2, log.append, "b")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.1, log.append, 1)
+        sim.schedule(0.1, log.append, 2)
+        sim.run()
+        assert log == [1, 2]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5]
+        assert sim.now == 0.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(sim.now)
+            sim.schedule(0.1, lambda: log.append(sim.now))
+
+        sim.schedule(0.1, first)
+        sim.run()
+        assert log == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(0.1, log.append, "x")
+        handle.cancel()
+        assert sim.run() == 0
+        assert log == []
+
+    def test_handle_active_flag(self):
+        sim = Simulator()
+        handle = sim.schedule(0.1, lambda: None)
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None).cancel()
+        assert sim.pending == 1
+
+
+class TestRunLimits:
+    def test_until_stops_clock(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.1, log.append, "a")
+        sim.schedule(0.9, log.append, "b")
+        sim.run(until=0.5)
+        assert log == ["a"]
+        assert sim.now == 0.5
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(0.01 * (i + 1), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 7
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert sim.processed == 1

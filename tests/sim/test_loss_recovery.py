@@ -1,0 +1,107 @@
+"""Lossy fabrics and selective-repeat recovery (RDMA-style reliability)."""
+
+import pytest
+
+from repro.core import Peel, optimal_symmetric_tree
+from repro.sim import Network, SimConfig, Transfer
+from repro.topology import LeafSpine
+
+MSG = 4 * 2**20
+
+
+def lossy_net(loss, **kwargs):
+    ls = LeafSpine(2, 4, 4)
+    cfg = SimConfig(segment_bytes=65536, loss_probability=loss, **kwargs)
+    return ls, Network(ls, cfg)
+
+
+def run_broadcast(ls, net, msg=MSG):
+    src = ls.hosts[0]
+    dests = [h for h in ls.hosts if h != src]
+    tree = optimal_symmetric_tree(ls, src, dests)
+    t = Transfer(net, "t", src, msg, [tree])
+    t.start()
+    net.sim.run(until=5.0)
+    return t
+
+
+class TestLossInjection:
+    def test_zero_loss_by_default(self):
+        ls, net = lossy_net(0.0)
+        t = run_broadcast(ls, net)
+        assert t.complete
+        assert net.lost_segments == 0
+        assert t.retransmissions == 0
+
+    @pytest.mark.parametrize("loss", [0.01, 0.05, 0.15])
+    def test_completes_despite_loss(self, loss):
+        ls, net = lossy_net(loss)
+        t = run_broadcast(ls, net)
+        assert t.complete
+        assert net.lost_segments > 0
+        assert t.retransmissions > 0
+
+    def test_loss_increases_cct(self):
+        ls0, net0 = lossy_net(0.0)
+        clean = run_broadcast(ls0, net0).complete_at
+        ls1, net1 = lossy_net(0.10)
+        lossy = run_broadcast(ls1, net1).complete_at
+        assert lossy > clean
+
+    def test_no_duplicate_counting(self):
+        """Receivers dedupe repair copies racing the originals."""
+        ls, net = lossy_net(0.10)
+        t = run_broadcast(ls, net)
+        for host, count in t._delivered_count.items():
+            assert count == t.num_segments
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            SimConfig(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            SimConfig(loss_probability=-0.1)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            SimConfig(retransmit_timeout_s=0)
+
+
+class TestRepairPath:
+    def test_repairs_are_unicast(self):
+        """Repair traffic must not re-multicast: after a loss-free start,
+        only the laggard's downlink sees extra bytes."""
+        ls, net = lossy_net(0.08)
+        src = ls.hosts[0]
+        dests = [h for h in ls.hosts if h != src]
+        tree = optimal_symmetric_tree(ls, src, dests)
+        t = Transfer(net, "t", src, MSG, [tree])
+        t.start()
+        net.sim.run(until=5.0)
+        assert t.complete
+        # Every receiver got exactly num_segments distinct segments.
+        assert all(len(s) == t.num_segments for s in t._received.values())
+
+    def test_peel_multitree_with_loss(self):
+        ls = LeafSpine(4, 8, 2)
+        cfg = SimConfig(segment_bytes=65536, loss_probability=0.05)
+        net = Network(ls, cfg)
+        src = ls.hosts[0]
+        dests = [h for h in ls.hosts if h != src]
+        plan = Peel(ls).plan(src, dests)
+        t = Transfer(net, "t", src, MSG, plan.static_trees, receivers=set(dests))
+        t.start()
+        net.sim.run(until=5.0)
+        assert t.complete
+
+    def test_relay_chain_with_loss(self):
+        """Ring-style relays recover too: each hop repairs independently."""
+        ls, net = lossy_net(0.05)
+        a, b, c = "host:l0:0", "host:l1:0", "host:l2:0"
+        t1 = Transfer(net, "t1", a, MSG, [optimal_symmetric_tree(ls, a, [b])])
+        t2 = Transfer(net, "t2", b, MSG, [optimal_symmetric_tree(ls, b, [c])],
+                      is_relay=True)
+        t1.add_relay_child(b, t2)
+        t1.start()
+        t2.start()
+        net.sim.run(until=5.0)
+        assert t1.complete and t2.complete

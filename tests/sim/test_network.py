@@ -1,0 +1,182 @@
+"""Runtime network: serialization, byte conservation, ECN, PFC."""
+
+import pytest
+
+from repro.core import optimal_symmetric_tree
+from repro.sim import Network, SimConfig, Transfer
+from repro.steiner import MulticastTree
+from repro.topology import LeafSpine
+
+
+def make_net(**cfg_kwargs):
+    defaults = dict(segment_bytes=65536)
+    defaults.update(cfg_kwargs)
+    ls = LeafSpine(2, 2, 4)
+    return ls, Network(ls, SimConfig(**defaults))
+
+
+class TestSerialization:
+    def test_single_hop_timing(self):
+        ls, net = make_net()
+        tree = MulticastTree("host:l0:0", {"leaf:0": "host:l0:0", "host:l0:1": "leaf:0"})
+        done = {}
+        t = Transfer(net, "t", "host:l0:0", 2**20, [tree],
+                     on_host_done=lambda h, at: done.setdefault(h, at))
+        t.start()
+        net.sim.run()
+        # 1 MiB over 2 hops at 100 Gb/s: serialization + 1 segment pipeline.
+        ideal = 2**20 * 8 / 100e9
+        assert done["host:l0:1"] == pytest.approx(ideal, rel=0.2)
+
+    def test_bytes_conserved(self):
+        ls, net = make_net()
+        src = "host:l0:0"
+        dests = [h for h in ls.hosts if h != src]
+        tree = optimal_symmetric_tree(ls, src, dests)
+        t = Transfer(net, "t", src, 4 * 2**20, [tree])
+        t.start()
+        net.sim.run()
+        assert net.total_bytes_sent() == 4 * 2**20 * tree.cost
+
+    def test_link_bytes_match_tree_edges(self):
+        ls, net = make_net()
+        src = "host:l0:0"
+        tree = optimal_symmetric_tree(ls, src, ["host:l1:0"])
+        t = Transfer(net, "t", src, 2**20, [tree])
+        t.start()
+        net.sim.run()
+        loads = {k: v for k, v in net.link_bytes().items() if v}
+        assert set(loads) == set(tree.edges)
+        assert all(v == 2**20 for v in loads.values())
+
+
+class TestReplication:
+    def test_switch_fans_out(self):
+        ls, net = make_net()
+        src = "host:l0:0"
+        dests = ["host:l0:1", "host:l0:2", "host:l0:3"]
+        tree = optimal_symmetric_tree(ls, src, dests)
+        done = {}
+        t = Transfer(net, "t", src, 2**20, [tree],
+                     on_host_done=lambda h, at: done.setdefault(h, at))
+        t.start()
+        net.sim.run()
+        assert set(done) == set(dests)
+        # Fan-out is parallel across ports: arrival times nearly equal.
+        times = sorted(done.values())
+        assert times[-1] - times[0] < 1e-4
+
+    def test_wasted_tor_discards(self):
+        ls, net = make_net()
+        src = "host:l0:0"
+        # Route includes leaf:1 as a leaf node with no children: the
+        # over-covered-ToR case; it must count as wasted bytes.
+        tree = MulticastTree(src, {
+            "leaf:0": src, "host:l0:1": "leaf:0",
+            "spine:0": "leaf:0", "leaf:1": "spine:0",
+        })
+        t = Transfer(net, "t", src, 2**20, [tree])
+        t.start()
+        net.sim.run()
+        assert t.complete
+        assert net.wasted_bytes == 2**20
+
+
+class TestEcn:
+    def test_no_marks_without_contention(self):
+        ls, net = make_net()
+        tree = optimal_symmetric_tree(ls, "host:l0:0", ["host:l1:0"])
+        t = Transfer(net, "t", "host:l0:0", 8 * 2**20, [tree])
+        t.start()
+        net.sim.run()
+        assert sum(p.ecn_marks for p in net.ports.values()) == 0
+
+    def test_contention_produces_marks_and_cnp(self):
+        ls, net = make_net(ecn_kmax_bytes=200_000)
+        # Two hosts blast the same destination -> shared leaf downlink.
+        dst = "host:l1:0"
+        transfers = []
+        for src in ("host:l0:0", "host:l0:1"):
+            tree = optimal_symmetric_tree(ls, src, [dst])
+            t = Transfer(net, f"t-{src}", src, 16 * 2**20, [tree])
+            t.start()
+            transfers.append(t)
+        net.sim.run()
+        assert sum(p.ecn_marks for p in net.ports.values()) > 0
+        assert any(t.dcqcn.notifications > 0 for t in transfers)
+
+    def test_rate_reduced_under_congestion(self):
+        ls, net = make_net()
+        dst = "host:l1:0"
+        transfers = []
+        for src in ("host:l0:0", "host:l0:1", "host:l0:2"):
+            tree = optimal_symmetric_tree(ls, src, [dst])
+            t = Transfer(net, f"t-{src}", src, 32 * 2**20, [tree])
+            t.start()
+            transfers.append(t)
+        net.sim.run()
+        assert any(t.dcqcn.reactions > 0 for t in transfers)
+
+
+class TestPfc:
+    def test_pause_engages_under_small_buffer(self):
+        ls = LeafSpine(2, 2, 4)
+        cfg = SimConfig(segment_bytes=65536, switch_buffer_bytes=600_000)
+        net = Network(ls, cfg)
+        dst = "host:l1:0"
+        for src in ("host:l0:0", "host:l0:1", "host:l0:2", "host:l0:3"):
+            tree = optimal_symmetric_tree(ls, src, [dst])
+            Transfer(net, f"t-{src}", src, 8 * 2**20, [tree]).start()
+        net.sim.run()
+        assert net.pfc_pause_events > 0
+
+    def test_lossless_under_pressure(self):
+        """PFC keeps the fabric lossless: every byte still arrives."""
+        ls = LeafSpine(2, 2, 4)
+        cfg = SimConfig(segment_bytes=65536, switch_buffer_bytes=600_000)
+        net = Network(ls, cfg)
+        done = []
+        dst = "host:l1:0"
+        msg = 8 * 2**20
+        transfers = []
+        for src in ("host:l0:0", "host:l0:1", "host:l0:2", "host:l0:3"):
+            tree = optimal_symmetric_tree(ls, src, [dst])
+            t = Transfer(net, f"t-{src}", src, msg, [tree],
+                         on_host_done=lambda h, at: done.append(at))
+            t.start()
+            transfers.append(t)
+        net.sim.run()
+        assert all(t.complete for t in transfers)
+        assert len(done) == 4
+
+    def test_pause_resume_cycle_drains(self):
+        ls = LeafSpine(2, 2, 4)
+        cfg = SimConfig(segment_bytes=65536, switch_buffer_bytes=600_000)
+        net = Network(ls, cfg)
+        tree = optimal_symmetric_tree(ls, "host:l0:0", ["host:l1:0"])
+        t = Transfer(net, "t", "host:l0:0", 16 * 2**20, [tree])
+        t.start()
+        net.sim.run()
+        for node in net.nodes.values():
+            if hasattr(node, "buffered_bytes"):
+                assert node.buffered_bytes == 0
+                assert not node.paused_ingress
+
+
+class TestHostEndpoints:
+    def test_host_lookup(self):
+        ls, net = make_net()
+        assert net.host("host:l0:0").name == "host:l0:0"
+        with pytest.raises(TypeError):
+            net.host("leaf:0")
+
+    def test_send_requires_single_first_hop(self):
+        ls, net = make_net()
+        from repro.sim.packet import Segment
+
+        bad_tree = MulticastTree("host:l0:0", {})
+        t = Transfer(net, "t", "host:l0:0", 1500,
+                     [MulticastTree("host:l0:0", {"leaf:0": "host:l0:0"})])
+        seg = Segment(t, 0, 1500, bad_tree)
+        with pytest.raises(ValueError):
+            net.host("host:l0:0").send(seg)

@@ -1,0 +1,81 @@
+"""ECMP unicast routing."""
+
+import random
+
+import pytest
+
+from repro.sim import UnicastRouter
+from repro.topology import FatTree, LeafSpine
+
+
+class TestPaths:
+    def test_trivial_path(self):
+        ls = LeafSpine(2, 2, 2)
+        router = UnicastRouter(ls)
+        assert router.path("host:l0:0", "host:l0:0") == ["host:l0:0"]
+
+    def test_same_rack_path(self):
+        ls = LeafSpine(2, 2, 2)
+        router = UnicastRouter(ls)
+        assert router.path("host:l0:0", "host:l0:1") == [
+            "host:l0:0",
+            "leaf:0",
+            "host:l0:1",
+        ]
+
+    def test_cross_rack_is_shortest(self):
+        ls = LeafSpine(4, 4, 2)
+        router = UnicastRouter(ls)
+        path = router.path("host:l0:0", "host:l3:1")
+        assert len(path) == 5
+        assert path[2].startswith("spine")
+
+    def test_paths_are_physical(self):
+        ft = FatTree(4)
+        router = UnicastRouter(ft)
+        path = router.path("host:p0:t0:0", "host:p3:t1:1")
+        for u, v in zip(path, path[1:]):
+            assert ft.graph.has_edge(u, v)
+
+    def test_ecmp_spreads_over_spines(self):
+        ls = LeafSpine(8, 2, 1)
+        router = UnicastRouter(ls, random.Random(0))
+        spines = {
+            router.path("host:l0:0", "host:l1:0")[2] for _ in range(100)
+        }
+        assert len(spines) >= 4  # many of the 8 spines get used
+
+    def test_respects_failures(self):
+        ls = LeafSpine(2, 2, 1)
+        ls.fail_link("spine:0", "leaf:1")
+        router = UnicastRouter(ls)
+        for _ in range(20):
+            path = router.path("host:l0:0", "host:l1:0")
+            assert "spine:1" in path
+
+    def test_unreachable_raises(self):
+        ls = LeafSpine(1, 2, 1)
+        ls.fail_link("spine:0", "leaf:1")
+        router = UnicastRouter(ls)
+        router.invalidate()
+        with pytest.raises(ValueError):
+            router.path("host:l0:0", "host:l1:0")
+
+    def test_invalidate_after_topology_change(self):
+        ls = LeafSpine(2, 2, 1)
+        router = UnicastRouter(ls, random.Random(1))
+        router.path("host:l0:0", "host:l1:0")  # warm the cache
+        ls.fail_link("spine:0", "leaf:1")
+        router.invalidate()
+        for _ in range(10):
+            assert "spine:1" in router.path("host:l0:0", "host:l1:0")
+
+
+class TestPathTree:
+    def test_path_tree_is_chain(self):
+        ls = LeafSpine(2, 2, 2)
+        router = UnicastRouter(ls)
+        tree = router.path_tree("host:l0:0", "host:l1:1")
+        assert tree.cost == 4
+        assert tree.leaves == {"host:l1:1"}
+        assert tree.root == "host:l0:0"

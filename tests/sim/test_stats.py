@@ -1,0 +1,67 @@
+"""Fabric telemetry summaries."""
+
+import pytest
+
+from repro.core import optimal_symmetric_tree
+from repro.sim import Network, SimConfig, Transfer
+from repro.sim.stats import fabric_summary, format_summary
+from repro.topology import LeafSpine
+
+MSG = 8 * 2**20
+
+
+def run_one(loss=0.0):
+    ls = LeafSpine(2, 4, 4)
+    net = Network(ls, SimConfig(segment_bytes=65536, loss_probability=loss))
+    src = ls.hosts[0]
+    dests = [h for h in ls.hosts if h != src]
+    tree = optimal_symmetric_tree(ls, src, dests)
+    t = Transfer(net, "t", src, MSG, [tree])
+    t.start()
+    net.sim.run(until=5.0)
+    assert t.complete
+    return net, tree
+
+
+class TestFabricSummary:
+    def test_bytes_partition_across_tiers(self):
+        net, tree = run_one()
+        summary = fabric_summary(net)
+        total = sum(t.total_bytes for t in summary.tiers)
+        assert total == net.total_bytes_sent() == MSG * tree.cost
+
+    def test_tier_lookup(self):
+        net, _ = run_one()
+        summary = fabric_summary(net)
+        assert summary.tier("host-edge").total_bytes > 0
+        with pytest.raises(KeyError):
+            summary.tier("sky")
+
+    def test_utilization_bounded(self):
+        net, _ = run_one()
+        summary = fabric_summary(net)
+        for tier in summary.tiers:
+            assert 0 <= tier.mean_utilization <= tier.max_utilization <= 1.01
+
+    def test_hottest_links_sorted(self):
+        net, _ = run_one()
+        hottest = fabric_summary(net, top_links=3).hottest_links
+        sizes = [l.bytes_sent for l in hottest]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(hottest) == 3
+
+    def test_loss_counter_surfaces(self):
+        net, _ = run_one(loss=0.05)
+        assert fabric_summary(net).lost_segments > 0
+
+    def test_requires_elapsed_time(self):
+        ls = LeafSpine(2, 2, 2)
+        net = Network(ls, SimConfig())
+        with pytest.raises(ValueError):
+            fabric_summary(net)
+
+    def test_format_renders(self):
+        net, _ = run_one()
+        text = format_summary(fabric_summary(net))
+        assert "hottest links" in text
+        assert "host-edge" in text

@@ -1,0 +1,186 @@
+"""Transfer semantics: pacing, relays, multi-tree, mode switching."""
+
+import pytest
+
+from repro.core import Peel, optimal_symmetric_tree
+from repro.sim import Network, SimConfig, Transfer
+from repro.steiner import MulticastTree
+from repro.topology import LeafSpine
+
+
+def net_fixture(**kwargs):
+    defaults = dict(segment_bytes=65536)
+    defaults.update(kwargs)
+    ls = LeafSpine(2, 4, 4)
+    return ls, Network(ls, SimConfig(**defaults))
+
+
+class TestValidation:
+    def test_requires_tree(self):
+        ls, net = net_fixture()
+        with pytest.raises(ValueError):
+            Transfer(net, "t", "host:l0:0", 1500, [])
+
+    def test_tree_root_must_match(self):
+        ls, net = net_fixture()
+        tree = MulticastTree("host:l1:0", {"leaf:1": "host:l1:0"})
+        with pytest.raises(ValueError):
+            Transfer(net, "t", "host:l0:0", 1500, [tree])
+
+    def test_refined_needs_ready_time(self):
+        ls, net = net_fixture()
+        tree = optimal_symmetric_tree(ls, "host:l0:0", ["host:l1:0"])
+        with pytest.raises(ValueError):
+            Transfer(net, "t", "host:l0:0", 1500, [tree], refined_tree=tree)
+
+    def test_segmentation_override(self):
+        ls, net = net_fixture()
+        tree = optimal_symmetric_tree(ls, "host:l0:0", ["host:l1:0"])
+        t = Transfer(net, "t", "host:l0:0", 10_000, [tree], segment_bytes=3_000)
+        assert t.segment_sizes == [3000, 3000, 3000, 1000]
+
+    def test_no_receivers_completes_instantly(self):
+        ls, net = net_fixture()
+        tree = MulticastTree("host:l0:0", {})
+        t = Transfer(net, "t", "host:l0:0", 1500, [tree], receivers=set())
+        t.start()
+        assert t.complete
+
+
+class TestPacing:
+    def test_start_delay_respected(self):
+        ls, net = net_fixture()
+        tree = optimal_symmetric_tree(ls, "host:l0:0", ["host:l0:1"])
+        done = {}
+        t = Transfer(net, "t", "host:l0:0", 2**20, [tree], start_at=0.005,
+                     on_host_done=lambda h, at: done.setdefault(h, at))
+        t.start()
+        net.sim.run()
+        assert done["host:l0:1"] > 0.005
+
+    def test_completion_time_tracks_message_size(self):
+        ls, net = net_fixture()
+        times = []
+        for i, msg in enumerate((2**20, 4 * 2**20)):
+            ls2, net2 = net_fixture()
+            tree = optimal_symmetric_tree(ls2, "host:l0:0", ["host:l1:0"])
+            t = Transfer(net2, f"t{i}", "host:l0:0", msg, [tree])
+            t.start()
+            net2.sim.run()
+            times.append(t.complete_at)
+        assert times[1] > 3 * times[0]
+
+
+class TestRelays:
+    def test_relay_waits_for_upstream(self):
+        ls, net = net_fixture()
+        a, b, c = "host:l0:0", "host:l1:0", "host:l2:0"
+        t1 = Transfer(net, "t1", a, 2**20,
+                      [optimal_symmetric_tree(ls, a, [b])])
+        done = {}
+        t2 = Transfer(net, "t2", b, 2**20,
+                      [optimal_symmetric_tree(ls, b, [c])], is_relay=True,
+                      on_host_done=lambda h, at: done.setdefault(h, at))
+        t1.add_relay_child(b, t2)
+        t2.start()
+        net.sim.run()
+        assert not t2.complete  # nothing available yet
+        t1.start()
+        net.sim.run()
+        assert t2.complete
+        assert done[c] > t1.complete_at * 0.9
+
+    def test_relay_pipelines_segments(self):
+        """With fine segments, the relay finishes well before 2x the
+        single-hop time (chunked pipelining)."""
+        ls, net = net_fixture()
+        a, b, c = "host:l0:0", "host:l1:0", "host:l2:0"
+        msg = 8 * 2**20
+        t1 = Transfer(net, "t1", a, msg, [optimal_symmetric_tree(ls, a, [b])])
+        t2 = Transfer(net, "t2", b, msg, [optimal_symmetric_tree(ls, b, [c])],
+                      is_relay=True)
+        t1.add_relay_child(b, t2)
+        t1.start()
+        t2.start()
+        net.sim.run()
+        serial = msg * 8 / 100e9
+        assert t2.complete_at < 1.5 * serial
+
+    def test_chunked_relay_coarser_than_segment(self):
+        """relay_chunk_bytes gates forwarding at chunk boundaries."""
+        ls, net = net_fixture()
+        a, b, c = "host:l0:0", "host:l1:0", "host:l2:0"
+        msg = 8 * 2**20
+        t1 = Transfer(net, "t1", a, msg, [optimal_symmetric_tree(ls, a, [b])],
+                      relay_chunk_bytes=msg // 2)
+        t2 = Transfer(net, "t2", b, msg, [optimal_symmetric_tree(ls, b, [c])],
+                      is_relay=True)
+        t1.add_relay_child(b, t2)
+        t1.start()
+        t2.start()
+        net.sim.run()
+        serial = msg * 8 / 100e9
+        # Two-chunk pipeline: ~1.5x one serialization, definitely > 1.4x.
+        assert t2.complete_at > 1.4 * serial
+
+    def test_relay_child_must_be_receiver(self):
+        ls, net = net_fixture()
+        a, b = "host:l0:0", "host:l1:0"
+        t1 = Transfer(net, "t1", a, 2**20, [optimal_symmetric_tree(ls, a, [b])])
+        with pytest.raises(ValueError):
+            t1.add_relay_child("host:l3:0", t1)
+
+
+class TestMultiTree:
+    def test_static_multitree_delivers_all(self):
+        ls, net = net_fixture()
+        src = ls.hosts[0]
+        dests = [h for h in ls.hosts if h != src]
+        plan = Peel(ls).plan(src, dests)
+        assert plan.num_prefixes >= 2
+        done = set()
+        t = Transfer(net, "t", src, 2**20, plan.static_trees,
+                     receivers=set(dests),
+                     on_host_done=lambda h, at: done.add(h))
+        t.start()
+        net.sim.run()
+        assert done == set(dests)
+
+    def test_multitree_costs_more_nic_time(self):
+        ls, _ = net_fixture()
+        src = ls.hosts[0]
+        dests = [h for h in ls.hosts if h != src]
+        plan = Peel(ls).plan(src, dests)
+
+        def run(trees, receivers):
+            _, net = net_fixture()
+            t = Transfer(net, "t", src, 4 * 2**20, trees, receivers=receivers)
+            t.start()
+            net.sim.run()
+            return t.complete_at
+
+        static = run(plan.static_trees, set(dests))
+        refined = run([plan.refined_tree], set(dests))
+        assert static > refined
+
+    def test_mode_switch_speeds_up_completion(self):
+        ls, _ = net_fixture()
+        src = ls.hosts[0]
+        dests = [h for h in ls.hosts if h != src]
+        plan = Peel(ls).plan(src, dests)
+        msg = 16 * 2**20
+
+        def run(ready_at):
+            _, net = net_fixture()
+            t = Transfer(net, "t", src, msg, plan.static_trees,
+                         refined_tree=plan.refined_tree,
+                         refinement_ready_at=ready_at,
+                         receivers=set(dests))
+            t.start()
+            net.sim.run()
+            assert t.complete
+            return t.complete_at
+
+        never = run(ready_at=10.0)
+        early = run(ready_at=0.0005)
+        assert early < never

@@ -1,0 +1,71 @@
+"""Bloom filter: no false negatives, calibrated false-positive rate."""
+
+import pytest
+
+from repro.state import BloomFilter, optimal_bits, optimal_hashes
+
+
+class TestSizing:
+    def test_optimal_bits_grows_with_elements(self):
+        assert optimal_bits(1000, 0.01) > optimal_bits(100, 0.01)
+
+    def test_optimal_bits_grows_with_precision(self):
+        assert optimal_bits(100, 0.001) > optimal_bits(100, 0.1)
+
+    def test_classic_value(self):
+        # ~9.59 bits per element at 1% FPR.
+        assert abs(optimal_bits(1000, 0.01) / 1000 - 9.59) < 0.05
+
+    def test_zero_elements(self):
+        assert optimal_bits(0, 0.01) == 1
+
+    @pytest.mark.parametrize("fpr", [0, 1, -0.5, 2])
+    def test_rejects_bad_fpr(self, fpr):
+        with pytest.raises(ValueError):
+            optimal_bits(10, fpr)
+
+    def test_optimal_hashes(self):
+        assert optimal_hashes(960, 100) == round(9.6 * 0.693)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter.for_capacity(200, 0.01)
+        items = [f"link-{i}" for i in range(200)]
+        bf.update(items)
+        assert all(item in bf for item in items)
+
+    def test_empty_contains_nothing_much(self):
+        bf = BloomFilter(64, 3)
+        assert "anything" not in bf
+
+    def test_fpr_near_target(self):
+        bf = BloomFilter.for_capacity(500, 0.05)
+        bf.update(f"member-{i}" for i in range(500))
+        probes = [f"probe-{i}" for i in range(4000)]
+        fp = sum(1 for p in probes if p in bf)
+        rate = fp / len(probes)
+        assert rate < 0.10  # within 2x of the 5% design point
+
+    def test_expected_fpr_tracks_fill(self):
+        bf = BloomFilter.for_capacity(100, 0.01)
+        assert bf.expected_fpr() == 0.0
+        bf.update(range(100))
+        assert 0.001 < bf.expected_fpr() < 0.05
+
+    def test_deterministic(self):
+        a = BloomFilter(128, 4)
+        b = BloomFilter(128, 4)
+        a.add("x")
+        b.add("x")
+        assert a._array == b._array
+
+    def test_nbytes(self):
+        assert BloomFilter(16, 2).nbytes == 2
+        assert BloomFilter(17, 2).nbytes == 3
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(8, 0)

@@ -1,0 +1,34 @@
+"""Cross-scheme comparison table."""
+
+from repro.state import compare_schemes, format_table
+
+
+class TestCompareSchemes:
+    def test_contains_all_schemes(self):
+        rows = {r.scheme for r in compare_schemes(64)}
+        assert rows == {"ip-multicast", "rsbf", "orca", "peel"}
+
+    def test_peel_row_matches_headline(self):
+        peel = next(r for r in compare_schemes(64) if r.scheme == "peel")
+        assert peel.switch_entries == 63
+        assert peel.header_bytes < 8
+        assert peel.setup_latency == "none"
+
+    def test_peel_fewest_entries_among_stateful(self):
+        rows = compare_schemes(64)
+        peel = next(r for r in rows if r.scheme == "peel")
+        ip = next(r for r in rows if r.scheme == "ip-multicast")
+        orca = next(r for r in rows if r.scheme == "orca")
+        assert peel.switch_entries < orca.switch_entries < ip.switch_entries
+
+    def test_rsbf_header_dominates(self):
+        rows = compare_schemes(64)
+        rsbf = next(r for r in rows if r.scheme == "rsbf")
+        peel = next(r for r in rows if r.scheme == "peel")
+        assert rsbf.header_bytes > 100 * peel.header_bytes
+
+    def test_format_table_renders_all_rows(self):
+        text = format_table(compare_schemes(16))
+        for scheme in ("ip-multicast", "rsbf", "orca", "peel"):
+            assert scheme in text
+        assert len(text.splitlines()) == 6

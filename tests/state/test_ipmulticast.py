@@ -1,0 +1,42 @@
+"""Naive IP multicast state accounting (the exponential blow-up)."""
+
+import pytest
+
+from repro.state import (
+    entries_for_groups,
+    state_reduction_factor,
+    worst_case_group_entries,
+)
+
+
+class TestWorstCase:
+    def test_headline_four_billion_at_k64(self):
+        """§1: 'the required entries plummet from over 4 x 10^9 to fewer
+        than 64'."""
+        assert worst_case_group_entries(64) > 4e9
+
+    def test_exponential_growth(self):
+        assert worst_case_group_entries(8) == 2**4
+        assert worst_case_group_entries(16) == 2**8
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            worst_case_group_entries(5)
+
+
+class TestActiveGroups:
+    def test_distinct_subsets_counted_once(self):
+        groups = [frozenset({1, 2}), frozenset({1, 2}), frozenset({3})]
+        assert entries_for_groups(groups) == 2
+
+    def test_empty(self):
+        assert entries_for_groups([]) == 0
+
+
+class TestReduction:
+    def test_reduction_factor_enormous(self):
+        assert state_reduction_factor(64) > 6e7
+
+    def test_reduction_monotone_in_k(self):
+        factors = [state_reduction_factor(k) for k in (8, 16, 32, 64)]
+        assert factors == sorted(factors)

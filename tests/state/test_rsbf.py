@@ -1,0 +1,74 @@
+"""RSBF header-size model: the Figure 3 claims."""
+
+import pytest
+
+from repro.state import (
+    MTU_BYTES,
+    bloom_header_bits,
+    exceeds_mtu,
+    false_positive_extra_links,
+    rsbf_bandwidth_overhead,
+    rsbf_header_bytes,
+    tree_links_for_job,
+)
+
+
+class TestTreeLinks:
+    def test_formula(self):
+        # 4 pods x (1 core->agg + k/2 agg->ToR + (k/2)^2 ToR->host)
+        assert tree_links_for_job(8) == 4 * (1 + 4 + 16)
+
+    def test_caps_at_pod_count(self):
+        assert tree_links_for_job(4, num_pods=100) == 4 * (1 + 2 + 4)
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            tree_links_for_job(7)
+
+
+class TestHeaderSize:
+    def test_grows_with_k(self):
+        sizes = [rsbf_header_bytes(k, 0.01) for k in (4, 8, 16, 32, 64)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 100 * sizes[0] / 10
+
+    def test_tighter_fpr_costs_more(self):
+        assert rsbf_header_bytes(32, 0.01) > rsbf_header_bytes(32, 0.20)
+
+    def test_fig3_headline_exceeds_mtu_past_k32(self):
+        """'RSBF's Bloom-filter header exceeds one full MTU once k > 32;
+        even at a generous false-positive ratio'."""
+        assert not exceeds_mtu(32, 0.20)
+        assert exceeds_mtu(64, 0.20)
+        assert exceeds_mtu(64, 0.01)
+
+    def test_bandwidth_overhead_over_100pct(self):
+        """Fig. 3 caption: overhead surpasses 100% at large k."""
+        assert rsbf_bandwidth_overhead(64, 0.20) > 1.0
+
+    def test_small_fabric_is_cheap(self):
+        assert rsbf_header_bytes(4, 0.20) < MTU_BYTES / 10
+
+    def test_peel_always_smaller(self):
+        from repro.core import hierarchical_header_bytes
+
+        for k in (4, 8, 16, 32, 64, 128):
+            assert hierarchical_header_bytes(k) < rsbf_header_bytes(k, 0.20)
+
+    def test_bits_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bloom_header_bits(10, 0)
+        with pytest.raises(ValueError):
+            bloom_header_bits(-1, 0.1)
+
+
+class TestFalsePositiveTraffic:
+    def test_expected_extra_links(self):
+        assert false_positive_extra_links(10, 100, 0.05) == pytest.approx(5.0)
+
+    def test_zero_fpr_means_zero_waste(self):
+        assert false_positive_extra_links(10, 100, 0.0) == 0.0
+
+    def test_rejects_negative_ports(self):
+        with pytest.raises(ValueError):
+            false_positive_extra_links(-1, 5, 0.1)

@@ -1,0 +1,52 @@
+"""TCAM capacity model."""
+
+import pytest
+
+from repro.state import TcamOverflowError, TcamTable
+
+
+class TestTcamTable:
+    def test_install_and_lookup(self):
+        table = TcamTable(capacity=4)
+        table.install("g1", (0, 1))
+        assert table.lookup("g1") == (0, 1)
+        assert table.lookup("g2") is None
+
+    def test_overflow_raises(self):
+        table = TcamTable(capacity=2)
+        table.install("a", (0,))
+        table.install("b", (1,))
+        with pytest.raises(TcamOverflowError):
+            table.install("c", (2,))
+
+    def test_update_in_place_does_not_overflow(self):
+        table = TcamTable(capacity=1)
+        table.install("a", (0,))
+        table.install("a", (0, 1))  # same key: no new entry
+        assert table.lookup("a") == (0, 1)
+
+    def test_remove_frees_space(self):
+        table = TcamTable(capacity=1)
+        table.install("a", (0,))
+        table.remove("a")
+        table.install("b", (1,))
+        assert len(table) == 1
+
+    def test_remove_missing_is_noop(self):
+        TcamTable(capacity=1).remove("ghost")
+
+    def test_utilization(self):
+        table = TcamTable(capacity=4)
+        table.install("a", (0,))
+        assert table.utilization == 0.25
+
+    def test_peel_rules_fit_easily(self):
+        """The whole point: k-1 static rules fit in a commodity TCAM even
+        at k=128, whereas per-group state cannot."""
+        from repro.core import preinstalled_rules
+
+        table = TcamTable()  # default commodity capacity
+        for rule in preinstalled_rules(128):
+            table.install((rule.prefix.value, rule.prefix.length), rule.out_ports)
+        assert len(table) == 127
+        assert table.utilization < 0.05

@@ -1,0 +1,42 @@
+"""Metric-closure approximation: validity and 2x bound vs the exact DP."""
+
+import networkx as nx
+import pytest
+
+from repro.steiner import (
+    exact_steiner_cost,
+    metric_closure_tree,
+    validate_tree,
+)
+from repro.topology import FatTree, asymmetric
+
+
+class TestMetricClosure:
+    def test_single_terminal(self):
+        g = nx.path_graph(3)
+        assert metric_closure_tree(g, 0, []).cost == 0
+
+    def test_spans_terminals(self):
+        ft = FatTree(4)
+        src = ft.hosts[0]
+        dests = ft.hosts[1:6]
+        tree = metric_closure_tree(ft.graph, src, dests)
+        validate_tree(tree, ft.graph, src, dests)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_within_2x_of_optimal(self, seed):
+        bad, _ = asymmetric(FatTree(4), 0.2, seed=seed)
+        src = bad.hosts[0]
+        dests = bad.hosts[4:8]
+        approx = metric_closure_tree(bad.graph, src, dests).cost
+        exact = exact_steiner_cost(bad.graph, src, dests)
+        assert exact <= approx <= 2 * exact
+
+    def test_no_redundant_leaves(self):
+        """Pruning guarantees every tree leaf is a terminal."""
+        ft = FatTree(4)
+        src = ft.hosts[0]
+        dests = ft.hosts[8:11]
+        tree = metric_closure_tree(ft.graph, src, dests)
+        for leaf in tree.leaves:
+            assert leaf in {src, *dests}

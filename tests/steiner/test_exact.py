@@ -1,0 +1,111 @@
+"""Exact Steiner DP: correctness against hand results and the brute-force
+oracle."""
+
+import networkx as nx
+import pytest
+
+from repro.steiner import (
+    brute_force_steiner_cost,
+    exact_steiner_cost,
+    exact_steiner_tree,
+    validate_tree,
+)
+from repro.topology import FatTree, LeafSpine
+
+
+class TestSmallGraphs:
+    def test_single_terminal(self):
+        g = nx.path_graph(3)
+        tree = exact_steiner_tree(g, 0, [])
+        assert tree.cost == 0
+
+    def test_path_graph(self):
+        g = nx.path_graph(5)  # 0-1-2-3-4
+        assert exact_steiner_cost(g, 0, [4]) == 4
+
+    def test_star_graph(self):
+        g = nx.star_graph(4)  # hub 0
+        assert exact_steiner_cost(g, 1, [2, 3]) == 3
+
+    def test_steiner_node_needed(self):
+        # Classic: three spokes meeting at a hub not in the terminal set.
+        g = nx.Graph([("t1", "h"), ("t2", "h"), ("t3", "h")])
+        tree = exact_steiner_tree(g, "t1", ["t2", "t3"])
+        assert tree.cost == 3
+        assert "h" in tree.nodes
+
+    def test_cycle_shortcut(self):
+        g = nx.cycle_graph(6)
+        assert exact_steiner_cost(g, 0, [2]) == 2
+        assert exact_steiner_cost(g, 0, [5]) == 1
+        assert exact_steiner_cost(g, 0, [2, 4]) == 4  # both arcs
+
+    def test_duplicate_and_source_destinations(self):
+        g = nx.path_graph(4)
+        assert exact_steiner_cost(g, 0, [3, 3, 0]) == 3
+
+    def test_unreachable_raises(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        g.add_node("island")
+        with pytest.raises(ValueError):
+            exact_steiner_tree(g, "a", ["island"])
+
+    def test_too_many_terminals_rejected(self):
+        g = nx.complete_graph(20)
+        with pytest.raises(ValueError):
+            exact_steiner_tree(g, 0, list(range(1, 16)))
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = nx.gnp_random_graph(9, 0.4, seed=seed)
+        if not nx.is_connected(g):
+            g = g.subgraph(max(nx.connected_components(g), key=len)).copy()
+        nodes = sorted(g.nodes)
+        terminals = nodes[: min(4, len(nodes))]
+        src, dests = terminals[0], terminals[1:]
+        if not dests:
+            pytest.skip("component too small")
+        dp = exact_steiner_cost(g, src, dests)
+        oracle = brute_force_steiner_cost(g, src, dests, max_extra=5)
+        assert dp == oracle
+
+
+class TestOnFabrics:
+    def test_tree_is_valid_on_fattree(self):
+        ft = FatTree(4)
+        src = ft.hosts[0]
+        dests = ft.hosts[3:7]
+        tree = exact_steiner_tree(ft.graph, src, dests)
+        validate_tree(tree, ft.graph, src, dests)
+
+    def test_same_rack_cost(self):
+        ls = LeafSpine(2, 2, 4)
+        # Two hosts under the same leaf: host-leaf-host = 2 edges.
+        assert exact_steiner_cost(ls.graph, "host:l0:0", ["host:l0:1"]) == 2
+
+    def test_cross_rack_cost(self):
+        ls = LeafSpine(2, 2, 4)
+        assert exact_steiner_cost(ls.graph, "host:l0:0", ["host:l1:0"]) == 4
+
+    def test_asymmetric_fabric(self):
+        ls = LeafSpine(2, 3, 1)
+        ls.fail_link("leaf:1", "spine:0")
+        ls.fail_link("leaf:2", "spine:1")
+        # Reaching both remote leaves now needs both spines.
+        cost = exact_steiner_cost(
+            ls.graph, "host:l0:0", ["host:l1:0", "host:l2:0"]
+        )
+        assert cost == 7  # h-l0, l0-s1, s1-l1, l1-h | l0-s0, s0-l2, l2-h
+
+    def test_exact_at_most_symmetric_optimum(self):
+        from repro.core import optimal_symmetric_tree
+
+        ft = FatTree(4)
+        src = ft.hosts[0]
+        dests = [ft.hosts[2], ft.hosts[5], ft.hosts[9]]
+        exact = exact_steiner_cost(ft.graph, src, dests)
+        constructive = optimal_symmetric_tree(ft, src, dests).cost
+        assert exact == constructive

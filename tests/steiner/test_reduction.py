@@ -1,0 +1,100 @@
+"""Machine-checked Theorem 2.2: Set-Cover <= multicast-tree construction."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.core import layer_peeling_tree
+from repro.steiner import exact_steiner_tree
+from repro.steiner.reduction import (
+    SOURCE,
+    SetCoverInstance,
+    build_gadget,
+    destinations,
+    optimal_cover_via_steiner,
+    tree_cost_for_cover_size,
+    tree_to_cover,
+)
+
+
+def brute_force_cover(instance: SetCoverInstance) -> int:
+    for size in range(1, len(instance.sets) + 1):
+        for chosen in combinations(range(len(instance.sets)), size):
+            if instance.is_cover(set(chosen)):
+                return size
+    raise AssertionError("family does not cover the universe")
+
+
+EXAMPLES = [
+    SetCoverInstance(3, (frozenset({0, 1}), frozenset({2}), frozenset({1, 2}))),
+    SetCoverInstance(
+        4,
+        (
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2, 3}),
+            frozenset({0, 1, 2, 3}),
+        ),
+    ),
+    SetCoverInstance(
+        5,
+        (
+            frozenset({0, 1, 2}),
+            frozenset({2, 3}),
+            frozenset({3, 4}),
+            frozenset({0, 4}),
+        ),
+    ),
+]
+
+
+class TestInstance:
+    def test_rejects_uncovering_family(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance(3, (frozenset({0}),))
+
+    def test_is_cover(self):
+        inst = EXAMPLES[0]
+        assert inst.is_cover({0, 1})
+        assert not inst.is_cover({0})
+
+
+class TestGadget:
+    @pytest.mark.parametrize("inst", EXAMPLES)
+    def test_structure(self, inst):
+        graph = build_gadget(inst)
+        assert SOURCE in graph
+        for s, members in enumerate(inst.sets):
+            spine = f"spine:{s}"
+            leaves = {
+                n
+                for n in graph.neighbors(spine)
+                if n.startswith("leaf:") and n != "leaf:999"  # the source leaf
+            }
+            assert leaves == {f"leaf:{e}" for e in members}
+
+    @pytest.mark.parametrize("inst", EXAMPLES)
+    def test_cost_formula(self, inst):
+        graph = build_gadget(inst)
+        tree = exact_steiner_tree(graph, SOURCE, destinations(inst))
+        cover = tree_to_cover(inst, tree)
+        assert tree.cost == tree_cost_for_cover_size(inst, len(cover))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("inst", EXAMPLES)
+    def test_steiner_optimum_is_minimum_cover(self, inst):
+        cover = optimal_cover_via_steiner(inst)
+        assert inst.is_cover(cover)
+        assert len(cover) == brute_force_cover(inst)
+
+    @pytest.mark.parametrize("inst", EXAMPLES)
+    def test_layer_peeling_yields_valid_cover(self, inst):
+        """The greedy is exactly the classical set-cover heuristic on the
+        gadget: it must return *a* cover (not necessarily minimum)."""
+        graph = build_gadget(inst)
+        tree = layer_peeling_tree(graph, SOURCE, destinations(inst))
+        cover = tree_to_cover(inst, tree)
+        assert inst.is_cover(cover)
+        # ln(n)-style guarantee is loose; sanity-bound it.
+        assert len(cover) <= 2 * brute_force_cover(inst) + 1

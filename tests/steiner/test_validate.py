@@ -1,0 +1,67 @@
+"""Tree validation and pruning."""
+
+import networkx as nx
+import pytest
+
+from repro.steiner import (
+    InvalidTreeError,
+    MulticastTree,
+    is_valid_tree,
+    prune_tree,
+    validate_tree,
+)
+
+
+@pytest.fixture
+def graph():
+    g = nx.Graph()
+    g.add_edges_from([("s", "a"), ("a", "b"), ("a", "c"), ("c", "d")])
+    return g
+
+
+class TestValidate:
+    def test_valid_tree_passes(self, graph):
+        tree = MulticastTree("s", {"a": "s", "b": "a", "c": "a"})
+        validate_tree(tree, graph, "s", ["b", "c"])
+
+    def test_wrong_root(self, graph):
+        tree = MulticastTree("a", {"b": "a"})
+        with pytest.raises(InvalidTreeError):
+            validate_tree(tree, graph, "s", ["b"])
+
+    def test_phantom_edge(self, graph):
+        tree = MulticastTree("s", {"b": "s"})  # s-b not a physical link
+        with pytest.raises(InvalidTreeError):
+            validate_tree(tree, graph, "s", ["b"])
+
+    def test_missing_destination(self, graph):
+        tree = MulticastTree("s", {"a": "s"})
+        with pytest.raises(InvalidTreeError):
+            validate_tree(tree, graph, "s", ["d"])
+
+    def test_is_valid_tree_boolean(self, graph):
+        good = MulticastTree("s", {"a": "s", "b": "a"})
+        assert is_valid_tree(good, graph, "s", ["b"])
+        assert not is_valid_tree(good, graph, "s", ["d"])
+
+
+class TestPrune:
+    def test_drops_unneeded_branch(self, graph):
+        tree = MulticastTree("s", {"a": "s", "b": "a", "c": "a", "d": "c"})
+        pruned = prune_tree(tree, ["b"])
+        assert pruned.nodes == {"s", "a", "b"}
+        validate_tree(pruned, graph, "s", ["b"])
+
+    def test_keeps_shared_trunk(self, graph):
+        tree = MulticastTree("s", {"a": "s", "b": "a", "c": "a", "d": "c"})
+        pruned = prune_tree(tree, ["b", "d"])
+        assert pruned.nodes == {"s", "a", "b", "c", "d"}
+
+    def test_keep_all_is_identity(self, graph):
+        tree = MulticastTree("s", {"a": "s", "b": "a"})
+        assert prune_tree(tree, ["b"]).parent == tree.parent
+
+    def test_keep_missing_node_raises(self, graph):
+        tree = MulticastTree("s", {"a": "s"})
+        with pytest.raises(InvalidTreeError):
+            prune_tree(tree, ["zzz"])

@@ -1,0 +1,53 @@
+"""CLI smoke tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_have_subcommands(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name] if name not in (
+                "fig4", "fig5", "fig6", "fig7", "guard", "deploy", "churn"
+            ) else [name])
+            assert args.command == name
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "optimal" in capsys.readouterr().out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        assert "RSBF" in capsys.readouterr().out
+
+    def test_headline(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "PEEL rules" in out
+        assert "saves" in out
+
+    def test_frag(self, capsys):
+        assert main(["frag"]) == 0
+        assert "window" in capsys.readouterr().out
+
+    def test_fig7_tiny(self, capsys):
+        assert main(["fig7", "--failures", "4", "--jobs", "4"]) == 0
+        assert "peel" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Node naming and parsing round-trips."""
+
+import pytest
+
+from repro.topology import addressing as addr
+from repro.topology.addressing import NodeKind
+
+
+class TestNames:
+    def test_core_name(self):
+        assert addr.core_name(1, 2) == "core:1:2"
+
+    def test_agg_name(self):
+        assert addr.agg_name(3, 0) == "agg:p3:0"
+
+    def test_tor_name(self):
+        assert addr.tor_name(0, 7) == "tor:p0:7"
+
+    def test_fattree_host_name(self):
+        assert addr.fattree_host_name(2, 1, 3) == "host:p2:t1:3"
+
+    def test_leafspine_names(self):
+        assert addr.spine_name(4) == "spine:4"
+        assert addr.leaf_name(9) == "leaf:9"
+        assert addr.leafspine_host_name(9, 0) == "host:l9:0"
+
+
+class TestParse:
+    def test_parse_core(self):
+        parsed = addr.parse("core:1:2")
+        assert parsed.kind is NodeKind.CORE
+        assert parsed.index == 2
+
+    def test_parse_agg(self):
+        parsed = addr.parse("agg:p3:1")
+        assert parsed.kind is NodeKind.AGG
+        assert parsed.pod == 3
+        assert parsed.index == 1
+
+    def test_parse_tor(self):
+        parsed = addr.parse("tor:p0:7")
+        assert parsed.kind is NodeKind.TOR
+        assert parsed.pod == 0
+        assert parsed.index == 7
+
+    def test_parse_fattree_host(self):
+        parsed = addr.parse("host:p2:t1:3")
+        assert parsed.kind is NodeKind.HOST
+        assert (parsed.pod, parsed.tor, parsed.index) == (2, 1, 3)
+
+    def test_parse_leafspine_host(self):
+        parsed = addr.parse("host:l9:5")
+        assert parsed.kind is NodeKind.HOST
+        assert parsed.tor == 9
+        assert parsed.index == 5
+
+    def test_parse_spine_leaf(self):
+        assert addr.parse("spine:4").kind is NodeKind.SPINE
+        assert addr.parse("leaf:9").kind is NodeKind.LEAF
+
+    @pytest.mark.parametrize(
+        "bad", ["", "gpu:1", "host:1", "tor:0:1", "core:1", "agg:pX:1"]
+    )
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            addr.parse(bad)
+
+    def test_roundtrip_all_kinds(self):
+        names = [
+            addr.core_name(0, 0),
+            addr.agg_name(1, 2),
+            addr.tor_name(1, 2),
+            addr.fattree_host_name(1, 2, 3),
+            addr.spine_name(0),
+            addr.leaf_name(1),
+            addr.leafspine_host_name(1, 0),
+        ]
+        for name in names:
+            assert addr.parse(name).kind is addr.kind_of(name)
+
+
+class TestTiers:
+    def test_kind_of(self):
+        assert addr.kind_of("host:p0:t0:0") is NodeKind.HOST
+        assert addr.kind_of("spine:3") is NodeKind.SPINE
+
+    def test_tier_rank_ordering(self):
+        assert addr.tier_rank("host:p0:t0:0") == 0
+        assert addr.tier_rank("tor:p0:0") == 1
+        assert addr.tier_rank("leaf:0") == 1
+        assert addr.tier_rank("agg:p0:0") == 2
+        assert addr.tier_rank("spine:0") == 2
+        assert addr.tier_rank("core:0:0") == 3
+
+    def test_address_is_switch(self):
+        assert addr.parse("tor:p0:0").is_switch
+        assert not addr.parse("host:p0:t0:0").is_switch

@@ -1,0 +1,84 @@
+"""Failure injection: fractions, connectivity preservation, determinism."""
+
+import pytest
+
+from repro.topology import (
+    FatTree,
+    LeafSpine,
+    asymmetric,
+    fail_random_uplinks,
+    fail_switch,
+)
+
+
+class TestFailRandomUplinks:
+    def test_fraction_of_spine_leaf_links(self):
+        ls = LeafSpine(16, 48, 2)
+        failed = fail_random_uplinks(ls, 0.10, seed=1)
+        assert len(failed) == round(0.10 * 16 * 48)
+        assert len(ls.failed_links) == len(failed)
+
+    def test_fattree_targets_core_agg(self):
+        ft = FatTree(4)
+        failed = fail_random_uplinks(ft, 0.25, seed=2)
+        for u, v in failed:
+            kinds = {u.split(":")[0], v.split(":")[0]}
+            assert kinds == {"core", "agg"}
+
+    def test_zero_fraction(self):
+        ls = LeafSpine(4, 4, 1)
+        assert fail_random_uplinks(ls, 0.0, seed=3) == []
+        assert ls.is_symmetric
+
+    def test_hosts_stay_connected(self):
+        ls = LeafSpine(2, 8, 2)
+        fail_random_uplinks(ls, 0.4, seed=4)
+        src = ls.hosts[0]
+        assert ls.reachable(src, ls.hosts)
+
+    def test_deterministic_under_seed(self):
+        a = LeafSpine(8, 8, 1)
+        b = LeafSpine(8, 8, 1)
+        assert fail_random_uplinks(a, 0.2, seed=9) == fail_random_uplinks(
+            b, 0.2, seed=9
+        )
+
+    def test_rejects_bad_fraction(self):
+        ls = LeafSpine(2, 2, 1)
+        with pytest.raises(ValueError):
+            fail_random_uplinks(ls, 1.5)
+
+    def test_rejects_unknown_topology(self):
+        from repro.topology.base import Topology
+        import networkx as nx
+
+        with pytest.raises(TypeError):
+            fail_random_uplinks(Topology(nx.Graph()), 0.1)
+
+
+class TestAsymmetricCopy:
+    def test_original_untouched(self):
+        ls = LeafSpine(4, 4, 1)
+        bad, failed = asymmetric(ls, 0.25, seed=5)
+        assert ls.is_symmetric
+        assert not bad.is_symmetric
+        assert failed == bad.failed_links
+
+    def test_copy_preserves_dimensions(self):
+        ls = LeafSpine(4, 6, 2)
+        bad, _ = asymmetric(ls, 0.1, seed=6)
+        assert bad.num_spines == 4
+        assert bad.num_leaves == 6
+
+
+class TestFailSwitch:
+    def test_removes_all_links(self):
+        ls = LeafSpine(4, 4, 1)
+        links = fail_switch(ls, "spine:0")
+        assert len(links) == 4
+        assert ls.graph.degree("spine:0") == 0
+
+    def test_recorded_as_failed(self):
+        ls = LeafSpine(4, 4, 1)
+        fail_switch(ls, "spine:1")
+        assert len(ls.failed_links) == 4

@@ -1,0 +1,130 @@
+"""Fat-tree structural invariants."""
+
+import pytest
+
+from repro.topology import FatTree, NodeKind
+from repro.topology import addressing as addr
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_counts(self, k):
+        ft = FatTree(k)
+        half = k // 2
+        assert len(ft.hosts) == k * half * half  # k^3/4 at full density
+        assert len(ft.nodes_of_kind(NodeKind.TOR)) == k * half
+        assert len(ft.nodes_of_kind(NodeKind.AGG)) == k * half
+        assert len(ft.nodes_of_kind(NodeKind.CORE)) == half * half
+
+    def test_partial_hosts_per_tor(self):
+        ft = FatTree(8, hosts_per_tor=2)
+        assert len(ft.hosts) == 8 * 4 * 2
+
+    @pytest.mark.parametrize("k", [0, 3, 5, -2])
+    def test_rejects_bad_arity(self, k):
+        with pytest.raises(ValueError):
+            FatTree(k)
+
+    def test_oversubscribed_rack(self):
+        """The paper's §4 fabric: 32 GPU-NIC endpoints per 8-ary ToR."""
+        ft = FatTree(8, hosts_per_tor=32)
+        assert len(ft.hosts) == 1024
+        assert len(ft.hosts_under_tor("tor:p0:0")) == 32
+
+    def test_rejects_zero_hosts_per_tor(self):
+        with pytest.raises(ValueError):
+            FatTree(4, hosts_per_tor=0)
+
+    def test_link_capacity(self):
+        ft = FatTree(4, link_bps=42e9)
+        u, v = next(iter(ft.graph.edges))
+        assert ft.capacity_bps(u, v) == 42e9
+
+
+class TestWiring:
+    def test_tor_degree(self):
+        ft = FatTree(4)
+        # Each ToR: k/2 hosts + k/2 aggs.
+        for tor in ft.nodes_of_kind(NodeKind.TOR):
+            assert ft.graph.degree(tor) == 4
+
+    def test_agg_degree(self):
+        ft = FatTree(4)
+        # Each agg: k/2 ToRs + k/2 cores.
+        for agg in ft.nodes_of_kind(NodeKind.AGG):
+            assert ft.graph.degree(agg) == 4
+
+    def test_core_reaches_every_pod_once(self):
+        ft = FatTree(8)
+        for core in ft.nodes_of_kind(NodeKind.CORE):
+            pods = sorted(addr.parse(n).pod for n in ft.graph.neighbors(core))
+            assert pods == list(range(8))
+
+    def test_core_group_maps_to_one_agg_index(self):
+        ft = FatTree(4)
+        for core in ft.nodes_of_kind(NodeKind.CORE):
+            group = addr.parse(core).tor  # core name reuses the field
+            for agg in ft.graph.neighbors(core):
+                assert addr.parse(agg).index == group
+
+    def test_intra_pod_full_mesh(self):
+        ft = FatTree(4)
+        for pod in range(4):
+            for tor in ft.tors_in_pod(pod):
+                for agg in ft.aggs_in_pod(pod):
+                    assert ft.graph.has_edge(tor, agg)
+
+    def test_host_single_homed(self):
+        ft = FatTree(4)
+        for host in ft.hosts:
+            assert ft.graph.degree(host) == 1
+
+
+class TestHelpers:
+    def test_tor_of(self):
+        ft = FatTree(4)
+        assert ft.tor_of("host:p1:t0:1") == "tor:p1:0"
+
+    def test_tor_of_rejects_switch(self):
+        ft = FatTree(4)
+        with pytest.raises(ValueError):
+            ft.tor_of("tor:p0:0")
+
+    def test_tor_identifier(self):
+        ft = FatTree(8)
+        assert ft.tor_identifier("tor:p3:2") == 2
+
+    def test_tor_identifier_rejects_host(self):
+        ft = FatTree(4)
+        with pytest.raises(ValueError):
+            ft.tor_identifier("host:p0:t0:0")
+
+    def test_hosts_under_tor(self):
+        ft = FatTree(4)
+        hosts = ft.hosts_under_tor("tor:p0:1")
+        assert hosts == ["host:p0:t1:0", "host:p0:t1:1"]
+
+    def test_core_agg_links_count(self):
+        ft = FatTree(4)
+        # (k/2)^2 cores x k pods.
+        assert len(ft.core_agg_links()) == 4 * 4
+
+    def test_agg_tor_links_count(self):
+        ft = FatTree(4)
+        assert len(ft.agg_tor_links()) == 4 * 2 * 2
+
+    def test_pod_of(self):
+        ft = FatTree(4)
+        assert ft.pod_of("agg:p2:1") == 2
+        assert ft.pod_of("core:0:0") is None
+
+    def test_up_down_neighbors(self):
+        ft = FatTree(4)
+        assert set(ft.up_neighbors("tor:p0:0")) == {"agg:p0:0", "agg:p0:1"}
+        assert ft.down_neighbors("host:p0:t0:0") == []
+        assert len(ft.down_neighbors("core:0:0")) == 4
+
+    def test_diameter_is_six(self):
+        ft = FatTree(4)
+        dist = ft.distances_from("host:p0:t0:0")
+        assert max(dist.values()) == 6  # host-ToR-agg-core-agg-ToR-host

@@ -1,0 +1,75 @@
+"""Hop-layer decomposition (the §2.3 substrate)."""
+
+import pytest
+
+from repro.topology import (
+    FatTree,
+    LeafSpine,
+    farthest_destination_layer,
+    hop_layers,
+)
+
+
+class TestHopLayers:
+    def test_layer_zero_is_source(self):
+        ls = LeafSpine(2, 2, 2)
+        layers = hop_layers(ls.graph, "host:l0:0")
+        assert layers[0] == {"host:l0:0"}
+
+    def test_leafspine_layer_structure(self):
+        ls = LeafSpine(2, 2, 2)
+        layers = hop_layers(ls.graph, "host:l0:0")
+        assert layers[1] == {"leaf:0"}
+        assert layers[2] == {"spine:0", "spine:1", "host:l0:1"}
+        assert layers[3] == {"leaf:1"}
+        assert layers[4] == {"host:l1:0", "host:l1:1"}
+
+    def test_layers_partition_reachable_nodes(self):
+        ft = FatTree(4)
+        layers = hop_layers(ft.graph, ft.hosts[0])
+        seen = set()
+        for layer in layers:
+            assert not layer & seen
+            seen |= layer
+        assert seen == set(ft.graph.nodes)
+
+    def test_every_node_has_lower_layer_neighbor(self):
+        """The BFS-parent invariant the greedy peeling relies on."""
+        ft = FatTree(4)
+        src = ft.hosts[0]
+        layers = hop_layers(ft.graph, src)
+        for j in range(1, len(layers)):
+            for node in layers[j]:
+                assert any(
+                    v in layers[j - 1] for v in ft.graph.neighbors(node)
+                )
+
+    def test_unreachable_nodes_absent(self):
+        ls = LeafSpine(1, 2, 1)
+        ls.fail_link("leaf:1", "spine:0")
+        layers = hop_layers(ls.graph, "host:l0:0")
+        flattened = set().union(*layers)
+        assert "host:l1:0" not in flattened
+
+
+class TestFarthestDestination:
+    def test_same_rack(self):
+        ls = LeafSpine(2, 2, 2)
+        assert farthest_destination_layer(ls.graph, "host:l0:0", ["host:l0:1"]) == 2
+
+    def test_cross_rack(self):
+        ls = LeafSpine(2, 2, 2)
+        assert farthest_destination_layer(ls.graph, "host:l0:0", ["host:l1:0"]) == 4
+
+    def test_mixed_takes_max(self):
+        ls = LeafSpine(2, 2, 2)
+        got = farthest_destination_layer(
+            ls.graph, "host:l0:0", ["host:l0:1", "host:l1:1"]
+        )
+        assert got == 4
+
+    def test_unreachable_raises(self):
+        ls = LeafSpine(1, 2, 1)
+        ls.fail_link("leaf:1", "spine:0")
+        with pytest.raises(ValueError):
+            farthest_destination_layer(ls.graph, "host:l0:0", ["host:l1:0"])

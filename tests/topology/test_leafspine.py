@@ -1,0 +1,76 @@
+"""Leaf-spine structural invariants."""
+
+import pytest
+
+from repro.topology import LeafSpine, NodeKind
+
+
+class TestConstruction:
+    def test_counts(self):
+        ls = LeafSpine(16, 48, 2)  # the paper's Fig. 7 fabric
+        assert len(ls.spines) == 16
+        assert len(ls.leaves) == 48
+        assert len(ls.hosts) == 96
+
+    def test_full_bipartite_mesh(self):
+        ls = LeafSpine(3, 5, 1)
+        for leaf in ls.leaves:
+            for spine in ls.spines:
+                assert ls.graph.has_edge(leaf, spine)
+
+    def test_spine_leaf_links_count(self):
+        ls = LeafSpine(3, 5, 1)
+        assert len(ls.spine_leaf_links()) == 15
+
+    @pytest.mark.parametrize("dims", [(0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_rejects_empty_dimensions(self, dims):
+        with pytest.raises(ValueError):
+            LeafSpine(*dims)
+
+    def test_hosts_under_leaf(self):
+        ls = LeafSpine(2, 2, 3)
+        assert ls.hosts_under_leaf("leaf:1") == [
+            "host:l1:0",
+            "host:l1:1",
+            "host:l1:2",
+        ]
+
+    def test_leaf_identifier(self):
+        ls = LeafSpine(2, 4, 1)
+        assert ls.leaf_identifier("leaf:3") == 3
+
+    def test_node_kinds(self):
+        ls = LeafSpine(2, 2, 2)
+        assert len(ls.nodes_of_kind(NodeKind.SPINE)) == 2
+        assert len(ls.nodes_of_kind(NodeKind.LEAF)) == 2
+        assert not ls.nodes_of_kind(NodeKind.CORE)
+
+    def test_diameter_is_four(self):
+        ls = LeafSpine(2, 2, 2)
+        dist = ls.distances_from("host:l0:0")
+        assert max(dist.values()) == 4  # host-leaf-spine-leaf-host
+
+    def test_is_symmetric_initially(self):
+        assert LeafSpine(2, 2, 1).is_symmetric
+
+
+class TestFailuresInteraction:
+    def test_fail_link_records(self):
+        ls = LeafSpine(2, 2, 1)
+        ls.fail_link("leaf:0", "spine:0")
+        assert not ls.is_symmetric
+        assert ("leaf:0", "spine:0") in ls.failed_links
+        assert not ls.graph.has_edge("leaf:0", "spine:0")
+
+    def test_fail_missing_link_raises(self):
+        ls = LeafSpine(2, 2, 1)
+        with pytest.raises(ValueError):
+            ls.fail_link("leaf:0", "leaf:1")
+
+    def test_copy_is_independent(self):
+        ls = LeafSpine(2, 2, 1)
+        dup = ls.copy()
+        dup.fail_link("leaf:0", "spine:0")
+        assert ls.is_symmetric
+        assert not dup.is_symmetric
+        assert ls.graph.has_edge("leaf:0", "spine:0")

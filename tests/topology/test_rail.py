@@ -1,0 +1,122 @@
+"""Rail-optimized topology (the §2.1 future-work target)."""
+
+import pytest
+
+from repro.core import layer_peeling_tree
+from repro.steiner import exact_steiner_cost, validate_tree
+from repro.topology import RailOptimized
+
+
+class TestConstruction:
+    def test_counts(self):
+        r = RailOptimized(4, 8, num_spines=2)
+        assert len(r.hosts) == 32
+        assert len(r.rails) == 4
+        assert len(r.switches) == 6
+
+    def test_isolated_rails_without_spines(self):
+        r = RailOptimized(3, 4)
+        assert len(r.switches) == 3
+        # Rails are disconnected planes.
+        import networkx as nx
+
+        assert nx.number_connected_components(r.graph) == 3
+
+    def test_rail_wiring(self):
+        r = RailOptimized(2, 3, num_spines=1)
+        for rail in range(2):
+            for server in range(3):
+                assert r.graph.has_edge(f"host:l{rail}:{server}", f"leaf:{rail}")
+
+    @pytest.mark.parametrize("dims", [(0, 1), (1, 0)])
+    def test_rejects_empty(self, dims):
+        with pytest.raises(ValueError):
+            RailOptimized(*dims)
+
+    def test_rejects_negative_spines(self):
+        with pytest.raises(ValueError):
+            RailOptimized(1, 1, num_spines=-1)
+
+
+class TestAccessors:
+    def test_rail_of(self):
+        r = RailOptimized(4, 4, num_spines=1)
+        assert r.rail_of("host:l2:1") == 2
+
+    def test_rail_of_rejects_switch(self):
+        r = RailOptimized(2, 2, num_spines=1)
+        with pytest.raises(ValueError):
+            r.rail_of("leaf:0")
+
+    def test_server_nics(self):
+        r = RailOptimized(3, 4)
+        assert r.server_nics(1) == ["host:l0:1", "host:l1:1", "host:l2:1"]
+
+    def test_nics_on_rail(self):
+        r = RailOptimized(2, 3)
+        assert r.nics_on_rail(1) == ["host:l1:0", "host:l1:1", "host:l1:2"]
+
+    def test_same_rail(self):
+        r = RailOptimized(2, 3)
+        assert r.same_rail(["host:l0:0", "host:l0:2"])
+        assert not r.same_rail(["host:l0:0", "host:l1:0"])
+
+    def test_index_bounds(self):
+        r = RailOptimized(2, 2)
+        with pytest.raises(ValueError):
+            r.server_nics(5)
+        with pytest.raises(ValueError):
+            r.nics_on_rail(9)
+
+
+class TestMulticastOnRails:
+    def test_single_rail_group_optimal(self):
+        """Intra-rail multicast needs only the rail switch."""
+        r = RailOptimized(4, 8, num_spines=2)
+        src = "host:l1:0"
+        dests = [f"host:l1:{s}" for s in range(1, 5)]
+        tree = layer_peeling_tree(r, src, dests)
+        validate_tree(tree, r.graph, src, dests)
+        assert tree.cost == len(dests) + 1
+        assert not any(n.startswith("spine") for n in tree.nodes)
+
+    def test_cross_rail_needs_spine(self):
+        r = RailOptimized(4, 8, num_spines=2)
+        src = "host:l0:0"
+        dests = ["host:l2:0", "host:l3:1"]
+        tree = layer_peeling_tree(r, src, dests)
+        validate_tree(tree, r.graph, src, dests)
+        assert any(n.startswith("spine") for n in tree.nodes)
+
+    def test_greedy_matches_exact(self):
+        r = RailOptimized(3, 6, num_spines=2)
+        src = "host:l0:0"
+        dests = ["host:l0:2", "host:l1:3", "host:l2:4", "host:l2:5"]
+        greedy = layer_peeling_tree(r, src, dests).cost
+        assert greedy == exact_steiner_cost(r.graph, src, dests)
+
+    def test_unreachable_without_spines(self):
+        r = RailOptimized(2, 2)
+        with pytest.raises(ValueError):
+            layer_peeling_tree(r, "host:l0:0", ["host:l1:0"])
+
+    def test_failures_reroute_through_other_spine(self):
+        r = RailOptimized(2, 4, num_spines=2)
+        r.fail_link("leaf:1", "spine:0")
+        tree = layer_peeling_tree(r, "host:l0:0", ["host:l1:0"])
+        assert "spine:1" in tree.nodes
+
+    def test_simulated_broadcast_on_rails(self):
+        from repro.sim import Network, SimConfig, Transfer
+
+        r = RailOptimized(2, 8, num_spines=2)
+        net = Network(r, SimConfig(segment_bytes=65536))
+        src = "host:l0:0"
+        dests = [f"host:l0:{s}" for s in range(1, 8)] + ["host:l1:0"]
+        tree = layer_peeling_tree(r, src, dests)
+        done = set()
+        t = Transfer(net, "t", src, 2**20, [tree],
+                     on_host_done=lambda h, at: done.add(h))
+        t.start()
+        net.sim.run()
+        assert done == set(dests)

@@ -1,0 +1,93 @@
+"""Poisson arrivals and offered-load calibration."""
+
+import random
+
+import pytest
+
+from repro.topology import FatTree
+from repro.workloads import (
+    arrival_rate_for_load,
+    fixed_count_arrivals,
+    generate_jobs,
+    offered_load,
+    poisson_arrival_times,
+)
+
+
+class TestPoisson:
+    def test_rate_matches_count(self):
+        rng = random.Random(0)
+        times = poisson_arrival_times(1000.0, 10.0, rng)
+        assert 9000 < len(times) < 11000
+
+    def test_sorted_and_within_horizon(self):
+        times = poisson_arrival_times(50.0, 2.0, random.Random(1))
+        assert times == sorted(times)
+        assert all(0 <= t < 2.0 for t in times)
+
+    def test_exponential_gaps(self):
+        times = poisson_arrival_times(100.0, 50.0, random.Random(2))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(0.01, rel=0.1)
+
+    @pytest.mark.parametrize("rate,dur", [(0, 1), (-1, 1), (1, 0)])
+    def test_rejects_bad_args(self, rate, dur):
+        with pytest.raises(ValueError):
+            poisson_arrival_times(rate, dur)
+
+    def test_fixed_count(self):
+        times = fixed_count_arrivals(10.0, 25, random.Random(3))
+        assert len(times) == 25
+        assert times == sorted(times)
+
+    def test_fixed_count_zero(self):
+        assert fixed_count_arrivals(10.0, 0) == []
+
+
+class TestOfferedLoad:
+    def test_roundtrip(self):
+        rate = arrival_rate_for_load(0.3, 8 * 2**20, 7, 96, 100e9)
+        back = offered_load(rate, 8 * 2**20, 7, 96, 100e9)
+        assert back == pytest.approx(0.3)
+
+    def test_bigger_messages_need_lower_rate(self):
+        small = arrival_rate_for_load(0.3, 2**20, 7, 96, 100e9)
+        big = arrival_rate_for_load(0.3, 64 * 2**20, 7, 96, 100e9)
+        assert big < small
+
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            arrival_rate_for_load(0, 2**20, 1, 1, 1e9)
+
+    def test_rejects_bad_message(self):
+        with pytest.raises(ValueError):
+            offered_load(1.0, 0, 1, 1, 1e9)
+
+
+class TestGenerateJobs:
+    def test_job_count_and_shape(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        jobs = generate_jobs(ft, 12, num_gpus=64, message_bytes=2**20, seed=0)
+        assert len(jobs) == 12
+        for job in jobs:
+            assert job.group.size == 64
+            assert job.message_bytes == 2**20
+        times = [j.arrival_s for j in jobs]
+        assert times == sorted(times)
+
+    def test_reproducible(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        a = generate_jobs(ft, 5, 32, 2**20, seed=42)
+        b = generate_jobs(ft, 5, 32, 2**20, seed=42)
+        assert a == b
+
+    def test_seed_changes_workload(self):
+        ft = FatTree(8, hosts_per_tor=4)
+        a = generate_jobs(ft, 5, 32, 2**20, seed=1)
+        b = generate_jobs(ft, 5, 32, 2**20, seed=2)
+        assert a != b
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            generate_jobs(FatTree(4), 0, 4, 2**20)
