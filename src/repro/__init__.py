@@ -34,7 +34,17 @@ from .core import (
     layer_peeling_tree,
     optimal_symmetric_tree,
 )
-from .sim import Network, SimConfig, Simulator, Transfer
+from .faults import FaultEvent, FaultInjector, FaultSchedule
+from .sim import (
+    FabricObserver,
+    InvariantChecker,
+    InvariantViolation,
+    Network,
+    SimConfig,
+    Simulator,
+    TraceRecorder,
+    Transfer,
+)
 from .steiner import MulticastTree, exact_steiner_tree, metric_closure_tree
 from .topology import FatTree, LeafSpine, Topology, asymmetric
 
@@ -50,9 +60,16 @@ __all__ = [
     "PeelPlan",
     "layer_peeling_tree",
     "optimal_symmetric_tree",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FabricObserver",
+    "InvariantChecker",
+    "InvariantViolation",
     "Network",
     "SimConfig",
     "Simulator",
+    "TraceRecorder",
     "Transfer",
     "MulticastTree",
     "exact_steiner_tree",

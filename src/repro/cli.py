@@ -1,7 +1,9 @@
 """Command-line interface: run any reproduced experiment from a shell.
 
     python -m repro fig1
-    python -m repro fig5 --sizes 2 8 32 --jobs 8
+    python -m repro fig5 --sizes 2 8 32 --jobs 8 --check-invariants
+    python -m repro faults --scheme peel --trace /tmp/golden.trace
+    python -m repro faults --schedule my_faults.json
     python -m repro churn --num-jobs 1000
     python -m repro list
 """
@@ -13,6 +15,7 @@ import sys
 
 from .experiments import (
     deployment,
+    faults_demo,
     fig1_bandwidth,
     fig3_rsbf,
     fig4_orca,
@@ -34,6 +37,7 @@ EXPERIMENTS = {
     "fig5": "CCT vs message size, all schemes (simulation)",
     "fig6": "CCT vs scale at 64 MB (simulation)",
     "fig7": "CCT vs failure rate (simulation)",
+    "faults": "mid-Broadcast link failure + re-peel demo (simulation)",
     "headline": "state table + aggregate-bandwidth headline",
     "trees": "layer-peeling quality vs exact Steiner",
     "guard": "DCQCN guard-timer ablation",
@@ -62,14 +66,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", type=int, nargs="+", default=[2, 16, 64])
     p.add_argument("--jobs", type=int, default=8)
     p.add_argument("--gpus", type=int, default=512)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="assert fabric invariants throughout (slower)")
 
     p = sub.add_parser("fig6", help=EXPERIMENTS["fig6"])
     p.add_argument("--scales", type=int, nargs="+", default=[64, 256])
     p.add_argument("--jobs", type=int, default=6)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="assert fabric invariants throughout (slower)")
 
     p = sub.add_parser("fig7", help=EXPERIMENTS["fig7"])
     p.add_argument("--failures", type=int, nargs="+", default=[1, 4, 10])
     p.add_argument("--jobs", type=int, default=20)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="assert fabric invariants throughout (slower)")
+
+    p = sub.add_parser("faults", help=EXPERIMENTS["faults"])
+    p.add_argument("--scheme", default="peel",
+                   choices=faults_demo.RECOVERABLE_SCHEMES)
+    p.add_argument("--gpus", type=int, default=32)
+    p.add_argument("--message-mb", type=int, default=8)
+    p.add_argument("--schedule", metavar="PATH",
+                   help="JSON fault schedule (see repro.faults); default "
+                        "flaps a loaded spine link mid-Broadcast")
+    p.add_argument("--no-restore", action="store_true",
+                   help="leave the default failed link down for good")
+    p.add_argument("--trace", metavar="PATH",
+                   help="save the run's golden-trace digest to PATH")
+    p.add_argument("--seed", type=int, default=3)
 
     p = sub.add_parser("guard", help=EXPERIMENTS["guard"])
     p.add_argument("--jobs", type=int, default=12)
@@ -102,17 +126,40 @@ def main(argv: list[str] | None = None) -> int:
                   f"{fig4_orca.tail_inflation(rows, size):.1f}x")
     elif args.command == "fig5":
         rows = fig5_message_size.run(
-            sizes_mb=tuple(args.sizes), num_jobs=args.jobs, num_gpus=args.gpus
+            sizes_mb=tuple(args.sizes), num_jobs=args.jobs, num_gpus=args.gpus,
+            check_invariants=args.check_invariants,
         )
         print(format_cct_table(rows, "msg (MB)"))
     elif args.command == "fig6":
-        rows = fig6_scale.run(scales=tuple(args.scales), num_jobs=args.jobs)
+        rows = fig6_scale.run(
+            scales=tuple(args.scales), num_jobs=args.jobs,
+            check_invariants=args.check_invariants,
+        )
         print(format_cct_table(rows, "GPUs"))
     elif args.command == "fig7":
         rows = fig7_failures.run(
-            failure_pcts=tuple(args.failures), num_jobs=args.jobs
+            failure_pcts=tuple(args.failures), num_jobs=args.jobs,
+            check_invariants=args.check_invariants,
         )
         print(format_cct_table(rows, "failed %"))
+    elif args.command == "faults":
+        from .faults import FaultSchedule
+
+        schedule = FaultSchedule.load(args.schedule) if args.schedule else None
+        result = faults_demo.run(
+            scheme=args.scheme,
+            num_gpus=args.gpus,
+            message_mb=args.message_mb,
+            schedule=schedule,
+            restore=not args.no_restore,
+            seed=args.seed,
+            record_trace=args.trace is not None,
+        )
+        print(faults_demo.format_result(result))
+        if args.trace:
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                fh.write(result.trace_digest + "\n")
+            print(f"trace digest written to {args.trace}")
     elif args.command == "headline":
         print(headline.format_state_table(headline.state_table()))
         bw = headline.bandwidth_headline()

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 import random
+from typing import TYPE_CHECKING
 
 from ..core import ControllerModel, Peel
-from ..sim import Network, SimConfig, Simulator, UnicastRouter
+from ..sim import InvariantChecker, Network, SimConfig, Simulator, TraceRecorder, UnicastRouter
 from ..topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults import FaultInjector, FaultSchedule
 
 
 class CollectiveEnv:
@@ -15,6 +19,17 @@ class CollectiveEnv:
     All schemes launched into the same env share the fabric (and therefore
     contend for it), which is how the Poisson-arrival experiments create
     background load.
+
+    Correctness tooling (all optional, see DESIGN.md "Correctness tooling"):
+
+    * ``fault_schedule`` — a :class:`repro.faults.FaultSchedule` of dynamic
+      link/switch faults, installed as :attr:`fault_injector` before any
+      transfer exists (multicast schemes then self-register for re-peeling);
+    * ``check_invariants`` — attach an
+      :class:`~repro.sim.invariants.InvariantChecker` (:attr:`invariants`);
+    * ``record_trace`` — attach a
+      :class:`~repro.sim.trace.TraceRecorder` (:attr:`trace`) producing a
+      deterministic golden-trace digest.
     """
 
     def __init__(
@@ -22,6 +37,10 @@ class CollectiveEnv:
         topo: Topology,
         config: SimConfig | None = None,
         controller: ControllerModel | None = None,
+        fault_schedule: "FaultSchedule | None" = None,
+        check_invariants: bool = False,
+        record_trace: bool = False,
+        raise_on_violation: bool = True,
     ) -> None:
         self.topo = topo
         self.config = config or SimConfig()
@@ -34,6 +53,20 @@ class CollectiveEnv:
         )
         self._peel_planners: dict[int | None, Peel] = {}
         self._transfer_counter = 0
+
+        self.invariants: InvariantChecker | None = None
+        if check_invariants:
+            self.invariants = InvariantChecker(
+                self.network, raise_immediately=raise_on_violation
+            )
+        self.trace: TraceRecorder | None = None
+        if record_trace:
+            self.trace = TraceRecorder(self.network)
+        self.fault_injector: "FaultInjector | None" = None
+        if fault_schedule is not None:
+            from ..faults import FaultInjector
+
+            self.fault_injector = FaultInjector(self, fault_schedule)
 
     def peel(self, max_prefixes_per_fanout: int | None = None) -> Peel:
         planner = self._peel_planners.get(max_prefixes_per_fanout)
@@ -48,3 +81,9 @@ class CollectiveEnv:
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         return self.sim.run(until=until, max_events=max_events)
+
+    def finalize_checks(self) -> list:
+        """Run the invariant checker's end-of-run sweep (no-op otherwise)."""
+        if self.invariants is None:
+            return []
+        return self.invariants.finalize()

@@ -18,6 +18,17 @@ from .base import BroadcastScheme, CollectiveHandle, Group
 from .env import CollectiveEnv
 
 
+def _steiner_tree(env: CollectiveEnv, source: str, receivers: list[str]):
+    """Best available multicast tree on the env's *current* topology."""
+    if env.topo.is_symmetric:
+        from ..core import optimal_symmetric_tree
+
+        return optimal_symmetric_tree(env.topo, source, receivers)
+    if len(receivers) + 1 <= MAX_EXACT_TERMINALS:
+        return exact_steiner_tree(env.topo.graph, source, receivers)
+    return metric_closure_tree(env.topo.graph, source, receivers)
+
+
 class OptimalBroadcast(BroadcastScheme):
     """Bandwidth-optimal Steiner-tree multicast (idealized baseline)."""
     name = "optimal"
@@ -34,14 +45,7 @@ class OptimalBroadcast(BroadcastScheme):
         if not receivers:
             return handle
         source = group.source.host
-        if env.topo.is_symmetric:
-            from ..core import optimal_symmetric_tree
-
-            tree = optimal_symmetric_tree(env.topo, source, receivers)
-        elif len(receivers) + 1 <= MAX_EXACT_TERMINALS:
-            tree = exact_steiner_tree(env.topo.graph, source, receivers)
-        else:
-            tree = metric_closure_tree(env.topo.graph, source, receivers)
+        tree = _steiner_tree(env, source, receivers)
         transfer = Transfer(
             env.network,
             env.next_transfer_name("optimal"),
@@ -51,6 +55,10 @@ class OptimalBroadcast(BroadcastScheme):
             start_at=arrival_s,
             on_host_done=handle.host_done,
         )
+        if env.fault_injector is not None:
+            env.fault_injector.register(
+                transfer, lambda remaining: [_steiner_tree(env, source, remaining)]
+            )
         transfer.start()
         return handle
 
@@ -100,5 +108,14 @@ class PeelBroadcast(BroadcastScheme):
             start_at=arrival_s,
             on_host_done=handle.host_done,
         )
+        if env.fault_injector is not None:
+            # Re-peel on fabric faults (§2.3): replan static prefix packets
+            # for the still-unfinished receivers on the degraded topology.
+            max_prefixes = self.max_prefixes_per_fanout
+
+            def replan(remaining: list[str]) -> list:
+                return env.peel(max_prefixes).plan(source, remaining).static_trees
+
+            env.fault_injector.register(transfer, replan)
         transfer.start()
         return handle

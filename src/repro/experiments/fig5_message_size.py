@@ -23,6 +23,7 @@ def run(
     num_gpus: int = 512,
     offered_load: float = 0.3,
     seed: int = 7,
+    check_invariants: bool = False,
 ) -> list[CctRow]:
     topo = paper_fattree()
     rows: list[CctRow] = []
@@ -34,7 +35,9 @@ def run(
         )
         cfg = sim_config(msg)
         for scheme in schemes:
-            result = run_broadcast_scenario(topo, scheme, jobs, cfg)
+            result = run_broadcast_scenario(
+                topo, scheme, jobs, cfg, check_invariants=check_invariants
+            )
             rows.append(
                 CctRow(scheme, size_mb, result.stats.mean_s, result.stats.p99_s)
             )

@@ -22,6 +22,7 @@ def run(
     num_jobs: int = 12,
     offered_load: float = 0.3,
     seed: int = 7,
+    check_invariants: bool = False,
 ) -> list[CctRow]:
     topo = paper_fattree()
     msg = message_mb * MB
@@ -33,7 +34,9 @@ def run(
             gpus_per_host=1, seed=seed,
         )
         for scheme in schemes:
-            result = run_broadcast_scenario(topo, scheme, jobs, cfg)
+            result = run_broadcast_scenario(
+                topo, scheme, jobs, cfg, check_invariants=check_invariants
+            )
             rows.append(CctRow(scheme, scale, result.stats.mean_s, result.stats.p99_s))
     return rows
 

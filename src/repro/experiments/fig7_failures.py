@@ -25,6 +25,7 @@ def run(
     num_jobs: int = 40,
     offered_load: float = 0.9,
     seed: int = 11,
+    check_invariants: bool = False,
 ) -> list[CctRow]:
     msg = message_mb * MB
     cfg = sim_config(msg)
@@ -37,7 +38,9 @@ def run(
             gpus_per_host=1, seed=seed,
         )
         for scheme in schemes:
-            result = run_broadcast_scenario(topo, scheme, jobs, cfg)
+            result = run_broadcast_scenario(
+                topo, scheme, jobs, cfg, check_invariants=check_invariants
+            )
             rows.append(CctRow(scheme, pct, result.stats.mean_s, result.stats.p99_s))
     return rows
 

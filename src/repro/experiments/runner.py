@@ -10,6 +10,9 @@ from ..sim import SimConfig
 from ..topology import Topology
 from ..workloads import CollectiveJob
 
+#: Below one MTU the simulator cannot segment (store-and-forward floor).
+MIN_SEGMENT_BYTES = 1500
+
 
 @dataclass
 class ScenarioResult:
@@ -18,6 +21,10 @@ class ScenarioResult:
     total_bytes: int
     wasted_bytes: int
     pfc_pause_events: int
+    invariant_violations: list = field(default_factory=list)
+    trace_digest: str | None = None
+    failure_drops: int = 0
+    repeels: list = field(default_factory=list)
     stats: CctStats = field(init=False)
 
     def __post_init__(self) -> None:
@@ -30,20 +37,38 @@ def run_broadcast_scenario(
     jobs: list[CollectiveJob],
     config: SimConfig | None = None,
     max_events: int | None = None,
+    check_invariants: bool = False,
+    fault_schedule=None,
+    record_trace: bool = False,
 ) -> ScenarioResult:
     """Run every job under one scheme on a fresh fabric; returns all CCTs.
 
     All jobs share the fabric, so concurrent collectives contend — this is
     how the Poisson-load experiments produce queueing and tail effects.
+
+    ``check_invariants`` attaches an
+    :class:`~repro.sim.invariants.InvariantChecker` (raising on the first
+    violation); ``fault_schedule`` injects dynamic mid-run faults (the
+    caller's topology is copied first, since faults mutate it);
+    ``record_trace`` computes a deterministic golden-trace digest.
     """
     if isinstance(scheme, str):
         scheme = scheme_by_name(scheme)
-    env = CollectiveEnv(topo, config)
+    if fault_schedule is not None:
+        topo = topo.copy()  # dynamic faults mutate the planning topology
+    env = CollectiveEnv(
+        topo,
+        config,
+        fault_schedule=fault_schedule,
+        check_invariants=check_invariants,
+        record_trace=record_trace,
+    )
     handles = [
         scheme.launch(env, job.group, job.message_bytes, job.arrival_s)
         for job in jobs
     ]
     env.run(max_events=max_events)
+    violations = env.finalize_checks()
     unfinished = [h for h in handles if not h.complete]
     if unfinished:
         raise RuntimeError(
@@ -56,16 +81,29 @@ def run_broadcast_scenario(
         total_bytes=env.network.total_bytes_sent(),
         wasted_bytes=env.network.wasted_bytes,
         pfc_pause_events=env.network.pfc_pause_events,
+        invariant_violations=list(violations),
+        trace_digest=env.trace.digest() if env.trace is not None else None,
+        failure_drops=env.network.failure_drops,
+        repeels=(
+            list(env.fault_injector.repeels)
+            if env.fault_injector is not None
+            else []
+        ),
     )
 
 
 def segment_bytes_for(message_bytes: int, target_segments: int = 64) -> int:
     """Pick a store-and-forward granularity bounding event counts.
 
-    Small messages use 64 KiB segments; large ones are split into about
+    Mid-sized messages use 64 KiB segments; large ones are split into about
     ``target_segments`` pieces so simulated event counts stay flat across
-    the paper's 2 MB - 512 MB sweep (see DESIGN.md on granularity).
+    the paper's 2 MB - 512 MB sweep (see DESIGN.md on granularity).  The
+    granularity never exceeds the message itself (a 1 KiB message is one
+    1 KiB segment, not a 64 KiB one) except for the one-MTU floor
+    :class:`~repro.sim.config.SimConfig` requires — sub-MTU messages still
+    travel as a single short segment.
     """
     if message_bytes <= 0:
         raise ValueError("message_bytes must be positive")
-    return max(65536, message_bytes // target_segments)
+    granularity = max(65536, message_bytes // target_segments)
+    return max(MIN_SEGMENT_BYTES, min(granularity, message_bytes))

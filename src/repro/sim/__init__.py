@@ -4,10 +4,13 @@ PFC), DCQCN rate control, unicast routing, and paced transfers."""
 from .config import DcqcnConfig, SimConfig
 from .dcqcn import DcqcnSender
 from .engine import EventHandle, Simulator
+from .invariants import InvariantChecker, InvariantViolation, Violation
 from .network import HostNode, Network, Port, SwitchNode
+from .observer import FabricObserver
 from .packet import Segment
 from .routing import UnicastRouter
 from .stats import FabricSummary, fabric_summary, format_summary
+from .trace import TraceRecorder, diff_traces
 from .transfer import Transfer
 
 __all__ = [
@@ -16,6 +19,10 @@ __all__ = [
     "DcqcnSender",
     "EventHandle",
     "Simulator",
+    "FabricObserver",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
     "Network",
     "Port",
     "SwitchNode",
@@ -25,5 +32,7 @@ __all__ = [
     "FabricSummary",
     "fabric_summary",
     "format_summary",
+    "TraceRecorder",
+    "diff_traces",
     "Transfer",
 ]

@@ -1,0 +1,390 @@
+"""Runtime invariant checking for the simulated fabric.
+
+The :class:`InvariantChecker` registers as a
+:class:`~repro.sim.observer.FabricObserver` on a
+:class:`~repro.sim.network.Network` and machine-checks, continuously while
+the simulation runs, the properties every experiment silently assumes:
+
+* **byte conservation** — every copy created (source injection + switch
+  replication) is eventually delivered, wasted at an over-covered ToR, or
+  lost; at any instant the lifecycle ledger must equal the bytes physically
+  sitting in queues, serializers and on the wire;
+* **non-negative occupancy** — port queues, shared switch buffers and
+  per-ingress PFC accounting never go negative;
+* **PFC quota respect** — an ingress never parks more than its pause quota
+  plus the physically unavoidable skid (the in-flight bytes that arrive
+  after the PAUSE, multiplied by the replication fan-out they charge);
+* **exactly-once delivery** — a transfer never counts the same segment
+  twice for the same destination (duplicate raw copies are allowed — repair
+  races produce them — double *acceptance* is not);
+* **deadlock watchdog** — while copies are in flight, bytes keep moving; a
+  full watchdog window with pending unpaused work and zero progress flags a
+  stall (e.g. a PFC circular buffer dependency).
+
+Violations either raise :class:`InvariantViolation` immediately (default —
+the right mode for tests) or accumulate in :attr:`InvariantChecker.violations`
+for post-run inspection (the right mode for long experiment sweeps).
+Call :meth:`InvariantChecker.finalize` after the run for the end-state
+checks (no leaked in-flight bytes, complete transfers fully accepted,
+quiescent-deadlock detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .network import Network, SwitchNode
+from .observer import FabricObserver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import HostNode, Port
+    from .packet import Segment
+    from .transfer import Transfer
+
+
+class InvariantViolation(AssertionError):
+    """A machine-checked simulator invariant failed."""
+
+    def __init__(self, violation: "Violation") -> None:
+        super().__init__(str(violation))
+        self.violation = violation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check."""
+
+    invariant: str
+    time_s: float
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant} @ {self.time_s * 1e3:.3f}ms] {self.detail}"
+
+
+class InvariantChecker(FabricObserver):
+    """Continuously asserts fabric invariants (see module docstring).
+
+    ``raise_immediately`` turns the first violation into an
+    :class:`InvariantViolation`; otherwise violations accumulate in
+    :attr:`violations`.  ``watchdog_interval_s`` is the progress-watchdog
+    cadence in simulated seconds.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        raise_immediately: bool = True,
+        watchdog_interval_s: float = 2e-3,
+        pfc_skid_bytes: float | None = None,
+    ) -> None:
+        if watchdog_interval_s <= 0:
+            raise ValueError("watchdog_interval_s must be positive")
+        self.network = network
+        self.sim = network.sim
+        self.raise_immediately = raise_immediately
+        self.watchdog_interval_s = watchdog_interval_s
+        self._pfc_skid_override = pfc_skid_bytes
+
+        self.violations: list[Violation] = []
+        self.checks = 0  # individual invariant evaluations performed
+
+        # Copy-lifecycle ledger (the "sent = delivered + in-flight + wasted"
+        # identity, with loss as the fourth sink).
+        self.created_bytes = 0
+        self.delivered_bytes = 0
+        self.wasted_bytes = 0
+        self.lost_bytes = 0
+        self.in_flight_bytes = 0
+        self.in_flight_copies = 0
+        # Bytes between a port's serializer and the next hop's receive.
+        self._propagating_bytes = 0
+
+        self._max_segment_bytes = 0
+        fanout: dict[str, int] = {}
+        for src, _dst in network.ports:
+            fanout[src] = fanout.get(src, 0) + 1
+        self._max_fanout = max(
+            (
+                n
+                for name, n in fanout.items()
+                if isinstance(network.nodes[name], SwitchNode)
+            ),
+            default=1,
+        )
+        self._max_capacity_bps = max(
+            (p.capacity_bps for p in network.ports.values()), default=0.0
+        )
+        self._skid_cache: float | None = None
+        # (transfer id, host) -> accepted segment seqs (exactly-once check).
+        self._accepted: dict[tuple[int, str], set[int]] = {}
+
+        self._watchdog_armed = False
+        self._last_progress: tuple[int, ...] | None = None
+
+        network.add_observer(self)
+
+    # -- violation plumbing ----------------------------------------------------
+
+    def _violate(self, invariant: str, detail: str) -> None:
+        violation = Violation(invariant, self.sim.now, detail)
+        self.violations.append(violation)
+        if self.raise_immediately:
+            raise InvariantViolation(violation)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"invariants ok: {self.checks} checks, "
+                f"{self.created_bytes} B created = "
+                f"{self.delivered_bytes} B delivered + "
+                f"{self.wasted_bytes} B wasted + {self.lost_bytes} B lost + "
+                f"{self.in_flight_bytes} B in flight"
+            )
+        lines = [f"{len(self.violations)} invariant violation(s):"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+    # -- PFC skid bound --------------------------------------------------------
+
+    @property
+    def pfc_skid_bytes(self) -> float:
+        """Worst-case bytes an ingress may accrue *after* its PAUSE.
+
+        After the pause signal the upstream port finishes the copy it is
+        serializing, and copies already propagating still arrive — at most
+        two segments plus a bandwidth-delay product.  Each arrival is
+        charged once per replicated child, hence the fan-out factor.
+        """
+        if self._pfc_skid_override is not None:
+            return self._pfc_skid_override
+        if self._skid_cache is None:
+            cfg = self.network.config
+            seg = max(self._max_segment_bytes, cfg.segment_bytes)
+            bdp = self._max_capacity_bps * cfg.propagation_delay_s / 8
+            self._skid_cache = self._max_fanout * (2 * seg + bdp)
+        return self._skid_cache
+
+    # -- copy lifecycle hooks --------------------------------------------------
+
+    def _created(self, segment: "Segment") -> None:
+        nb = segment.nbytes
+        self.created_bytes += nb
+        self.in_flight_bytes += nb
+        self.in_flight_copies += 1
+        if nb > self._max_segment_bytes:
+            self._max_segment_bytes = nb
+            self._skid_cache = None
+        self._arm_watchdog()
+
+    def _consumed(self, segment: "Segment", sink: str) -> None:
+        self.in_flight_bytes -= segment.nbytes
+        self.in_flight_copies -= 1
+        self.checks += 1
+        if self.in_flight_bytes < 0 or self.in_flight_copies < 0:
+            self._violate(
+                "byte-conservation",
+                f"copy sink {sink!r} consumed more than was ever created "
+                f"(in-flight {self.in_flight_bytes} B / "
+                f"{self.in_flight_copies} copies)",
+            )
+
+    def on_inject(self, host: "HostNode", segment: "Segment") -> None:
+        self._created(segment)
+
+    def on_fork(self, switch: "SwitchNode", segment: "Segment") -> None:
+        self._created(segment)
+
+    def on_deliver(self, host: "HostNode", segment: "Segment") -> None:
+        self._propagating_bytes -= segment.nbytes
+        self.delivered_bytes += segment.nbytes
+        self._consumed(segment, "deliver")
+
+    def on_wasted(self, switch: "SwitchNode", segment: "Segment") -> None:
+        self.wasted_bytes += segment.nbytes
+        self._consumed(segment, "wasted")
+
+    def on_lost(self, port: "Port", segment: "Segment") -> None:
+        self.lost_bytes += segment.nbytes
+        self._consumed(segment, "lost")
+
+    def on_tx_done(self, port: "Port", segment: "Segment") -> None:
+        self._propagating_bytes += segment.nbytes
+
+    def on_switch_receive(self, switch: "SwitchNode", segment: "Segment") -> None:
+        self._propagating_bytes -= segment.nbytes
+
+    # -- per-event checks ------------------------------------------------------
+
+    def on_enqueue(self, port: "Port", segment: "Segment") -> None:
+        node = self.network.nodes[port.src]
+        if not isinstance(node, SwitchNode):
+            return
+        self.checks += 1
+        via = segment.ingress
+        if via is not None:
+            held = node.ingress_bytes.get(via, 0)
+            limit = node.pause_quota + self.pfc_skid_bytes
+            if held > limit:
+                self._violate(
+                    "pfc-quota",
+                    f"switch {node.name} ingress {via.src}->{via.dst} holds "
+                    f"{held} B, quota {node.pause_quota:.0f} B + skid "
+                    f"{self.pfc_skid_bytes:.0f} B",
+                )
+        if node.buffered_bytes < 0:
+            self._violate(
+                "occupancy", f"switch {node.name} buffer at {node.buffered_bytes} B"
+            )
+
+    def on_accept(self, transfer: "Transfer", host: str, segment: "Segment") -> None:
+        self.checks += 1
+        seq = segment.seq
+        if seq < 0 or seq >= transfer.num_segments:
+            self._violate(
+                "segment-shape",
+                f"{transfer.name} accepted out-of-range segment #{seq} at {host}",
+            )
+            return
+        if segment.nbytes != transfer.segment_sizes[seq]:
+            self._violate(
+                "segment-shape",
+                f"{transfer.name}#{seq} accepted with {segment.nbytes} B at "
+                f"{host}, expected {transfer.segment_sizes[seq]} B",
+            )
+        accepted = self._accepted.setdefault((id(transfer), host), set())
+        if seq in accepted:
+            self._violate(
+                "exactly-once",
+                f"{transfer.name}#{seq} delivered twice to {host}",
+            )
+            return
+        accepted.add(seq)
+
+    # -- periodic scan ---------------------------------------------------------
+
+    def scan(self) -> None:
+        """Full-fabric occupancy + conservation sweep (watchdog cadence)."""
+        observed = self._propagating_bytes
+        for port in self.network.ports.values():
+            self.checks += 1
+            if port.queue_bytes < 0:
+                self._violate(
+                    "occupancy",
+                    f"port {port.src}->{port.dst} queue at {port.queue_bytes} B",
+                )
+            if port.down and port.queue:
+                self._violate(
+                    "occupancy",
+                    f"failed port {port.src}->{port.dst} still holds "
+                    f"{len(port.queue)} queued copies",
+                )
+            observed += port.queue_bytes
+            if port.in_service is not None:
+                observed += port.in_service.nbytes
+        for name, node in self.network.nodes.items():
+            if not isinstance(node, SwitchNode):
+                continue
+            self.checks += 1
+            if node.buffered_bytes < 0:
+                self._violate(
+                    "occupancy", f"switch {name} buffer at {node.buffered_bytes} B"
+                )
+            for via, held in node.ingress_bytes.items():
+                if held < 0:
+                    self._violate(
+                        "occupancy",
+                        f"switch {name} ingress {via.src}->{via.dst} at {held} B",
+                    )
+        self.checks += 1
+        if observed != self.in_flight_bytes:
+            self._violate(
+                "byte-conservation",
+                f"lifecycle ledger says {self.in_flight_bytes} B in flight "
+                f"but the fabric holds {observed} B "
+                f"(created {self.created_bytes} = delivered "
+                f"{self.delivered_bytes} + wasted {self.wasted_bytes} + lost "
+                f"{self.lost_bytes} + in-flight)",
+            )
+
+    # -- deadlock watchdog -----------------------------------------------------
+
+    def _progress_vector(self) -> tuple[int, ...]:
+        return (
+            self.created_bytes,
+            self.delivered_bytes,
+            self.wasted_bytes,
+            self.lost_bytes,
+            sum(p.bytes_sent for p in self.network.ports.values()),
+        )
+
+    def _arm_watchdog(self) -> None:
+        if self._watchdog_armed:
+            return
+        self._watchdog_armed = True
+        self._last_progress = self._progress_vector()
+        self.sim.schedule(self.watchdog_interval_s, self._watchdog_tick)
+
+    def _watchdog_tick(self) -> None:
+        self._watchdog_armed = False
+        self.scan()
+        if self.in_flight_bytes <= 0:
+            return  # fabric drained; re-armed by the next injection
+        progress = self._progress_vector()
+        self.checks += 1
+        if progress == self._last_progress:
+            self._violate(
+                "deadlock",
+                f"{self.in_flight_bytes} B in flight but no byte moved for "
+                f"{self.watchdog_interval_s * 1e3:.1f}ms "
+                f"({self._stall_diagnosis()})",
+            )
+        self._arm_watchdog()
+
+    def _stall_diagnosis(self) -> str:
+        pending = [p for p in self.network.ports.values() if p.queue_bytes > 0]
+        paused = [p for p in pending if p.paused]
+        downed = [p for p in pending if p.down]
+        return (
+            f"{len(pending)} ports with queued work: "
+            f"{len(paused)} paused, {len(downed)} down"
+        )
+
+    # -- end of run ------------------------------------------------------------
+
+    def finalize(self) -> list[Violation]:
+        """End-of-run checks; returns all violations recorded so far."""
+        self.scan()
+        incomplete = [t for t in self.network.transfers if not t.complete]
+        self.checks += 1
+        if not incomplete and self.in_flight_bytes != 0:
+            self._violate(
+                "byte-conservation",
+                f"all transfers complete but {self.in_flight_bytes} B / "
+                f"{self.in_flight_copies} copies still in flight",
+            )
+        if incomplete and self.in_flight_bytes > 0 and self.sim.pending == 0:
+            self._violate(
+                "deadlock",
+                f"{len(incomplete)} transfer(s) incomplete with an empty "
+                f"event queue ({self._stall_diagnosis()})",
+            )
+        for transfer in self.network.transfers:
+            if not transfer.complete:
+                continue
+            for host in transfer.receivers:
+                self.checks += 1
+                accepted = self._accepted.get((id(transfer), host), set())
+                if len(accepted) != transfer.num_segments:
+                    self._violate(
+                        "exactly-once",
+                        f"{transfer.name} complete but {host} accepted "
+                        f"{len(accepted)}/{transfer.num_segments} segments",
+                    )
+        return self.violations

@@ -8,6 +8,12 @@ only that port — receives a PAUSE (per-ingress PFC, which is what keeps
 lossless fabrics free of the circular-buffer-dependency deadlocks a
 "pause everyone" model invents).  Output queues mark ECN with DCQCN's
 RED-style profile.
+
+Links can fail *mid-run* (:meth:`Network.set_link_down`): a downed port
+blackholes traffic — queued copies die, the copy on the wire dies, and
+arrivals die on enqueue — until :meth:`Network.set_link_up` restores it.
+Every lifecycle event is mirrored to registered
+:class:`~repro.sim.observer.FabricObserver` instances.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from ..topology import Topology
 from ..topology.addressing import NodeKind, kind_of
 from .config import SimConfig
 from .engine import Simulator
+from .observer import FabricObserver
 from .packet import Segment
 
 
@@ -34,7 +41,10 @@ class Port:
         "queue",
         "queue_bytes",
         "transmitting",
+        "in_service",
         "paused",
+        "down",
+        "drop_next",
         "bytes_sent",
         "segments_sent",
         "ecn_marks",
@@ -52,13 +62,25 @@ class Port:
         self.queue: deque[Segment] = deque()
         self.queue_bytes = 0
         self.transmitting = False
+        self.in_service: Segment | None = None
         self.paused = False
+        self.down = False
+        self.drop_next = 0  # one-shot transient-drop counter (fault injection)
         self.bytes_sent = 0
         self.segments_sent = 0
         self.ecn_marks = 0
         self.peak_queue_bytes = 0
 
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.src, self.dst)
+
     def enqueue(self, segment: Segment) -> None:
+        if self.down:
+            # Frames toward a dead link die immediately instead of parking
+            # in a queue that can never drain (which would wedge PFC).
+            self.network.drop_for_failure(self, segment)
+            return
         src_node = self.network.nodes[self.src]
         if isinstance(src_node, SwitchNode):
             # ECN decision uses the *waiting* bytes the segment lands behind
@@ -70,6 +92,9 @@ class Port:
         self.queue.append(segment)
         self.queue_bytes += segment.nbytes
         self.peak_queue_bytes = max(self.peak_queue_bytes, self.queue_bytes)
+        if self.network.observers:
+            for ob in self.network.observers:
+                ob.on_enqueue(self, segment)
         self._maybe_start()
 
     def _ecn_mark(self) -> bool:
@@ -83,11 +108,12 @@ class Port:
         return net.rng.random() < net.config.ecn_pmax * ramp
 
     def _maybe_start(self) -> None:
-        if self.transmitting or self.paused or not self.queue:
+        if self.transmitting or self.paused or self.down or not self.queue:
             return
         segment = self.queue.popleft()
         self.queue_bytes -= segment.nbytes
         self.transmitting = True
+        self.in_service = segment
         tx_s = segment.nbytes * 8 / self.capacity_bps
         self.sim.schedule(tx_s, self._tx_done, segment)
 
@@ -95,15 +121,28 @@ class Port:
         self.bytes_sent += segment.nbytes
         self.segments_sent += 1
         self.transmitting = False
+        self.in_service = None
         src_node = self.network.nodes[self.src]
         if isinstance(src_node, SwitchNode):
             src_node.buffer_release(segment)
         cfg = self.network.config
-        if cfg.loss_probability and self.network.rng.random() < cfg.loss_probability:
+        if self.down:
+            # The link failed while this frame was on the wire.
+            self.network.drop_for_failure(self, segment)
+        elif self.drop_next > 0:
+            self.drop_next -= 1
+            self.network.drop_for_failure(self, segment)
+        elif cfg.loss_probability and self.network.rng.random() < cfg.loss_probability:
             # Corrupted on the wire: the link time was spent, the bytes die.
             # Selective-repeat recovery happens at the transfer layer.
             self.network.lost_segments += 1
+            if self.network.observers:
+                for ob in self.network.observers:
+                    ob.on_lost(self, segment)
         else:
+            if self.network.observers:
+                for ob in self.network.observers:
+                    ob.on_tx_done(self, segment)
             dst_node = self.network.nodes[self.dst]
             self.sim.schedule(
                 cfg.propagation_delay_s, dst_node.receive, segment, self
@@ -117,6 +156,28 @@ class Port:
         if self.paused:
             self.paused = False
             self._maybe_start()
+
+    # -- dynamic failure ------------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the port down, dropping every queued copy."""
+        if self.down:
+            return
+        self.down = True
+        src_node = self.network.nodes[self.src]
+        while self.queue:
+            segment = self.queue.popleft()
+            self.queue_bytes -= segment.nbytes
+            if isinstance(src_node, SwitchNode):
+                src_node.buffer_release(segment)
+            self.network.drop_for_failure(self, segment)
+        # The in-service copy (if any) dies at its _tx_done.
+
+    def restore(self) -> None:
+        if not self.down:
+            return
+        self.down = False
+        self._maybe_start()
 
 
 class SwitchNode:
@@ -157,16 +218,29 @@ class SwitchNode:
         self.resume_quota = max(0.0, self.pause_quota - hysteresis)
 
     def receive(self, segment: Segment, via: Port | None) -> None:
+        observers = self.network.observers
+        if observers:
+            for ob in observers:
+                ob.on_switch_receive(self, segment)
         children = segment.route.children(self.name)
         if not children:
             # Over-covered ToR (§3.3): the packet arrived, nobody wants it.
             self.dropped_bytes += segment.nbytes
             self.network.wasted_bytes += segment.nbytes
+            if observers:
+                for ob in observers:
+                    ob.on_wasted(self, segment)
             return
         ports = self.network.ports
         last = len(children) - 1
         for i, child in enumerate(children):
-            copy = segment if i == last else segment.fork()
+            if i == last:
+                copy = segment
+            else:
+                copy = segment.fork()
+                if observers:
+                    for ob in observers:
+                        ob.on_fork(self, copy)
             copy.ingress = via
             ports[self.name, child].enqueue(copy)
 
@@ -183,6 +257,9 @@ class SwitchNode:
             self.paused_ingress.add(via)
             self.network.pfc_pause_events += 1
             via.pause()
+            if self.network.observers:
+                for ob in self.network.observers:
+                    ob.on_pfc_pause(self, via)
 
     def buffer_release(self, segment: Segment) -> None:
         self.buffered_bytes -= segment.nbytes
@@ -194,6 +271,9 @@ class SwitchNode:
         if via in self.paused_ingress and held <= self.resume_quota:
             self.paused_ingress.discard(via)
             via.resume()
+            if self.network.observers:
+                for ob in self.network.observers:
+                    ob.on_pfc_resume(self, via)
 
 
 class HostNode:
@@ -207,6 +287,9 @@ class HostNode:
 
     def receive(self, segment: Segment, via: Port | None = None) -> None:
         del via  # hosts sink traffic; no onward buffer accounting
+        if self.network.observers:
+            for ob in self.network.observers:
+                ob.on_deliver(self, segment)
         transfer = segment.transfer
         if segment.ecn:
             # Receiver turns the mark into a CNP; one notification per
@@ -224,6 +307,9 @@ class HostNode:
                 f"host {self.name} route must have exactly one first hop, "
                 f"got {children}"
             )
+        if self.network.observers:
+            for ob in self.network.observers:
+                ob.on_inject(self, segment)
         self.network.ports[self.name, children[0]].enqueue(segment)
 
 
@@ -242,7 +328,15 @@ class Network:
         self.rng = random.Random(self.config.seed)
         self.wasted_bytes = 0
         self.pfc_pause_events = 0
-        self.lost_segments = 0
+        self.lost_segments = 0  # wire corruption (loss_probability)
+        self.failure_drops = 0  # copies killed by failed links / injected drops
+        #: Every transfer ever bound to this fabric (observability + faults).
+        self.transfers: list = []
+        #: Registered :class:`~repro.sim.observer.FabricObserver` consumers.
+        self.observers: list[FabricObserver] = []
+        #: Set by a fault injector: transfers then track per-receiver segment
+        #: state so mid-stream losses can be repaired.
+        self.fault_tolerant = False
         # ECN thresholds cannot resolve below the store-and-forward unit:
         # scale them up when coarse segments are in use (see DESIGN.md).
         self.ecn_kmin_eff = max(self.config.ecn_kmin_bytes, self.config.segment_bytes)
@@ -268,6 +362,57 @@ class Network:
         for node in self.nodes.values():
             if isinstance(node, SwitchNode):
                 node.finalize()
+
+    # -- observers -------------------------------------------------------------
+
+    def add_observer(self, observer: FabricObserver) -> None:
+        self.observers.append(observer)
+
+    def remove_observer(self, observer: FabricObserver) -> None:
+        self.observers.remove(observer)
+
+    # -- dynamic link state ----------------------------------------------------
+
+    def set_link_down(self, u: str, v: str) -> None:
+        """Fail both directions of link ``u -- v`` at runtime.
+
+        Queued and on-the-wire copies die (counted in
+        :attr:`failure_drops`); re-routing is the fault injector's job.
+        """
+        self._port_pair(u, v)  # validate
+        self.ports[u, v].fail()
+        self.ports[v, u].fail()
+        if self.observers:
+            for ob in self.observers:
+                ob.on_link_down(u, v)
+
+    def set_link_up(self, u: str, v: str) -> None:
+        """Restore both directions of a previously failed link."""
+        self._port_pair(u, v)
+        self.ports[u, v].restore()
+        self.ports[v, u].restore()
+        if self.observers:
+            for ob in self.observers:
+                ob.on_link_up(u, v)
+
+    def drop_next_segments(self, u: str, v: str, count: int = 1) -> None:
+        """Arm a transient fault: the next ``count`` copies finishing
+        serialization on port ``u -> v`` die on the wire."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._port_pair(u, v)
+        self.ports[u, v].drop_next += count
+
+    def _port_pair(self, u: str, v: str) -> None:
+        if (u, v) not in self.ports or (v, u) not in self.ports:
+            raise ValueError(f"no such link: {u!r} -- {v!r}")
+
+    def drop_for_failure(self, port: Port, segment: Segment) -> None:
+        """Account one copy killed by a failed link or an injected drop."""
+        self.failure_drops += 1
+        if self.observers:
+            for ob in self.observers:
+                ob.on_lost(port, segment)
 
     # -- observability --------------------------------------------------------
 

@@ -1,0 +1,98 @@
+"""Fabric observation hooks: one protocol, many consumers.
+
+The runtime (:mod:`repro.sim.network`, :mod:`repro.sim.transfer`) emits a
+small set of lifecycle events — segment copies being created, moved,
+delivered, wasted or lost, PFC pause/resume, and dynamic link state changes.
+Observers registered on a :class:`~repro.sim.network.Network` receive every
+event; the base class is all no-ops so a consumer only overrides what it
+needs.
+
+Two consumers ship with the simulator:
+
+* :class:`repro.sim.invariants.InvariantChecker` — machine-checked runtime
+  invariants (byte conservation, occupancy, PFC quotas, exactly-once
+  delivery, deadlock watchdog);
+* :class:`repro.sim.trace.TraceRecorder` — deterministic event digests for
+  golden-trace regression comparison.
+
+Emission is guarded by an ``if network.observers`` check at every call
+site, so an unobserved simulation pays one empty-list truthiness test per
+event and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import HostNode, Port, SwitchNode
+    from .packet import Segment
+    from .transfer import Transfer
+
+
+class FabricObserver:
+    """Base class receiving fabric lifecycle events; all methods are no-ops.
+
+    A *copy* below is one replicated instance of a segment: copies are
+    created at the source NIC (``on_inject``) and at switch replication
+    points (``on_fork``), and consumed by exactly one of ``on_deliver``,
+    ``on_wasted`` or ``on_lost``.
+    """
+
+    # -- copy lifecycle -----------------------------------------------------
+
+    def on_inject(self, host: "HostNode", segment: "Segment") -> None:
+        """A new copy entered the fabric at the source NIC."""
+
+    def on_fork(self, switch: "SwitchNode", segment: "Segment") -> None:
+        """A replication point created an additional copy."""
+
+    def on_deliver(self, host: "HostNode", segment: "Segment") -> None:
+        """A copy reached a host NIC (pre any transfer-level dedup)."""
+
+    def on_accept(self, transfer: "Transfer", host: str, segment: "Segment") -> None:
+        """A transfer counted a delivery toward completion (post-dedup)."""
+
+    def on_wasted(self, switch: "SwitchNode", segment: "Segment") -> None:
+        """An over-covered edge switch discarded a copy (§3.3)."""
+
+    def on_lost(self, port: "Port", segment: "Segment") -> None:
+        """A copy died: wire corruption, a failed link, or an injected drop."""
+
+    # -- movement -----------------------------------------------------------
+
+    def on_enqueue(self, port: "Port", segment: "Segment") -> None:
+        """A copy joined a port's output queue."""
+
+    def on_tx_done(self, port: "Port", segment: "Segment") -> None:
+        """A copy finished serializing and is propagating to the next hop."""
+
+    def on_switch_receive(self, switch: "SwitchNode", segment: "Segment") -> None:
+        """A copy arrived at a switch (before replication / discard)."""
+
+    # -- flow control -------------------------------------------------------
+
+    def on_pfc_pause(self, switch: "SwitchNode", port: "Port") -> None:
+        """A switch paused one ingress (per-ingress PFC)."""
+
+    def on_pfc_resume(self, switch: "SwitchNode", port: "Port") -> None:
+        """A paused ingress drained below the resume quota."""
+
+    # -- dynamic fabric state ----------------------------------------------
+
+    def on_link_down(self, u: str, v: str) -> None:
+        """Both directions of link ``u -- v`` stopped carrying traffic."""
+
+    def on_link_up(self, u: str, v: str) -> None:
+        """A previously failed link came back."""
+
+    # -- transfer lifecycle -------------------------------------------------
+
+    def on_transfer_start(self, transfer: "Transfer") -> None:
+        """A transfer began injecting (or completed degenerately)."""
+
+    def on_transfer_complete(self, transfer: "Transfer") -> None:
+        """Every receiver of a transfer has the full message."""
+
+    def on_reroute(self, transfer: "Transfer", num_trees: int) -> None:
+        """A transfer switched to re-planned route trees after a fault."""

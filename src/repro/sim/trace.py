@@ -1,0 +1,139 @@
+"""Golden-trace recording: deterministic event digests for regression tests.
+
+A :class:`TraceRecorder` observes a :class:`~repro.sim.network.Network` and
+folds every fabric event into a running BLAKE2b digest.  Because the
+simulator is fully deterministic for a fixed scenario + seed (event ties
+break by insertion order, all randomness flows from seeded ``Random``
+instances), two runs of the same scenario produce byte-identical digests —
+and any behavioural change, however small, changes the digest.  That makes
+the digest a *golden trace*: record it once, compare it forever.
+
+Event timestamps are hashed via ``float.hex()`` (exact, locale-free);
+nothing in the digest depends on ``repr`` formatting or hash randomization.
+
+With ``keep_events=True`` the recorder also retains the readable event
+log, at a memory cost proportional to the run — useful for diffing two
+runs whose digests disagree (:func:`diff_traces`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+from .network import Network
+from .observer import FabricObserver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import HostNode, Port, SwitchNode
+    from .packet import Segment
+    from .transfer import Transfer
+
+
+class TraceRecorder(FabricObserver):
+    """Streams fabric events into a deterministic digest (see module doc)."""
+
+    def __init__(self, network: Network, keep_events: bool = False) -> None:
+        self.network = network
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.num_events = 0
+        self.events: list[str] | None = [] if keep_events else None
+        network.add_observer(self)
+
+    # -- recording -------------------------------------------------------------
+
+    def _record(self, kind: str, *fields: object) -> None:
+        parts = [kind, self.network.sim.now.hex()]
+        parts += [str(f) for f in fields]
+        line = " ".join(parts)
+        self._hash.update(line.encode())
+        self._hash.update(b"\n")
+        self.num_events += 1
+        if self.events is not None:
+            self.events.append(line)
+
+    @staticmethod
+    def _seg(segment: "Segment") -> tuple[str, int, int]:
+        return (segment.transfer.name, segment.seq, segment.nbytes)
+
+    def on_inject(self, host: "HostNode", segment: "Segment") -> None:
+        self._record("inject", host.name, *self._seg(segment))
+
+    def on_fork(self, switch: "SwitchNode", segment: "Segment") -> None:
+        self._record("fork", switch.name, *self._seg(segment))
+
+    def on_enqueue(self, port: "Port", segment: "Segment") -> None:
+        self._record("enq", port.src, port.dst, *self._seg(segment))
+
+    def on_tx_done(self, port: "Port", segment: "Segment") -> None:
+        self._record("tx", port.src, port.dst, *self._seg(segment))
+
+    def on_deliver(self, host: "HostNode", segment: "Segment") -> None:
+        self._record("deliver", host.name, *self._seg(segment))
+
+    def on_accept(self, transfer: "Transfer", host: str, segment: "Segment") -> None:
+        self._record("accept", host, transfer.name, segment.seq)
+
+    def on_wasted(self, switch: "SwitchNode", segment: "Segment") -> None:
+        self._record("wasted", switch.name, *self._seg(segment))
+
+    def on_lost(self, port: "Port", segment: "Segment") -> None:
+        self._record("lost", port.src, port.dst, *self._seg(segment))
+
+    def on_pfc_pause(self, switch: "SwitchNode", port: "Port") -> None:
+        self._record("pause", switch.name, port.src)
+
+    def on_pfc_resume(self, switch: "SwitchNode", port: "Port") -> None:
+        self._record("resume", switch.name, port.src)
+
+    def on_link_down(self, u: str, v: str) -> None:
+        self._record("link-down", u, v)
+
+    def on_link_up(self, u: str, v: str) -> None:
+        self._record("link-up", u, v)
+
+    def on_transfer_start(self, transfer: "Transfer") -> None:
+        self._record("start", transfer.name, transfer.message_bytes)
+
+    def on_transfer_complete(self, transfer: "Transfer") -> None:
+        self._record("complete", transfer.name)
+
+    def on_reroute(self, transfer: "Transfer", num_trees: int) -> None:
+        self._record("reroute", transfer.name, num_trees)
+
+    # -- golden-trace API -------------------------------------------------------
+
+    def digest(self) -> str:
+        """Hex digest of every event so far (stable under identical runs)."""
+        return self._hash.hexdigest()
+
+    def snapshot(self) -> dict:
+        """JSON-serializable golden record: digest + event count."""
+        return {"digest": self.digest(), "num_events": self.num_events}
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def matches(self, path) -> bool:
+        """Compare the current digest against a saved golden snapshot."""
+        with open(path, encoding="utf-8") as fh:
+            golden = json.load(fh)
+        return golden.get("digest") == self.digest()
+
+
+def diff_traces(a: TraceRecorder, b: TraceRecorder, limit: int = 10) -> list[str]:
+    """First ``limit`` event-log divergences between two kept-event traces."""
+    if a.events is None or b.events is None:
+        raise ValueError("diff requires recorders built with keep_events=True")
+    out: list[str] = []
+    for i, (ea, eb) in enumerate(zip(a.events, b.events)):
+        if ea != eb:
+            out.append(f"#{i}: {ea!r} != {eb!r}")
+            if len(out) >= limit:
+                return out
+    if len(a.events) != len(b.events):
+        out.append(f"lengths differ: {len(a.events)} vs {len(b.events)}")
+    return out

@@ -121,12 +121,14 @@ class Transfer:
         self._available_bytes = 0  # relay: upstream progress high-watermark
         self._delivered_count: dict[str, int] = {r: 0 for r in self.receivers}
         self._delivered_bytes: dict[str, int] = {r: 0 for r in self.receivers}
-        # Selective repeat (RDMA-style reliability, active only on lossy
-        # fabrics): per-receiver segment bitmap plus a timeout-driven
-        # unicast repair loop.
+        # Selective repeat (RDMA-style reliability): per-receiver segment
+        # bitmap plus a timeout-driven unicast repair loop.  Active on lossy
+        # fabrics and under dynamic fault injection (where copies can die
+        # on failing links mid-collective).
         self._lossy = network.config.loss_probability > 0
+        self._track = self._lossy or network.fault_tolerant
         self._received: dict[str, set[int]] = (
-            {r: set() for r in self.receivers} if self._lossy else {}
+            {r: set() for r in self.receivers} if self._track else {}
         )
         self.retransmissions = 0
         self._repair_timer_running = False
@@ -135,6 +137,8 @@ class Transfer:
         self.complete_at: float | None = None
         self._relay_children: dict[str, list["Transfer"]] = {}
         self._pump_scheduled = False
+        self.reroutes = 0
+        network.transfers.append(self)
 
     # -- setup ----------------------------------------------------------------
 
@@ -152,6 +156,9 @@ class Transfer:
         self._relay_children.setdefault(via_host, []).append(child)
 
     def start(self) -> None:
+        if self.network.observers:
+            for ob in self.network.observers:
+                ob.on_transfer_start(self)
         if not self.receivers:
             # Degenerate group (everyone shares the source host): instantly
             # complete; NVLink handling happens at the collective layer.
@@ -200,7 +207,7 @@ class Transfer:
                 pace_bytes * 8 / rate
             )
             self.injected += 1
-        if self._lossy and self.injected == self.num_segments and not self.complete:
+        if self._track and self.injected == self.num_segments and not self.complete:
             self._start_repair_timer()
 
     def _schedule_pump(self, at: float) -> None:
@@ -225,12 +232,15 @@ class Transfer:
         count = self._delivered_count.get(host)
         if count is None:
             return  # e.g. copy reached a non-tracked endpoint; ignore
-        if self._lossy:
+        if self._track:
             got = self._received[host]
             if segment.seq in got:
                 return  # duplicate (original raced a repair copy)
             got.add(segment.seq)
         self._delivered_count[host] = count + 1
+        if self.network.observers:
+            for ob in self.network.observers:
+                ob.on_accept(self, host, segment)
         self._delivered_bytes[host] += segment.nbytes
         children = self._relay_children.get(host)
         if children:
@@ -267,6 +277,7 @@ class Transfer:
         self._repair_timer_running = False
         if self.complete:
             return
+        sent = False
         for host in sorted(self.receivers - self.finished_hosts):
             missing = [
                 seq
@@ -274,14 +285,25 @@ class Transfer:
                 if seq not in self._received[host]
             ]
             route = self._repair_route(host)
+            if route is None or not self._route_healthy(route):
+                # Every path to this laggard crosses a failed link; spinning
+                # retransmissions into a blackhole would never terminate.
+                # A reroute (re-peel) or link-up restarts the timer.
+                continue
             for seq in missing:
+                sent = True
                 self.retransmissions += 1
                 self.network.host(self.src_host).send(
                     Segment(self, seq, self.segment_sizes[seq], route)
                 )
-        self._start_repair_timer()
+        if sent:
+            self._start_repair_timer()
 
-    def _repair_route(self, host: str) -> MulticastTree:
+    def _route_healthy(self, route: MulticastTree) -> bool:
+        ports = self.network.ports
+        return all(not ports[edge].down for edge in route.edges)
+
+    def _repair_route(self, host: str) -> MulticastTree | None:
         """Unicast path to a laggard receiver, pruned from any route tree
         that reaches it (repairs do not re-multicast)."""
         for tree in [self.refined_tree, *self.static_trees]:
@@ -290,11 +312,71 @@ class Transfer:
                 return MulticastTree(
                     self.src_host, {b: a for a, b in zip(path, path[1:])}
                 )
-        raise ValueError(f"no route tree reaches {host!r}")
+        return None
+
+    # -- fault recovery ---------------------------------------------------------
+
+    def reroute(self, trees: list[MulticastTree]) -> None:
+        """Adopt re-planned route trees after a fabric fault (§2.3 re-peel).
+
+        Segments not yet injected ride the new trees automatically;
+        already-injected segments still missing at some receiver are
+        re-multicast over the new trees (receivers dedupe copies that raced
+        the failure).  Requires segment tracking, i.e. a fault-tolerant or
+        lossy fabric.
+        """
+        if self.complete:
+            return
+        if not trees:
+            raise ValueError("reroute needs at least one route tree")
+        for tree in trees:
+            if tree.root != self.src_host:
+                raise ValueError(
+                    f"route tree rooted at {tree.root!r}, expected "
+                    f"{self.src_host!r}"
+                )
+        if not self._track:
+            raise RuntimeError(
+                "reroute requires per-receiver segment tracking (install a "
+                "fault injector before creating transfers)"
+            )
+        self.static_trees = list(trees)
+        self.refined_tree = None
+        self.refinement_ready_at = None
+        self.reroutes += 1
+        if self.network.observers:
+            for ob in self.network.observers:
+                ob.on_reroute(self, len(trees))
+        missing: set[int] = set()
+        horizon = min(self.injected, self.num_segments)
+        for host in self.receivers - self.finished_hosts:
+            got = self._received[host]
+            missing.update(s for s in range(horizon) if s not in got)
+        host_node = self.network.host(self.src_host)
+        for seq in sorted(missing):
+            self.retransmissions += 1
+            for tree in trees:
+                host_node.send(Segment(self, seq, self.segment_sizes[seq], tree))
+        if self.injected < self.num_segments:
+            self._schedule_pump(self.sim.now)
+        elif not self.complete:
+            self._start_repair_timer()
+
+    def nudge(self) -> None:
+        """Re-kick stalled machinery after fabric state improved (link up)."""
+        if self.complete or not self._track:
+            return
+        if self.injected < self.num_segments:
+            self._schedule_pump(self.sim.now)
+        else:
+            self._start_repair_timer()
 
     def _finish(self, now: float) -> None:
         self.complete = True
         self.complete_at = now
         self.dcqcn.stop()
+        if self.network.observers:
+            for ob in self.network.observers:
+                ob.on_transfer_complete(self)
         if self.on_complete is not None:
             self.on_complete(self, now)

@@ -26,6 +26,7 @@ class Topology:
         self.graph = graph
         self.name = name
         self.failed_links: list[tuple[str, str]] = []
+        self._failed_capacity: dict[frozenset[str], float] = {}
 
     # -- node accessors ----------------------------------------------------
 
@@ -74,8 +75,24 @@ class Topology:
         """Remove a link, recording it as failed."""
         if not self.graph.has_edge(u, v):
             raise ValueError(f"no such link: {u!r} -- {v!r}")
+        self._failed_capacity[frozenset((u, v))] = self.graph.edges[u, v][
+            "capacity_bps"
+        ]
         self.graph.remove_edge(u, v)
         self.failed_links.append((u, v))
+
+    def restore_link(self, u: str, v: str) -> None:
+        """Re-add a previously failed link (a repair or the end of a flap)."""
+        if (u, v) in self.failed_links:
+            self.failed_links.remove((u, v))
+        elif (v, u) in self.failed_links:
+            self.failed_links.remove((v, u))
+        else:
+            raise ValueError(f"link {u!r} -- {v!r} is not failed")
+        cap = self._failed_capacity.pop(
+            frozenset((u, v)), getattr(self, "link_bps", DEFAULT_LINK_BPS)
+        )
+        self.graph.add_edge(u, v, capacity_bps=cap)
 
     @property
     def is_symmetric(self) -> bool:
@@ -86,6 +103,7 @@ class Topology:
         dup = copy.copy(self)
         dup.graph = self.graph.copy()
         dup.failed_links = list(self.failed_links)
+        dup._failed_capacity = dict(self._failed_capacity)
         return dup
 
     # -- convenience -------------------------------------------------------

@@ -55,3 +55,42 @@ class TestSegmentSizing:
     def test_rejects_non_positive(self):
         with pytest.raises(ValueError):
             segment_bytes_for(0)
+
+    @pytest.mark.parametrize(
+        "message", [1500, 2048, 4096, 10 * 1024, 63 * 1024, 2**20, 512 * 2**20]
+    )
+    def test_never_exceeds_message(self, message):
+        """Regression: a 1 KiB message used to get a 64 KiB segment size."""
+        assert segment_bytes_for(message) <= max(message, 1500)
+
+    def test_sub_mtu_message_uses_mtu_floor(self):
+        # SimConfig refuses segment_bytes below one MTU; the actual segment
+        # emitted for a 1 KiB message is still 1 KiB (segments_for caps it).
+        assert segment_bytes_for(1024) == 1500
+        assert SimConfig(segment_bytes=segment_bytes_for(1024)).segments_for(
+            1024
+        ) == [1024]
+
+    def test_mid_size_message_is_single_segment(self):
+        assert segment_bytes_for(10 * 1024) == 10 * 1024
+
+    def test_config_accepts_every_sizing(self):
+        for message in (1024, 1500, 8 * 1024, 2**20, 64 * 2**20):
+            SimConfig(segment_bytes=segment_bytes_for(message))
+
+
+class TestCorrectnessWiring:
+    def test_invariants_clean_on_small_scenario(self, small_setup):
+        topo, jobs = small_setup
+        result = run_broadcast_scenario(
+            topo, "peel", jobs, SimConfig(), check_invariants=True
+        )
+        assert result.invariant_violations == []
+        assert result.failure_drops == 0
+        assert result.repeels == []
+
+    def test_defaults_skip_correctness_tooling(self, small_setup):
+        topo, jobs = small_setup
+        result = run_broadcast_scenario(topo, "peel", jobs, SimConfig())
+        assert result.invariant_violations == []
+        assert result.trace_digest is None

@@ -1,0 +1,112 @@
+"""Property tests: random job mixes + random fault schedules never trip an
+invariant.
+
+The InvariantChecker runs in raise mode, so any conservation, occupancy,
+PFC-quota, exactly-once or deadlock violation fails the example outright;
+run_broadcast_scenario additionally raises if a collective never finishes.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import Gpu, Group
+from repro.experiments.runner import run_broadcast_scenario
+from repro.faults import FaultSchedule
+from repro.sim import SimConfig
+from repro.topology import FatTree, LeafSpine
+from repro.workloads import CollectiveJob
+
+KB = 1024
+SCHEMES = ("peel", "optimal")  # the schemes that re-plan around faults
+
+
+def build_topo(kind):
+    # Small fabrics with >= 2 disjoint spine/core paths so a single link
+    # failure never partitions the fabric.
+    if kind == "leafspine":
+        return LeafSpine(2, 4, 2)
+    return FatTree(4, hosts_per_tor=2)
+
+
+@st.composite
+def job_mixes(draw):
+    kind = draw(st.sampled_from(["leafspine", "fattree"]))
+    scheme = draw(st.sampled_from(SCHEMES))
+    seed = draw(st.integers(min_value=0, max_value=499))
+    num_jobs = draw(st.integers(min_value=1, max_value=3))
+    topo = build_topo(kind)
+    rng = random.Random(seed)
+    jobs = []
+    arrival = 0.0
+    for _ in range(num_jobs):
+        n = rng.randint(3, min(10, len(topo.hosts)))
+        members = tuple(Gpu(h, 0) for h in rng.sample(topo.hosts, n))
+        message = rng.choice([256 * KB, 512 * KB, 2**20])
+        jobs.append(CollectiveJob(arrival, Group(members[0], members), message))
+        arrival += rng.uniform(0.0, 400e-6)
+    return kind, scheme, jobs, seed
+
+
+@st.composite
+def fault_plans(draw):
+    """A connectivity-preserving schedule of one or two single-link flaps
+    (distinct links, each with >= 2 redundant siblings in these fabrics)."""
+    kind, scheme, jobs, seed = draw(job_mixes())
+    rng = random.Random(seed + 1)
+    if kind == "leafspine":
+        links = [(f"spine:{s}", f"leaf:{l}") for s in range(2) for l in range(4)]
+    else:
+        # core:g:i attaches to agg g of every pod; two cores per group, so
+        # each agg keeps a redundant uplink after any single failure.
+        links = [
+            (f"core:{g}:{i}", f"agg:p{p}:{g}")
+            for g in range(2)
+            for i in range(2)
+            for p in range(4)
+        ]
+    num_faults = draw(st.integers(min_value=1, max_value=2))
+    chosen = rng.sample(links, num_faults)
+    schedule = FaultSchedule()
+    for u, v in chosen:
+        down_at = rng.uniform(20e-6, 600e-6)
+        if rng.random() < 0.5:
+            schedule.link_down(u, v, at_s=down_at)
+        else:
+            schedule.link_flap(
+                u, v, down_at_s=down_at, up_at_s=down_at + rng.uniform(100e-6, 2e-3)
+            )
+    return kind, scheme, jobs, schedule
+
+
+class TestInvariantsHold:
+    @given(job_mixes())
+    @settings(max_examples=12, deadline=None)
+    def test_clean_fabric_random_jobs(self, mix):
+        _kind, scheme, jobs, seed = mix
+        topo = build_topo(_kind)
+        result = run_broadcast_scenario(
+            topo,
+            scheme,
+            jobs,
+            SimConfig(segment_bytes=64 * KB, seed=seed),
+            check_invariants=True,
+        )
+        assert result.invariant_violations == []
+
+    @given(fault_plans())
+    @settings(max_examples=12, deadline=None)
+    def test_faulted_fabric_random_jobs(self, plan):
+        kind, scheme, jobs, schedule = plan
+        topo = build_topo(kind)
+        result = run_broadcast_scenario(
+            topo,
+            scheme,
+            jobs,
+            SimConfig(segment_bytes=64 * KB),
+            check_invariants=True,
+            fault_schedule=schedule,
+        )
+        assert result.invariant_violations == []
+        assert topo.is_symmetric  # runner worked on a copy

@@ -51,3 +51,37 @@ class TestMain:
     def test_fig7_tiny(self, capsys):
         assert main(["fig7", "--failures", "4", "--jobs", "4"]) == 0
         assert "peel" in capsys.readouterr().out
+
+    def test_fig7_with_invariants(self, capsys):
+        assert main(
+            ["fig7", "--failures", "4", "--jobs", "2", "--check-invariants"]
+        ) == 0
+        assert "peel" in capsys.readouterr().out
+
+    def test_faults_demo(self, capsys, tmp_path):
+        trace = tmp_path / "golden.txt"
+        assert main(
+            ["faults", "--gpus", "8", "--message-mb", "1",
+             "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "re-plans" in out
+        assert "OK (0 violations)" in out
+        assert trace.read_text().strip()  # digest written
+
+    def test_faults_with_schedule_file(self, capsys, tmp_path):
+        from repro.faults import FaultSchedule
+
+        path = tmp_path / "faults.json"
+        FaultSchedule().drop_segments(
+            "spine:0", "leaf:0", at_s=1e-4, count=1
+        ).save(path)
+        assert main(
+            ["faults", "--gpus", "8", "--message-mb", "1",
+             "--schedule", str(path)]
+        ) == 0
+        assert "invariants" in capsys.readouterr().out
+
+    def test_faults_rejects_unrecoverable_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--scheme", "ring"])

@@ -1,0 +1,218 @@
+"""Dynamic fault injection: schedules, JSON, and mid-collective recovery."""
+
+import pytest
+
+from repro.collectives import Gpu, Group
+from repro.core import Peel
+from repro.experiments.runner import run_broadcast_scenario
+from repro.faults import (
+    DROP,
+    LINK_DOWN,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+from repro.workloads import CollectiveJob
+
+MB = 2**20
+
+
+def make_job(topo, n=8, message=2 * MB):
+    members = tuple(Gpu(h, 0) for h in topo.hosts[:n])
+    return CollectiveJob(0.0, Group(members[0], members), message)
+
+
+def spine_link_in_plan(topo, job):
+    """A spine-leaf link the PEEL plan actually sends copies over."""
+    source = job.group.source.host
+    for tree in Peel(topo).plan(source, job.group.receiver_hosts).static_trees:
+        for child, parent in tree.parent.items():
+            if parent is not None and parent.startswith("spine"):
+                return parent, child
+    raise AssertionError("plan uses no spine link")
+
+
+def clean_cct(topo, job, scheme="peel"):
+    return run_broadcast_scenario(topo, scheme, [job]).stats.mean_s
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultEvent(0.0, "meteor_strike", ("spine:0", "leaf:0"))
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, LINK_DOWN, ("spine:0", "leaf:0"))
+
+    def test_link_actions_need_two_targets(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, LINK_DOWN, ("spine:0",))
+
+    def test_switch_actions_need_one_target(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "switch_down", ("spine:0", "leaf:0"))
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, DROP, ("spine:0", "leaf:0"), count=0)
+
+    def test_dict_roundtrip(self):
+        event = FaultEvent(2e-3, DROP, ("leaf:0", "spine:1"), count=3)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_accepts_at_s(self):
+        event = FaultEvent.from_dict(
+            {"at_s": 0.5, "action": "link_down", "link": ["spine:0", "leaf:0"]}
+        )
+        assert event.at_s == 0.5
+
+    def test_from_dict_requires_a_time(self):
+        with pytest.raises(ValueError, match="at_s or at_ms"):
+            FaultEvent.from_dict(
+                {"action": "link_down", "link": ["spine:0", "leaf:0"]}
+            )
+
+
+class TestFaultSchedule:
+    def test_events_kept_sorted(self):
+        sched = (
+            FaultSchedule()
+            .link_up("spine:0", "leaf:0", at_s=5e-3)
+            .link_down("spine:0", "leaf:0", at_s=1e-3)
+        )
+        assert [e.action for e in sched] == ["link_down", "link_up"]
+
+    def test_flap_must_come_back_up_later(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().link_flap(
+                "spine:0", "leaf:0", down_at_s=2e-3, up_at_s=1e-3
+            )
+
+    def test_json_roundtrip(self):
+        sched = (
+            FaultSchedule()
+            .link_flap("spine:0", "leaf:1", down_at_s=1e-3, up_at_s=4e-3)
+            .switch_drain("spine:1", at_s=2e-3)
+            .drop_segments("leaf:0", "spine:0", at_s=3e-3, count=2)
+        )
+        assert FaultSchedule.from_json(sched.to_json()).events == sched.events
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "faults.json"
+        sched = FaultSchedule().link_down("spine:0", "leaf:0", at_s=1e-3)
+        sched.save(path)
+        assert FaultSchedule.load(path).events == sched.events
+
+    def test_json_must_be_a_list(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.from_json('{"action": "link_down"}')
+
+
+class TestInjectorValidation:
+    def test_unknown_link_rejected_up_front(self):
+        topo = LeafSpine(2, 2, 1)
+        sched = FaultSchedule().link_down("spine:0", "leaf:99", at_s=1e-3)
+        with pytest.raises(ValueError, match="no such link"):
+            run_broadcast_scenario(
+                topo, "peel", [make_job(topo, n=4)], fault_schedule=sched
+            )
+
+    def test_unknown_switch_rejected_up_front(self):
+        topo = LeafSpine(2, 2, 1)
+        sched = FaultSchedule().switch_drain("spine:42", at_s=1e-3)
+        with pytest.raises(ValueError, match="unknown switch"):
+            run_broadcast_scenario(
+                topo, "peel", [make_job(topo, n=4)], fault_schedule=sched
+            )
+
+
+class TestMidstreamRecovery:
+    @pytest.mark.parametrize("scheme", ["peel", "optimal"])
+    def test_link_flap_recovers_with_replan(self, scheme):
+        topo = LeafSpine(2, 4, 2)
+        job = make_job(topo)
+        cct = clean_cct(topo, job, scheme)
+        link = spine_link_in_plan(topo, job)
+        sched = FaultSchedule().link_flap(
+            *link, down_at_s=0.4 * cct, up_at_s=3.0 * cct
+        )
+        result = run_broadcast_scenario(
+            topo, scheme, [job], fault_schedule=sched, check_invariants=True
+        )
+        assert result.invariant_violations == []
+        assert result.failure_drops > 0  # the fault actually bit
+        assert len(result.repeels) == 1
+        assert result.repeels[0][2] == link
+        assert topo.is_symmetric  # caller's topology untouched
+
+    def test_permanent_link_down_still_completes(self):
+        topo = LeafSpine(2, 4, 2)
+        job = make_job(topo)
+        cct = clean_cct(topo, job)
+        link = spine_link_in_plan(topo, job)
+        sched = FaultSchedule().link_down(*link, at_s=0.4 * cct)
+        result = run_broadcast_scenario(
+            topo, "peel", [job], fault_schedule=sched, check_invariants=True
+        )
+        assert result.invariant_violations == []
+        assert result.stats.mean_s >= cct  # recovery is not free
+
+    def test_transient_drops_repaired(self):
+        topo = LeafSpine(2, 4, 2)
+        job = make_job(topo)
+        cct = clean_cct(topo, job)
+        link = spine_link_in_plan(topo, job)
+        sched = FaultSchedule().drop_segments(*link, at_s=0.3 * cct, count=2)
+        result = run_broadcast_scenario(
+            topo, "peel", [job], fault_schedule=sched, check_invariants=True
+        )
+        assert result.invariant_violations == []
+        assert result.failure_drops == 2
+        assert result.repeels == []  # transient loss repairs, no re-plan
+
+    def test_spine_drain_and_restore(self):
+        topo = LeafSpine(2, 4, 2)
+        job = make_job(topo)
+        cct = clean_cct(topo, job)
+        link = spine_link_in_plan(topo, job)
+        spine = link[0]
+        sched = (
+            FaultSchedule()
+            .switch_drain(spine, at_s=0.4 * cct)
+            .switch_restore(spine, at_s=3.0 * cct)
+        )
+        result = run_broadcast_scenario(
+            topo, "peel", [job], fault_schedule=sched, check_invariants=True
+        )
+        assert result.invariant_violations == []
+        assert result.repeels  # losing a whole spine forces a re-plan
+
+    def test_fault_after_completion_is_harmless(self):
+        topo = LeafSpine(2, 4, 2)
+        job = make_job(topo)
+        cct = clean_cct(topo, job)
+        link = spine_link_in_plan(topo, job)
+        sched = FaultSchedule().link_down(*link, at_s=10.0 * cct)
+        result = run_broadcast_scenario(
+            topo, "peel", [job], fault_schedule=sched, check_invariants=True
+        )
+        assert result.invariant_violations == []
+        assert result.repeels == []
+
+
+class TestRestoreLink:
+    def test_restore_reinstates_capacity(self):
+        topo = LeafSpine(2, 2, 1)
+        cap = topo.capacity_bps("spine:0", "leaf:0")
+        topo.fail_link("spine:0", "leaf:0")
+        assert not topo.is_symmetric
+        topo.restore_link("leaf:0", "spine:0")  # either orientation
+        assert topo.is_symmetric
+        assert topo.capacity_bps("spine:0", "leaf:0") == cap
+
+    def test_restore_unfailed_link_raises(self):
+        topo = LeafSpine(2, 2, 1)
+        with pytest.raises(ValueError, match="not failed"):
+            topo.restore_link("spine:0", "leaf:0")

@@ -82,3 +82,52 @@ class TestFailSwitch:
         ls = LeafSpine(4, 4, 1)
         fail_switch(ls, "spine:1")
         assert len(ls.failed_links) == 4
+
+    def test_dor_maintenance_fails_every_link(self):
+        """DoR-style drain: *all* of the switch's links go down at once,
+        matching the graph's original adjacency exactly."""
+        ft = FatTree(4)
+        switch = "agg:p0:0"
+        neighbors = set(ft.graph.neighbors(switch))
+        links = fail_switch(ft, switch)
+        assert {v for _u, v in links} == neighbors
+        assert ft.graph.degree(switch) == 0
+        assert len(ft.failed_links) == len(neighbors)
+
+    def test_leaf_drain_strands_only_its_hosts(self):
+        ls = LeafSpine(2, 4, 2)
+        stranded = [h for h in ls.hosts if ls.tor_of(h) == "leaf:0"]
+        fail_switch(ls, "leaf:0")
+        survivor = next(h for h in ls.hosts if h not in stranded)
+        reach = ls.distances_from(survivor)
+        assert all(h not in reach for h in stranded)
+        assert all(h in reach for h in ls.hosts if h not in stranded)
+
+
+class TestConnectivityPreservation:
+    @pytest.mark.parametrize("fraction", [0.5, 0.8, 1.0])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_never_strands_a_host_leafspine(self, fraction, seed):
+        """Even asking for 100% failures must leave every host reachable:
+        draws that would disconnect a host are skipped, not applied."""
+        ls = LeafSpine(2, 8, 2)
+        fail_random_uplinks(ls, fraction, seed=seed)
+        assert ls.reachable(ls.hosts[0], ls.hosts)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_never_strands_a_host_fattree(self, seed):
+        ft = FatTree(4)
+        fail_random_uplinks(ft, 1.0, seed=seed)
+        assert ft.reachable(ft.hosts[0], ft.hosts)
+
+    def test_full_fraction_fails_fewer_than_all(self):
+        ls = LeafSpine(2, 4, 1)
+        failed = fail_random_uplinks(ls, 1.0, seed=7)
+        assert 0 < len(failed) < 2 * 4  # connectivity made it stop short
+
+    def test_fraction_one_on_single_spine_keeps_spanning_tree(self):
+        # One spine: every leaf must keep its only uplink.
+        ls = LeafSpine(1, 4, 1)
+        failed = fail_random_uplinks(ls, 1.0, seed=0)
+        assert failed == []
+        assert ls.is_symmetric
