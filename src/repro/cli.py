@@ -22,6 +22,7 @@ from .experiments import (
     fig5_message_size,
     fig6_scale,
     fig7_failures,
+    fig_serving,
     format_cct_table,
     fragmentation,
     guard_timer,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "frag": "fragmentation / adaptive prefix packing",
     "deploy": "incremental deployment stages",
     "churn": "switch state under group churn",
+    "serve": "multi-tenant serving sweep: admission, queueing, plan cache",
 }
 
 
@@ -105,6 +107,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("churn", help=EXPERIMENTS["churn"])
     p.add_argument("--num-jobs", type=int, default=1500)
+
+    p = sub.add_parser("serve", help=EXPERIMENTS["serve"])
+    p.add_argument("--loads", type=float, nargs="+",
+                   default=list(fig_serving.DEFAULT_LOADS))
+    p.add_argument("--schemes", nargs="+",
+                   default=list(fig_serving.DEFAULT_SCHEMES),
+                   choices=fig_serving.DEFAULT_SCHEMES)
+    p.add_argument("--jobs", type=int, default=150)
+    p.add_argument("--gpus", type=int, default=16)
+    p.add_argument("--tcam", type=int, default=24,
+                   help="per-switch TCAM entries available to multicast")
+    p.add_argument("--failures", action="store_true",
+                   help="replay the highest load with a mid-stream link flap")
+    p.add_argument("--check-invariants", action="store_true",
+                   help="assert fabric invariants throughout (slower)")
+    p.add_argument("--seed", type=int, default=11)
     return parser
 
 
@@ -179,6 +197,18 @@ def main(argv: list[str] | None = None) -> int:
         print(deployment.format_table(deployment.run(num_jobs=args.jobs)))
     elif args.command == "churn":
         print(state_churn.format_table(state_churn.run(num_jobs=args.num_jobs)))
+    elif args.command == "serve":
+        rows = fig_serving.run(
+            loads=tuple(args.loads),
+            schemes=tuple(args.schemes),
+            num_jobs=args.jobs,
+            num_gpus=args.gpus,
+            tcam_capacity=args.tcam,
+            check_invariants=args.check_invariants,
+            with_failures=args.failures,
+            seed=args.seed,
+        )
+        print(fig_serving.format_table(rows))
     return 0
 
 

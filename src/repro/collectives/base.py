@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..topology import addressing as addr
 
@@ -87,6 +87,12 @@ class CollectiveHandle:
         self.pending_hosts = pending_hosts
         self.host_done_at: dict[str, float] = {}
         self.network_complete_s: float | None = None
+        #: Optional hook fired once, at network completion, with
+        #: ``(handle, now)`` — the serving runtime uses it to free admission
+        #: resources.  Set it right after ``launch`` returns; degenerate
+        #: groups (no network receivers) complete before it can be set, so
+        #: callers must check :attr:`complete` first.
+        self.on_complete: "Callable[[CollectiveHandle, float], None] | None" = None
         if not self.pending_hosts:
             self.network_complete_s = arrival_s
 
@@ -97,6 +103,8 @@ class CollectiveHandle:
         self.host_done_at[host] = now
         if not self.pending_hosts:
             self.network_complete_s = now
+            if self.on_complete is not None:
+                self.on_complete(self, now)
 
     @property
     def complete(self) -> bool:

@@ -10,7 +10,9 @@ from ..sim import InvariantChecker, Network, SimConfig, Simulator, TraceRecorder
 from ..topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..core.peel import PeelPlan
     from ..faults import FaultInjector, FaultSchedule
+    from ..serve.cache import PlanCache
 
 
 class CollectiveEnv:
@@ -30,6 +32,10 @@ class CollectiveEnv:
     * ``record_trace`` — attach a
       :class:`~repro.sim.trace.TraceRecorder` (:attr:`trace`) producing a
       deterministic golden-trace digest.
+
+    ``plan_cache`` attaches a :class:`repro.serve.PlanCache`:
+    :meth:`plan_broadcast` then reuses plans across repeated group shapes,
+    and dynamic faults invalidate the cache through the observer layer.
     """
 
     def __init__(
@@ -41,6 +47,7 @@ class CollectiveEnv:
         check_invariants: bool = False,
         record_trace: bool = False,
         raise_on_violation: bool = True,
+        plan_cache: "PlanCache | None" = None,
     ) -> None:
         self.topo = topo
         self.config = config or SimConfig()
@@ -62,6 +69,10 @@ class CollectiveEnv:
         self.trace: TraceRecorder | None = None
         if record_trace:
             self.trace = TraceRecorder(self.network)
+        self.plan_cache: "PlanCache | None" = None
+        if plan_cache is not None:
+            # Registered as an observer so dynamic faults invalidate it.
+            self.plan_cache = plan_cache.attach(self.network)
         self.fault_injector: "FaultInjector | None" = None
         if fault_schedule is not None:
             from ..faults import FaultInjector
@@ -74,6 +85,19 @@ class CollectiveEnv:
             planner = Peel(self.topo, max_prefixes_per_fanout)
             self._peel_planners[max_prefixes_per_fanout] = planner
         return planner
+
+    def plan_broadcast(
+        self,
+        source: str,
+        receivers: list[str],
+        max_prefixes_per_fanout: int | None = None,
+    ) -> "PeelPlan":
+        """A PEEL plan for this group, via the plan cache when one is
+        attached (repeated group shapes amortize planning cost)."""
+        planner = self.peel(max_prefixes_per_fanout)
+        if self.plan_cache is not None and max_prefixes_per_fanout is None:
+            return self.plan_cache.get(planner, source, receivers)
+        return planner.plan(source, receivers)
 
     def next_transfer_name(self, prefix: str) -> str:
         self._transfer_counter += 1

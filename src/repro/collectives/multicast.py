@@ -88,7 +88,7 @@ class PeelBroadcast(BroadcastScheme):
         if not receivers:
             return handle
         source = group.source.host
-        plan = env.peel(self.max_prefixes_per_fanout).plan(source, receivers)
+        plan = env.plan_broadcast(source, receivers, self.max_prefixes_per_fanout)
 
         refined_tree = None
         refinement_ready_at = None

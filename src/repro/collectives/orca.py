@@ -114,6 +114,17 @@ class OrcaBroadcast(BroadcastScheme):
                 start_at=start,
                 on_host_done=trunk_done,
             )
+            if env.fault_injector is not None:
+                # Orca's controller reacts to fabric faults by recomputing
+                # and re-installing the trunk tree for the agents still
+                # waiting (the per-rack relay legs stay rack-local and are
+                # not registered, like other host-relay chains).
+                env.fault_injector.register(
+                    trunk,
+                    lambda remaining: [
+                        self._controller_tree(env, source, remaining)
+                    ],
+                )
 
         # Per-rack fan-out: the agent unicasts to one representative NIC of
         # every other server in its rack; NVLink covers that server's rest.

@@ -21,8 +21,10 @@ from ..workloads import generate_jobs
 from .common import MB, sim_config
 from .runner import run_broadcast_scenario
 
-#: Schemes that register a replanner with the fault injector.
-RECOVERABLE_SCHEMES = ("peel", "peel+cores", "optimal")
+#: Schemes that register a replanner with the fault injector.  Orca's
+#: controller re-installs the trunk tree; its rack-local relay legs (like
+#: ring/tree relay chains) are not fault-recoverable.
+RECOVERABLE_SCHEMES = ("peel", "peel+cores", "optimal", "orca")
 
 
 @dataclass(frozen=True)
@@ -40,11 +42,37 @@ class FaultDemoResult:
     trace_digest: str | None
 
 
+def _orca_trunk(topo, source: str, receivers: list[str]):
+    """Replicates :class:`~repro.collectives.orca.OrcaBroadcast`'s
+    controller trunk — the optimal tree from the source to one agent NIC
+    per remote rack — so the demo fails a link the trunk actually uses."""
+    from ..collectives import locality_key
+    from ..collectives.orca import server_of
+
+    racks: dict[str, dict[tuple, list[str]]] = {}
+    for endpoint in sorted({source, *receivers}, key=locality_key):
+        rack = topo.tor_of(endpoint)
+        racks.setdefault(rack, {}).setdefault(server_of(endpoint), []).append(endpoint)
+    src_rack = topo.tor_of(source)
+    agents = [
+        servers[min(servers)][0]
+        for rack, servers in sorted(racks.items())
+        if rack != src_rack
+    ]
+    if topo.is_symmetric:
+        from ..core import optimal_symmetric_tree
+
+        return optimal_symmetric_tree(topo, source, agents)
+    return metric_closure_tree(topo.graph, source, agents)
+
+
 def pick_loaded_link(topo, scheme_name: str, source: str, receivers: list[str]):
     """A spine-leaf link the scheme's plan actually uses (so failing it
     mid-run forces a re-plan rather than a no-op)."""
     if scheme_name.startswith("peel"):
         trees = Peel(topo).plan(source, receivers).static_trees
+    elif scheme_name == "orca":
+        trees = [_orca_trunk(topo, source, receivers)]
     else:
         trees = [metric_closure_tree(topo.graph, source, receivers)]
     for tree in trees:

@@ -10,6 +10,11 @@ scheme needs over time:
 * **peel** — the k-1 pre-installed prefix rules, independent of load
   ("deploy-once, touch-never": zero control-plane updates).
 
+Capacity, churn and overflow accounting run through the serving layer's
+:class:`~repro.serve.state.FabricState` (per-switch
+:class:`~repro.state.tcam.TcamTable` models), so this experiment and the
+:mod:`repro.serve` runtime measure control-plane churn identically.
+
 Reports the peak per-switch entry count, whether it overflows a commodity
 TCAM, and the number of control-plane rule updates each scheme performed.
 """
@@ -21,6 +26,7 @@ import random
 from dataclasses import dataclass
 
 from ..core import optimal_symmetric_tree, rule_count
+from ..serve.state import FabricState, IpMulticastStatePolicy, OrcaStatePolicy
 from ..state import DEFAULT_CAPACITY
 from ..topology import FatTree
 from ..topology import addressing as addr
@@ -77,38 +83,38 @@ def run(
         heapq.heappush(events, (t, +1, job_id))
         heapq.heappush(events, (t + duration, -1, job_id))
 
-    # ip-multicast: per switch, refcount per distinct subset.
-    # orca: per switch, one entry per active group.
-    ip_entries: dict[str, dict[frozenset[int], int]] = {}
-    orca_entries: dict[str, int] = {}
-    ip_peak = orca_peak = 0
-    ip_updates = orca_updates = 0
+    # Both per-group schemes account through the same TcamTable-backed
+    # fabric state the serving runtime uses: ip-multicast refcounts shared
+    # per-subset entries, orca installs/removes one entry per group per
+    # tree switch.
+    ip_policy, orca_policy = IpMulticastStatePolicy(), OrcaStatePolicy()
+    ip_state = FabricState(capacity=tcam_capacity, strict=False)
+    orca_state = FabricState(capacity=tcam_capacity, strict=False)
 
-    ordered = sorted(events)
-    for _, delta, job_id in ordered:
-        for switch, subset in jobs[job_id]:
-            table = ip_entries.setdefault(switch, {})
-            if delta > 0:
-                count = table.get(subset, 0)
-                if count == 0:
-                    ip_updates += 1
-                table[subset] = count + 1
-                orca_entries[switch] = orca_entries.get(switch, 0) + 1
-                orca_updates += 1
-            else:
-                table[subset] -= 1
-                if table[subset] == 0:
-                    del table[subset]
-                    ip_updates += 1
-                orca_entries[switch] -= 1
-                orca_updates += 1
-        ip_peak = max(ip_peak, max((len(t) for t in ip_entries.values()), default=0))
-        orca_peak = max(orca_peak, max(orca_entries.values(), default=0))
+    for _, delta, job_id in sorted(events):
+        if delta > 0:
+            ip_state.install_group(job_id, ip_policy.demand(job_id, jobs[job_id]))
+            orca_state.install_group(
+                job_id, orca_policy.demand(job_id, jobs[job_id])
+            )
+        else:
+            ip_state.remove_group(job_id)
+            orca_state.remove_group(job_id)
 
     peel_rules = rule_count(topo.k)
     return [
-        ChurnRow("ip-multicast", ip_peak, ip_updates, ip_peak > tcam_capacity),
-        ChurnRow("orca", orca_peak, orca_updates, orca_peak > tcam_capacity),
+        ChurnRow(
+            "ip-multicast",
+            ip_state.peak_entries_per_switch,
+            ip_state.total_updates,
+            ip_state.overflowed,
+        ),
+        ChurnRow(
+            "orca",
+            orca_state.peak_entries_per_switch,
+            orca_state.total_updates,
+            orca_state.overflowed,
+        ),
         ChurnRow("peel", peel_rules, 0, peel_rules > tcam_capacity),
     ]
 

@@ -1,4 +1,4 @@
-"""Measurement helpers: CCT statistics and bandwidth accounting."""
+"""Measurement helpers: CCT statistics, bandwidth accounting, serving SLOs."""
 
 from .bandwidth import (
     BandwidthSummary,
@@ -7,6 +7,7 @@ from .bandwidth import (
     tree_link_loads,
 )
 from .cct import CctStats, summarize_ccts
+from .slo import SloSummary, format_slo_table, summarize_slo
 
 __all__ = [
     "BandwidthSummary",
@@ -15,4 +16,7 @@ __all__ = [
     "tree_link_loads",
     "CctStats",
     "summarize_ccts",
+    "SloSummary",
+    "format_slo_table",
+    "summarize_slo",
 ]

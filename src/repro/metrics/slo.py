@@ -1,0 +1,87 @@
+"""Per-tenant serving SLOs: completion tails, queueing, goodput, rejects.
+
+The serving runtime (:mod:`repro.serve`) records, per tenant, every
+collective's completion time and queueing delay plus the admission
+outcomes; :func:`summarize_slo` folds one tenant's samples into an
+:class:`SloSummary` row of the kind an operator dashboard would alarm on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cct import CctStats, summarize_ccts
+
+
+@dataclass(frozen=True)
+class SloSummary:
+    """One tenant's (or one run's aggregate) serving SLO snapshot."""
+
+    tenant: str
+    submitted: int
+    completed: int
+    rejected: int
+    cct: CctStats
+    mean_queue_s: float
+    p99_queue_s: float
+    #: Payload bytes delivered to receiver NICs per second of serving time.
+    goodput_bps: float
+
+    @property
+    def reject_rate(self) -> float:
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+
+def summarize_slo(
+    tenant: str,
+    ccts: Sequence[float],
+    queue_delays: Sequence[float],
+    rejected: int,
+    delivered_bytes: int,
+    span_s: float,
+) -> SloSummary:
+    """Fold one tenant's serving samples into an SLO row.
+
+    ``span_s`` is the wall (simulated) time the samples cover; goodput is
+    delivered payload over that span.
+    """
+    if len(ccts) != len(queue_delays):
+        raise ValueError("need one queueing delay per completed collective")
+    if rejected < 0:
+        raise ValueError("rejected must be non-negative")
+    if span_s <= 0:
+        raise ValueError("span_s must be positive")
+    delays = np.asarray(queue_delays, dtype=float) if queue_delays else np.zeros(1)
+    if (delays < 0).any():
+        raise ValueError("queueing delays must be non-negative")
+    return SloSummary(
+        tenant=tenant,
+        submitted=len(ccts) + rejected,
+        completed=len(ccts),
+        rejected=rejected,
+        cct=summarize_ccts(ccts) if ccts else CctStats(0, 0.0, 0.0, 0.0, 0.0),
+        mean_queue_s=float(delays.mean()) if queue_delays else 0.0,
+        p99_queue_s=float(np.percentile(delays, 99)) if queue_delays else 0.0,
+        goodput_bps=delivered_bytes * 8 / span_s,
+    )
+
+
+def format_slo_table(rows: Sequence[SloSummary]) -> str:
+    """Fixed-width table, one tenant per line."""
+    header = (
+        f"{'tenant':<10}{'done':>6}{'rej':>5}{'p50 CCT(ms)':>13}"
+        f"{'p99 CCT(ms)':>13}{'queue(ms)':>11}{'p99 q(ms)':>11}"
+        f"{'goodput(Gb/s)':>15}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.tenant:<10}{r.completed:>6}{r.rejected:>5}"
+            f"{r.cct.p50_s * 1e3:>13.3f}{r.cct.p99_s * 1e3:>13.3f}"
+            f"{r.mean_queue_s * 1e3:>11.3f}{r.p99_queue_s * 1e3:>11.3f}"
+            f"{r.goodput_bps / 1e9:>15.2f}"
+        )
+    return "\n".join(lines)

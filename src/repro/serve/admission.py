@@ -1,0 +1,122 @@
+"""Admission control for the serving runtime.
+
+A policy looks at one pending job plus the runtime's live fabric view and
+answers: run it now (``ADMIT``), hold it in the FIFO queue until capacity
+frees up (``QUEUE``), or turn it away for good (``REJECT`` — the job could
+never run even on an idle fabric, or the queue is full).
+
+Three policies ship:
+
+* :class:`FifoAdmission` — admit everything immediately (baseline; the
+  fabric itself queues, as in the figure experiments);
+* :class:`TcamAdmission` — admit only when the scheme's per-group switch
+  entries fit every involved TCAM (the budget pressure Orca and IP
+  multicast feel; PEEL's empty demand always fits);
+* :class:`LinkLoadAdmission` — admit only while every link the job's trees
+  cross stays under an outstanding-bytes budget, a scheme-agnostic brake
+  on fabric overload.
+
+Policies compose via :class:`CompositeAdmission` (most restrictive wins).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import JobRecord, ServeRuntime
+
+
+class Decision(enum.Enum):
+    """An admission verdict: run now, wait in the queue, or turn away."""
+
+    ADMIT = "admit"
+    QUEUE = "queue"
+    REJECT = "reject"
+
+
+class AdmissionPolicy:
+    """Decides whether one job may enter the fabric right now."""
+
+    name = "abstract"
+
+    def decide(self, record: "JobRecord", runtime: "ServeRuntime") -> Decision:
+        raise NotImplementedError
+
+
+class FifoAdmission(AdmissionPolicy):
+    """Admit every job on arrival; contention resolves in the fabric."""
+
+    name = "fifo"
+
+    def decide(self, record: "JobRecord", runtime: "ServeRuntime") -> Decision:
+        return Decision.ADMIT
+
+
+class TcamAdmission(AdmissionPolicy):
+    """TCAM-budget-aware: queue while the group's entries don't fit.
+
+    Jobs whose demand could not fit even an empty fabric are rejected
+    outright (queueing would deadlock the FIFO head forever).
+    """
+
+    name = "tcam"
+
+    def decide(self, record: "JobRecord", runtime: "ServeRuntime") -> Decision:
+        demand = runtime.demand_for(record)
+        if not demand:
+            return Decision.ADMIT
+        if runtime.state.fits(demand):
+            return Decision.ADMIT
+        if not runtime.state.feasible(demand):
+            return Decision.REJECT
+        return Decision.QUEUE
+
+
+class LinkLoadAdmission(AdmissionPolicy):
+    """Link-load-aware: cap the outstanding bytes in flight per link.
+
+    ``max_outstanding_bytes`` bounds the sum of admitted-but-unfinished
+    message bytes crossing any one directed link; a job bigger than the
+    budget on its own is rejected.
+    """
+
+    name = "link-load"
+
+    def __init__(self, max_outstanding_bytes: int) -> None:
+        if max_outstanding_bytes < 1:
+            raise ValueError("max_outstanding_bytes must be >= 1")
+        self.max_outstanding_bytes = max_outstanding_bytes
+
+    def decide(self, record: "JobRecord", runtime: "ServeRuntime") -> Decision:
+        if record.job.message_bytes > self.max_outstanding_bytes:
+            return Decision.REJECT
+        budget = self.max_outstanding_bytes - record.job.message_bytes
+        for edge in runtime.route_edges_for(record):
+            if runtime.link_outstanding.get(edge, 0) > budget:
+                return Decision.QUEUE
+        return Decision.ADMIT
+
+
+class CompositeAdmission(AdmissionPolicy):
+    """Every sub-policy must admit; otherwise the most restrictive verdict
+    (REJECT beats QUEUE beats ADMIT) applies."""
+
+    name = "composite"
+
+    def __init__(self, *policies: AdmissionPolicy) -> None:
+        if not policies:
+            raise ValueError("composite needs at least one policy")
+        self.policies = policies
+        self.name = "+".join(p.name for p in policies)
+
+    def decide(self, record: "JobRecord", runtime: "ServeRuntime") -> Decision:
+        worst = Decision.ADMIT
+        for policy in self.policies:
+            verdict = policy.decide(record, runtime)
+            if verdict is Decision.REJECT:
+                return Decision.REJECT
+            if verdict is Decision.QUEUE:
+                worst = Decision.QUEUE
+        return worst

@@ -1,0 +1,129 @@
+"""Plan caching: amortize PEEL planning across repeated group shapes.
+
+Serving workloads repeat themselves — schedulers bin-pack jobs into the
+same contiguous rack runs over and over — so the planner keeps being asked
+for the same (source, receiver-set) shape.  :class:`PlanCache` is an LRU
+over :class:`~repro.core.peel.PeelPlan` keyed by :class:`PlanKey`: the
+canonical (source-ToR, receiver-ToR-set) shape plus the exact host layout
+(two groups sharing the ToR shape but differing in host attachment must not
+alias) and the *topology epoch*.
+
+The epoch is what keeps cached plans sound under faults: the cache is a
+:class:`~repro.sim.observer.FabricObserver`, so every dynamic link-state
+change the :class:`~repro.faults.FaultInjector` pushes through the fabric
+(``on_link_down`` / ``on_link_up``) bumps the epoch and drops every stored
+plan.  A plan handed out by the cache is therefore always byte-identical to
+what a fresh peel of the current topology would produce.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..sim.observer import FabricObserver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.peel import Peel, PeelPlan
+    from ..sim.network import Network
+
+DEFAULT_CACHE_SIZE = 512
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Canonical identity of one multicast planning request.
+
+    ``source_tor`` / ``receiver_tors`` are the shape the paper's state
+    argument cares about; ``hosts`` (source followed by the sorted receiver
+    set) pins the host-level attachment edges so a hit is byte-identical to
+    a fresh plan; ``epoch`` ties the entry to one topology generation.
+    """
+
+    source_tor: str
+    receiver_tors: frozenset[str]
+    hosts: tuple[str, ...]
+    epoch: int
+
+
+class PlanCache(FabricObserver):
+    """LRU cache of PEEL plans, invalidated on every topology change."""
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._plans: "OrderedDict[PlanKey, PeelPlan]" = OrderedDict()
+        #: Topology generation; bumped by every link down/up event.
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    # -- keying ----------------------------------------------------------------
+
+    def key_for(self, planner: "Peel", source: str, receivers: list[str]) -> PlanKey:
+        topo = planner.topo
+        dests = tuple(sorted(set(receivers) - {source}))
+        return PlanKey(
+            source_tor=topo.tor_of(source),
+            receiver_tors=frozenset(topo.tor_of(r) for r in dests),
+            hosts=(source, *dests),
+            epoch=self.epoch,
+        )
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, planner: "Peel", source: str, receivers: list[str]) -> "PeelPlan":
+        """The plan for this group: cached when the shape repeats within one
+        topology epoch, freshly peeled (and stored) otherwise.
+
+        Misses peel the *canonical* request (``key.hosts`` ordering), so the
+        returned plan is byte-for-byte identical no matter which receiver
+        ordering the caller used — a hit and a fresh plan can never diverge
+        by iteration order.
+        """
+        key = self.key_for(planner, source, receivers)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = planner.plan(key.hosts[0], list(key.hosts[1:]))
+        self._plans[key] = plan
+        if len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+        return plan
+
+    def invalidate(self) -> None:
+        """Drop every cached plan and start a new topology epoch."""
+        self.epoch += 1
+        self.invalidations += 1
+        self._plans.clear()
+
+    # -- observer hooks (PR-1 layer): any fabric change kills the cache --------
+
+    def on_link_down(self, u: str, v: str) -> None:
+        self.invalidate()
+
+    def on_link_up(self, u: str, v: str) -> None:
+        self.invalidate()
+
+    # -- introspection ---------------------------------------------------------
+
+    def attach(self, network: "Network") -> "PlanCache":
+        """Register for fabric change notifications; returns self."""
+        network.add_observer(self)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

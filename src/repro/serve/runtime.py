@@ -1,0 +1,385 @@
+"""The always-on serving runtime: admit, queue, run, account, report.
+
+:class:`ServeRuntime` layers a multi-tenant job service on one
+:class:`~repro.collectives.env.CollectiveEnv`.  Jobs submitted from a
+:mod:`repro.workloads` stream arrive as simulator events; each arrival is
+put before the :mod:`admission <repro.serve.admission>` policy and either
+launched immediately, parked in a FIFO queue until capacity frees up, or
+rejected.  Admitted collectives run *concurrently* on the shared fabric —
+their trees contend for links, DCQCN and PFC exactly like the figure
+experiments — while the runtime mirrors each group's switch-state demand
+into per-switch :class:`~repro.state.tcam.TcamTable` models and tracks
+per-link outstanding bytes for load-aware admission.
+
+Completion of any collective frees its state and link budget and re-drains
+the queue head-first, so queueing delay is an emergent property of the
+admission policy, not a modelled constant.  :meth:`ServeRuntime.report`
+folds everything into per-tenant SLO rows (p50/p99 CCT, queueing delay,
+goodput, reject rate) plus fabric-level counters (plan-cache hit rate,
+switch updates, TCAM peaks/overflows).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..collectives import CollectiveEnv, CollectiveHandle, scheme_by_name
+from ..metrics import SloSummary, summarize_slo
+from ..sim import SimConfig
+from ..state import DEFAULT_CAPACITY
+from ..steiner import MAX_EXACT_TERMINALS, exact_steiner_tree, metric_closure_tree
+from ..topology import Topology
+from ..workloads import CollectiveJob
+from .admission import AdmissionPolicy, Decision, FifoAdmission
+from .cache import PlanCache
+from .state import Demand, FabricState, policy_for, tree_switch_fanouts
+
+#: Serving scheme -> the dataplane realization it launches.  IP multicast
+#: forwards single copies along a per-group tree (same dataplane as the
+#: optimal baseline) but pays per-subset switch state for it.
+DATAPLANE = {
+    "peel": "peel",
+    "peel+cores": "peel+cores",
+    "orca": "orca",
+    "ip-multicast": "optimal",
+}
+
+SERVE_SCHEMES = tuple(DATAPLANE)
+
+
+@dataclass
+class JobRecord:
+    """One submitted job's lifecycle inside the runtime."""
+
+    index: int
+    job: CollectiveJob
+    status: str = "pending"  # pending -> queued? -> running -> done|rejected
+    admitted_s: float | None = None
+    completed_s: float | None = None
+    cct_s: float | None = None
+    handle: CollectiveHandle | None = None
+    _demand: Demand | None = field(default=None, repr=False)
+    _route_edges: tuple | None = field(default=None, repr=False)
+
+    @property
+    def queue_delay_s(self) -> float:
+        if self.admitted_s is None:
+            return 0.0
+        return self.admitted_s - self.job.arrival_s
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Payload bytes this job put onto receiver NICs."""
+        return self.job.message_bytes * len(self.job.group.receiver_hosts)
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """End-of-run summary: per-tenant SLOs plus fabric-level accounting."""
+
+    scheme: str
+    tenants: list[SloSummary]
+    total: SloSummary
+    queued_jobs: int
+    cache_hits: int
+    cache_misses: int
+    cache_invalidations: int
+    switch_updates: int
+    peak_entries_per_switch: int
+    tcam_overflow_events: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+class ServeRuntime:
+    """Multi-tenant collective serving on one shared simulated fabric."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        scheme: str = "peel",
+        config: SimConfig | None = None,
+        admission: AdmissionPolicy | None = None,
+        tcam_capacity: int = DEFAULT_CAPACITY,
+        plan_cache: PlanCache | bool = True,
+        max_queue: int = 4096,
+        check_invariants: bool = False,
+        record_trace: bool = False,
+        fault_schedule=None,
+        raise_on_violation: bool = True,
+    ) -> None:
+        if scheme not in DATAPLANE:
+            raise ValueError(
+                f"unknown serving scheme {scheme!r}; choose from "
+                f"{sorted(DATAPLANE)}"
+            )
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.scheme_name = scheme
+        self.scheme = scheme_by_name(DATAPLANE[scheme])
+        self.admission = admission or FifoAdmission()
+        self.max_queue = max_queue
+        if plan_cache is True:
+            plan_cache = PlanCache()
+        elif plan_cache is False:
+            plan_cache = None
+        if fault_schedule is not None:
+            topo = topo.copy()  # dynamic faults mutate the planning topology
+        self.env = CollectiveEnv(
+            topo,
+            config,
+            fault_schedule=fault_schedule,
+            check_invariants=check_invariants,
+            record_trace=record_trace,
+            raise_on_violation=raise_on_violation,
+            plan_cache=plan_cache,
+        )
+        self.state_policy = policy_for(scheme)
+        self.state = FabricState(capacity=tcam_capacity, strict=False)
+        if not self.state_policy.per_group:
+            self._preinstall_static_rules()
+        #: Admitted-but-unfinished message bytes per directed link.
+        self.link_outstanding: dict[tuple[str, str], int] = {}
+        self.records: list[JobRecord] = []
+        self._queue: deque[JobRecord] = deque()
+        self.peak_queue_len = 0
+        self.total_queued = 0
+
+    # -- static state ----------------------------------------------------------
+
+    def _preinstall_static_rules(self) -> None:
+        """Deploy-once PEEL prefix rules on every switch; churn counters are
+        zeroed afterwards so serving-time updates start at zero."""
+        try:
+            width = self.env.peel().identifier_width
+        except (TypeError, ValueError):
+            return  # fabric PEEL cannot plan on: no static rules to model
+        keys = [
+            ("prefix", value, length)
+            for length in range(width + 1)
+            for value in range(1 << length)
+        ]
+        for switch in self.env.topo.switches:
+            table = self.state.table(switch)
+            for key in keys:
+                table.install(key)
+        self.state.reset_counters()
+
+    # -- job intake ------------------------------------------------------------
+
+    def submit(self, job: CollectiveJob) -> JobRecord:
+        """Register one job; its admission decision happens at arrival time
+        inside the simulation."""
+        record = JobRecord(index=len(self.records), job=job)
+        self.records.append(record)
+        at = max(job.arrival_s, self.env.sim.now)
+        self.env.sim.schedule_at(at, self._on_arrival, record)
+        return record
+
+    def submit_all(self, jobs: list[CollectiveJob]) -> list[JobRecord]:
+        return [self.submit(job) for job in jobs]
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drive the simulation (arrivals, collectives, completions)."""
+        return self.env.run(until=until, max_events=max_events)
+
+    # -- admission plumbing ----------------------------------------------------
+
+    def demand_for(self, record: JobRecord) -> Demand:
+        """The per-switch entries this job's group needs (cached)."""
+        if record._demand is None:
+            if not self.state_policy.per_group:
+                record._demand = {}
+            else:
+                tree = self._group_tree(record)
+                record._demand = self.state_policy.demand(
+                    record.index, tree_switch_fanouts(tree)
+                )
+        return record._demand
+
+    def route_edges_for(self, record: JobRecord) -> tuple:
+        """Directed links this job's copies will cross (cached)."""
+        if record._route_edges is None:
+            group = record.job.group
+            receivers = group.receiver_hosts
+            if not receivers:
+                record._route_edges = ()
+            elif self.scheme_name.startswith("peel"):
+                plan = self.env.plan_broadcast(group.source.host, receivers)
+                record._route_edges = tuple(
+                    dict.fromkeys(e for t in plan.static_trees for e in t.edges)
+                )
+            else:
+                record._route_edges = tuple(self._group_tree(record).edges)
+        return record._route_edges
+
+    def _group_tree(self, record: JobRecord):
+        """The controller-view multicast tree for a group (state + load
+        accounting; per-group schemes install entries along it)."""
+        group = record.job.group
+        source = group.source.host
+        receivers = group.receiver_hosts
+        topo = self.env.topo
+        if topo.is_symmetric:
+            from ..core import optimal_symmetric_tree
+
+            return optimal_symmetric_tree(topo, source, receivers)
+        if len(receivers) + 1 <= MAX_EXACT_TERMINALS:
+            return exact_steiner_tree(topo.graph, source, receivers)
+        return metric_closure_tree(topo.graph, source, receivers)
+
+    # -- event handlers --------------------------------------------------------
+
+    def _on_arrival(self, record: JobRecord) -> None:
+        if not record.job.group.receiver_hosts:
+            # Degenerate single-host group: nothing crosses the network.
+            record.status = "done"
+            record.admitted_s = self.env.sim.now
+            record.completed_s = self.env.sim.now
+            record.cct_s = 0.0
+            return
+        decision = self.admission.decide(record, self)
+        if decision is Decision.ADMIT:
+            self._launch(record)
+        elif decision is Decision.QUEUE:
+            if len(self._queue) >= self.max_queue:
+                self._reject(record)
+            else:
+                record.status = "queued"
+                self._queue.append(record)
+                self.total_queued += 1
+                self.peak_queue_len = max(self.peak_queue_len, len(self._queue))
+        else:
+            self._reject(record)
+
+    def _launch(self, record: JobRecord) -> None:
+        now = self.env.sim.now
+        record.status = "running"
+        record.admitted_s = now
+        demand = self.demand_for(record)
+        if demand:
+            self.state.install_group(record.index, demand)
+        msg = record.job.message_bytes
+        for edge in self.route_edges_for(record):
+            self.link_outstanding[edge] = self.link_outstanding.get(edge, 0) + msg
+        handle = self.scheme.launch(self.env, record.job.group, msg, now)
+        record.handle = handle
+        if handle.complete:
+            self._on_collective_done(record, now)
+        else:
+            handle.on_complete = lambda _h, t, rec=record: (
+                self._on_collective_done(rec, t)
+            )
+
+    def _on_collective_done(self, record: JobRecord, now: float) -> None:
+        record.status = "done"
+        record.completed_s = now
+        record.cct_s = record.handle.cct_s if record.handle is not None else 0.0
+        if record._demand:
+            self.state.remove_group(record.index)
+        msg = record.job.message_bytes
+        for edge in self.route_edges_for(record):
+            remaining = self.link_outstanding.get(edge, 0) - msg
+            if remaining > 0:
+                self.link_outstanding[edge] = remaining
+            else:
+                self.link_outstanding.pop(edge, None)
+        self._drain_queue()
+
+    def _reject(self, record: JobRecord) -> None:
+        record.status = "rejected"
+
+    def _drain_queue(self) -> None:
+        """Head-of-line retry: admit in FIFO order until the head must keep
+        waiting (strict ordering, no overtaking)."""
+        while self._queue:
+            record = self._queue[0]
+            decision = self.admission.decide(record, self)
+            if decision is Decision.ADMIT:
+                self._queue.popleft()
+                self._launch(record)
+            elif decision is Decision.REJECT:
+                self._queue.popleft()
+                self._reject(record)
+            else:
+                break
+
+    # -- reporting -------------------------------------------------------------
+
+    def finalize_checks(self) -> list:
+        return self.env.finalize_checks()
+
+    def report(self) -> ServeReport:
+        """Per-tenant SLO summaries plus fabric accounting for the run."""
+        done = [r for r in self.records if r.status == "done"]
+        stuck = [
+            r for r in self.records if r.status in ("pending", "running", "queued")
+        ]
+        if stuck:
+            raise RuntimeError(
+                f"{len(stuck)} jobs still in flight; run() the simulation to "
+                "completion (or reject them) before reporting"
+            )
+        if not self.records:
+            raise RuntimeError("nothing submitted; cannot summarize SLOs")
+        first = min(r.job.arrival_s for r in self.records)
+        end = max((r.completed_s for r in done), default=first)
+        span = max(end - first, 1e-9)
+
+        def summary(tag: str, records: list[JobRecord], rejected: int) -> SloSummary:
+            return summarize_slo(
+                tag,
+                [r.cct_s for r in records],
+                [r.queue_delay_s for r in records],
+                rejected,
+                sum(r.delivered_bytes for r in records),
+                span,
+            )
+
+        tenants: dict[str, list[JobRecord]] = {}
+        rejects: dict[str, int] = {}
+        for record in self.records:
+            tenants.setdefault(record.job.tenant, [])
+            rejects.setdefault(record.job.tenant, 0)
+            if record.status == "done":
+                tenants[record.job.tenant].append(record)
+            else:
+                rejects[record.job.tenant] += 1
+        rows = [
+            summary(tenant, records, rejects[tenant])
+            for tenant, records in sorted(tenants.items())
+        ]
+        cache = self.env.plan_cache  # careful: an empty cache is falsy
+        return ServeReport(
+            scheme=self.scheme_name,
+            tenants=rows,
+            total=summary("TOTAL", done, len(self.records) - len(done)),
+            queued_jobs=self.total_queued,
+            cache_hits=cache.hits if cache is not None else 0,
+            cache_misses=cache.misses if cache is not None else 0,
+            cache_invalidations=cache.invalidations if cache is not None else 0,
+            switch_updates=self.state.total_updates,
+            peak_entries_per_switch=self.state.peak_entries_per_switch,
+            tcam_overflow_events=self.state.overflow_events,
+        )
+
+
+def serve_jobs(
+    topo: Topology,
+    scheme: str,
+    jobs: list[CollectiveJob],
+    config: SimConfig | None = None,
+    **runtime_kwargs,
+) -> tuple[ServeReport, ServeRuntime]:
+    """Convenience one-shot: build a runtime, serve a job list, report."""
+    runtime = ServeRuntime(topo, scheme, config, **runtime_kwargs)
+    runtime.submit_all(jobs)
+    runtime.run()
+    violations = runtime.finalize_checks()
+    if violations:
+        raise RuntimeError(f"invariant violations during serving: {violations}")
+    return runtime.report(), runtime

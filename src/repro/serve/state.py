@@ -1,0 +1,216 @@
+"""Fabric-wide switch-state accounting for concurrent multicast groups.
+
+One :class:`~repro.state.tcam.TcamTable` per switch, plus the refcounting
+and per-scheme installation policies the serving runtime and the
+``state_churn`` experiment share.  Capacity, churn (``updates``) and
+overflow accounting all live in :class:`TcamTable`; this module only
+decides *which* entries each scheme needs:
+
+* **peel** — ``k - 1`` prefix rules per switch, installed once at boot and
+  never touched again (zero updates under any churn);
+* **orca** — one per-group entry at every switch of the group's multicast
+  tree, installed at admission and removed at completion;
+* **ip-multicast** — one entry per *distinct* receiver subset a switch
+  serves, refcounted across groups (best case for IP multicast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..state import DEFAULT_CAPACITY, TcamTable
+
+#: Entry demand of one group: switch -> entry keys to install there.
+Demand = dict[str, list[object]]
+
+
+class FabricState:
+    """Per-switch TCAM tables with refcounted, group-tagged entries.
+
+    Entries are refcounted by ``(switch, key)`` so schemes whose entries are
+    shared across groups (IP multicast's subset entries) only install on the
+    first reference and remove on the last; per-group keys (Orca) trivially
+    have refcount one.  ``install_group`` tags the references with a group
+    id so ``remove_group`` can undo them without the caller re-deriving the
+    demand.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, strict: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.strict = strict
+        self.tables: dict[str, TcamTable] = {}
+        self._refs: dict[tuple[str, object], int] = {}
+        self._groups: dict[object, Demand] = {}
+
+    def table(self, switch: str) -> TcamTable:
+        table = self.tables.get(switch)
+        if table is None:
+            table = TcamTable(capacity=self.capacity, strict=self.strict)
+            self.tables[switch] = table
+        return table
+
+    # -- group lifecycle -------------------------------------------------------
+
+    def new_entries(self, demand: Demand) -> dict[str, int]:
+        """Per-switch count of entries the demand would actually install
+        (already-referenced shared entries are free)."""
+        out: dict[str, int] = {}
+        for switch, keys in demand.items():
+            fresh = sum(1 for k in set(keys) if (switch, k) not in self._refs)
+            if fresh:
+                out[switch] = fresh
+        return out
+
+    def fits(self, demand: Demand) -> bool:
+        """Whether installing ``demand`` stays within every switch's TCAM."""
+        return all(
+            self.table(switch).would_fit(count)
+            for switch, count in self.new_entries(demand).items()
+        )
+
+    def feasible(self, demand: Demand) -> bool:
+        """Whether the demand could fit an *empty* fabric (admission's
+        distinction between "queue and wait" and "reject outright")."""
+        return all(
+            len(set(keys)) <= self.capacity for keys in demand.values()
+        )
+
+    def install_group(self, group_id: object, demand: Demand) -> None:
+        if group_id in self._groups:
+            raise ValueError(f"group {group_id!r} already installed")
+        for switch, keys in demand.items():
+            for key in set(keys):
+                ref = (switch, key)
+                count = self._refs.get(ref, 0)
+                if count == 0:
+                    self.table(switch).install(key)
+                self._refs[ref] = count + 1
+        self._groups[group_id] = demand
+
+    def remove_group(self, group_id: object) -> None:
+        demand = self._groups.pop(group_id, None)
+        if demand is None:
+            return
+        for switch, keys in demand.items():
+            for key in set(keys):
+                ref = (switch, key)
+                self._refs[ref] -= 1
+                if self._refs[ref] == 0:
+                    del self._refs[ref]
+                    self.table(switch).remove(key)
+
+    def reset_counters(self) -> None:
+        """Zero churn counters (after boot-time pre-installs: deploy-once
+        rules should not count as serving-time updates)."""
+        for table in self.tables.values():
+            table.updates = 0
+            table.overflow_events = 0
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def peak_entries_per_switch(self) -> int:
+        return max((t.peak for t in self.tables.values()), default=0)
+
+    @property
+    def total_updates(self) -> int:
+        return sum(t.updates for t in self.tables.values())
+
+    @property
+    def overflow_events(self) -> int:
+        return sum(t.overflow_events for t in self.tables.values())
+
+    @property
+    def overflowed(self) -> bool:
+        return any(t.overflowed for t in self.tables.values())
+
+
+# -- per-scheme policies -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StatePolicy:
+    """How a scheme maps one group onto switch entries.
+
+    ``per_group`` distinguishes deploy-once schemes (PEEL: empty demand,
+    nothing ever installed or removed per group) from per-group state
+    (Orca, IP multicast).
+    """
+
+    name: str
+    per_group: bool = True
+
+    def demand(self, group_id: object, tree_switch_fanouts) -> Demand:
+        """Entries for one group given ``(switch, downstream-subset)`` pairs
+        of its multicast tree (see :func:`tree_switch_fanouts`)."""
+        raise NotImplementedError
+
+
+class PeelStatePolicy(StatePolicy):
+    """Deploy-once prefix rules: no per-group entries, ever.
+
+    Also models any scheme without in-network group state (ring/tree host
+    relays, the idealized optimal baseline) — pass the scheme's name.
+    """
+
+    def __init__(self, name: str = "peel") -> None:
+        super().__init__(name=name, per_group=False)
+
+    def demand(self, group_id: object, tree_switch_fanouts) -> Demand:
+        return {}
+
+
+class OrcaStatePolicy(StatePolicy):
+    """One per-group entry at every switch the group's tree branches at."""
+
+    def __init__(self) -> None:
+        super().__init__(name="orca")
+
+    def demand(self, group_id: object, tree_switch_fanouts) -> Demand:
+        return {
+            switch: [("group", group_id)]
+            for switch, _subset in tree_switch_fanouts
+        }
+
+
+class IpMulticastStatePolicy(StatePolicy):
+    """One entry per distinct downstream subset, shared across groups."""
+
+    def __init__(self) -> None:
+        super().__init__(name="ip-multicast")
+
+    def demand(self, group_id: object, tree_switch_fanouts) -> Demand:
+        out: Demand = {}
+        for switch, subset in tree_switch_fanouts:
+            out.setdefault(switch, []).append(("subset", subset))
+        return out
+
+
+def tree_switch_fanouts(tree) -> list[tuple[str, frozenset[str]]]:
+    """(switch, frozenset-of-children) pairs for every replicating switch of
+    a multicast tree — the entries a per-group dataplane would install."""
+    from ..topology.addressing import NodeKind, kind_of
+
+    out: list[tuple[str, frozenset[str]]] = []
+    for node in sorted(tree.nodes):
+        if kind_of(node) is NodeKind.HOST:
+            continue
+        children = tree.children(node)
+        if children:
+            out.append((node, frozenset(children)))
+    return out
+
+
+def policy_for(scheme: str) -> StatePolicy:
+    """The switch-state policy a serving scheme implies."""
+    if scheme.startswith("peel"):
+        return PeelStatePolicy()
+    if scheme.startswith("orca"):
+        return OrcaStatePolicy()
+    if scheme == "ip-multicast":
+        return IpMulticastStatePolicy()
+    # Host-relay schemes (ring, tree) and the idealized optimal baseline
+    # keep no in-network group state.
+    return PeelStatePolicy(name=scheme)

@@ -2,7 +2,10 @@
 
 Commodity switches expose only a few thousand multicast entries (§3, refs
 [12, 18]); this model lets experiments observe when a scheme overflows that
-budget.
+budget.  Beyond raw occupancy the table accounts *control-plane churn*: the
+``updates`` counter ticks on every install, overwrite and remove, which is
+the quantity the paper's deploy-once argument is about (PEEL's prefix rules
+never update; per-group schemes update twice per group per switch).
 """
 
 from __future__ import annotations
@@ -19,27 +22,61 @@ class TcamOverflowError(RuntimeError):
 
 @dataclass
 class TcamTable:
-    """Per-switch rule storage with capacity accounting."""
+    """Per-switch rule storage with capacity and churn accounting.
+
+    ``strict`` (the default) raises :class:`TcamOverflowError` when an
+    install would exceed ``capacity``.  With ``strict=False`` the table
+    keeps accepting entries but counts each breach in ``overflow_events`` —
+    the mode accounting experiments use to *measure* how far a scheme
+    overshoots a commodity budget instead of crashing at the first breach.
+    """
 
     capacity: int = DEFAULT_CAPACITY
+    strict: bool = True
     _rules: dict[object, tuple[int, ...]] = field(default_factory=dict)
+    #: Control-plane operations: installs + overwrites + removes.
+    updates: int = 0
+    #: High-water mark of concurrent entries over the table's lifetime.
+    peak: int = 0
+    #: Installs that exceeded ``capacity`` (non-strict mode only).
+    overflow_events: int = 0
 
-    def install(self, key: object, out_ports: tuple[int, ...]) -> None:
+    def install(self, key: object, out_ports: tuple[int, ...] = ()) -> None:
         if key not in self._rules and len(self._rules) >= self.capacity:
-            raise TcamOverflowError(
-                f"TCAM full: {len(self._rules)}/{self.capacity} entries"
-            )
+            if self.strict:
+                raise TcamOverflowError(
+                    f"TCAM full: {len(self._rules)}/{self.capacity} entries"
+                )
+            self.overflow_events += 1
+        self.updates += 1
         self._rules[key] = out_ports
+        self.peak = max(self.peak, len(self._rules))
 
     def remove(self, key: object) -> None:
-        self._rules.pop(key, None)
+        if key in self._rules:
+            del self._rules[key]
+            self.updates += 1
 
     def lookup(self, key: object) -> tuple[int, ...] | None:
         return self._rules.get(key)
 
+    def __contains__(self, key: object) -> bool:
+        return key in self._rules
+
     def __len__(self) -> int:
         return len(self._rules)
+
+    def would_fit(self, new_entries: int = 1) -> bool:
+        """Whether ``new_entries`` *additional* entries fit the capacity."""
+        if new_entries < 0:
+            raise ValueError("new_entries must be non-negative")
+        return len(self._rules) + new_entries <= self.capacity
 
     @property
     def utilization(self) -> float:
         return len(self._rules) / self.capacity if self.capacity else 1.0
+
+    @property
+    def overflowed(self) -> bool:
+        """Whether the table ever held more entries than its capacity."""
+        return self.peak > self.capacity

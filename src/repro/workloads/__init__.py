@@ -2,7 +2,7 @@
 placement, and offered-load calibration."""
 
 from .arrivals import fixed_count_arrivals, poisson_arrival_times
-from .jobs import CollectiveJob, generate_jobs
+from .jobs import CollectiveJob, TenantSpec, generate_jobs, generate_tenant_jobs
 from .load import arrival_rate_for_load, offered_load
 from .placement import (
     DEFAULT_GPUS_PER_HOST,
@@ -15,7 +15,9 @@ __all__ = [
     "fixed_count_arrivals",
     "poisson_arrival_times",
     "CollectiveJob",
+    "TenantSpec",
     "generate_jobs",
+    "generate_tenant_jobs",
     "arrival_rate_for_load",
     "offered_load",
     "DEFAULT_GPUS_PER_HOST",

@@ -15,11 +15,13 @@ from .placement import DEFAULT_GPUS_PER_HOST, place_job
 
 @dataclass(frozen=True)
 class CollectiveJob:
-    """One Broadcast instance to run: when, who, and how much."""
+    """One Broadcast instance to run: when, who, how much — and for whom
+    (multi-tenant serving tags each job with its tenant)."""
 
     arrival_s: float
     group: Group
     message_bytes: int
+    tenant: str = "default"
 
 
 def generate_jobs(
@@ -60,4 +62,62 @@ def generate_jobs(
             fragmentation=fragmentation,
         )
         jobs.append(CollectiveJob(t, group, message_bytes))
+    return jobs
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's share of a multi-tenant serving workload."""
+
+    name: str
+    num_jobs: int
+    num_gpus: int
+    message_bytes: int
+    offered_load: float = 0.1
+    fragmentation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_jobs < 1:
+            raise ValueError("num_jobs must be >= 1")
+        if self.offered_load <= 0:
+            raise ValueError("offered_load must be positive")
+
+
+def generate_tenant_jobs(
+    topo: Topology,
+    tenants: list[TenantSpec],
+    gpus_per_host: int = DEFAULT_GPUS_PER_HOST,
+    seed: int = 0,
+) -> list[CollectiveJob]:
+    """Merge independent per-tenant Poisson streams into one job timeline.
+
+    Each tenant gets its own arrival process (calibrated to its own offered
+    load) and its own placement draws, all derived from ``seed`` + the
+    tenant's position so streams are reproducible and scheme comparisons
+    see identical workloads.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    jobs: list[CollectiveJob] = []
+    for index, spec in enumerate(tenants):
+        # String seeding is deterministic (sha512-based), unlike str hash.
+        rng = random.Random(f"{seed}:{index}:{spec.name}")
+        receiver_hosts = max(1, math.ceil(spec.num_gpus / gpus_per_host) - 1)
+        rate = arrival_rate_for_load(
+            spec.offered_load,
+            spec.message_bytes,
+            receiver_hosts,
+            len(topo.hosts),
+            topo.link_bps,
+        )
+        for t in fixed_count_arrivals(rate, spec.num_jobs, rng):
+            group = place_job(
+                topo,
+                spec.num_gpus,
+                gpus_per_host=gpus_per_host,
+                rng=rng,
+                fragmentation=spec.fragmentation,
+            )
+            jobs.append(CollectiveJob(t, group, spec.message_bytes, spec.name))
+    jobs.sort(key=lambda j: j.arrival_s)
     return jobs

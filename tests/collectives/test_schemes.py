@@ -1,7 +1,5 @@
 """Every broadcast scheme: delivery correctness and structural properties."""
 
-import random
-
 import pytest
 
 from repro.collectives import (

@@ -94,7 +94,7 @@ class TestTreeMatchesRules:
     def test_simulated_delivery_matches_plan(self):
         """End to end: run the plan through the simulator and verify the
         bytes on each agg->ToR link match the rule fan-out exactly."""
-        from repro.collectives import CollectiveEnv, Gpu, Group, PeelBroadcast
+        from repro.collectives import CollectiveEnv, PeelBroadcast
         from repro.sim import SimConfig
 
         topo = FatTree(8, hosts_per_tor=4)

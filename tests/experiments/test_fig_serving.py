@@ -1,0 +1,29 @@
+"""Serving sweep experiment: per-(scheme, load) SLO rows."""
+
+from repro.experiments import fig_serving
+
+
+class TestServingSweep:
+    def test_rows_cover_the_grid(self):
+        rows = fig_serving.run(loads=(0.3,), num_jobs=25)
+        assert [r.scheme for r in rows] == list(fig_serving.DEFAULT_SCHEMES)
+        by = {r.scheme: r for r in rows}
+        # The §3 story at serving granularity: deploy-once vs churn.
+        assert by["peel"].switch_updates == 0
+        assert by["peel"].cache_hit_rate > 0
+        assert by["orca"].switch_updates > by["ip-multicast"].switch_updates > 0
+        assert by["orca"].p99_ms > by["peel"].p99_ms  # controller setup tax
+
+    def test_failure_replay_completes_every_scheme(self):
+        rows = fig_serving.run_with_failures(num_jobs=20)
+        assert len(rows) == len(fig_serving.DEFAULT_SCHEMES)
+        assert all(r.load == -1.0 for r in rows)
+        assert all(r.p99_ms > 0 for r in rows)
+
+    def test_table_renders_with_fault_marker(self):
+        rows = fig_serving.run(
+            loads=(0.5,), schemes=("peel",), num_jobs=15, with_failures=True
+        )
+        text = fig_serving.format_table(rows)
+        assert "fault" in text
+        assert "hit%" in text

@@ -1,0 +1,154 @@
+"""PlanCache: byte-identical plans, LRU eviction, fault-driven invalidation."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Peel
+from repro.serve import PlanCache
+from repro.topology import FatTree
+
+
+def small_topo() -> FatTree:
+    return FatTree(4, hosts_per_tor=2)
+
+
+HOSTS = sorted(small_topo().hosts)
+
+group_indices = st.tuples(
+    st.integers(min_value=0, max_value=len(HOSTS) - 1),
+    st.sets(
+        st.integers(min_value=0, max_value=len(HOSTS) - 1), min_size=1, max_size=6
+    ),
+)
+#: ((source index, receiver indices), flip-a-link-before-this-lookup?)
+op_lists = st.lists(
+    st.tuples(group_indices, st.booleans()), min_size=1, max_size=12
+)
+
+
+def canonical_plan(planner: Peel, source: str, receivers: list[str]):
+    return planner.plan(source, sorted(set(receivers) - {source}))
+
+
+def core_link(topo) -> tuple[str, str]:
+    core = sorted(n for n in topo.graph.nodes if n.startswith("core"))[0]
+    return core, sorted(topo.graph.neighbors(core))[0]
+
+
+class TestByteIdenticalProperty:
+    @given(op_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_cached_equals_fresh_across_fault_epochs(self, ops):
+        """Whatever mix of repeats, orderings and fault epochs a stream
+        produces, a cache lookup is byte-identical to a fresh peel of the
+        same group on the *current* topology — and every topology change
+        bumps the epoch and empties the cache."""
+        topo = small_topo()
+        planner = Peel(topo)
+        cache = PlanCache()
+        u, v = core_link(topo)
+        down = False
+        for (src_i, recv_is), flip in ops:
+            if flip:  # the same observer events a FaultInjector delivers
+                epoch_before = cache.epoch
+                if down:
+                    topo.restore_link(u, v)
+                    cache.on_link_up(u, v)
+                else:
+                    topo.fail_link(u, v)
+                    cache.on_link_down(u, v)
+                down = not down
+                assert cache.epoch == epoch_before + 1
+                assert len(cache) == 0
+            source = HOSTS[src_i]
+            receivers = [HOSTS[i] for i in recv_is if HOSTS[i] != source]
+            if not receivers:
+                continue
+            want = pickle.dumps(canonical_plan(planner, source, receivers))
+            assert pickle.dumps(cache.get(planner, source, receivers)) == want
+            # A reordered lookup of the same set hits and stays identical.
+            hits_before = cache.hits
+            again = cache.get(planner, source, list(reversed(receivers)))
+            assert cache.hits == hits_before + 1
+            assert pickle.dumps(again) == want
+
+    @given(group_indices)
+    @settings(max_examples=25, deadline=None)
+    def test_invalidation_forces_replan_on_degraded_topology(self, group):
+        """After a link failure the cache must not serve the pre-fault plan:
+        the post-invalidation lookup re-peels on the degraded graph."""
+        src_i, recv_is = group
+        topo = small_topo()
+        planner = Peel(topo)
+        cache = PlanCache()
+        source = HOSTS[src_i]
+        receivers = [HOSTS[i] for i in recv_is if HOSTS[i] != source]
+        if not receivers:
+            return
+        cache.get(planner, source, receivers)
+        u, v = core_link(topo)
+        topo.fail_link(u, v)
+        cache.on_link_down(u, v)
+        got = cache.get(planner, source, receivers)
+        assert pickle.dumps(got) == pickle.dumps(
+            canonical_plan(planner, source, receivers)
+        )
+        topo.restore_link(u, v)
+
+
+class TestCacheMechanics:
+    def test_hit_and_miss_counters(self):
+        topo = small_topo()
+        planner = Peel(topo)
+        cache = PlanCache()
+        cache.get(planner, HOSTS[0], HOSTS[1:4])
+        cache.get(planner, HOSTS[0], HOSTS[1:4])
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        topo = small_topo()
+        planner = Peel(topo)
+        cache = PlanCache(maxsize=2)
+        cache.get(planner, HOSTS[0], [HOSTS[1]])
+        cache.get(planner, HOSTS[0], [HOSTS[2]])
+        cache.get(planner, HOSTS[0], [HOSTS[1]])  # refresh the oldest
+        cache.get(planner, HOSTS[0], [HOSTS[3]])  # evicts the [2] entry
+        assert cache.evictions == 1
+        hits = cache.hits
+        cache.get(planner, HOSTS[0], [HOSTS[1]])
+        assert cache.hits == hits + 1  # survived: it was refreshed
+        cache.get(planner, HOSTS[0], [HOSTS[2]])
+        assert cache.misses == 4  # the evicted entry had to re-peel
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_network_events_reach_an_attached_cache(self):
+        """The real observer path: Network.set_link_down/up fan out to the
+        cache exactly like any other FabricObserver."""
+        from repro.collectives import CollectiveEnv
+
+        topo = small_topo()
+        env = CollectiveEnv(topo)
+        cache = PlanCache().attach(env.network)
+        cache.get(Peel(topo), HOSTS[0], HOSTS[1:3])
+        u, v = core_link(topo)
+        env.network.set_link_down(u, v)
+        assert cache.invalidations == 1 and len(cache) == 0
+        env.network.set_link_up(u, v)
+        assert cache.invalidations == 2
+
+    def test_epoch_is_part_of_the_key(self):
+        topo = small_topo()
+        planner = Peel(topo)
+        cache = PlanCache()
+        key_before = cache.key_for(planner, HOSTS[0], [HOSTS[1]])
+        cache.invalidate()
+        key_after = cache.key_for(planner, HOSTS[0], [HOSTS[1]])
+        assert key_before != key_after
+        assert key_before.hosts == key_after.hosts

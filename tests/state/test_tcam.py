@@ -40,6 +40,47 @@ class TestTcamTable:
         table.install("a", (0,))
         assert table.utilization == 0.25
 
+    def test_updates_counts_installs_overwrites_removes(self):
+        table = TcamTable(capacity=4)
+        table.install("a", (0,))       # install
+        table.install("a", (0, 1))     # overwrite: still a control-plane op
+        table.remove("a")              # remove
+        table.remove("a")              # no-op: key already gone
+        assert table.updates == 3
+
+    def test_peak_high_water_mark(self):
+        table = TcamTable(capacity=4)
+        table.install("a", (0,))
+        table.install("b", (1,))
+        table.remove("a")
+        table.remove("b")
+        assert table.peak == 2
+        assert len(table) == 0
+        assert not table.overflowed
+
+    def test_non_strict_counts_overflow_instead_of_raising(self):
+        table = TcamTable(capacity=1, strict=False)
+        table.install("a", (0,))
+        table.install("b", (1,))
+        table.install("c", (2,))
+        assert table.overflow_events == 2
+        assert table.overflowed
+        assert len(table) == 3  # entries kept so peaks stay measurable
+
+    def test_would_fit(self):
+        table = TcamTable(capacity=2)
+        table.install("a", (0,))
+        assert table.would_fit()
+        assert not table.would_fit(2)
+        with pytest.raises(ValueError):
+            table.would_fit(-1)
+
+    def test_contains(self):
+        table = TcamTable(capacity=2)
+        table.install("a", (0,))
+        assert "a" in table
+        assert "b" not in table
+
     def test_peel_rules_fit_easily(self):
         """The whole point: k-1 static rules fit in a commodity TCAM even
         at k=128, whereas per-group state cannot."""

@@ -82,6 +82,18 @@ class TestMain:
         ) == 0
         assert "invariants" in capsys.readouterr().out
 
+    def test_serve_tiny(self, capsys):
+        assert main(
+            ["serve", "--loads", "0.5", "--jobs", "12", "--schemes", "peel"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hit%" in out
+        assert "peel" in out
+
+    def test_serve_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--schemes", "ring"])
+
     def test_faults_rejects_unrecoverable_scheme(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults", "--scheme", "ring"])

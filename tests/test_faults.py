@@ -11,7 +11,6 @@ from repro.faults import (
     FaultEvent,
     FaultSchedule,
 )
-from repro.sim import SimConfig
 from repro.topology import LeafSpine
 from repro.workloads import CollectiveJob
 

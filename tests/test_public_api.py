@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.collectives",
     "repro.workloads",
     "repro.metrics",
+    "repro.serve",
     "repro.experiments",
 ]
 
