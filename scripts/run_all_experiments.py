@@ -2,8 +2,14 @@
 
 Used to regenerate EXPERIMENTS.md's measured numbers:
     python scripts/run_all_experiments.py > experiments_results.txt
+    python scripts/run_all_experiments.py --jobs 8   # parallel sweeps
+
+``--jobs N`` fans each simulation sweep's grid out over N worker
+processes (default: one per CPU); tables are byte-identical to a serial
+``--jobs 1`` run.
 """
 
+import argparse
 import time
 
 from repro.experiments import (
@@ -21,6 +27,7 @@ from repro.experiments import (
     state_churn,
     tree_quality,
 )
+from repro.experiments.parallel import resolve_jobs, stderr_progress
 
 
 def section(title):
@@ -28,6 +35,16 @@ def section(title):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per sweep (default: one per CPU; 1 = serial)")
+    args = parser.parse_args()
+    workers = resolve_jobs(args.jobs)
+    sweep = dict(
+        jobs=workers,
+        progress=stderr_progress() if workers > 1 else None,
+    )
     t0 = time.time()
 
     section("Fig 1: bandwidth accounting (leaf-spine 2x2x4)")
@@ -48,22 +65,25 @@ def main():
     print(tree_quality.format_table(tree_quality.run(trials=20)))
 
     section("Fig 4: Orca controller overhead (1024 GPUs)")
-    rows = fig4_orca.run(sizes_mb=(2, 8, 32, 128), num_jobs=12)
+    rows = fig4_orca.run(sizes_mb=(2, 8, 32, 128), num_jobs=12, **sweep)
     print(format_cct_table(rows, "msg (MB)"))
     for size in (2, 8, 32, 128):
         print(f"p99 inflation at {size} MB: "
               f"{fig4_orca.tail_inflation(rows, size):.1f}x")
 
     section("Fig 5: CCT vs message size (512 GPUs, 30% load)")
-    rows = fig5_message_size.run(sizes_mb=(2, 8, 32, 128, 512), num_jobs=10)
+    rows = fig5_message_size.run(sizes_mb=(2, 8, 32, 128, 512), num_jobs=10,
+                                 **sweep)
     print(format_cct_table(rows, "msg (MB)"))
 
     section("Fig 6: CCT vs scale (64 MB)")
-    rows = fig6_scale.run(scales=(32, 64, 128, 256, 512, 1024), num_jobs=8)
+    rows = fig6_scale.run(scales=(32, 64, 128, 256, 512, 1024), num_jobs=8,
+                          **sweep)
     print(format_cct_table(rows, "GPUs"))
 
     section("Fig 7: CCT vs failure rate (leaf-spine 16x48)")
-    rows = fig7_failures.run(failure_pcts=(1, 2, 4, 8, 10), num_jobs=12)
+    rows = fig7_failures.run(failure_pcts=(1, 2, 4, 8, 10), num_jobs=12,
+                             **sweep)
     print(format_cct_table(rows, "failed %"))
 
     section("Guard-timer ablation (64-GPU, 32 MB)")

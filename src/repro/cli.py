@@ -1,11 +1,16 @@
 """Command-line interface: run any reproduced experiment from a shell.
 
     python -m repro fig1
-    python -m repro fig5 --sizes 2 8 32 --jobs 8 --check-invariants
+    python -m repro fig5 --sizes 2 8 32 --num-jobs 8 --check-invariants
+    python -m repro fig5 --jobs 4            # sweep on 4 worker processes
     python -m repro faults --scheme peel --trace /tmp/golden.trace
     python -m repro faults --schedule my_faults.json
     python -m repro churn --num-jobs 1000
     python -m repro list
+
+Simulation sweeps (fig4-fig7, serve) fan their grid points out over
+``--jobs`` worker processes (default: one per CPU); results are
+byte-identical to a serial ``--jobs 1`` run.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from .experiments import (
     state_churn,
     tree_quality,
 )
+from .experiments.parallel import resolve_jobs, stderr_progress
 
 EXPERIMENTS = {
     "fig1": "unicast vs multicast bandwidth (analytic)",
@@ -60,28 +66,42 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("fig1", "fig3", "headline", "trees"):
         sub.add_parser(name, help=EXPERIMENTS[name])
 
+    def add_workers_flag(parser_: argparse.ArgumentParser) -> None:
+        parser_.add_argument(
+            "-j", "--jobs", type=int, default=None, metavar="N",
+            help="worker processes for the sweep (default: one per CPU; "
+                 "1 = serial in-process)")
+
     p = sub.add_parser("fig4", help=EXPERIMENTS["fig4"])
     p.add_argument("--sizes", type=int, nargs="+", default=[2, 8, 32])
-    p.add_argument("--jobs", type=int, default=8)
+    p.add_argument("--num-jobs", type=int, default=8,
+                   help="concurrent collectives per scenario point")
+    add_workers_flag(p)
 
     p = sub.add_parser("fig5", help=EXPERIMENTS["fig5"])
     p.add_argument("--sizes", type=int, nargs="+", default=[2, 16, 64])
-    p.add_argument("--jobs", type=int, default=8)
+    p.add_argument("--num-jobs", type=int, default=8,
+                   help="concurrent collectives per scenario point")
     p.add_argument("--gpus", type=int, default=512)
     p.add_argument("--check-invariants", action="store_true",
                    help="assert fabric invariants throughout (slower)")
+    add_workers_flag(p)
 
     p = sub.add_parser("fig6", help=EXPERIMENTS["fig6"])
     p.add_argument("--scales", type=int, nargs="+", default=[64, 256])
-    p.add_argument("--jobs", type=int, default=6)
+    p.add_argument("--num-jobs", type=int, default=6,
+                   help="concurrent collectives per scenario point")
     p.add_argument("--check-invariants", action="store_true",
                    help="assert fabric invariants throughout (slower)")
+    add_workers_flag(p)
 
     p = sub.add_parser("fig7", help=EXPERIMENTS["fig7"])
     p.add_argument("--failures", type=int, nargs="+", default=[1, 4, 10])
-    p.add_argument("--jobs", type=int, default=20)
+    p.add_argument("--num-jobs", type=int, default=20,
+                   help="concurrent collectives per scenario point")
     p.add_argument("--check-invariants", action="store_true",
                    help="assert fabric invariants throughout (slower)")
+    add_workers_flag(p)
 
     p = sub.add_parser("faults", help=EXPERIMENTS["faults"])
     p.add_argument("--scheme", default="peel",
@@ -98,12 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=3)
 
     p = sub.add_parser("guard", help=EXPERIMENTS["guard"])
-    p.add_argument("--jobs", type=int, default=12)
+    p.add_argument("--num-jobs", type=int, default=12,
+                   help="concurrent collectives in the ablation")
 
     sub.add_parser("frag", help=EXPERIMENTS["frag"])
 
     p = sub.add_parser("deploy", help=EXPERIMENTS["deploy"])
-    p.add_argument("--jobs", type=int, default=6)
+    p.add_argument("--num-jobs", type=int, default=6,
+                   help="concurrent collectives per deployment stage")
 
     p = sub.add_parser("churn", help=EXPERIMENTS["churn"])
     p.add_argument("--num-jobs", type=int, default=1500)
@@ -114,8 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schemes", nargs="+",
                    default=list(fig_serving.DEFAULT_SCHEMES),
                    choices=fig_serving.DEFAULT_SCHEMES)
-    p.add_argument("--jobs", type=int, default=150)
+    p.add_argument("--num-jobs", type=int, default=150,
+                   help="submitted jobs per (load, scheme) point")
     p.add_argument("--gpus", type=int, default=16)
+    add_workers_flag(p)
     p.add_argument("--tcam", type=int, default=24,
                    help="per-switch TCAM entries available to multicast")
     p.add_argument("--failures", action="store_true",
@@ -124,6 +148,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="assert fabric invariants throughout (slower)")
     p.add_argument("--seed", type=int, default=11)
     return parser
+
+
+def _sweep_kwargs(args: argparse.Namespace) -> dict:
+    """Worker-pool arguments for a sweep subcommand's ``--jobs`` flag."""
+    workers = resolve_jobs(args.jobs)
+    return {
+        "jobs": workers,
+        "progress": stderr_progress() if workers > 1 else None,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -137,27 +170,33 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "fig3":
         print(fig3_rsbf.format_table(fig3_rsbf.run()))
     elif args.command == "fig4":
-        rows = fig4_orca.run(sizes_mb=tuple(args.sizes), num_jobs=args.jobs)
+        rows = fig4_orca.run(
+            sizes_mb=tuple(args.sizes), num_jobs=args.num_jobs,
+            **_sweep_kwargs(args),
+        )
         print(format_cct_table(rows, "msg (MB)"))
         for size in args.sizes:
             print(f"p99 inflation at {size} MB: "
                   f"{fig4_orca.tail_inflation(rows, size):.1f}x")
     elif args.command == "fig5":
         rows = fig5_message_size.run(
-            sizes_mb=tuple(args.sizes), num_jobs=args.jobs, num_gpus=args.gpus,
-            check_invariants=args.check_invariants,
+            sizes_mb=tuple(args.sizes), num_jobs=args.num_jobs,
+            num_gpus=args.gpus, check_invariants=args.check_invariants,
+            **_sweep_kwargs(args),
         )
         print(format_cct_table(rows, "msg (MB)"))
     elif args.command == "fig6":
         rows = fig6_scale.run(
-            scales=tuple(args.scales), num_jobs=args.jobs,
+            scales=tuple(args.scales), num_jobs=args.num_jobs,
             check_invariants=args.check_invariants,
+            **_sweep_kwargs(args),
         )
         print(format_cct_table(rows, "GPUs"))
     elif args.command == "fig7":
         rows = fig7_failures.run(
-            failure_pcts=tuple(args.failures), num_jobs=args.jobs,
+            failure_pcts=tuple(args.failures), num_jobs=args.num_jobs,
             check_invariants=args.check_invariants,
+            **_sweep_kwargs(args),
         )
         print(format_cct_table(rows, "failed %"))
     elif args.command == "faults":
@@ -186,7 +225,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "trees":
         print(tree_quality.format_table(tree_quality.run()))
     elif args.command == "guard":
-        rows = guard_timer.run(num_jobs=args.jobs)
+        rows = guard_timer.run(num_jobs=args.num_jobs)
         for r in rows:
             print(f"{r.variant:<12} mean={r.mean_s * 1e3:8.2f}ms "
                   f"p99={r.p99_s * 1e3:8.2f}ms")
@@ -194,19 +233,20 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "frag":
         print(fragmentation.format_table(fragmentation.run()))
     elif args.command == "deploy":
-        print(deployment.format_table(deployment.run(num_jobs=args.jobs)))
+        print(deployment.format_table(deployment.run(num_jobs=args.num_jobs)))
     elif args.command == "churn":
         print(state_churn.format_table(state_churn.run(num_jobs=args.num_jobs)))
     elif args.command == "serve":
         rows = fig_serving.run(
             loads=tuple(args.loads),
             schemes=tuple(args.schemes),
-            num_jobs=args.jobs,
+            num_jobs=args.num_jobs,
             num_gpus=args.gpus,
             tcam_capacity=args.tcam,
             check_invariants=args.check_invariants,
             with_failures=args.failures,
             seed=args.seed,
+            **_sweep_kwargs(args),
         )
         print(fig_serving.format_table(rows))
     return 0

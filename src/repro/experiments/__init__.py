@@ -7,6 +7,13 @@ experiment-to-module index and EXPERIMENTS.md for measured results.
 """
 
 from .common import CctRow, format_cct_table, mean_ratio, rows_for
+from .parallel import (
+    SweepPoint,
+    flatten,
+    resolve_jobs,
+    run_sweep,
+    stderr_progress,
+)
 from .runner import ScenarioResult, run_broadcast_scenario, segment_bytes_for
 
 __all__ = [
@@ -17,4 +24,9 @@ __all__ = [
     "ScenarioResult",
     "run_broadcast_scenario",
     "segment_bytes_for",
+    "SweepPoint",
+    "flatten",
+    "resolve_jobs",
+    "run_sweep",
+    "stderr_progress",
 ]

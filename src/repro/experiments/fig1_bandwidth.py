@@ -15,6 +15,9 @@ from ..core import optimal_symmetric_tree
 from ..metrics import BandwidthSummary, chain_link_loads, summarize_loads, tree_link_loads
 from ..sim import UnicastRouter
 from ..topology import LeafSpine
+from .parallel import ProgressFn, SweepPoint, run_sweep
+
+SCHEMES = ("ring", "tree", "optimal")
 
 
 @dataclass(frozen=True)
@@ -41,23 +44,62 @@ def _binary_tree_loads(topo: LeafSpine, order: list[str], router: UnicastRouter)
     return loads
 
 
-def run(topo: LeafSpine | None = None) -> list[Fig1Row]:
-    topo = topo or fig1_fabric()
+def _point(scheme: str) -> BandwidthSummary:
+    """Link-load summary for one scheme on the canonical fig1 fabric."""
+    topo = fig1_fabric()
     hosts = sorted(topo.hosts, key=locality_key)
     src, dests = hosts[0], hosts[1:]
+    if scheme == "optimal":
+        return summarize_loads(
+            tree_link_loads([optimal_symmetric_tree(topo, src, dests)])
+        )
     router = UnicastRouter(topo)
+    if scheme == "ring":
+        return summarize_loads(chain_link_loads(topo, hosts, router))
+    if scheme == "tree":
+        return summarize_loads(_binary_tree_loads(topo, hosts, router))
+    raise ValueError(f"unknown fig1 scheme: {scheme!r}")
 
-    optimal = summarize_loads(
-        tree_link_loads([optimal_symmetric_tree(topo, src, dests)])
-    )
-    ring = summarize_loads(chain_link_loads(topo, hosts, router))
-    tree = summarize_loads(_binary_tree_loads(topo, hosts, router))
 
-    def row(name: str, summary: BandwidthSummary) -> Fig1Row:
+def grid() -> list[SweepPoint]:
+    return [
+        SweepPoint(_point, dict(scheme=scheme), label=f"fig1 scheme={scheme}")
+        for scheme in SCHEMES
+    ]
+
+
+def run(
+    topo: LeafSpine | None = None,
+    jobs: int | None = 1,
+    progress: ProgressFn | None = None,
+) -> list[Fig1Row]:
+    if topo is not None:
+        # Non-canonical fabric: compute in-process (the picklable grid is
+        # fixed to the paper's fig1 fabric).
+        hosts = sorted(topo.hosts, key=locality_key)
+        src, dests = hosts[0], hosts[1:]
+        router = UnicastRouter(topo)
+        summaries = {
+            "optimal": summarize_loads(
+                tree_link_loads([optimal_symmetric_tree(topo, src, dests)])
+            ),
+            "ring": summarize_loads(chain_link_loads(topo, hosts, router)),
+            "tree": summarize_loads(_binary_tree_loads(topo, hosts, router)),
+        }
+    else:
+        results = run_sweep(grid(), jobs=jobs, progress=progress)
+        summaries = dict(zip(SCHEMES, results))
+
+    optimal = summaries["optimal"]
+
+    def row(name: str) -> Fig1Row:
+        summary = summaries[name]
         overshoot = summary.total_traversals / optimal.total_traversals - 1
-        return Fig1Row(name, summary.total_traversals, summary.core_traversals, overshoot)
+        return Fig1Row(
+            name, summary.total_traversals, summary.core_traversals, overshoot
+        )
 
-    return [row("ring", ring), row("tree", tree), row("optimal", optimal)]
+    return [row("ring"), row("tree"), row("optimal")]
 
 
 def format_table(rows: list[Fig1Row]) -> str:

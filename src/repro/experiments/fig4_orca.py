@@ -9,9 +9,51 @@ from __future__ import annotations
 
 from ..workloads import generate_jobs
 from .common import MB, CctRow, paper_fattree, sim_config
+from .parallel import ProgressFn, SweepPoint, run_sweep
 from .runner import run_broadcast_scenario
 
 DEFAULT_SIZES_MB = (2, 8, 32, 128)
+SCHEMES = ("orca", "orca-nosetup")
+
+
+def _point(
+    size_mb: int,
+    scheme: str,
+    num_jobs: int,
+    num_gpus: int,
+    offered_load: float,
+    seed: int,
+) -> CctRow:
+    """One (message size, orca variant) grid point on a fresh fabric."""
+    topo = paper_fattree()
+    msg = size_mb * MB
+    jobs = generate_jobs(
+        topo, num_jobs, num_gpus, msg, offered_load=offered_load,
+        gpus_per_host=1, seed=seed,
+    )
+    result = run_broadcast_scenario(topo, scheme, jobs, sim_config(msg))
+    return CctRow(scheme, size_mb, result.stats.mean_s, result.stats.p99_s)
+
+
+def grid(
+    sizes_mb: tuple[int, ...] = DEFAULT_SIZES_MB,
+    num_jobs: int = 12,
+    num_gpus: int = 1024,
+    offered_load: float = 0.3,
+    seed: int = 7,
+) -> list[SweepPoint]:
+    return [
+        SweepPoint(
+            _point,
+            dict(
+                size_mb=size_mb, scheme=scheme, num_jobs=num_jobs,
+                num_gpus=num_gpus, offered_load=offered_load, seed=seed,
+            ),
+            label=f"fig4 size={size_mb}MB scheme={scheme}",
+        )
+        for size_mb in sizes_mb
+        for scheme in SCHEMES
+    ]
 
 
 def run(
@@ -20,22 +62,14 @@ def run(
     num_gpus: int = 1024,
     offered_load: float = 0.3,
     seed: int = 7,
+    jobs: int | None = 1,
+    progress: ProgressFn | None = None,
 ) -> list[CctRow]:
-    topo = paper_fattree()
-    rows: list[CctRow] = []
-    for size_mb in sizes_mb:
-        msg = size_mb * MB
-        jobs = generate_jobs(
-            topo, num_jobs, num_gpus, msg, offered_load=offered_load,
-            gpus_per_host=1, seed=seed,
-        )
-        cfg = sim_config(msg)
-        for scheme in ("orca", "orca-nosetup"):
-            result = run_broadcast_scenario(topo, scheme, jobs, cfg)
-            rows.append(
-                CctRow(scheme, size_mb, result.stats.mean_s, result.stats.p99_s)
-            )
-    return rows
+    return run_sweep(
+        grid(sizes_mb, num_jobs, num_gpus, offered_load, seed),
+        jobs=jobs,
+        progress=progress,
+    )
 
 
 def tail_inflation(rows: list[CctRow], size_mb: int) -> float:

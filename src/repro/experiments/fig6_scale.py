@@ -9,10 +9,57 @@ from __future__ import annotations
 
 from ..workloads import generate_jobs
 from .common import MB, CctRow, paper_fattree, sim_config
+from .parallel import ProgressFn, SweepPoint, run_sweep
 from .runner import run_broadcast_scenario
 
 DEFAULT_SCALES = (32, 128, 256, 1024)
 DEFAULT_SCHEMES = ("ring", "tree", "optimal", "orca", "peel", "peel+cores")
+
+
+def _point(
+    scale: int,
+    scheme: str,
+    message_mb: int,
+    num_jobs: int,
+    offered_load: float,
+    seed: int,
+    check_invariants: bool,
+) -> CctRow:
+    """One (group scale, scheme) grid point on a fresh fabric."""
+    topo = paper_fattree()
+    msg = message_mb * MB
+    jobs = generate_jobs(
+        topo, num_jobs, scale, msg, offered_load=offered_load,
+        gpus_per_host=1, seed=seed,
+    )
+    result = run_broadcast_scenario(
+        topo, scheme, jobs, sim_config(msg), check_invariants=check_invariants
+    )
+    return CctRow(scheme, scale, result.stats.mean_s, result.stats.p99_s)
+
+
+def grid(
+    scales: tuple[int, ...] = DEFAULT_SCALES,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    message_mb: int = 64,
+    num_jobs: int = 12,
+    offered_load: float = 0.3,
+    seed: int = 7,
+    check_invariants: bool = False,
+) -> list[SweepPoint]:
+    return [
+        SweepPoint(
+            _point,
+            dict(
+                scale=scale, scheme=scheme, message_mb=message_mb,
+                num_jobs=num_jobs, offered_load=offered_load, seed=seed,
+                check_invariants=check_invariants,
+            ),
+            label=f"fig6 scale={scale} scheme={scheme}",
+        )
+        for scale in scales
+        for scheme in schemes
+    ]
 
 
 def run(
@@ -23,22 +70,17 @@ def run(
     offered_load: float = 0.3,
     seed: int = 7,
     check_invariants: bool = False,
+    jobs: int | None = 1,
+    progress: ProgressFn | None = None,
 ) -> list[CctRow]:
-    topo = paper_fattree()
-    msg = message_mb * MB
-    cfg = sim_config(msg)
-    rows: list[CctRow] = []
-    for scale in scales:
-        jobs = generate_jobs(
-            topo, num_jobs, scale, msg, offered_load=offered_load,
-            gpus_per_host=1, seed=seed,
-        )
-        for scheme in schemes:
-            result = run_broadcast_scenario(
-                topo, scheme, jobs, cfg, check_invariants=check_invariants
-            )
-            rows.append(CctRow(scheme, scale, result.stats.mean_s, result.stats.p99_s))
-    return rows
+    return run_sweep(
+        grid(
+            scales, schemes, message_mb, num_jobs, offered_load, seed,
+            check_invariants,
+        ),
+        jobs=jobs,
+        progress=progress,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

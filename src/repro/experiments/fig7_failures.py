@@ -11,10 +11,61 @@ from __future__ import annotations
 from ..topology import fail_random_uplinks
 from ..workloads import generate_jobs
 from .common import MB, CctRow, paper_leafspine, sim_config
+from .parallel import ProgressFn, SweepPoint, run_sweep
 from .runner import run_broadcast_scenario
 
 DEFAULT_FAILURE_PCTS = (1, 2, 4, 8, 10)
 DEFAULT_SCHEMES = ("tree", "ring", "peel")
+
+
+def _point(
+    pct: int,
+    scheme: str,
+    message_mb: int,
+    num_gpus: int,
+    num_jobs: int,
+    offered_load: float,
+    seed: int,
+    check_invariants: bool,
+) -> CctRow:
+    """One (failure rate, scheme) point; links failed deterministically."""
+    msg = message_mb * MB
+    topo = paper_leafspine()
+    fail_random_uplinks(topo, pct / 100, seed=seed)
+    jobs = generate_jobs(
+        topo, num_jobs, num_gpus, msg, offered_load=offered_load,
+        gpus_per_host=1, seed=seed,
+    )
+    result = run_broadcast_scenario(
+        topo, scheme, jobs, sim_config(msg), check_invariants=check_invariants
+    )
+    return CctRow(scheme, pct, result.stats.mean_s, result.stats.p99_s)
+
+
+def grid(
+    failure_pcts: tuple[int, ...] = DEFAULT_FAILURE_PCTS,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    message_mb: int = 8,
+    num_gpus: int = 64,
+    num_jobs: int = 40,
+    offered_load: float = 0.9,
+    seed: int = 11,
+    check_invariants: bool = False,
+) -> list[SweepPoint]:
+    return [
+        SweepPoint(
+            _point,
+            dict(
+                pct=pct, scheme=scheme, message_mb=message_mb,
+                num_gpus=num_gpus, num_jobs=num_jobs,
+                offered_load=offered_load, seed=seed,
+                check_invariants=check_invariants,
+            ),
+            label=f"fig7 failed={pct}% scheme={scheme}",
+        )
+        for pct in failure_pcts
+        for scheme in schemes
+    ]
 
 
 def run(
@@ -26,23 +77,17 @@ def run(
     offered_load: float = 0.9,
     seed: int = 11,
     check_invariants: bool = False,
+    jobs: int | None = 1,
+    progress: ProgressFn | None = None,
 ) -> list[CctRow]:
-    msg = message_mb * MB
-    cfg = sim_config(msg)
-    rows: list[CctRow] = []
-    for pct in failure_pcts:
-        topo = paper_leafspine()
-        fail_random_uplinks(topo, pct / 100, seed=seed)
-        jobs = generate_jobs(
-            topo, num_jobs, num_gpus, msg, offered_load=offered_load,
-            gpus_per_host=1, seed=seed,
-        )
-        for scheme in schemes:
-            result = run_broadcast_scenario(
-                topo, scheme, jobs, cfg, check_invariants=check_invariants
-            )
-            rows.append(CctRow(scheme, pct, result.stats.mean_s, result.stats.p99_s))
-    return rows
+    return run_sweep(
+        grid(
+            failure_pcts, schemes, message_mb, num_gpus, num_jobs,
+            offered_load, seed, check_invariants,
+        ),
+        jobs=jobs,
+        progress=progress,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ from ..serve import CompositeAdmission, LinkLoadAdmission, ServeRuntime, TcamAdm
 from ..sim import SimConfig
 from ..topology import FatTree
 from ..workloads import generate_jobs
+from .parallel import ProgressFn, SweepPoint, run_sweep
 from .runner import segment_bytes_for
 
 KB = 1024
@@ -82,6 +83,88 @@ def _serve_one(
     return runtime.report(), runtime
 
 
+def _flap_schedule(topo: FatTree, jobs) -> FaultSchedule:
+    """The deterministic mid-stream core-link flap for the failure replay."""
+    midpoint = jobs[len(jobs) // 2].arrival_s
+    span = jobs[-1].arrival_s
+    core = sorted(n for n in topo.graph.nodes if n.startswith("core"))[0]
+    agg = sorted(topo.graph.neighbors(core))[0]
+    return FaultSchedule().link_flap(
+        core, agg, down_at_s=midpoint, up_at_s=span * 2 + 1.0
+    )
+
+
+def _point(
+    load: float,
+    scheme: str,
+    num_jobs: int,
+    num_gpus: int,
+    message_bytes: int,
+    tcam_capacity: int,
+    check_invariants: bool,
+    seed: int,
+    with_failure: bool = False,
+) -> ServingRow:
+    """One (offered load, scheme) serving point; everything rebuilt from
+    the seed so the point reproduces identically in any process."""
+    topo = serving_fattree()
+    config = SimConfig(segment_bytes=segment_bytes_for(message_bytes))
+    jobs = generate_jobs(
+        topo, num_jobs, num_gpus, message_bytes,
+        offered_load=load, gpus_per_host=1, seed=seed,
+    )
+    schedule = _flap_schedule(topo, jobs) if with_failure else None
+    report, runtime = _serve_one(
+        topo, scheme, jobs, config, tcam_capacity,
+        8 * message_bytes, check_invariants, fault_schedule=schedule,
+    )
+    repeels = 0
+    if with_failure and runtime.env.fault_injector is not None:
+        repeels = len(runtime.env.fault_injector.repeels)
+    return _row(
+        scheme, -1.0 if with_failure else load, report, runtime,
+        repeels=repeels,
+    )
+
+
+def grid(
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    num_jobs: int = 150,
+    num_gpus: int = 16,
+    message_bytes: int = 256 * KB,
+    tcam_capacity: int = 24,
+    check_invariants: bool = False,
+    with_failures: bool = False,
+    seed: int = 11,
+) -> list[SweepPoint]:
+    shared = dict(
+        num_jobs=num_jobs, num_gpus=num_gpus, message_bytes=message_bytes,
+        tcam_capacity=tcam_capacity, check_invariants=check_invariants,
+        seed=seed,
+    )
+    points = [
+        SweepPoint(
+            _point,
+            dict(load=load, scheme=scheme, **shared),
+            label=f"serve load={load:.2f} scheme={scheme}",
+        )
+        for load in loads
+        for scheme in schemes
+    ]
+    if with_failures:
+        points.extend(
+            SweepPoint(
+                _point,
+                dict(load=max(loads), scheme=scheme, with_failure=True,
+                     **shared),
+                label=f"serve load=fault scheme={scheme}",
+            )
+            for scheme in schemes
+        )
+    return points
+
+
 def run(
     loads: tuple[float, ...] = DEFAULT_LOADS,
     schemes: tuple[str, ...] = DEFAULT_SCHEMES,
@@ -92,6 +175,8 @@ def run(
     check_invariants: bool = False,
     with_failures: bool = False,
     seed: int = 11,
+    jobs: int | None = 1,
+    progress: ProgressFn | None = None,
 ) -> list[ServingRow]:
     """The serving sweep; one row per (scheme, load) point.
 
@@ -101,31 +186,14 @@ def run(
     (load tagged ``-1``) replaying the highest load with a mid-stream
     spine-link flap.
     """
-    topo = serving_fattree()
-    config = SimConfig(segment_bytes=segment_bytes_for(message_bytes))
-    # One message in flight per link per admitted job, a few jobs deep.
-    max_link_outstanding = 8 * message_bytes
-    rows: list[ServingRow] = []
-    for load in loads:
-        jobs = generate_jobs(
-            topo, num_jobs, num_gpus, message_bytes,
-            offered_load=load, gpus_per_host=1, seed=seed,
-        )
-        for scheme in schemes:
-            report, runtime = _serve_one(
-                topo, scheme, jobs, config, tcam_capacity,
-                max_link_outstanding, check_invariants,
-            )
-            rows.append(_row(scheme, load, report, runtime))
-    if with_failures:
-        rows.extend(
-            run_with_failures(
-                schemes=schemes, num_jobs=num_jobs, num_gpus=num_gpus,
-                message_bytes=message_bytes, tcam_capacity=tcam_capacity,
-                load=max(loads), check_invariants=check_invariants, seed=seed,
-            )
-        )
-    return rows
+    return run_sweep(
+        grid(
+            loads, schemes, num_jobs, num_gpus, message_bytes,
+            tcam_capacity, check_invariants, with_failures, seed,
+        ),
+        jobs=jobs,
+        progress=progress,
+    )
 
 
 def run_with_failures(
@@ -137,37 +205,28 @@ def run_with_failures(
     load: float = 0.9,
     check_invariants: bool = False,
     seed: int = 11,
+    jobs: int | None = 1,
+    progress: ProgressFn | None = None,
 ) -> list[ServingRow]:
     """The highest-load point with a mid-stream core-link flap.
 
     Rows carry ``load = -1`` so tables can mark them as the failure run.
     """
-    topo = serving_fattree()
-    config = SimConfig(segment_bytes=segment_bytes_for(message_bytes))
-    jobs = generate_jobs(
-        topo, num_jobs, num_gpus, message_bytes,
-        offered_load=load, gpus_per_host=1, seed=seed,
-    )
-    midpoint = jobs[len(jobs) // 2].arrival_s
-    span = jobs[-1].arrival_s
-    core = sorted(n for n in topo.graph.nodes if n.startswith("core"))[0]
-    agg = sorted(topo.graph.neighbors(core))[0]
-    schedule = FaultSchedule().link_flap(
-        core, agg, down_at_s=midpoint, up_at_s=span * 2 + 1.0
-    )
-    rows = []
-    for scheme in schemes:
-        report, runtime = _serve_one(
-            topo, scheme, jobs, config, tcam_capacity,
-            8 * message_bytes, check_invariants, fault_schedule=schedule,
+    points = [
+        SweepPoint(
+            _point,
+            dict(
+                load=load, scheme=scheme, num_jobs=num_jobs,
+                num_gpus=num_gpus, message_bytes=message_bytes,
+                tcam_capacity=tcam_capacity,
+                check_invariants=check_invariants, seed=seed,
+                with_failure=True,
+            ),
+            label=f"serve load=fault scheme={scheme}",
         )
-        repeels = (
-            len(runtime.env.fault_injector.repeels)
-            if runtime.env.fault_injector is not None
-            else 0
-        )
-        rows.append(_row(scheme, -1.0, report, runtime, repeels=repeels))
-    return rows
+        for scheme in schemes
+    ]
+    return run_sweep(points, jobs=jobs, progress=progress)
 
 
 def _row(scheme, load, report, runtime, repeels: int = 0) -> ServingRow:

@@ -2,52 +2,65 @@
 
 Events are plain callbacks; ordering ties break by insertion sequence so
 runs are fully deterministic for a fixed seed.
+
+Fast path: heap entries are plain lists ``[time, seq, fn, args]`` rather
+than objects with a Python-level ``__lt__``.  ``heapq`` then compares
+entries with C-level list comparison (``time`` first, then the unique
+``seq`` — ``fn`` is never reached), which removes the per-sift method-call
+overhead that used to dominate large runs.  Cancellation nulls the ``fn``
+slot in place; cancelled entries are skipped on pop and compacted away in
+bulk when they outnumber the live ones (so long fault-heavy runs that
+cancel many timers don't grow the heap without bound).
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
+# Heap-entry slot indices (an entry is [time, seq, fn, args]).
+_TIME, _SEQ, _FN, _ARGS = 0, 1, 2, 3
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    fn: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+#: Below this heap size compaction is pointless (the scan costs more than
+#: the dead entries do).
+_COMPACT_MIN = 64
 
 
 class EventHandle:
     """Returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_sim", "_entry")
 
-    def __init__(self, event: _Event) -> None:
-        self._event = event
+    def __init__(self, sim: "Simulator", entry: list) -> None:
+        self._sim = sim
+        self._entry = entry
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        if self._entry[_FN] is not None:
+            self._sim._cancel(self._entry)
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
     @property
     def active(self) -> bool:
-        return not self._event.cancelled
+        """True while the event is still scheduled (not cancelled/fired)."""
+        return self._entry[_FN] is not None
 
 
 class Simulator:
     """Event loop with a monotonically advancing clock (seconds)."""
 
+    __slots__ = ("now", "_heap", "_seq", "_processed", "_live", "_cancelled")
+
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[_Event] = []
+        self._heap: list[list] = []
         self._seq = 0
         self._processed = 0
+        self._live = 0  # scheduled entries not yet fired or cancelled
+        self._cancelled = 0  # cancelled entries still parked in the heap
 
     def schedule(
         self, delay: float, fn: Callable[..., Any], *args: Any
@@ -55,17 +68,60 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        entry = [self.now + delay, self._seq, fn, args]
+        self._seq += 1
+        self._live += 1
+        heappush(self._heap, entry)
+        return EventHandle(self, entry)
 
     def schedule_at(
         self, time: float, fn: Callable[..., Any], *args: Any
     ) -> EventHandle:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        event = _Event(time, self._seq, fn, args)
+        entry = [time, self._seq, fn, args]
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        heappush(self._heap, entry)
+        return EventHandle(self, entry)
+
+    # -- no-handle fast path ---------------------------------------------------
+    #
+    # The data plane schedules hundreds of thousands of fire-and-forget
+    # events (serialization done, propagation done, CNP delivery) whose
+    # handles nobody ever cancels; skipping the EventHandle allocation is
+    # a measurable win.  Semantics are identical to schedule()/schedule_at().
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """:meth:`schedule` without allocating a cancellation handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._live += 1
+        heappush(self._heap, [self.now + delay, self._seq, fn, args])
+        self._seq += 1
+
+    def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """:meth:`schedule_at` without allocating a cancellation handle."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._live += 1
+        heappush(self._heap, [time, self._seq, fn, args])
+        self._seq += 1
+
+    # -- cancellation ----------------------------------------------------------
+
+    def _cancel(self, entry: list) -> None:
+        entry[_FN] = None
+        entry[_ARGS] = ()  # drop references early (segments, transfers)
+        self._live -= 1
+        self._cancelled += 1
+        # Lazy compaction: once dead entries outnumber live ones in a
+        # non-trivial heap, rebuild it.  Amortized O(1) per cancellation.
+        heap = self._heap
+        if self._cancelled > len(heap) // 2 and len(heap) >= _COMPACT_MIN:
+            self._heap = [e for e in heap if e[_FN] is not None]
+            heapify(self._heap)
+            self._cancelled = 0
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Drain the event queue; returns the number of events processed.
@@ -73,27 +129,36 @@ class Simulator:
         ``until`` stops the clock at a horizon (inclusive); ``max_events``
         guards against runaway simulations.
         """
+        heap = self._heap
+        pop = heappop
         processed = 0
-        while self._heap:
+        while heap:
             if max_events is not None and processed >= max_events:
                 break
-            event = self._heap[0]
-            if until is not None and event.time > until:
+            entry = heap[0]
+            time = entry[0]
+            if until is not None and time > until:
                 break
-            heapq.heappop(self._heap)
-            if event.cancelled:
+            pop(heap)
+            fn = entry[2]
+            if fn is None:
+                self._cancelled -= 1
                 continue
-            self.now = event.time
-            event.fn(*event.args)
+            entry[2] = None  # fired: handle.active goes False, refs drop
+            self._live -= 1
+            self.now = time
+            fn(*entry[3])
             processed += 1
+            heap = self._heap  # compaction may have swapped the list
         self._processed += processed
-        if until is not None and (not self._heap or self._heap[0].time > until):
+        if until is not None and (not heap or heap[0][0] > until):
             self.now = max(self.now, until)
         return processed
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled, non-fired) scheduled events — O(1)."""
+        return self._live
 
     @property
     def processed(self) -> int:

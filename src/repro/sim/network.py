@@ -49,6 +49,10 @@ class Port:
         "segments_sent",
         "ecn_marks",
         "peak_queue_bytes",
+        "src_switch",
+        "dst_node",
+        "_bits_per_byte_s",
+        "_prop_delay_s",
     )
 
     def __init__(
@@ -70,6 +74,17 @@ class Port:
         self.segments_sent = 0
         self.ecn_marks = 0
         self.peak_queue_bytes = 0
+        # Hot-path bindings, fixed at construction: whether the upstream
+        # node is a switch (buffer accounting + ECN apply), the downstream
+        # node object (receive target), and per-byte serialization time —
+        # this removes a dict lookup + isinstance per segment hop.
+        src_node = network.nodes[src]
+        self.src_switch: SwitchNode | None = (
+            src_node if type(src_node) is SwitchNode else None
+        )
+        self.dst_node = network.nodes[dst]
+        self._bits_per_byte_s = 8.0 / capacity_bps
+        self._prop_delay_s = network.config.propagation_delay_s
 
     @property
     def key(self) -> tuple[str, str]:
@@ -81,19 +96,22 @@ class Port:
             # in a queue that can never drain (which would wedge PFC).
             self.network.drop_for_failure(self, segment)
             return
-        src_node = self.network.nodes[self.src]
-        if isinstance(src_node, SwitchNode):
+        src_switch = self.src_switch
+        if src_switch is not None:
             # ECN decision uses the *waiting* bytes the segment lands behind
             # (the in-service segment is not queueing delay).
             if self._ecn_mark():
                 segment.ecn = True
                 self.ecn_marks += 1
-            src_node.buffer_charge(segment)
+            src_switch.buffer_charge(segment)
         self.queue.append(segment)
-        self.queue_bytes += segment.nbytes
-        self.peak_queue_bytes = max(self.peak_queue_bytes, self.queue_bytes)
-        if self.network.observers:
-            for ob in self.network.observers:
+        queue_bytes = self.queue_bytes + segment.nbytes
+        self.queue_bytes = queue_bytes
+        if queue_bytes > self.peak_queue_bytes:
+            self.peak_queue_bytes = queue_bytes
+        observers = self.network.observers
+        if observers:
+            for ob in observers:
                 ob.on_enqueue(self, segment)
         self._maybe_start()
 
@@ -111,41 +129,45 @@ class Port:
         if self.transmitting or self.paused or self.down or not self.queue:
             return
         segment = self.queue.popleft()
-        self.queue_bytes -= segment.nbytes
+        nbytes = segment.nbytes
+        self.queue_bytes -= nbytes
         self.transmitting = True
         self.in_service = segment
-        tx_s = segment.nbytes * 8 / self.capacity_bps
-        self.sim.schedule(tx_s, self._tx_done, segment)
+        self.sim.post(nbytes * self._bits_per_byte_s, self._tx_done, segment)
 
     def _tx_done(self, segment: Segment) -> None:
-        self.bytes_sent += segment.nbytes
+        network = self.network
+        nbytes = segment.nbytes
+        self.bytes_sent += nbytes
         self.segments_sent += 1
         self.transmitting = False
         self.in_service = None
-        src_node = self.network.nodes[self.src]
-        if isinstance(src_node, SwitchNode):
-            src_node.buffer_release(segment)
-        cfg = self.network.config
+        src_switch = self.src_switch
+        if src_switch is not None:
+            src_switch.buffer_release(segment)
         if self.down:
             # The link failed while this frame was on the wire.
-            self.network.drop_for_failure(self, segment)
+            network.drop_for_failure(self, segment)
         elif self.drop_next > 0:
             self.drop_next -= 1
-            self.network.drop_for_failure(self, segment)
-        elif cfg.loss_probability and self.network.rng.random() < cfg.loss_probability:
+            network.drop_for_failure(self, segment)
+        elif (
+            network.loss_probability
+            and network.rng.random() < network.loss_probability
+        ):
             # Corrupted on the wire: the link time was spent, the bytes die.
             # Selective-repeat recovery happens at the transfer layer.
-            self.network.lost_segments += 1
-            if self.network.observers:
-                for ob in self.network.observers:
+            network.lost_segments += 1
+            if network.observers:
+                for ob in network.observers:
                     ob.on_lost(self, segment)
         else:
-            if self.network.observers:
-                for ob in self.network.observers:
+            observers = network.observers
+            if observers:
+                for ob in observers:
                     ob.on_tx_done(self, segment)
-            dst_node = self.network.nodes[self.dst]
-            self.sim.schedule(
-                cfg.propagation_delay_s, dst_node.receive, segment, self
+            self.sim.post(
+                self._prop_delay_s, self.dst_node.receive, segment, self
             )
         self._maybe_start()
 
@@ -164,12 +186,12 @@ class Port:
         if self.down:
             return
         self.down = True
-        src_node = self.network.nodes[self.src]
+        src_switch = self.src_switch
         while self.queue:
             segment = self.queue.popleft()
             self.queue_bytes -= segment.nbytes
-            if isinstance(src_node, SwitchNode):
-                src_node.buffer_release(segment)
+            if src_switch is not None:
+                src_switch.buffer_release(segment)
             self.network.drop_for_failure(self, segment)
         # The in-service copy (if any) dies at its _tx_done.
 
@@ -192,6 +214,7 @@ class SwitchNode:
         "paused_ingress",
         "pause_quota",
         "resume_quota",
+        "_route_children",
     )
 
     def __init__(self, name: str, network: "Network") -> None:
@@ -203,6 +226,10 @@ class SwitchNode:
         self.paused_ingress: set[Port] = set()
         self.pause_quota = 0.0  # finalized once ports exist
         self.resume_quota = 0.0
+        # Memoized route.children(self.name) per tree object: replication
+        # resolves each (tree, switch) pair once instead of hashing the
+        # switch name into the tree's children map on every segment hop.
+        self._route_children: dict = {}
 
     def finalize(self) -> None:
         """Compute per-ingress PFC quotas once the port fan-in is known."""
@@ -222,8 +249,20 @@ class SwitchNode:
         if observers:
             for ob in observers:
                 ob.on_switch_receive(self, segment)
-        children = segment.route.children(self.name)
-        if not children:
+        route = segment.route
+        cache = self._route_children
+        out_ports = cache.get(route)
+        if out_ports is None:
+            # Resolve once per (tree, this switch): the child list mapped
+            # straight to Port objects, so the steady state is a single
+            # identity-keyed dict hit per hop.
+            ports = self.network.ports
+            name = self.name
+            out_ports = tuple(
+                ports[name, child] for child in route.children(name)
+            )
+            cache[route] = out_ports
+        if not out_ports:
             # Over-covered ToR (§3.3): the packet arrived, nobody wants it.
             self.dropped_bytes += segment.nbytes
             self.network.wasted_bytes += segment.nbytes
@@ -231,9 +270,8 @@ class SwitchNode:
                 for ob in observers:
                     ob.on_wasted(self, segment)
             return
-        ports = self.network.ports
-        last = len(children) - 1
-        for i, child in enumerate(children):
+        last = len(out_ports) - 1
+        for i, port in enumerate(out_ports):
             if i == last:
                 copy = segment
             else:
@@ -242,7 +280,7 @@ class SwitchNode:
                     for ob in observers:
                         ob.on_fork(self, copy)
             copy.ingress = via
-            ports[self.name, child].enqueue(copy)
+            port.enqueue(copy)
 
     # -- shared buffer + per-ingress PFC ---------------------------------------
 
@@ -287,17 +325,19 @@ class HostNode:
 
     def receive(self, segment: Segment, via: Port | None = None) -> None:
         del via  # hosts sink traffic; no onward buffer accounting
-        if self.network.observers:
-            for ob in self.network.observers:
+        network = self.network
+        if network.observers:
+            for ob in network.observers:
                 ob.on_deliver(self, segment)
         transfer = segment.transfer
+        sim = network.sim
         if segment.ecn:
             # Receiver turns the mark into a CNP; one notification per
             # marked segment, delivered after a short feedback delay.
-            self.network.sim.schedule(
-                self.network.cnp_delay_s, transfer.on_congestion_feedback, self.name
+            sim.post(
+                network.cnp_delay_s, transfer.on_congestion_feedback, self.name
             )
-        transfer.on_delivered(self.name, segment, self.network.sim.now)
+        transfer.on_delivered(self.name, segment, sim.now)
 
     def send(self, segment: Segment) -> None:
         """Inject a segment onto the uplink its route dictates."""
@@ -326,6 +366,8 @@ class Network:
         self.config = config or SimConfig()
         self.sim = sim or Simulator()
         self.rng = random.Random(self.config.seed)
+        #: Hot-path copy of ``config.loss_probability`` (read per tx-done).
+        self.loss_probability = self.config.loss_probability
         self.wasted_bytes = 0
         self.pfc_pause_events = 0
         self.lost_segments = 0  # wire corruption (loss_probability)

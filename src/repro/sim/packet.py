@@ -39,8 +39,20 @@ class Segment:
         self.ingress = None
 
     def fork(self) -> "Segment":
-        """Independent copy for replication at a branch point."""
-        return Segment(self.transfer, self.seq, self.nbytes, self.route, self.ecn)
+        """Independent copy for replication at a branch point.
+
+        Built via ``__new__`` + direct slot stores: replication runs once
+        per branch per segment hop, so the constructor's default-argument
+        handling is measurable overhead at paper scale.
+        """
+        copy = Segment.__new__(Segment)
+        copy.transfer = self.transfer
+        copy.seq = self.seq
+        copy.nbytes = self.nbytes
+        copy.route = self.route
+        copy.ecn = self.ecn
+        copy.ingress = None
+        return copy
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

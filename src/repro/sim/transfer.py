@@ -164,7 +164,7 @@ class Transfer:
             # complete; NVLink handling happens at the collective layer.
             self._finish(self.sim.now)
             return
-        self.sim.schedule_at(max(self.start_at, self.sim.now), self._pump)
+        self.sim.post_at(max(self.start_at, self.sim.now), self._pump)
 
     # -- injection ------------------------------------------------------------
 
@@ -213,7 +213,7 @@ class Transfer:
     def _schedule_pump(self, at: float) -> None:
         if not self._pump_scheduled:
             self._pump_scheduled = True
-            self.sim.schedule_at(max(at, self.sim.now), self._pump)
+            self.sim.post_at(max(at, self.sim.now), self._pump)
 
     def set_available_bytes(self, nbytes: int) -> None:
         """Upstream progress: the first ``nbytes`` of the message are now
@@ -224,7 +224,7 @@ class Transfer:
         if not self._pump_scheduled:
             delay = self.network.config.host_processing_delay_s
             self._pump_scheduled = True
-            self.sim.schedule(delay, self._pump)
+            self.sim.post(delay, self._pump)
 
     # -- delivery -------------------------------------------------------------
 
@@ -271,7 +271,7 @@ class Transfer:
             return
         self._repair_timer_running = True
         timeout = self.network.config.retransmit_timeout_s
-        self.sim.schedule(timeout, self._repair_tick)
+        self.sim.post(timeout, self._repair_tick)
 
     def _repair_tick(self) -> None:
         self._repair_timer_running = False

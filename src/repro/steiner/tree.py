@@ -16,15 +16,22 @@ class MulticastTree:
     Lemma 2.1 and the Steiner formulation minimize.
     """
 
+    #: Shared empty child list: ``children()`` misses return this instead of
+    #: allocating a fresh list per call (callers never mutate the result).
+    _NO_CHILDREN: list[str] = []
+
     def __init__(self, root: str, parent: Mapping[str, str]) -> None:
         self.root = root
         self.parent: dict[str, str] = dict(parent)
         if root in self.parent:
             raise ValueError("root must not have a parent")
-        self._children: dict[str, list[str]] = {}
+        #: ``node -> sorted child list``; public so the data plane can bind
+        #: it once per (tree, switch) instead of calling :meth:`children`
+        #: on every segment hop (see ``SwitchNode.receive``).
+        self.children_map: dict[str, list[str]] = {}
         for child, par in self.parent.items():
-            self._children.setdefault(par, []).append(child)
-        for kids in self._children.values():
+            self.children_map.setdefault(par, []).append(child)
+        for kids in self.children_map.values():
             kids.sort()
         self._check_acyclic()
 
@@ -56,7 +63,7 @@ class MulticastTree:
         return len(self.parent)
 
     def children(self, node: str) -> list[str]:
-        return self._children.get(node, [])
+        return self.children_map.get(node, self._NO_CHILDREN)
 
     @property
     def leaves(self) -> set[str]:

@@ -1,0 +1,121 @@
+"""Process-pool sweep executor: ordering, errors, determinism."""
+
+import pytest
+
+from repro.experiments import format_cct_table
+from repro.experiments.parallel import (
+    SweepPoint,
+    flatten,
+    resolve_jobs,
+    run_sweep,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"point {x} failed")
+
+
+def _slow_identity(x):
+    # Enough work that completion order scrambles under a pool.
+    total = 0
+    for i in range((5 - x) * 20000):
+        total += i
+    return x
+
+
+class TestSweepPoint:
+    def test_callable(self):
+        assert SweepPoint(_square, dict(x=3))() == 9
+
+    def test_is_picklable(self):
+        import pickle
+
+        point = SweepPoint(_square, dict(x=4), label="sq")
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone() == 16
+        assert clone.label == "sq"
+
+
+class TestResolveJobs:
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_means_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestRunSweep:
+    def test_serial_preserves_order(self):
+        points = [SweepPoint(_square, dict(x=i)) for i in range(5)]
+        assert run_sweep(points, jobs=1) == [0, 1, 4, 9, 16]
+
+    def test_parallel_preserves_order(self):
+        points = [SweepPoint(_slow_identity, dict(x=i)) for i in range(5)]
+        assert run_sweep(points, jobs=4) == [0, 1, 2, 3, 4]
+
+    def test_serial_and_parallel_agree(self):
+        points = [SweepPoint(_square, dict(x=i)) for i in range(6)]
+        assert run_sweep(points, jobs=1) == run_sweep(points, jobs=3)
+
+    def test_worker_exception_propagates(self):
+        points = [SweepPoint(_square, dict(x=1)), SweepPoint(_boom, dict(x=2))]
+        with pytest.raises(RuntimeError, match="point 2 failed"):
+            run_sweep(points, jobs=2)
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="point 9 failed"):
+            run_sweep([SweepPoint(_boom, dict(x=9))], jobs=1)
+
+    def test_progress_called_per_point(self):
+        seen = []
+        points = [SweepPoint(_square, dict(x=i), label=f"p{i}")
+                  for i in range(3)]
+        run_sweep(points, jobs=1,
+                  progress=lambda done, total, p: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_empty_grid(self):
+        assert run_sweep([], jobs=4) == []
+
+
+class TestFlatten:
+    def test_concatenates_lists(self):
+        assert flatten([[1, 2], [3]]) == [1, 2, 3]
+
+    def test_passes_scalars_through(self):
+        assert flatten([1, [2, 3], 4]) == [1, 2, 3, 4]
+
+
+class TestSweepDeterminism:
+    """Serial and 4-worker sweeps must be byte-identical (ISSUE acceptance)."""
+
+    def test_fig5_tables_byte_identical(self):
+        from repro.experiments import fig5_message_size
+
+        kwargs = dict(sizes_mb=(2,), num_jobs=2, num_gpus=32)
+        serial = fig5_message_size.run(**kwargs, jobs=1)
+        parallel = fig5_message_size.run(**kwargs, jobs=4)
+        assert (format_cct_table(serial, "msg (MB)")
+                == format_cct_table(parallel, "msg (MB)"))
+
+    def test_fig1_rows_identical(self):
+        from repro.experiments import fig1_bandwidth
+
+        assert fig1_bandwidth.run(jobs=1) == fig1_bandwidth.run(jobs=4)
+
+    def test_serving_tables_byte_identical(self):
+        from repro.experiments import fig_serving
+
+        kwargs = dict(loads=(0.5,), schemes=("peel", "orca"), num_jobs=20)
+        serial = fig_serving.run(**kwargs, jobs=1)
+        parallel = fig_serving.run(**kwargs, jobs=4)
+        assert (fig_serving.format_table(serial)
+                == fig_serving.format_table(parallel))

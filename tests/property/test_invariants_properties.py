@@ -55,19 +55,25 @@ def fault_plans(draw):
     (distinct links, each with >= 2 redundant siblings in these fabrics)."""
     kind, scheme, jobs, seed = draw(job_mixes())
     rng = random.Random(seed + 1)
+    num_faults = draw(st.integers(min_value=1, max_value=2))
     if kind == "leafspine":
-        links = [(f"spine:{s}", f"leaf:{l}") for s in range(2) for l in range(4)]
+        # A leaf here has exactly two uplinks, so two faults must hit
+        # distinct leaves or overlapping down windows partition one.
+        chosen = [
+            (f"spine:{rng.randint(0, 1)}", f"leaf:{l}")
+            for l in rng.sample(range(4), num_faults)
+        ]
     else:
-        # core:g:i attaches to agg g of every pod; two cores per group, so
-        # each agg keeps a redundant uplink after any single failure.
+        # core:g:i attaches to agg g of every pod; every ToR reaches both
+        # aggs of its pod, so any two distinct core-agg links leave each
+        # host connected.
         links = [
             (f"core:{g}:{i}", f"agg:p{p}:{g}")
             for g in range(2)
             for i in range(2)
             for p in range(4)
         ]
-    num_faults = draw(st.integers(min_value=1, max_value=2))
-    chosen = rng.sample(links, num_faults)
+        chosen = rng.sample(links, num_faults)
     schedule = FaultSchedule()
     for u, v in chosen:
         down_at = rng.uniform(20e-6, 600e-6)

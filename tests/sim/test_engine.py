@@ -78,6 +78,119 @@ class TestCancellation:
         assert sim.pending == 1
 
 
+class TestCancelEdgeCases:
+    def test_cancel_then_fire_same_timestamp(self):
+        # Cancelling a same-time later event from inside an earlier one
+        # must suppress it even though both are already due.
+        sim = Simulator()
+        log = []
+        handles = {}
+
+        def first():
+            log.append("first")
+            handles["second"].cancel()
+
+        sim.schedule(0.1, first)
+        handles["second"] = sim.schedule(0.1, log.append, "second")
+        sim.schedule(0.1, log.append, "third")
+        assert sim.run() == 2
+        assert log == ["first", "third"]
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        sim.schedule(0.2, lambda: None)
+        handle = sim.schedule(0.1, lambda: None)
+        handle.cancel()
+        handle.cancel()  # second cancel must not double-count
+        assert sim.pending == 1
+        assert sim.run() == 1
+
+    def test_handle_inactive_after_firing(self):
+        sim = Simulator()
+        handle = sim.schedule(0.1, lambda: None)
+        sim.run()
+        assert not handle.active
+        handle.cancel()  # no-op, must not corrupt counters
+        assert sim.pending == 0
+
+    def test_compaction_preserves_order(self):
+        # Cancel well over half the scheduled events so the heap compacts,
+        # then check the survivors still fire in time order.
+        sim = Simulator()
+        log = []
+        handles = [
+            sim.schedule(0.001 * (i + 1), log.append, i) for i in range(200)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 4:  # cancel 150 of 200
+                handle.cancel()
+        assert sim.pending == 50
+        assert sim.run() == 50
+        assert log == list(range(0, 200, 4))
+
+    def test_compaction_mid_run(self):
+        # A callback that cancels a burst of future events triggers
+        # compaction while run() is iterating; remaining events still fire.
+        sim = Simulator()
+        log = []
+        doomed = []
+
+        def purge():
+            log.append("purge")
+            for handle in doomed:
+                handle.cancel()
+
+        sim.schedule(0.1, purge)
+        doomed.extend(
+            sim.schedule(0.2 + 0.001 * i, log.append, i) for i in range(150)
+        )
+        sim.schedule(1.0, log.append, "last")
+        assert sim.run() == 2
+        assert log == ["purge", "last"]
+
+    def test_pending_is_live_count(self):
+        sim = Simulator()
+        assert sim.pending == 0
+        handles = [sim.schedule(0.1 * (i + 1), lambda: None) for i in range(5)]
+        assert sim.pending == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending == 3
+        sim.run(max_events=1)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+
+class TestPost:
+    def test_post_fires_without_handle(self):
+        sim = Simulator()
+        log = []
+        assert sim.post(0.1, log.append, "x") is None
+        sim.run()
+        assert log == ["x"]
+
+    def test_post_at_orders_with_schedule(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(0.2, log.append, "b")
+        sim.post_at(0.1, log.append, "a")
+        sim.post_at(0.3, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_post_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Simulator().post(-0.1, lambda: None)
+
+    def test_post_at_rejects_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.post_at(0.5, lambda: None)
+
+
 class TestRunLimits:
     def test_until_stops_clock(self):
         sim = Simulator()
@@ -96,6 +209,36 @@ class TestRunLimits:
             sim.schedule(0.01 * (i + 1), lambda: None)
         assert sim.run(max_events=3) == 3
         assert sim.pending == 7
+
+    def test_until_exactly_on_event_time(self):
+        # An event at exactly t == until fires; the clock lands on until.
+        sim = Simulator()
+        log = []
+        sim.schedule(0.5, log.append, "edge")
+        sim.schedule(0.5 + 1e-9, log.append, "after")
+        assert sim.run(until=0.5) == 1
+        assert log == ["edge"]
+        assert sim.now == 0.5
+        sim.run()
+        assert log == ["edge", "after"]
+
+    def test_until_advances_clock_past_cancelled_tail(self):
+        sim = Simulator()
+        sim.schedule(0.3, lambda: None).cancel()
+        sim.run(until=0.2)
+        assert sim.now == 0.2
+
+    def test_max_events_skips_cancelled(self):
+        # Cancelled entries popped during run() do not count as processed.
+        sim = Simulator()
+        log = []
+        for i in range(6):
+            handle = sim.schedule(0.01 * (i + 1), log.append, i)
+            if i % 2 == 0:
+                handle.cancel()
+        assert sim.run(max_events=2) == 2
+        assert log == [1, 3]
+        assert sim.pending == 1
 
     def test_processed_counter(self):
         sim = Simulator()

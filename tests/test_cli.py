@@ -49,13 +49,20 @@ class TestMain:
         assert "window" in capsys.readouterr().out
 
     def test_fig7_tiny(self, capsys):
-        assert main(["fig7", "--failures", "4", "--jobs", "4"]) == 0
+        assert main(["fig7", "--failures", "4", "--num-jobs", "4",
+                     "--jobs", "1"]) == 0
         assert "peel" in capsys.readouterr().out
 
     def test_fig7_with_invariants(self, capsys):
         assert main(
-            ["fig7", "--failures", "4", "--jobs", "2", "--check-invariants"]
+            ["fig7", "--failures", "4", "--num-jobs", "2", "--jobs", "1",
+             "--check-invariants"]
         ) == 0
+        assert "peel" in capsys.readouterr().out
+
+    def test_fig7_parallel_workers(self, capsys):
+        assert main(["fig7", "--failures", "4", "--num-jobs", "2",
+                     "--jobs", "2"]) == 0
         assert "peel" in capsys.readouterr().out
 
     def test_faults_demo(self, capsys, tmp_path):
@@ -84,7 +91,8 @@ class TestMain:
 
     def test_serve_tiny(self, capsys):
         assert main(
-            ["serve", "--loads", "0.5", "--jobs", "12", "--schemes", "peel"]
+            ["serve", "--loads", "0.5", "--num-jobs", "12", "--jobs", "1",
+             "--schemes", "peel"]
         ) == 0
         out = capsys.readouterr().out
         assert "hit%" in out
