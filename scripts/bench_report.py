@@ -11,7 +11,10 @@ simulator events/sec so every PR leaves a comparable perf sample behind:
 * ``failure``   — a mid-Broadcast link flap with re-peel recovery;
 * ``sweep``     — a small fig5-style grid run serially and with 4 workers
   through :mod:`repro.experiments.parallel` (skipped automatically when the
-  executor is not available, so the script also runs on older checkouts).
+  executor is not available, so the script also runs on older checkouts);
+* ``obs``       — the headline Broadcast batch run bare and again with the
+  :mod:`repro.obs` observability layer attached, recording the
+  enabled/disabled events-per-second delta (skipped on pre-obs checkouts).
 
 Usage::
 
@@ -230,7 +233,78 @@ def bench_sweep(quick: bool) -> dict | None:
     }
 
 
-SCENARIOS = ("headline", "fig1_point", "serving", "failure", "sweep")
+def bench_obs(quick: bool) -> dict | None:
+    """Observability overhead on the headline scenario: the same Broadcast
+    batch run bare and with ``repro.obs`` attached (metrics + spans +
+    periodic sampling).  ``enabled_over_disabled`` < 1 means enabling obs
+    cost wall time; the disabled run must stay within 5% of the committed
+    headline events/sec (that's the acceptance bar — disabled-mode cost is
+    zero by construction, since nothing registers on the observer layer).
+    """
+    try:
+        from repro.obs import Observability
+    except ImportError:
+        return None  # pre-obs checkout: skip the overhead sample
+
+    # Same workload as bench_headline, so the disabled leg is directly
+    # comparable to the committed headline events/sec.
+    if quick:
+        topo = FatTree(8, hosts_per_tor=4)
+        num_jobs, num_gpus, msg = 4, 64, 8 * MB
+    else:
+        topo = FatTree(8, hosts_per_tor=32)
+        num_jobs, num_gpus, msg = 12, 512, 32 * MB
+    cfg = SimConfig(segment_bytes=_segment_bytes_for(msg))
+    jobs = generate_jobs(
+        topo, num_jobs, num_gpus, msg, offered_load=0.3, gpus_per_host=1, seed=7
+    )
+    scheme = scheme_by_name("peel")
+
+    def once(with_obs: bool) -> tuple[int, float]:
+        import gc
+
+        gc.collect()  # don't bill prior scenarios' garbage to this leg
+        t0 = time.perf_counter()
+        env = CollectiveEnv(topo, cfg)
+        obs = None
+        if with_obs:
+            obs = Observability(sample_interval_s=100e-6)
+            obs.attach(env.network)
+        handles = [
+            scheme.launch(env, j.group, j.message_bytes, j.arrival_s)
+            for j in jobs
+        ]
+        if obs is not None:
+            for h in handles:
+                obs.track_collective(h)
+        env.run()
+        assert all(h.complete for h in handles)
+        if obs is not None:
+            obs.finalize()
+        return env.sim.processed, time.perf_counter() - t0
+
+    repeats = 1 if quick else 3
+    disabled = [once(False) for _ in range(repeats)]
+    enabled = [once(True) for _ in range(repeats)]
+    dis_events = disabled[0][0]
+    en_events = enabled[0][0]
+    dis_wall = min(w for _, w in disabled)
+    en_wall = min(w for _, w in enabled)
+    dis_eps = dis_events / dis_wall
+    en_eps = en_events / en_wall
+    return {
+        "disabled_events": dis_events,
+        "enabled_events": en_events,
+        "disabled_events_per_sec": round(dis_eps, 1),
+        "enabled_events_per_sec": round(en_eps, 1),
+        "enabled_over_disabled": round(en_eps / dis_eps, 4),
+        "disabled_wall_s": round(dis_wall, 4),
+        "enabled_wall_s": round(en_wall, 4),
+        "repeats": repeats,
+    }
+
+
+SCENARIOS = ("headline", "fig1_point", "serving", "failure", "sweep", "obs")
 
 
 def run_report(quick: bool, repeats: int, only: list[str] | None = None) -> dict:
@@ -243,6 +317,11 @@ def run_report(quick: bool, repeats: int, only: list[str] | None = None) -> dict
             result = bench_sweep(quick)
             if result is None:
                 print("  sweep: executor unavailable, skipped", file=sys.stderr)
+                continue
+        elif name == "obs":
+            result = bench_obs(quick)
+            if result is None:
+                print("  obs: repro.obs unavailable, skipped", file=sys.stderr)
                 continue
         else:
             builder = globals()[f"bench_{name}"]

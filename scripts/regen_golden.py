@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Regenerate the observability golden fixtures under tests/golden/fixtures/.
+
+The fixtures are the exact serialized metrics/trace bytes of the three
+``repro.experiments.obs_demo`` scenarios.  ``tests/golden/test_golden_obs.py``
+re-runs the scenarios (serially and through the process-pool executor) and
+compares against these files byte-for-byte, so run this script — and commit
+the diff — only when an intentional behaviour change moves the numbers::
+
+    python scripts/regen_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.experiments import obs_demo  # noqa: E402
+
+FIXTURE_DIR = os.path.join(REPO_ROOT, "tests", "golden", "fixtures")
+
+
+def main() -> None:
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    summaries = []
+    for scenario in obs_demo.SCENARIOS:
+        result = obs_demo.run(scenario)
+        for kind, payload in (
+            ("metrics", result.metrics_json),
+            ("trace", result.trace_json),
+        ):
+            path = os.path.join(FIXTURE_DIR, f"{scenario}_{kind}.json")
+            with open(path, "w", encoding="utf-8", newline="") as fh:
+                fh.write(payload)
+            print(f"wrote {os.path.relpath(path, REPO_ROOT)}"
+                  f" ({len(payload)} bytes)")
+        summaries.append(result.summary + "\n")
+    path = os.path.join(FIXTURE_DIR, "summaries.txt")
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        fh.writelines(summaries)
+    print(f"wrote {os.path.relpath(path, REPO_ROOT)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,8 @@ Subpackages: :mod:`repro.topology` (fabrics), :mod:`repro.steiner`
 (tree oracles), :mod:`repro.core` (PEEL itself), :mod:`repro.state`
 (switch-state models), :mod:`repro.sim` (event simulator),
 :mod:`repro.collectives` (broadcast schemes), :mod:`repro.workloads`,
-:mod:`repro.metrics` and :mod:`repro.experiments` (paper figures).
+:mod:`repro.metrics`, :mod:`repro.obs` (metrics registry + span
+tracing/timeline export) and :mod:`repro.experiments` (paper figures).
 """
 
 from .collectives import (
@@ -35,6 +36,7 @@ from .core import (
     optimal_symmetric_tree,
 )
 from .faults import FaultEvent, FaultInjector, FaultSchedule
+from .obs import MetricsRegistry, Observability, SpanTracer
 from .sim import (
     FabricObserver,
     InvariantChecker,
@@ -63,6 +65,9 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultSchedule",
+    "MetricsRegistry",
+    "Observability",
+    "SpanTracer",
     "FabricObserver",
     "InvariantChecker",
     "InvariantViolation",

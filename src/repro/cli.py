@@ -32,6 +32,7 @@ from .experiments import (
     fragmentation,
     guard_timer,
     headline,
+    obs_demo,
     state_churn,
     tree_quality,
 )
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "deploy": "incremental deployment stages",
     "churn": "switch state under group churn",
     "serve": "multi-tenant serving sweep: admission, queueing, plan cache",
+    "obs": "instrumented run: metrics registry + Chrome-trace timeline",
 }
 
 
@@ -147,6 +149,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-invariants", action="store_true",
                    help="assert fabric invariants throughout (slower)")
     p.add_argument("--seed", type=int, default=11)
+
+    p = sub.add_parser("obs", help=EXPERIMENTS["obs"])
+    p.add_argument("--scenario", default="headline",
+                   choices=obs_demo.SCENARIOS,
+                   help="which instrumented reference run to execute")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the Chrome-trace JSON timeline here "
+                        "(open in chrome://tracing or ui.perfetto.dev)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the metrics-registry snapshot JSON here")
+    p.add_argument("--sample-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="periodic sampler cadence in simulated seconds "
+                        "(default: per-scenario, 50-200 us)")
+    p.add_argument("--detail", default=None,
+                   choices=("transfer", "segment"),
+                   help="span granularity: per transfer (default) or down "
+                        "to per-receiver segment spans")
     return parser
 
 
@@ -249,6 +269,22 @@ def main(argv: list[str] | None = None) -> int:
             **_sweep_kwargs(args),
         )
         print(fig_serving.format_table(rows))
+    elif args.command == "obs":
+        kwargs = {}
+        if args.sample_interval is not None:
+            kwargs["sample_interval_s"] = args.sample_interval
+        if args.detail is not None:
+            kwargs["detail"] = args.detail
+        result = obs_demo.run(args.scenario, **kwargs)
+        print(f"scenario {args.scenario}: {result.summary}")
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                fh.write(result.trace_json)
+            print(f"trace timeline written to {args.trace_out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(result.metrics_json)
+            print(f"metrics snapshot written to {args.metrics_out}")
     return 0
 
 

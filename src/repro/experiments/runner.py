@@ -40,6 +40,7 @@ def run_broadcast_scenario(
     check_invariants: bool = False,
     fault_schedule=None,
     record_trace: bool = False,
+    obs=None,
 ) -> ScenarioResult:
     """Run every job under one scheme on a fresh fabric; returns all CCTs.
 
@@ -50,7 +51,10 @@ def run_broadcast_scenario(
     :class:`~repro.sim.invariants.InvariantChecker` (raising on the first
     violation); ``fault_schedule`` injects dynamic mid-run faults (the
     caller's topology is copied first, since faults mutate it);
-    ``record_trace`` computes a deterministic golden-trace digest.
+    ``record_trace`` computes a deterministic golden-trace digest;
+    ``obs`` attaches a :class:`repro.obs.Observability` — the scenario's
+    collectives are span-tracked and the registry/trace finalized on
+    return, ready for export.
     """
     if isinstance(scheme, str):
         scheme = scheme_by_name(scheme)
@@ -63,11 +67,19 @@ def run_broadcast_scenario(
         check_invariants=check_invariants,
         record_trace=record_trace,
     )
+    if obs is not None:
+        obs.attach(env.network)
     handles = [
         scheme.launch(env, job.group, job.message_bytes, job.arrival_s)
         for job in jobs
     ]
+    if obs is not None:
+        for handle in handles:
+            obs.track_collective(handle)
     env.run(max_events=max_events)
+    if obs is not None:
+        obs.observe_plan_cache(env.plan_cache)
+        obs.finalize()
     violations = env.finalize_checks()
     unfinished = [h for h in handles if not h.complete]
     if unfinished:

@@ -6,7 +6,7 @@ from .bandwidth import (
     summarize_loads,
     tree_link_loads,
 )
-from .cct import CctStats, summarize_ccts
+from .cct import CctStats, percentile, summarize_ccts
 from .slo import SloSummary, format_slo_table, summarize_slo
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "summarize_loads",
     "tree_link_loads",
     "CctStats",
+    "percentile",
     "summarize_ccts",
     "SloSummary",
     "format_slo_table",

@@ -2,10 +2,32 @@
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The repo's single percentile convention: linear interpolation
+    between closest ranks, with rank ``q/100 * (n - 1)`` over the sorted
+    sample (what numpy calls ``method="linear"``).
+
+    Every tail statistic in :mod:`repro.metrics` — CCT p50/p99 and the
+    serving SLO queueing tails — goes through this one function, so
+    changing the convention changes every figure at once, loudly, instead
+    of two modules silently disagreeing on what "p99" means.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    xs = sorted(float(x) for x in samples)
+    if not xs:
+        raise ValueError("cannot take a percentile of an empty sample")
+    rank = q / 100 * (len(xs) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    return xs[lo] + (xs[hi] - xs[lo]) * (rank - lo)
 
 
 @dataclass(frozen=True)
@@ -33,7 +55,7 @@ def summarize_ccts(ccts: Sequence[float]) -> CctStats:
     return CctStats(
         count=len(arr),
         mean_s=float(arr.mean()),
-        p50_s=float(np.percentile(arr, 50)),
-        p99_s=float(np.percentile(arr, 99)),
+        p50_s=percentile(arr, 50),
+        p99_s=percentile(arr, 99),
         max_s=float(arr.max()),
     )

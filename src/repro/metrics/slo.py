@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cct import CctStats, summarize_ccts
+from .cct import CctStats, percentile, summarize_ccts
 
 
 @dataclass(frozen=True)
@@ -64,7 +64,7 @@ def summarize_slo(
         rejected=rejected,
         cct=summarize_ccts(ccts) if ccts else CctStats(0, 0.0, 0.0, 0.0, 0.0),
         mean_queue_s=float(delays.mean()) if queue_delays else 0.0,
-        p99_queue_s=float(np.percentile(delays, 99)) if queue_delays else 0.0,
+        p99_queue_s=percentile(delays, 99) if queue_delays else 0.0,
         goodput_bps=delivered_bytes * 8 / span_s,
     )
 

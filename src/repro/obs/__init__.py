@@ -1,0 +1,48 @@
+"""Observability layer: metrics registry, span tracing, timeline export.
+
+Three pieces (see DESIGN.md "Observability"):
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters, gauges
+  and fixed-bucket mergeable histograms that sim components publish into;
+* :mod:`repro.obs.spans` — :class:`SpanTracer` recording nested collective
+  → layer-peel round → segment-transfer spans, exported as Chrome-trace /
+  Perfetto JSON (open in ``chrome://tracing``);
+* :mod:`repro.obs.fabric` — :class:`Observability`, the facade wiring both
+  onto a live :class:`~repro.sim.network.Network` through the existing
+  observer layer, plus in-loop periodic sampling.  Zero-cost when not
+  attached.
+"""
+
+from .fabric import (
+    DETAIL_LEVELS,
+    FabricMetricsObserver,
+    Observability,
+    PeriodicSampler,
+)
+from .metrics import (
+    BYTES_BOUNDS,
+    RATIO_BOUNDS,
+    SECONDS_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import Span, SpanTracer, nesting_violations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "nesting_violations",
+    "FabricMetricsObserver",
+    "Observability",
+    "PeriodicSampler",
+    "DETAIL_LEVELS",
+    "BYTES_BOUNDS",
+    "RATIO_BOUNDS",
+    "SECONDS_BOUNDS",
+]

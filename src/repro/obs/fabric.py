@@ -1,0 +1,465 @@
+"""Wiring metrics + spans onto a live simulation: the observability layer.
+
+:class:`Observability` is the one object callers hold: it owns a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.spans.SpanTracer`, attaches a
+:class:`FabricMetricsObserver` to the network's existing observer layer,
+and runs a :class:`PeriodicSampler` inside the event loop.  Everything is
+strictly opt-in: an unobserved simulation keeps the empty-``observers``
+fast path (one truthiness test per event) and schedules no sampler events,
+so disabled-mode overhead is zero by construction — the perf harness
+(``scripts/bench_report.py``, scenario ``obs``) records the enabled vs
+disabled events/sec delta every run.
+
+Span hierarchy (cf. §4's CCT-shape arguments):
+
+* **collective** — one span per tracked :class:`CollectiveHandle`, from
+  arrival to CCT completion (NVLink hop included);
+* **transfer** — one span per :class:`~repro.sim.transfer.Transfer`, from
+  its first injected copy to completion, parented to its collective;
+* **layer** (``<transfer>/L<i>``) — one span per layer-peel round (route
+  tree) of a transfer, first inject to last accepted delivery;
+* **segment** (``detail="segment"``) — one span per (receiver, segment),
+  inject to acceptance, on the receiving host's track.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.observer import FabricObserver
+from ..sim.stats import _tier as link_tier
+from .metrics import BYTES_BOUNDS, RATIO_BOUNDS, SECONDS_BOUNDS, MetricsRegistry
+from .spans import Span, SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.network import HostNode, Network, Port, SwitchNode
+    from ..sim.packet import Segment
+    from ..sim.transfer import Transfer
+
+#: Rate histogram bounds in Gb/s (DCQCN operating range on 100G links).
+GBPS_BOUNDS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0)
+
+DETAIL_LEVELS = ("transfer", "segment")
+
+
+class FabricMetricsObserver(FabricObserver):
+    """Publishes fabric lifecycle events into a registry and span tracer.
+
+    Only the state needed for retroactive span construction is tracked
+    live (first-inject times, per-layer activity windows, open PFC pauses);
+    aggregate counters are folded in once at finalize from the counters the
+    fabric already maintains, keeping the per-event work minimal.
+    """
+
+    def __init__(self, obs: "Observability", network: "Network") -> None:
+        self.obs = obs
+        self.network = network
+        self.registry = obs.registry
+        self.tracer = obs.tracer
+        self.segment_detail = obs.detail == "segment"
+        #: transfer name -> first on_inject time.
+        self.first_inject: dict[str, float] = {}
+        #: transfer name -> {id(route tree): layer index}.
+        self._layer_index: dict[str, dict[int, int]] = {}
+        #: (transfer name, layer) -> [first_s, last_s] activity window.
+        self.layer_window: dict[tuple[str, int], list[float]] = {}
+        #: (transfer name, seq) -> inject time (segment detail only).
+        self._seg_start: dict[tuple[str, int], float] = {}
+        #: finished segment spans: (tname, layer, seq, host, t0, t1).
+        self.segment_records: list[tuple[str, int, int, str, float, float]] = []
+        #: (switch name, ingress port src) -> pause start time.
+        self._open_pauses: dict[tuple[str, str], float] = {}
+        self._pause_seconds = 0.0
+        self._copy_counts = dict.fromkeys(
+            ("injected", "forked", "delivered", "accepted", "wasted", "lost"), 0
+        )
+        network.add_observer(self)
+
+    # -- live event handling ---------------------------------------------------
+
+    def _layer_of(self, transfer_name: str, route) -> int:
+        layers = self._layer_index.setdefault(transfer_name, {})
+        index = layers.get(id(route))
+        if index is None:
+            # Layers are numbered in first-use order, which matches the
+            # plan's static-tree order for multi-tree PEEL transfers (the
+            # first segment rides every tree) and appends re-peeled trees.
+            index = layers[id(route)] = len(layers)
+        return index
+
+    def _touch_layer(self, transfer_name: str, route, now: float) -> int:
+        layer = self._layer_of(transfer_name, route)
+        window = self.layer_window.get((transfer_name, layer))
+        if window is None:
+            self.layer_window[transfer_name, layer] = [now, now]
+        else:
+            window[1] = now
+        return layer
+
+    def on_inject(self, host: "HostNode", segment: "Segment") -> None:
+        now = self.network.sim.now
+        self._copy_counts["injected"] += 1
+        name = segment.transfer.name
+        self.first_inject.setdefault(name, now)
+        self._touch_layer(name, segment.route, now)
+        if self.segment_detail:
+            self._seg_start.setdefault((name, segment.seq), now)
+
+    def on_fork(self, switch: "SwitchNode", segment: "Segment") -> None:
+        self._copy_counts["forked"] += 1
+
+    def on_deliver(self, host: "HostNode", segment: "Segment") -> None:
+        self._copy_counts["delivered"] += 1
+
+    def on_accept(self, transfer: "Transfer", host: str, segment: "Segment") -> None:
+        now = self.network.sim.now
+        self._copy_counts["accepted"] += 1
+        layer = self._touch_layer(transfer.name, segment.route, now)
+        if self.segment_detail:
+            start = self._seg_start.get((transfer.name, segment.seq), now)
+            self.segment_records.append(
+                (transfer.name, layer, segment.seq, host, start, now)
+            )
+
+    def on_wasted(self, switch: "SwitchNode", segment: "Segment") -> None:
+        self._copy_counts["wasted"] += 1
+
+    def on_lost(self, port: "Port", segment: "Segment") -> None:
+        self._copy_counts["lost"] += 1
+
+    def on_pfc_pause(self, switch: "SwitchNode", port: "Port") -> None:
+        self._open_pauses[switch.name, port.src] = self.network.sim.now
+
+    def on_pfc_resume(self, switch: "SwitchNode", port: "Port") -> None:
+        started = self._open_pauses.pop((switch.name, port.src), None)
+        if started is not None:
+            self._pause_seconds += self.network.sim.now - started
+
+    def on_link_down(self, u: str, v: str) -> None:
+        self.registry.counter("fabric.link_down_events").inc()
+        self.tracer.instant(f"link-down {u} -- {v}", self.network.sim.now, "fabric")
+
+    def on_link_up(self, u: str, v: str) -> None:
+        self.registry.counter("fabric.link_up_events").inc()
+        self.tracer.instant(f"link-up {u} -- {v}", self.network.sim.now, "fabric")
+
+    def on_reroute(self, transfer: "Transfer", num_trees: int) -> None:
+        self.registry.counter("fabric.reroutes").inc()
+        self.tracer.instant(
+            f"reroute {transfer.name} ({num_trees} trees)",
+            self.network.sim.now,
+            "fabric",
+        )
+
+    # -- finalize --------------------------------------------------------------
+
+    def close_pauses(self, now: float) -> None:
+        for key in sorted(self._open_pauses):
+            self._pause_seconds += now - self._open_pauses.pop(key)
+
+    def fold_counters(self) -> None:
+        """End-of-run aggregates from fabric- and port-level counters."""
+        registry = self.registry
+        network = self.network
+        for kind in sorted(self._copy_counts):
+            registry.counter(f"fabric.copies.{kind}").inc(self._copy_counts[kind])
+        registry.counter("fabric.pfc.pause_events").inc(network.pfc_pause_events)
+        registry.counter("fabric.pfc.pause_seconds").inc(self._pause_seconds)
+        registry.counter("fabric.wasted_bytes").inc(network.wasted_bytes)
+        registry.counter("fabric.lost_segments").inc(network.lost_segments)
+        registry.counter("fabric.failure_drops").inc(network.failure_drops)
+        elapsed = network.sim.now
+        total_bytes = 0
+        total_marks = 0
+        for key in sorted(network.ports):
+            port = network.ports[key]
+            total_bytes += port.bytes_sent
+            total_marks += port.ecn_marks
+            if not port.bytes_sent and not port.peak_queue_bytes:
+                continue
+            tier = link_tier(port.src, port.dst)
+            if elapsed > 0:
+                registry.histogram(
+                    f"link.utilization.{tier}", RATIO_BOUNDS
+                ).observe(port.bytes_sent * 8 / (port.capacity_bps * elapsed))
+            registry.histogram("link.peak_queue_bytes", BYTES_BOUNDS).observe(
+                port.peak_queue_bytes
+            )
+        registry.counter("fabric.bytes_sent").inc(total_bytes)
+        registry.counter("fabric.ecn_marks").inc(total_marks)
+        reactions = sum(t.dcqcn.reactions for t in network.transfers)
+        notifications = sum(t.dcqcn.notifications for t in network.transfers)
+        retransmissions = sum(t.retransmissions for t in network.transfers)
+        registry.counter("dcqcn.rate_updates").inc(reactions)
+        registry.counter("dcqcn.notifications").inc(notifications)
+        registry.counter("fabric.retransmissions").inc(retransmissions)
+
+
+class PeriodicSampler:
+    """Samples time-varying fabric state on a fixed simulated-time cadence.
+
+    The tick reschedules itself only while *other* live events remain, so
+    an attached sampler never keeps the event loop alive on its own and
+    ``env.run()`` still terminates.  Each tick records queue-depth and
+    DCQCN-rate samples into the registry, emits Chrome counter events, and
+    invokes any caller-registered hooks (the serving runtime adds one for
+    queue length, TCAM occupancy and cache hit rate).
+    """
+
+    def __init__(self, obs: "Observability", network: "Network") -> None:
+        self.obs = obs
+        self.network = network
+        self.interval_s = obs.sample_interval_s
+        self.ticks = 0
+        self._started = False
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self.network.sim.post(self.interval_s, self._tick)
+
+    def _tick(self) -> None:
+        sim = self.network.sim
+        self.ticks += 1
+        self.sample(sim.now)
+        # Our own entry already fired, so pending counts everyone else.
+        if sim.pending > 0:
+            sim.post(self.interval_s, self._tick)
+        else:
+            self._started = False
+
+    def sample(self, now: float) -> None:
+        registry = self.obs.registry
+        tracer = self.obs.tracer
+        network = self.network
+        queued_total = 0
+        queue_hist = registry.histogram("sample.queue_bytes", BYTES_BOUNDS)
+        for key in sorted(network.ports):
+            depth = network.ports[key].queue_bytes
+            if depth:
+                queued_total += depth
+                queue_hist.observe(depth)
+        registry.gauge("sample.queued_bytes.peak", "max").set(queued_total)
+        tracer.sample("queued_bytes", now, queued_total)
+        rate_hist = registry.histogram("dcqcn.rate_gbps", GBPS_BOUNDS)
+        slowest = None
+        for transfer in network.transfers:
+            if not transfer.complete:
+                rate = transfer.dcqcn.current_rate_bps / 1e9
+                rate_hist.observe(rate)
+                slowest = rate if slowest is None else min(slowest, rate)
+        if slowest is not None:
+            tracer.sample("dcqcn_min_rate_gbps", now, slowest)
+        for hook in self.obs.sample_hooks:
+            hook(now)
+
+
+class Observability:
+    """Metrics + tracing for one simulation run (see module docstring).
+
+    Usage::
+
+        obs = Observability(sample_interval_s=100e-6)
+        env = CollectiveEnv(topo, cfg)
+        obs.attach(env.network)
+        handle = scheme.launch(env, group, msg, 0.0)
+        obs.track_collective(handle)
+        env.run()
+        obs.finalize()
+        obs.save_trace("run.trace.json")     # open in chrome://tracing
+        obs.save_metrics("run.metrics.json")
+
+    Experiment entry points (:func:`repro.experiments.runner.
+    run_broadcast_scenario`, :class:`repro.serve.ServeRuntime`, the
+    ``repro obs`` CLI) accept an ``obs=`` argument and do all of the above.
+    """
+
+    def __init__(
+        self,
+        sample_interval_s: float = 100e-6,
+        detail: str = "transfer",
+        registry: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        if detail not in DETAIL_LEVELS:
+            raise ValueError(f"detail must be one of {DETAIL_LEVELS}, got {detail!r}")
+        self.sample_interval_s = sample_interval_s
+        self.detail = detail
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self.sample_hooks: list = []
+        self.network: "Network | None" = None
+        self.observer: FabricMetricsObserver | None = None
+        self.sampler: PeriodicSampler | None = None
+        self._handles: list = []
+        self._labels: list[str] = []
+        self._finalized = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, network: "Network") -> "Observability":
+        """Register on a network's observer layer and start sampling."""
+        if self.network is not None:
+            raise RuntimeError("Observability is already attached")
+        self.network = network
+        self.observer = FabricMetricsObserver(self, network)
+        self.sampler = PeriodicSampler(self, network)
+        self.sampler.start()
+        return self
+
+    def track_collective(self, handle, label: str | None = None) -> None:
+        """Record a collective handle so finalize() emits its span."""
+        self._handles.append(handle)
+        self._labels.append(label or f"{handle.scheme_name}-{len(self._handles)}")
+
+    def add_sample_hook(self, hook) -> None:
+        """``hook(now_s)`` runs on every sampler tick (serve snapshots)."""
+        self.sample_hooks.append(hook)
+
+    def observe_plan_cache(self, cache) -> None:
+        """Fold a :class:`~repro.serve.cache.PlanCache`'s counters in."""
+        if cache is None:
+            return
+        self.registry.counter("plan_cache.hits").inc(cache.hits)
+        self.registry.counter("plan_cache.misses").inc(cache.misses)
+        self.registry.counter("plan_cache.invalidations").inc(cache.invalidations)
+        lookups = cache.hits + cache.misses
+        if lookups:
+            self.registry.gauge("plan_cache.hit_rate", "max").set(
+                cache.hits / lookups
+            )
+
+    # -- finalize --------------------------------------------------------------
+
+    def finalize(self) -> "Observability":
+        """Fold end-of-run state into the registry and emit the span tree.
+
+        Idempotent; exports call it automatically.  Incomplete collectives
+        and transfers (a run stopped early) get spans closed at the current
+        simulated time and a ``*.incomplete`` counter.
+        """
+        if self._finalized:
+            return self
+        if self.network is None:
+            raise RuntimeError("Observability was never attached to a network")
+        self._finalized = True
+        observer = self.observer
+        now = self.network.sim.now
+        observer.close_pauses(now)
+        observer.fold_counters()
+
+        cct_hist = self.registry.histogram("collective.cct_s", SECONDS_BOUNDS)
+        collective_spans: dict[int, Span] = {}
+        for handle, label in zip(self._handles, self._labels):
+            if handle.complete:
+                end = handle.arrival_s + handle.cct_s
+            else:
+                end = max(now, handle.arrival_s)
+                self.registry.counter("collective.incomplete").inc()
+            span = self.tracer.add(
+                label,
+                handle.arrival_s,
+                end,
+                track="collectives",
+                cat="collective",
+                receivers=len(handle.group.receiver_hosts),
+                message_bytes=handle.message_bytes,
+            )
+            collective_spans[id(handle)] = span
+            if handle.complete:
+                cct_hist.observe(handle.cct_s)
+
+        duration_hist = self.registry.histogram("transfer.duration_s", SECONDS_BOUNDS)
+        transfer_spans: dict[str, Span] = {}
+        for transfer in self.network.transfers:
+            start = observer.first_inject.get(transfer.name, transfer.start_at)
+            if transfer.complete:
+                end = transfer.complete_at
+            else:
+                end = max(now, start)
+                self.registry.counter("transfer.incomplete").inc()
+            parent = collective_spans.get(id(getattr(transfer.on_host_done, "__self__", None)))
+            if parent is not None:
+                start = max(start, parent.start_s)
+            span = self.tracer.add(
+                transfer.name,
+                start,
+                max(end, start),
+                track="transfers",
+                cat="transfer",
+                parent=parent,
+                segments=transfer.num_segments,
+                retransmissions=transfer.retransmissions,
+            )
+            transfer_spans[transfer.name] = span
+            duration_hist.observe(span.duration_s)
+
+        layer_spans: dict[tuple[str, int], Span] = {}
+        for (tname, layer), (first, last) in sorted(observer.layer_window.items()):
+            parent = transfer_spans.get(tname)
+            if parent is not None:
+                first = max(first, parent.start_s)
+                last = min(max(last, first), parent.end_s)
+            layer_spans[tname, layer] = self.tracer.add(
+                f"{tname}/L{layer}",
+                first,
+                last,
+                track="transfers",
+                cat="layer",
+                parent=parent,
+            )
+        for tname, layer, seq, host, t0, t1 in observer.segment_records:
+            parent = layer_spans.get((tname, layer))
+            if parent is not None:
+                t0 = max(t0, parent.start_s)
+                t1 = min(max(t1, t0), parent.end_s)
+            self.tracer.add(
+                f"{tname}#s{seq}",
+                t0,
+                t1,
+                track=host,
+                cat="segment",
+                parent=parent,
+            )
+        self.tracer.close_all(now)
+        return self
+
+    # -- export ----------------------------------------------------------------
+
+    def metrics_json(self) -> str:
+        self.finalize()
+        return self.registry.to_json()
+
+    def trace_json(self) -> str:
+        self.finalize()
+        return self.tracer.to_json()
+
+    def save_metrics(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.metrics_json())
+
+    def save_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.trace_json())
+
+    def summary(self) -> str:
+        """A few headline numbers for CLI output."""
+        self.finalize()
+        reg = self.registry
+        spans = len(self.tracer.spans)
+        ticks = self.sampler.ticks if self.sampler is not None else 0
+        parts = [
+            f"{spans} spans",
+            f"{ticks} sampler ticks",
+            f"{len(reg)} metrics",
+        ]
+        if "fabric.bytes_sent" in reg:
+            parts.append(f"{reg['fabric.bytes_sent'].value / 2**20:.1f} MiB sent")
+        if "fabric.ecn_marks" in reg:
+            parts.append(f"{int(reg['fabric.ecn_marks'].value)} ECN marks")
+        if "dcqcn.rate_updates" in reg:
+            parts.append(f"{int(reg['dcqcn.rate_updates'].value)} rate updates")
+        return " | ".join(parts)

@@ -1,0 +1,310 @@
+"""Metrics primitives: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the single publication point sim components
+write into — per-link utilization and queue-depth samples, PFC pause time,
+ECN marks, DCQCN rate updates, TCAM occupancy, plan-cache hit rate,
+per-tenant SLO latencies.  Three properties drive the design:
+
+* **determinism** — :meth:`MetricsRegistry.snapshot` is a plain dict whose
+  JSON serialization (``sort_keys=True``) is byte-identical across runs of
+  the same scenario, so snapshots double as golden regression fixtures;
+* **mergeability** — registries from independent sweep points (possibly
+  other processes) fold together with :meth:`MetricsRegistry.merge`:
+  counters add, histograms add bucket-wise, gauges keep the extremum they
+  were declared with.  Histogram merge is associative and commutative and
+  conserves the total sample count (property-tested);
+* **bounded cardinality** — histograms use *fixed* bucket bounds chosen at
+  creation, so a metric's memory footprint never depends on run length.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Sequence
+
+#: Default histogram bounds for [0, 1]-ish ratios (utilization, hit rates).
+RATIO_BOUNDS = (0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+#: Default power-of-four byte-size bounds (queue depths, message sizes).
+BYTES_BOUNDS = tuple(4**k * 1024 for k in range(10))  # 1 KiB .. 256 MiB
+
+#: Default latency bounds in seconds (SLO tails, span durations).
+SECONDS_BOUNDS = tuple(10**e for e in range(-7, 3))  # 100 ns .. 100 s
+
+
+class Counter:
+    """A monotonically increasing sum (int or float)."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; merging keeps the declared extremum.
+
+    ``mode="last"`` gauges track the most recent :meth:`set` (and refuse to
+    merge across registries, since "last" is meaningless between shards);
+    ``mode="max"``/``"min"`` gauges are peak/floor trackers and merge by
+    taking the extremum, which is associative and commutative.
+    """
+
+    kind = "gauge"
+    __slots__ = ("name", "mode", "value", "updates")
+
+    def __init__(self, name: str, mode: str = "last") -> None:
+        if mode not in ("last", "max", "min"):
+            raise ValueError(f"gauge mode must be last/max/min, got {mode!r}")
+        self.name = name
+        self.mode = mode
+        self.value: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.updates += 1
+        if self.value is None:
+            self.value = value
+        elif self.mode == "max":
+            self.value = max(self.value, value)
+        elif self.mode == "min":
+            self.value = min(self.value, value)
+        else:
+            self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        if self.mode != other.mode:
+            raise ValueError(
+                f"gauge {self.name}: cannot merge mode {other.mode!r} into "
+                f"{self.mode!r}"
+            )
+        if self.mode == "last":
+            raise ValueError(
+                f"gauge {self.name}: 'last' gauges are shard-local and do "
+                "not merge; declare mode='max' or 'min'"
+            )
+        if other.value is not None:
+            self.updates += other.updates
+            if self.value is None:
+                self.value = other.value
+            else:
+                op = max if self.mode == "max" else min
+                self.value = op(self.value, other.value)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "mode": self.mode,
+            "updates": self.updates,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``len(bounds) + 1`` counts plus sum/min/max.
+
+    Bucket ``i`` counts samples with ``value <= bounds[i]`` (first matching
+    bound); the final bucket is the implicit ``+inf`` overflow.  Bounds are
+    fixed at creation, which is what makes two histograms of the same
+    metric mergeable by plain bucket-wise addition.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bound")
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name} bounds must strictly increase")
+        if not all(math.isfinite(b) for b in bounds):
+            raise ValueError(f"histogram {name} bounds must be finite")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # bisect_left over bounds: first bound >= value
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name}: bucket bounds differ; cannot merge"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+        for attr, op in (("min", min), ("max", max)):
+            theirs = getattr(other, attr)
+            if theirs is not None:
+                ours = getattr(self, attr)
+                setattr(self, attr, theirs if ours is None else op(ours, theirs))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the upper bound of the bucket holding
+        the q-th sample (``max`` for the overflow bucket)."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        if not self.total:
+            return 0.0
+        rank = q * (self.total - 1)
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if count and seen > rank:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max if self.max is not None else self.bounds[-1]
+        return self.max if self.max is not None else self.bounds[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and snapshotted deterministically.
+
+    ``counter(name)`` / ``gauge(name)`` / ``histogram(name, bounds)`` are
+    get-or-create: repeated calls with the same name return the same object
+    (and raise if the name is already bound to a different kind or shape),
+    so independent components can publish into one registry without
+    coordinating creation order.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Counter | Gauge | Histogram:
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def _get_or_create(self, name: str, factory, check) -> object:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        else:
+            check(metric)
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        def check(metric):
+            if not isinstance(metric, Counter):
+                raise TypeError(f"{name!r} is a {metric.kind}, not a counter")
+
+        return self._get_or_create(name, lambda: Counter(name), check)
+
+    def gauge(self, name: str, mode: str = "last") -> Gauge:
+        def check(metric):
+            if not isinstance(metric, Gauge):
+                raise TypeError(f"{name!r} is a {metric.kind}, not a gauge")
+            if metric.mode != mode:
+                raise ValueError(
+                    f"gauge {name!r} already declared with mode {metric.mode!r}"
+                )
+
+        return self._get_or_create(name, lambda: Gauge(name, mode), check)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = SECONDS_BOUNDS
+    ) -> Histogram:
+        bounds = tuple(float(b) for b in bounds)
+
+        def check(metric):
+            if not isinstance(metric, Histogram):
+                raise TypeError(f"{name!r} is a {metric.kind}, not a histogram")
+            if metric.bounds != bounds:
+                raise ValueError(
+                    f"histogram {name!r} already declared with other bounds"
+                )
+
+        return self._get_or_create(name, lambda: Histogram(name, bounds), check)
+
+    # -- folding and serialization --------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (see each metric's merge rule);
+        returns self for chaining."""
+        for name in sorted(other._metrics):
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                # Adopt a structural copy so later merges never alias.
+                self._metrics[name] = mine = _fresh_like(theirs)
+            if mine.kind != theirs.kind:
+                raise TypeError(
+                    f"{name!r}: cannot merge a {theirs.kind} into a {mine.kind}"
+                )
+            mine.merge(theirs)
+        return self
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state of every metric, keyed by name."""
+        return {name: m.to_dict() for name, m in sorted(self._metrics.items())}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Deterministic serialization (stable ordering, exact floats)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True) + "\n"
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+
+def _fresh_like(metric: Counter | Gauge | Histogram):
+    """An empty metric with the same shape, ready to merge into."""
+    if isinstance(metric, Counter):
+        return Counter(metric.name)
+    if isinstance(metric, Gauge):
+        return Gauge(metric.name, metric.mode)
+    return Histogram(metric.name, metric.bounds)

@@ -1,0 +1,260 @@
+"""Span tracing: nested timed intervals exported as a Chrome trace.
+
+A :class:`SpanTracer` records *spans* — named intervals of simulated time,
+organized in a parent/child tree (collective → layer-peel round → segment
+transfer) — plus counter samples and instant markers.  Everything exports
+to the Chrome-trace / Perfetto JSON event format, so any run can be opened
+in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Spans can be opened and closed live (:meth:`SpanTracer.begin` /
+:meth:`SpanTracer.end`) or recorded retroactively with
+:meth:`SpanTracer.add` once both endpoints are known — the export is
+identical, since Chrome "complete" (``ph: "X"``) events carry their own
+``ts`` and ``dur``.  Export ordering is deterministic: events sort by
+timestamp with recording order as the tie-break, never by dict or id()
+order, so two identical runs serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Simulated seconds -> Chrome trace microseconds.
+_US = 1e6
+
+
+@dataclass
+class Span:
+    """One named interval on a track; ``end_s`` is None while still open."""
+
+    span_id: int
+    name: str
+    track: str
+    cat: str
+    start_s: float
+    end_s: float | None = None
+    parent_id: int | None = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise RuntimeError(f"span {self.name!r} is still open")
+        return self.end_s - self.start_s
+
+
+class SpanTracer:
+    """Collects spans, counter samples and instants for one run."""
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.process_name = process_name
+        self.spans: list[Span] = []
+        self._open: dict[int, Span] = {}
+        #: (time_s, track, series_name, value) counter samples.
+        self._counters: list[tuple[float, str, str, float]] = []
+        #: (time_s, track, name) instant markers.
+        self._instants: list[tuple[float, str, str]] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        t: float,
+        track: str = "main",
+        cat: str = "",
+        parent: Span | int | None = None,
+        **args,
+    ) -> Span:
+        """Open a span at simulated time ``t``; close it with :meth:`end`."""
+        span = self._new_span(name, t, track, cat, parent, args)
+        self._open[span.span_id] = span
+        return span
+
+    def end(self, span: Span | int, t: float) -> Span:
+        span_id = span.span_id if isinstance(span, Span) else span
+        opened = self._open.pop(span_id, None)
+        if opened is None:
+            raise KeyError(f"span {span_id} is not open")
+        if t < opened.start_s:
+            raise ValueError(
+                f"span {opened.name!r} cannot end at {t} before start "
+                f"{opened.start_s}"
+            )
+        opened.end_s = t
+        return opened
+
+    def add(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        track: str = "main",
+        cat: str = "",
+        parent: Span | int | None = None,
+        **args,
+    ) -> Span:
+        """Record a finished span retroactively (both endpoints known)."""
+        if end_s < start_s:
+            raise ValueError(f"span {name!r}: end {end_s} before start {start_s}")
+        span = self._new_span(name, start_s, track, cat, parent, args)
+        span.end_s = end_s
+        return span
+
+    def _new_span(self, name, t, track, cat, parent, args) -> Span:
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        span = Span(
+            span_id=len(self.spans),
+            name=name,
+            track=track,
+            cat=cat,
+            start_s=t,
+            parent_id=parent_id,
+            args=dict(args),
+        )
+        self.spans.append(span)
+        return span
+
+    def sample(self, series: str, t: float, value: float, track: str = "counters") -> None:
+        """One point of a counter time-series (queue depth, rate, ...)."""
+        self._counters.append((t, track, series, value))
+
+    def instant(self, name: str, t: float, track: str = "main") -> None:
+        """A zero-duration marker (link down/up, reroute, ...)."""
+        self._instants.append((t, track, name))
+
+    @property
+    def open_spans(self) -> list[Span]:
+        return sorted(self._open.values(), key=lambda s: s.span_id)
+
+    def close_all(self, t: float) -> int:
+        """Close every still-open span at ``t`` (end-of-run cleanup)."""
+        open_ids = sorted(self._open)
+        for span_id in open_ids:
+            self.end(span_id, t)
+        return len(open_ids)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The run as a Chrome-trace JSON object (``traceEvents`` format).
+
+        Spans become ``ph: "X"`` complete events, counter samples ``ph: "C"``
+        counter events, instants ``ph: "i"``.  Tracks map to thread ids in
+        first-use order, with thread-name metadata so the viewer shows the
+        track names instead of bare tids.
+        """
+        if self._open:
+            names = ", ".join(repr(s.name) for s in self.open_spans[:5])
+            raise RuntimeError(
+                f"{len(self._open)} span(s) still open ({names}); "
+                "call close_all() before exporting"
+            )
+        tids: dict[str, int] = {}
+        events: list[dict] = []
+
+        def tid(track: str) -> int:
+            got = tids.get(track)
+            if got is None:
+                got = tids[track] = len(tids)
+            return got
+
+        for span in self.spans:
+            event = {
+                "name": span.name,
+                "cat": span.cat or "span",
+                "ph": "X",
+                "ts": span.start_s * _US,
+                "dur": span.duration_s * _US,
+                "pid": 0,
+                "tid": tid(span.track),
+            }
+            args = dict(span.args)
+            if span.parent_id is not None:
+                args["parent"] = self.spans[span.parent_id].name
+            if args:
+                event["args"] = args
+            events.append(event)
+        for t, track, series, value in self._counters:
+            events.append(
+                {
+                    "name": series,
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": t * _US,
+                    "pid": 0,
+                    "tid": tid(track),
+                    "args": {"value": value},
+                }
+            )
+        for t, track, name in self._instants:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "instant",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": t * _US,
+                    "pid": 0,
+                    "tid": tid(track),
+                }
+            )
+        # Stable order: timestamp first, recording order as tie-break.
+        events = [
+            e for _, e in sorted(enumerate(events), key=lambda p: (p[1]["ts"], p[0]))
+        ]
+        meta: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": self.process_name},
+            }
+        ]
+        for track, track_tid in tids.items():
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": track_tid,
+                    "args": {"name": track},
+                }
+            )
+        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=indent, sort_keys=True) + "\n"
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+
+def nesting_violations(tracer: SpanTracer) -> list[str]:
+    """Check the span tree is well-nested; returns human-readable problems.
+
+    Two rules: a child span's interval must lie within its parent's, and a
+    span's parent must exist and be recorded before it (no forward edges).
+    Used by the hypothesis property suite and the golden tests.
+    """
+    problems: list[str] = []
+    for span in tracer.spans:
+        if span.end_s is None:
+            problems.append(f"{span.name!r} never closed")
+            continue
+        if span.parent_id is None:
+            continue
+        if not 0 <= span.parent_id < span.span_id:
+            problems.append(f"{span.name!r} has forward/dangling parent")
+            continue
+        parent = tracer.spans[span.parent_id]
+        if parent.end_s is None:
+            problems.append(f"{span.name!r}: parent {parent.name!r} never closed")
+        elif span.start_s < parent.start_s or span.end_s > parent.end_s:
+            problems.append(
+                f"{span.name!r} [{span.start_s}, {span.end_s}] escapes parent "
+                f"{parent.name!r} [{parent.start_s}, {parent.end_s}]"
+            )
+    return problems

@@ -111,6 +111,7 @@ class ServeRuntime:
         record_trace: bool = False,
         fault_schedule=None,
         raise_on_violation: bool = True,
+        obs=None,
     ) -> None:
         if scheme not in DATAPLANE:
             raise ValueError(
@@ -148,6 +149,40 @@ class ServeRuntime:
         self._queue: deque[JobRecord] = deque()
         self.peak_queue_len = 0
         self.total_queued = 0
+        self.running = 0
+        #: Optional :class:`repro.obs.Observability`: fabric metrics + span
+        #: tracing plus a periodic serve-level snapshot (queue length,
+        #: running collectives, TCAM occupancy) on the sampler cadence.
+        self.obs = obs
+        #: One dict per sampler tick when ``obs`` is attached.
+        self.obs_snapshots: list[dict] = []
+        self._obs_folded = False
+        if obs is not None:
+            obs.attach(self.env.network)
+            obs.add_sample_hook(self._obs_sample)
+
+    def _obs_sample(self, now: float) -> None:
+        """Periodic serve-level snapshot, exported into metrics + timeline."""
+        obs = self.obs
+        snapshot = {
+            "t_s": now,
+            "queue_len": len(self._queue),
+            "running": self.running,
+            "peak_tcam_entries": self.state.peak_entries_per_switch,
+            "outstanding_links": len(self.link_outstanding),
+        }
+        self.obs_snapshots.append(snapshot)
+        obs.registry.gauge("serve.queue_len.peak", "max").set(len(self._queue))
+        obs.registry.gauge("serve.running.peak", "max").set(self.running)
+        obs.registry.gauge("serve.tcam.peak_entries", "max").set(
+            self.state.peak_entries_per_switch
+        )
+        tracer = obs.tracer
+        tracer.sample("serve_queue_len", now, len(self._queue), "serve")
+        tracer.sample("serve_running", now, self.running, "serve")
+        tracer.sample(
+            "serve_outstanding_links", now, len(self.link_outstanding), "serve"
+        )
 
     # -- static state ----------------------------------------------------------
 
@@ -268,6 +303,11 @@ class ServeRuntime:
             self.link_outstanding[edge] = self.link_outstanding.get(edge, 0) + msg
         handle = self.scheme.launch(self.env, record.job.group, msg, now)
         record.handle = handle
+        self.running += 1
+        if self.obs is not None:
+            self.obs.track_collective(
+                handle, f"{record.job.tenant}/job-{record.index}"
+            )
         if handle.complete:
             self._on_collective_done(record, now)
         else:
@@ -279,6 +319,15 @@ class ServeRuntime:
         record.status = "done"
         record.completed_s = now
         record.cct_s = record.handle.cct_s if record.handle is not None else 0.0
+        self.running -= 1
+        if self.obs is not None:
+            tenant = record.job.tenant
+            registry = self.obs.registry
+            registry.histogram(f"serve.cct_s.{tenant}").observe(record.cct_s)
+            registry.histogram(f"serve.queue_delay_s.{tenant}").observe(
+                record.queue_delay_s
+            )
+            registry.counter(f"serve.completed.{tenant}").inc()
         if record._demand:
             self.state.remove_group(record.index)
         msg = record.job.message_bytes
@@ -292,6 +341,10 @@ class ServeRuntime:
 
     def _reject(self, record: JobRecord) -> None:
         record.status = "rejected"
+        if self.obs is not None:
+            self.obs.registry.counter(
+                f"serve.rejected.{record.job.tenant}"
+            ).inc()
 
     def _drain_queue(self) -> None:
         """Head-of-line retry: admit in FIFO order until the head must keep
@@ -354,6 +407,18 @@ class ServeRuntime:
             for tenant, records in sorted(tenants.items())
         ]
         cache = self.env.plan_cache  # careful: an empty cache is falsy
+        if self.obs is not None and not self._obs_folded:
+            self._obs_folded = True  # report() may run more than once
+            self.obs.observe_plan_cache(cache)
+            registry = self.obs.registry
+            registry.counter("serve.switch_updates").inc(self.state.total_updates)
+            registry.counter("serve.tcam.overflow_events").inc(
+                self.state.overflow_events
+            )
+            registry.gauge("serve.tcam.peak_entries", "max").set(
+                self.state.peak_entries_per_switch
+            )
+            self.obs.finalize()
         return ServeReport(
             scheme=self.scheme_name,
             tenants=rows,

@@ -1,0 +1,104 @@
+"""Golden-regression suite for the observability layer.
+
+Each ``repro.experiments.obs_demo`` scenario is re-run and its serialized
+metrics registry and Chrome-trace timeline compared **byte-for-byte**
+against the fixtures committed under ``tests/golden/fixtures/``.  A
+mismatch means some behaviour feeding the figures drifted — queueing,
+ECN/PFC/DCQCN dynamics, span structure, or serialization itself.  If the
+change was intentional, regenerate with ``python scripts/regen_golden.py``
+and commit the diff; never hand-edit a fixture.
+
+The parity test additionally pushes all three scenarios through
+:func:`repro.experiments.parallel.run_sweep` with ``jobs=1`` and
+``jobs=4`` and asserts identical bytes, pinning the guarantee that the
+process-pool executor changes *where* a point runs, never *what* it
+computes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import SweepPoint, run_sweep
+from repro.experiments import obs_demo
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures"
+
+REGEN_HINT = (
+    "golden fixture drifted; if intentional, regenerate with "
+    "`python scripts/regen_golden.py` and commit the diff"
+)
+
+
+def _fixture(name: str) -> str:
+    return (FIXTURE_DIR / name).read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def results() -> dict[str, obs_demo.ObsResult]:
+    """Run every scenario once per test module, serially."""
+    return {name: obs_demo.run(name) for name in obs_demo.SCENARIOS}
+
+
+@pytest.mark.parametrize("scenario", obs_demo.SCENARIOS)
+def test_metrics_match_fixture(results, scenario):
+    assert results[scenario].metrics_json == _fixture(
+        f"{scenario}_metrics.json"
+    ), REGEN_HINT
+
+
+@pytest.mark.parametrize("scenario", obs_demo.SCENARIOS)
+def test_trace_matches_fixture(results, scenario):
+    assert results[scenario].trace_json == _fixture(
+        f"{scenario}_trace.json"
+    ), REGEN_HINT
+
+
+def test_summaries_match_fixture(results):
+    got = "".join(results[n].summary + "\n" for n in obs_demo.SCENARIOS)
+    assert got == _fixture("summaries.txt"), REGEN_HINT
+
+
+@pytest.mark.parametrize("scenario", obs_demo.SCENARIOS)
+def test_trace_fixture_is_valid_chrome_trace(scenario):
+    """The committed artifact itself must load in chrome://tracing."""
+    trace = json.loads(_fixture(f"{scenario}_trace.json"))
+    events = trace["traceEvents"]
+    assert trace["displayTimeUnit"] == "ms"
+    cats = {e.get("cat") for e in events}
+    assert "collective" in cats
+    assert "transfer" in cats
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete, "no complete spans in fixture"
+    for event in complete:
+        assert event["dur"] >= 0
+        assert event["ts"] >= 0
+
+
+@pytest.mark.parametrize("scenario", obs_demo.SCENARIOS)
+def test_metrics_fixture_parses(scenario):
+    metrics = json.loads(_fixture(f"{scenario}_metrics.json"))
+    assert metrics, "empty metrics fixture"
+    for name, entry in metrics.items():
+        assert entry["kind"] in ("counter", "gauge", "histogram"), name
+
+
+def test_serial_and_parallel_sweeps_are_byte_identical():
+    """jobs=1 and jobs=4 regeneration both reproduce the fixtures."""
+    points = [
+        SweepPoint(obs_demo.run, kwargs={"scenario": name}, label=name)
+        for name in obs_demo.SCENARIOS
+    ]
+    serial = run_sweep(points, jobs=1)
+    pooled = run_sweep(points, jobs=4)
+    for name, one, four in zip(obs_demo.SCENARIOS, serial, pooled):
+        assert one.metrics_json == four.metrics_json, name
+        assert one.trace_json == four.trace_json, name
+        assert one.summary == four.summary, name
+        assert one.metrics_json == _fixture(f"{name}_metrics.json"), (
+            name, REGEN_HINT)
+        assert one.trace_json == _fixture(f"{name}_trace.json"), (
+            name, REGEN_HINT)

@@ -1,0 +1,100 @@
+"""The single percentile convention and the SLO summary built on it."""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.metrics import SloSummary, percentile, summarize_slo
+from repro.metrics.cct import summarize_ccts
+
+
+class TestPercentileConvention:
+    def test_endpoints_are_min_and_max(self):
+        xs = [5.0, 1.0, 3.0]
+        assert percentile(xs, 0) == 1.0
+        assert percentile(xs, 100) == 5.0
+
+    def test_singleton_sample_is_constant(self):
+        for q in (0, 37, 50, 99, 100):
+            assert percentile([7.5], q) == 7.5
+
+    def test_even_sample_median_interpolates(self):
+        # rank = 0.5 * (4 - 1) = 1.5 -> halfway between the middle two.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_matches_statistics_median(self):
+        xs = [0.4, 0.1, 0.9, 0.3, 0.6, 0.2]
+        assert percentile(xs, 50) == pytest.approx(statistics.median(xs))
+
+    def test_p99_of_101_uniform_samples(self):
+        # rank = 0.99 * 100 = 99 exactly -> the 100th order statistic.
+        xs = [i / 100 for i in range(101)]
+        assert percentile(xs, 99) == pytest.approx(0.99)
+
+    def test_interpolation_between_ranks(self):
+        # n=5: rank = 0.9 * 4 = 3.6 -> 0.6 of the way from xs[3] to xs[4].
+        xs = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(xs, 90) == pytest.approx(46.0)
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_matches_numpy_linear_method(self):
+        rng = np.random.default_rng(42)
+        xs = rng.exponential(1.0, size=137).tolist()
+        for q in (0, 1, 25, 50, 75, 99, 100):
+            assert percentile(xs, q) == pytest.approx(
+                float(np.percentile(xs, q)), rel=1e-12
+            )
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+    def test_cct_stats_use_the_same_convention(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        stats = summarize_ccts(xs)
+        assert stats.p50_s == percentile(xs, 50)
+        assert stats.p99_s == percentile(xs, 99)
+
+
+class TestSummarizeSlo:
+    def test_basic_roll_up(self):
+        row = summarize_slo(
+            "train",
+            ccts=[1e-3, 2e-3, 3e-3, 4e-3],
+            queue_delays=[0.0, 1e-4, 2e-4, 3e-4],
+            rejected=1,
+            delivered_bytes=10**6,
+            span_s=0.5,
+        )
+        assert isinstance(row, SloSummary)
+        assert row.submitted == 5
+        assert row.completed == 4
+        assert row.reject_rate == pytest.approx(0.2)
+        assert row.p99_queue_s == percentile([0.0, 1e-4, 2e-4, 3e-4], 99)
+        assert row.goodput_bps == pytest.approx(10**6 * 8 / 0.5)
+
+    def test_no_completions(self):
+        row = summarize_slo("t", [], [], rejected=3,
+                            delivered_bytes=0, span_s=1.0)
+        assert row.completed == 0
+        assert row.reject_rate == 1.0
+        assert row.p99_queue_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize_slo("t", [1.0], [], 0, 0, 1.0)  # length mismatch
+        with pytest.raises(ValueError):
+            summarize_slo("t", [], [], -1, 0, 1.0)  # negative rejects
+        with pytest.raises(ValueError):
+            summarize_slo("t", [], [], 0, 0, 0.0)  # non-positive span
+        with pytest.raises(ValueError):
+            summarize_slo("t", [1.0], [-1e-6], 0, 0, 1.0)  # negative delay

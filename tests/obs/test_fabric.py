@@ -1,0 +1,141 @@
+"""Observability wired onto live simulations: spans, sampling, folding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import run_broadcast_scenario
+from repro.experiments.common import sim_config
+from repro.faults import FaultSchedule
+from repro.obs import DETAIL_LEVELS, Observability, nesting_violations
+from repro.topology import LeafSpine
+from repro.workloads import generate_jobs
+
+KB = 1024
+
+
+def _run(detail="segment", sample_interval_s=50e-6, num_jobs=2):
+    topo = LeafSpine(2, 4, 2)
+    cfg = sim_config(256 * KB, seed=3)
+    jobs = generate_jobs(
+        topo, num_jobs, 6, 256 * KB, offered_load=0.4, gpus_per_host=1, seed=3
+    )
+    obs = Observability(sample_interval_s=sample_interval_s, detail=detail)
+    result = run_broadcast_scenario(topo, "peel", jobs, cfg, obs=obs)
+    return obs, result
+
+
+class TestConstruction:
+    def test_validates_interval_and_detail(self):
+        with pytest.raises(ValueError):
+            Observability(sample_interval_s=0)
+        with pytest.raises(ValueError):
+            Observability(detail="packet")
+        assert set(DETAIL_LEVELS) == {"transfer", "segment"}
+
+    def test_attach_twice_raises(self):
+        obs, _ = _run(num_jobs=1)
+        with pytest.raises(RuntimeError):
+            obs.attach(obs.network)
+
+    def test_finalize_requires_attachment(self):
+        with pytest.raises(RuntimeError):
+            Observability().finalize()
+
+
+class TestIntegration:
+    def test_run_terminates_and_samples(self):
+        obs, result = _run()
+        assert result.ccts  # the run completed despite the sampler
+        assert obs.sampler.ticks > 0
+        # The sampler un-schedules itself once the fabric drains.
+        assert obs.network.sim.pending == 0
+
+    def test_span_tree_well_nested(self):
+        obs, _ = _run(detail="segment")
+        assert nesting_violations(obs.tracer) == []
+        cats = {s.cat for s in obs.tracer.spans}
+        assert {"collective", "transfer", "layer", "segment"} <= cats
+
+    def test_transfer_spans_parented_to_collectives(self):
+        obs, result = _run()
+        spans = obs.tracer.spans
+        by_cat = {}
+        for s in spans:
+            by_cat.setdefault(s.cat, []).append(s)
+        assert len(by_cat["collective"]) == len(result.ccts)
+        for t in by_cat["transfer"]:
+            assert t.parent_id is not None
+            assert spans[t.parent_id].cat == "collective"
+
+    def test_detail_transfer_skips_segment_spans(self):
+        obs, _ = _run(detail="transfer")
+        assert not any(s.cat == "segment" for s in obs.tracer.spans)
+
+    def test_headline_counters_folded(self):
+        obs, result = _run()
+        reg = obs.registry
+        assert reg["fabric.bytes_sent"].value == result.total_bytes
+        assert reg["fabric.copies.injected"].value > 0
+        assert reg["collective.cct_s"].total == len(result.ccts)
+        assert reg["transfer.duration_s"].total > 0
+        util = [n for n in reg.names() if n.startswith("link.utilization.")]
+        assert util, "no per-tier utilization histograms"
+
+    def test_finalize_idempotent(self):
+        obs, _ = _run(num_jobs=1)
+        before = obs.metrics_json()
+        obs.finalize()
+        assert obs.metrics_json() == before
+
+    def test_trace_json_loads_in_chrome_format(self):
+        obs, _ = _run(num_jobs=1)
+        trace = json.loads(obs.trace_json())
+        assert {e["ph"] for e in trace["traceEvents"]} >= {"M", "X", "C"}
+
+    def test_fault_run_records_link_events(self):
+        topo = LeafSpine(2, 4, 2)
+        cfg = sim_config(256 * KB, seed=4)
+        jobs = generate_jobs(topo, 1, 8, 256 * KB, gpus_per_host=1, seed=4)
+        arrival = jobs[0].arrival_s
+        host = jobs[0].group.source.host
+        tor = topo.tor_of(host)
+        schedule = (
+            FaultSchedule()
+            .link_down(host, tor, at_s=arrival + 10e-6)
+            .link_up(host, tor, at_s=arrival + 60e-6)
+        )
+        obs = Observability(sample_interval_s=50e-6)
+        run_broadcast_scenario(
+            topo, "peel", jobs, cfg, fault_schedule=schedule, obs=obs
+        )
+        assert obs.registry["fabric.link_down_events"].value == 1
+        assert obs.registry["fabric.link_up_events"].value == 1
+        instants = [
+            e for e in json.loads(obs.trace_json())["traceEvents"]
+            if e["ph"] == "i"
+        ]
+        assert any(e["name"].startswith("link-down") for e in instants)
+
+    def test_summary_mentions_headline_numbers(self):
+        obs, _ = _run(num_jobs=1)
+        text = obs.summary()
+        assert "spans" in text and "MiB sent" in text
+
+    def test_save_exports(self, tmp_path):
+        obs, _ = _run(num_jobs=1)
+        obs.save_trace(tmp_path / "t.json")
+        obs.save_metrics(tmp_path / "m.json")
+        json.loads((tmp_path / "t.json").read_text())
+        json.loads((tmp_path / "m.json").read_text())
+
+
+class TestDisabledMode:
+    def test_unobserved_network_registers_nothing(self):
+        from repro.collectives import CollectiveEnv
+
+        env = CollectiveEnv(LeafSpine(2, 2, 2))
+        assert env.network.observers == []
+        assert env.run() == 0  # no sampler events were ever scheduled

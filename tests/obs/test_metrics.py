@@ -1,0 +1,212 @@
+"""Unit tests for the metrics primitives and the registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BYTES_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+        assert b.value == 4  # merge never mutates the source
+
+
+class TestGauge:
+    def test_last_mode_tracks_most_recent(self):
+        g = Gauge("q")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2
+        assert g.updates == 2
+
+    def test_max_and_min_modes(self):
+        hi, lo = Gauge("p", "max"), Gauge("f", "min")
+        for v in (3, 9, 1):
+            hi.set(v)
+            lo.set(v)
+        assert hi.value == 9
+        assert lo.value == 1
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Gauge("g", "avg")
+
+    def test_last_gauges_refuse_merge(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1)
+        b.set(2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_max_merge_takes_extremum(self):
+        a, b = Gauge("g", "max"), Gauge("g", "max")
+        a.set(3)
+        b.set(7)
+        a.merge(b)
+        assert a.value == 7
+        assert a.updates == 2
+
+    def test_merge_mode_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Gauge("g", "max").merge(Gauge("g", "min"))
+
+    def test_merging_empty_gauge_is_noop(self):
+        a = Gauge("g", "max")
+        a.set(3)
+        a.merge(Gauge("g", "max"))
+        assert a.value == 3
+        assert a.updates == 1
+
+
+class TestHistogram:
+    def test_bounds_must_be_strictly_increasing_finite_nonempty(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", [2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, float("inf")])
+
+    def test_bucketing_boundaries_inclusive_upper(self):
+        h = Histogram("h", [1.0, 10.0])
+        for v in (0.0, 1.0, 1.5, 10.0, 11.0):
+            h.observe(v)
+        # value <= bound lands in that bucket; above the top -> overflow.
+        assert h.counts == [2, 2, 1]
+        assert h.total == 5
+        assert h.min == 0.0
+        assert h.max == 11.0
+        assert h.mean == pytest.approx((0 + 1 + 1.5 + 10 + 11) / 5)
+
+    def test_merge_requires_equal_bounds(self):
+        a = Histogram("h", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            a.merge(Histogram("h", [1.0, 3.0]))
+
+    def test_merge_adds_bucketwise_and_tracks_extrema(self):
+        a, b = Histogram("h", [1.0, 2.0]), Histogram("h", [1.0, 2.0])
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(99.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.total == 3
+        assert a.min == 0.5
+        assert a.max == 99.0
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        h = Histogram("h", [1.0, 2.0, 4.0])
+        for v in (0.5, 0.5, 1.5, 3.0):
+            h.observe(v)
+        # rank = q * (total - 1): q=0.5 -> rank 1.5, still in the <=1 bucket.
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.75) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_overflow_bucket_uses_max(self):
+        h = Histogram("h", [1.0])
+        h.observe(50.0)
+        assert h.quantile(0.5) == 50.0
+
+    def test_quantile_validation_and_empty(self):
+        h = Histogram("h", [1.0])
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b", "max") is reg.gauge("b", "max")
+        assert reg.histogram("c", [1.0]) is reg.histogram("c", [1.0])
+        assert len(reg) == 3
+        assert reg.names() == ["a", "b", "c"]
+        assert "a" in reg and "z" not in reg
+
+    def test_kind_and_shape_conflicts_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("g", "max")
+        reg.histogram("h", [1.0])
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a", [1.0])
+        with pytest.raises(ValueError):
+            reg.gauge("g", "min")
+        with pytest.raises(ValueError):
+            reg.histogram("h", [2.0])
+
+    def test_merge_folds_and_adopts_without_aliasing(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("shared").inc(1)
+        b.counter("shared").inc(2)
+        b.counter("theirs").inc(5)
+        b.histogram("h", BYTES_BOUNDS).observe(4096)
+        a.merge(b)
+        assert a["shared"].value == 3
+        assert a["theirs"].value == 5
+        assert a["h"].total == 1
+        # Adopted metrics are copies: mutating the source must not leak.
+        b.counter("theirs").inc(100)
+        assert a["theirs"].value == 5
+
+    def test_merge_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x", "max").set(1)
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_to_json_is_deterministic_and_parseable(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z.late").inc(2)
+            reg.counter("a.early").inc(1)
+            reg.histogram("h", [1.0, 2.0]).observe(1.5)
+            reg.gauge("g", "max").set(9)
+            return reg
+
+        one, two = build().to_json(), build().to_json()
+        assert one == two
+        assert one.endswith("\n")
+        snapshot = json.loads(one)
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["h"]["counts"] == [0, 1, 0]
+
+    def test_save_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        path = tmp_path / "metrics.json"
+        reg.save(path)
+        assert json.loads(path.read_text())["c"]["value"] == 7

@@ -1,0 +1,153 @@
+"""Unit tests for span recording and the Chrome-trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import SpanTracer, nesting_violations
+
+
+class TestRecording:
+    def test_begin_end_lifecycle(self):
+        tr = SpanTracer()
+        s = tr.begin("outer", 1.0, track="t", cat="c", note="hi")
+        assert tr.open_spans == [s]
+        closed = tr.end(s, 3.0)
+        assert closed is s
+        assert s.duration_s == 2.0
+        assert tr.open_spans == []
+
+    def test_end_by_id_and_unknown_id(self):
+        tr = SpanTracer()
+        s = tr.begin("a", 0.0)
+        tr.end(s.span_id, 1.0)
+        with pytest.raises(KeyError):
+            tr.end(s.span_id, 2.0)
+
+    def test_end_before_start_rejected(self):
+        tr = SpanTracer()
+        s = tr.begin("a", 5.0)
+        with pytest.raises(ValueError):
+            tr.end(s, 4.0)
+
+    def test_duration_of_open_span_raises(self):
+        tr = SpanTracer()
+        s = tr.begin("a", 0.0)
+        with pytest.raises(RuntimeError):
+            s.duration_s
+
+    def test_add_retroactive_and_validation(self):
+        tr = SpanTracer()
+        s = tr.add("done", 1.0, 2.0)
+        assert s.end_s == 2.0
+        with pytest.raises(ValueError):
+            tr.add("bad", 2.0, 1.0)
+
+    def test_parent_by_span_or_id(self):
+        tr = SpanTracer()
+        p = tr.add("p", 0.0, 10.0)
+        a = tr.add("a", 1.0, 2.0, parent=p)
+        b = tr.add("b", 3.0, 4.0, parent=p.span_id)
+        assert a.parent_id == p.span_id == b.parent_id
+
+    def test_close_all_closes_in_id_order(self):
+        tr = SpanTracer()
+        tr.begin("a", 0.0)
+        tr.begin("b", 1.0)
+        assert tr.close_all(5.0) == 2
+        assert tr.open_spans == []
+        assert all(s.end_s == 5.0 for s in tr.spans)
+
+
+class TestChromeExport:
+    def test_export_refuses_open_spans(self):
+        tr = SpanTracer()
+        tr.begin("open", 0.0)
+        with pytest.raises(RuntimeError):
+            tr.to_chrome_trace()
+
+    def test_complete_event_shape(self):
+        tr = SpanTracer("myproc")
+        p = tr.add("p", 0.0, 1e-3, track="collectives", cat="collective")
+        tr.add("c", 1e-4, 2e-4, track="transfers", cat="transfer", parent=p)
+        trace = tr.to_chrome_trace()
+        events = trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {m["name"] for m in meta}
+        assert meta[0]["args"]["name"] == "myproc"
+        spans = [e for e in events if e["ph"] == "X"]
+        assert [s["name"] for s in spans] == ["p", "c"]
+        child = spans[1]
+        assert child["ts"] == pytest.approx(100.0)  # seconds -> microseconds
+        assert child["dur"] == pytest.approx(100.0)
+        assert child["args"]["parent"] == "p"
+        # Distinct tracks map to distinct tids.
+        assert spans[0]["tid"] != child["tid"]
+
+    def test_counters_and_instants(self):
+        tr = SpanTracer()
+        tr.sample("queue", 1e-6, 42.0)
+        tr.instant("link-down", 2e-6, track="fabric")
+        events = tr.to_chrome_trace()["traceEvents"]
+        counter = next(e for e in events if e["ph"] == "C")
+        instant = next(e for e in events if e["ph"] == "i")
+        assert counter["args"]["value"] == 42.0
+        assert instant["s"] == "p"
+
+    def test_events_sorted_by_ts_then_recording_order(self):
+        tr = SpanTracer()
+        tr.add("late", 5e-6, 6e-6)
+        tr.add("early", 1e-6, 2e-6)
+        tr.add("tie-a", 3e-6, 4e-6)
+        tr.add("tie-b", 3e-6, 4e-6)
+        names = [
+            e["name"] for e in tr.to_chrome_trace()["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert names == ["early", "tie-a", "tie-b", "late"]
+
+    def test_to_json_deterministic_and_loads(self):
+        def build():
+            tr = SpanTracer()
+            tr.add("a", 0.0, 1.0, track="x")
+            tr.sample("s", 0.5, 1.0)
+            return tr.to_json()
+
+        assert build() == build()
+        json.loads(build())
+
+    def test_save(self, tmp_path):
+        tr = SpanTracer()
+        tr.add("a", 0.0, 1.0)
+        path = tmp_path / "trace.json"
+        tr.save(path)
+        loaded = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in loaded["traceEvents"])
+
+
+class TestNestingViolations:
+    def test_clean_tree_has_no_violations(self):
+        tr = SpanTracer()
+        p = tr.add("p", 0.0, 10.0)
+        c = tr.add("c", 1.0, 9.0, parent=p)
+        tr.add("g", 2.0, 8.0, parent=c)
+        assert nesting_violations(tr) == []
+
+    def test_unclosed_span_reported(self):
+        tr = SpanTracer()
+        tr.begin("open", 0.0)
+        assert any("never closed" in p for p in nesting_violations(tr))
+
+    def test_child_escaping_parent_reported(self):
+        tr = SpanTracer()
+        p = tr.add("p", 1.0, 2.0)
+        tr.add("c", 0.5, 1.5, parent=p)
+        assert any("escapes parent" in p for p in nesting_violations(tr))
+
+    def test_dangling_parent_reported(self):
+        tr = SpanTracer()
+        tr.add("c", 0.0, 1.0, parent=99)
+        assert any("dangling" in p for p in nesting_violations(tr))

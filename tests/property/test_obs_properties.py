@@ -1,0 +1,156 @@
+"""Property-based tests for the observability primitives.
+
+Pins the two algebraic guarantees the sweep executor relies on — histogram
+merge is associative/commutative and conserves the sample count, so
+folding per-point registries in any grouping or order yields the same
+aggregate — and the structural guarantee the trace viewer relies on: span
+trees built through the tracer API are always well-nested.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import Histogram, MetricsRegistry, SpanTracer, nesting_violations
+
+
+def assert_equivalent(a: Histogram, b: Histogram) -> None:
+    """Structural equality up to float-summation order: bucket counts and
+    extrema must match exactly; ``sum`` only to relative tolerance, since
+    float addition is not associative."""
+    da, db = a.to_dict(), b.to_dict()
+    sa, sb = da.pop("sum"), db.pop("sum")
+    assert da == db
+    assert math.isclose(sa, sb, rel_tol=1e-9, abs_tol=1e-9)
+
+#: Strictly increasing finite bucket bounds.
+bounds_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+    unique=True,
+).map(sorted)
+
+samples_strategy = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    max_size=40,
+)
+
+
+def _hist(bounds, samples) -> Histogram:
+    h = Histogram("h", bounds)
+    for v in samples:
+        h.observe(v)
+    return h
+
+
+class TestHistogramMergeAlgebra:
+    @given(bounds_strategy, samples_strategy, samples_strategy)
+    def test_commutative(self, bounds, xs, ys):
+        ab = _hist(bounds, xs)
+        ab.merge(_hist(bounds, ys))
+        ba = _hist(bounds, ys)
+        ba.merge(_hist(bounds, xs))
+        assert ab.to_dict() == ba.to_dict()
+
+    @given(bounds_strategy, samples_strategy, samples_strategy, samples_strategy)
+    def test_associative(self, bounds, xs, ys, zs):
+        left = _hist(bounds, xs)
+        left.merge(_hist(bounds, ys))
+        left.merge(_hist(bounds, zs))
+
+        inner = _hist(bounds, ys)
+        inner.merge(_hist(bounds, zs))
+        right = _hist(bounds, xs)
+        right.merge(inner)
+        assert_equivalent(left, right)
+
+    @given(bounds_strategy, samples_strategy, samples_strategy)
+    def test_merge_conserves_sample_count(self, bounds, xs, ys):
+        merged = _hist(bounds, xs)
+        merged.merge(_hist(bounds, ys))
+        assert merged.total == len(xs) + len(ys)
+        assert sum(merged.counts) == merged.total
+
+    @given(bounds_strategy, samples_strategy, samples_strategy)
+    def test_merge_equals_observing_the_union(self, bounds, xs, ys):
+        merged = _hist(bounds, xs)
+        merged.merge(_hist(bounds, ys))
+        assert_equivalent(merged, _hist(bounds, xs + ys))
+
+    @given(bounds_strategy, samples_strategy)
+    def test_every_sample_lands_in_its_bucket(self, bounds, xs):
+        h = _hist(bounds, xs)
+        # Cumulative counts at bound i == samples <= bounds[i].
+        seen = 0
+        for i, bound in enumerate(h.bounds):
+            seen += h.counts[i]
+            assert seen == sum(1 for x in xs if x <= bound)
+
+
+class TestRegistryMerge:
+    @given(samples_strategy, samples_strategy,
+           st.integers(0, 100), st.integers(0, 100))
+    def test_registry_merge_matches_per_metric_merge(self, xs, ys, ca, cb):
+        def build(samples, count):
+            reg = MetricsRegistry()
+            reg.counter("c").inc(count)
+            h = reg.histogram("h", (0.0, 1.0))
+            for v in samples:
+                h.observe(v)
+            reg.gauge("g", "max").set(count)
+            return reg
+
+        merged = build(xs, ca).merge(build(ys, cb))
+        assert merged["c"].value == ca + cb
+        assert merged["h"].total == len(xs) + len(ys)
+        assert merged["g"].value == max(ca, cb)
+
+
+#: A recursive program of nested spans: each node is (duration fractions of
+#: children placed inside the parent interval).
+span_tree = st.recursive(
+    st.just([]),
+    lambda kids: st.lists(kids, max_size=3),
+    max_leaves=12,
+)
+
+
+class TestSpanNesting:
+    @given(span_tree, st.floats(min_value=1e-6, max_value=10.0))
+    def test_api_built_trees_are_well_nested(self, tree, scale):
+        tracer = SpanTracer()
+
+        def emit(children, start, end, parent=None):
+            span = tracer.add(
+                f"s{len(tracer.spans)}", start, end, parent=parent
+            )
+            n = len(children)
+            for i, grandkids in enumerate(children):
+                # Children split the parent interval into disjoint slots
+                # (clamped: float rounding can overshoot the parent end).
+                lo = min(max(start + (end - start) * i / n, start), end)
+                hi = min(max(start + (end - start) * (i + 1) / n, lo), end)
+                emit(grandkids, lo, hi, parent=span)
+
+        emit(tree, 0.0, scale)
+        assert nesting_violations(tracer) == []
+        trace = tracer.to_chrome_trace()
+        assert len([e for e in trace["traceEvents"] if e["ph"] == "X"]) == len(
+            tracer.spans
+        )
+
+    @given(st.lists(st.floats(min_value=0, max_value=1.0), max_size=20),
+           st.floats(min_value=1.0, max_value=2.0))
+    def test_close_all_leaves_no_open_spans(self, starts, horizon):
+        tracer = SpanTracer()
+        for i, t in enumerate(starts):
+            tracer.begin(f"s{i}", t)
+        tracer.close_all(horizon)
+        assert tracer.open_spans == []
+        assert nesting_violations(tracer) == []

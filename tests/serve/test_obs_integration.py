@@ -1,0 +1,75 @@
+"""ServeRuntime wired to the observability layer: snapshots + SLO metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import sim_config
+from repro.obs import Observability
+from repro.serve import ServeRuntime, TcamAdmission
+from repro.topology import LeafSpine
+from repro.workloads import TenantSpec, generate_tenant_jobs
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def served():
+    topo = LeafSpine(2, 4, 2)
+    tenants = [
+        TenantSpec("train", num_jobs=4, num_gpus=6, message_bytes=128 * KB,
+                   offered_load=0.5),
+        TenantSpec("infer", num_jobs=6, num_gpus=4, message_bytes=64 * KB,
+                   offered_load=0.5),
+    ]
+    jobs = generate_tenant_jobs(topo, tenants, gpus_per_host=1, seed=11)
+    obs = Observability(sample_interval_s=50e-6)
+    runtime = ServeRuntime(
+        topo, "ip-multicast", sim_config(128 * KB, seed=11),
+        admission=TcamAdmission(), tcam_capacity=16, obs=obs,
+    )
+    runtime.submit_all(jobs)
+    runtime.run()
+    report = runtime.report()
+    return runtime, obs, report
+
+
+class TestServeObservability:
+    def test_periodic_snapshots_recorded(self, served):
+        runtime, obs, _ = served
+        assert runtime.obs_snapshots
+        snap = runtime.obs_snapshots[0]
+        assert {"t_s", "queue_len", "running",
+                "peak_tcam_entries", "outstanding_links"} <= set(snap)
+        times = [s["t_s"] for s in runtime.obs_snapshots]
+        assert times == sorted(times)
+
+    def test_per_tenant_slo_histograms(self, served):
+        _, obs, _ = served
+        reg = obs.registry
+        for tenant in ("train", "infer"):
+            cct = reg[f"serve.cct_s.{tenant}"]
+            assert cct.total == reg[f"serve.completed.{tenant}"].value
+            assert cct.total > 0
+            assert reg[f"serve.queue_delay_s.{tenant}"].total == cct.total
+
+    def test_admission_and_cache_counters_folded_once(self, served):
+        runtime, obs, _ = served
+        reg = obs.registry
+        assert "plan_cache.hits" in reg
+        assert "serve.switch_updates" in reg
+        before = reg["plan_cache.hits"].value
+        runtime.report()  # second report must not double-count
+        assert reg["plan_cache.hits"].value == before
+
+    def test_running_returns_to_zero(self, served):
+        runtime, _, _ = served
+        assert runtime.running == 0
+
+    def test_collective_spans_labelled_by_tenant(self, served):
+        _, obs, _ = served
+        labels = [s.name for s in obs.tracer.spans if s.cat == "collective"]
+        assert labels
+        assert all("/" in label for label in labels)
+        tenants = {label.split("/")[0] for label in labels}
+        assert tenants == {"train", "infer"}

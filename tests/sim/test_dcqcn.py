@@ -132,3 +132,103 @@ class TestByteCounter:
         snd.on_congestion_notification()
         snd.on_bytes_sent(900_000)  # must NOT trigger (counter was reset)
         assert snd.stage == 0
+
+    def test_disabled_or_stopped_ignores_bytes(self):
+        sim, snd = make_sender(enabled=False)
+        snd.on_bytes_sent(10_000_000)
+        assert snd.stage == 0
+        sim, snd = make_sender(byte_counter_bytes=1_000_000)
+        snd.on_congestion_notification()
+        snd.stop()
+        snd.on_bytes_sent(5_000_000)
+        assert snd.stage == 0
+
+    def test_partial_bytes_accumulate_across_calls(self):
+        sim, snd = make_sender(byte_counter_bytes=1_000_000)
+        snd.on_congestion_notification()
+        snd.on_bytes_sent(600_000)
+        assert snd.stage == 0
+        snd.on_bytes_sent(600_000)  # 1.2 MB total -> exactly one step
+        assert snd.stage == 1
+
+
+class TestIncreaseStages:
+    def test_fast_recovery_halves_toward_unchanged_target(self):
+        sim, snd = make_sender()
+        snd.on_congestion_notification()
+        target = snd.target_rate_bps
+        for _ in range(snd.cfg.fast_recovery_steps):
+            snd._increase_step()
+        # Fast recovery converges on the pre-cut rate without raising it.
+        assert snd.target_rate_bps == target
+        assert snd.rate_bps < target
+
+    def test_additive_then_hyper_increase(self):
+        sim, snd = make_sender(min_rate_bps=1e9)
+        snd.rate_bps = snd.target_rate_bps = 1e9  # deep cut, far from line
+        steps = snd.cfg.fast_recovery_steps
+        for _ in range(steps):
+            snd._increase_step()
+        target = snd.target_rate_bps
+        snd._increase_step()  # first additive-increase step
+        assert snd.target_rate_bps == target + snd.cfg.rate_ai_bps
+        while snd.stage < 2 * steps:
+            snd._increase_step()
+        target = snd.target_rate_bps
+        snd._increase_step()  # first hyper-increase step
+        assert snd.target_rate_bps == min(target + snd.cfg.rate_hai_bps, LINE)
+
+    def test_target_and_rate_clamped_at_line_rate(self):
+        sim, snd = make_sender()
+        snd.rate_bps = snd.target_rate_bps = 0.99 * LINE
+        for _ in range(100):
+            snd._increase_step()
+        assert snd.target_rate_bps == LINE
+        assert snd.rate_bps <= LINE
+
+    def test_cnp_mid_recovery_resets_stage_and_retargets(self):
+        sim, snd = make_sender(guard_timer_s=0.0)
+        snd.on_congestion_notification()
+        sim.run(until=snd.cfg.increase_timer_s * 2.5)  # a few timer steps
+        assert snd.stage > 0
+        recovered = snd.rate_bps
+        snd.on_congestion_notification()
+        assert snd.stage == 0
+        # The new target is the rate the flow had just recovered to.
+        assert snd.target_rate_bps == pytest.approx(recovered)
+
+    def test_alpha_grows_toward_one_under_sustained_cnps(self):
+        sim, snd = make_sender(guard_timer_s=0.0, alpha_init=0.5)
+        alphas = []
+        for _ in range(10):
+            snd.on_congestion_notification()
+            alphas.append(snd.alpha)
+        assert alphas == sorted(alphas)
+        assert all(a <= 1.0 for a in alphas)
+
+    def test_recovery_from_min_rate_floor(self):
+        sim, snd = make_sender(guard_timer_s=0.0)
+        for _ in range(200):
+            snd.on_congestion_notification()
+        assert snd.rate_bps == snd.cfg.min_rate_bps
+        sim.run(until=1.0)
+        assert snd.rate_bps == pytest.approx(LINE)
+        assert sim.pending == 0
+
+
+class TestGuardTimerBoundary:
+    def test_reaction_exactly_at_window_edge(self):
+        sim, snd = make_sender(guard_timer_s=50e-6)
+        snd.on_congestion_notification()
+        sim.schedule(50e-6, snd.on_congestion_notification)
+        sim.run(until=60e-6)
+        # `now - last < guard` is strict: the edge CNP reacts.
+        assert snd.reactions == 2
+
+    def test_reaction_just_inside_window_suppressed(self):
+        sim, snd = make_sender(guard_timer_s=50e-6)
+        snd.on_congestion_notification()
+        sim.schedule(49e-6, snd.on_congestion_notification)
+        sim.run(until=60e-6)
+        assert snd.reactions == 1
+        assert snd.notifications == 2

@@ -105,3 +105,108 @@ class TestRepairPath:
         t2.start()
         net.sim.run(until=5.0)
         assert t1.complete and t2.complete
+
+
+def tracked_net(**kwargs):
+    """A loss-free fabric with segment tracking on (fault-tolerant mode),
+    so transient drops exercise the repair machinery deterministically."""
+    ls = LeafSpine(2, 4, 4)
+    cfg = SimConfig(segment_bytes=65536, **kwargs)
+    net = Network(ls, cfg)
+    net.fault_tolerant = True
+    return ls, net
+
+
+def single_receiver(ls, net, msg=MSG):
+    src, dst = ls.hosts[0], ls.hosts[-1]
+    tree = optimal_symmetric_tree(ls, src, [dst])
+    t = Transfer(net, "t", src, msg, [tree])
+    return t, src, dst, tree
+
+
+class TestDeterministicRetransmit:
+    def test_armed_drop_triggers_exactly_one_repair_round(self):
+        ls, net = tracked_net()
+        t, src, dst, tree = single_receiver(ls, net)
+        path = tree.path_from_root(dst)
+        net.drop_next_segments(path[-2], dst, count=1)
+        t.start()
+        net.sim.run(until=5.0)
+        assert t.complete
+        assert net.failure_drops == 1
+        assert t.retransmissions == 1
+        # The receiver deduped: exactly num_segments distinct arrivals.
+        assert t._delivered_count[dst] == t.num_segments
+
+    def test_drop_next_validation(self):
+        ls, net = tracked_net()
+        with pytest.raises(ValueError):
+            net.drop_next_segments(ls.hosts[0], ls.hosts[1])  # not a link
+        host = ls.hosts[0]
+        tor = ls.tor_of(host)
+        with pytest.raises(ValueError):
+            net.drop_next_segments(host, tor, count=0)
+
+    def test_repair_skipped_while_route_down(self):
+        """A laggard behind a failed link must not draw an unbounded
+        retransmission stream into the blackhole."""
+        ls, net = tracked_net(retransmit_timeout_s=100e-6)
+        t, src, dst, tree = single_receiver(ls, net)
+        path = tree.path_from_root(dst)
+        last_hop = (path[-2], dst)
+        net.drop_next_segments(*last_hop, count=1)
+        t.start()
+
+        def sever():
+            if not t.complete:
+                net.set_link_down(*last_hop)
+
+        net.sim.schedule(30e-6, sever)
+        net.sim.run(until=10e-3)
+        assert not t.complete
+        resent_while_down = t.retransmissions
+        # The repair loop parked itself instead of spinning every timeout.
+        assert resent_while_down <= 2
+        assert net.sim.pending == 0
+
+        net.set_link_up(*last_hop)
+        t.nudge()
+        net.sim.run(until=20e-3)
+        assert t.complete
+        assert t.retransmissions > 0
+
+    def test_repair_route_is_pruned_unicast_path(self):
+        ls, net = tracked_net()
+        t, src, dst, tree = single_receiver(ls, net)
+        route = t._repair_route(dst)
+        path = tree.path_from_root(dst)
+        assert route.root == src
+        assert sorted(route.edges) == sorted(zip(path, path[1:]))
+        assert t._repair_route("host:does-not-exist") is None
+
+    def test_repair_route_prefers_refined_tree(self):
+        ls = LeafSpine(2, 4, 4)
+        cfg = SimConfig(segment_bytes=65536)
+        net = Network(ls, cfg)
+        net.fault_tolerant = True
+        src = ls.hosts[0]
+        dests = [h for h in ls.hosts if h != src]
+        static = optimal_symmetric_tree(ls, src, dests)
+        refined = optimal_symmetric_tree(ls, src, dests)
+        t = Transfer(net, "t", src, MSG, [static], refined_tree=refined,
+                     refinement_ready_at=0.0)
+        route = t._repair_route(dests[0])
+        refined_path = refined.path_from_root(dests[0])
+        assert sorted(route.edges) == sorted(
+            zip(refined_path, refined_path[1:])
+        )
+
+    def test_nudge_is_noop_without_tracking(self):
+        ls = LeafSpine(2, 4, 4)
+        net = Network(ls, SimConfig(segment_bytes=65536))
+        t, *_ = single_receiver(ls, net)
+        t.start()
+        net.sim.run(until=5.0)
+        assert t.complete
+        t.nudge()  # complete + untracked: must not reschedule anything
+        assert net.sim.pending == 0

@@ -98,6 +98,33 @@ class TestMain:
         assert "hit%" in out
         assert "peel" in out
 
+    def test_obs_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "run.trace.json"
+        metrics = tmp_path / "run.metrics.json"
+        assert main(
+            ["obs", "--scenario", "headline",
+             "--trace-out", str(trace), "--metrics-out", str(metrics)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        loaded = json.load(trace.open())
+        cats = {e.get("cat") for e in loaded["traceEvents"]}
+        assert {"collective", "transfer"} <= cats
+        assert json.load(metrics.open())
+
+    def test_obs_sample_interval_and_detail_flags(self, capsys):
+        assert main(
+            ["obs", "--scenario", "fault", "--sample-interval", "2e-4",
+             "--detail", "transfer"]
+        ) == 0
+        assert "sampler ticks" in capsys.readouterr().out
+
+    def test_obs_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--scenario", "nope"])
+
     def test_serve_rejects_unknown_scheme(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--schemes", "ring"])
