@@ -9,8 +9,8 @@ Run:  python examples/failure_resilience.py
 
 import random
 
+from repro import ScenarioSpec, run
 from repro.core import layer_peeling_tree
-from repro.experiments import run_broadcast_scenario
 from repro.experiments.common import MB, paper_leafspine, sim_config
 from repro.steiner import exact_steiner_cost
 from repro.topology import fail_random_uplinks
@@ -49,7 +49,9 @@ def main() -> None:
                              gpus_per_host=1, seed=11)
         cells = []
         for scheme in ("tree", "ring", "peel"):
-            result = run_broadcast_scenario(fabric, scheme, jobs, cfg)
+            result = run(ScenarioSpec(
+                topology=fabric, scheme=scheme, jobs=tuple(jobs), config=cfg,
+            ))
             cells.append(f"{result.stats.mean_s * 1e3:>10.2f} ms mean")
         print(f"{pct:>7}%  " + "".join(f"{c:>18}" for c in cells))
 

@@ -9,7 +9,7 @@ Run:  python examples/training_job_broadcast.py [--gpus N] [--mb SIZE]
 
 import argparse
 
-from repro.experiments import run_broadcast_scenario
+from repro import ScenarioSpec, run
 from repro.experiments.common import MB, paper_fattree, sim_config
 from repro.workloads import generate_jobs
 
@@ -39,7 +39,9 @@ def main() -> None:
     print("-" * 54)
     baseline = None
     for scheme in SCHEMES:
-        result = run_broadcast_scenario(fabric, scheme, jobs, cfg)
+        result = run(ScenarioSpec(
+            topology=fabric, scheme=scheme, jobs=tuple(jobs), config=cfg,
+        ))
         if scheme == "optimal":
             baseline = result.stats.mean_s
         print(f"{scheme:<12}{result.stats.mean_s * 1e3:>15.2f}"

@@ -2,11 +2,11 @@
 
 Used to regenerate EXPERIMENTS.md's measured numbers:
     python scripts/run_all_experiments.py > experiments_results.txt
-    python scripts/run_all_experiments.py --jobs 8   # parallel sweeps
+    python scripts/run_all_experiments.py --workers 8   # parallel sweeps
 
-``--jobs N`` fans each simulation sweep's grid out over N worker
-processes (default: one per CPU); tables are byte-identical to a serial
-``--jobs 1`` run.
+``-j/--workers N`` fans each simulation sweep's grid out over N worker
+processes (default: one per CPU; ``--jobs`` is a hidden alias); tables
+are byte-identical to a serial ``--workers 1`` run.
 """
 
 import argparse
@@ -37,10 +37,12 @@ def section(title):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "-j", "--jobs", type=int, default=None, metavar="N",
+        "-j", "--workers", type=int, default=None, metavar="N",
         help="worker processes per sweep (default: one per CPU; 1 = serial)")
+    parser.add_argument(
+        "--jobs", type=int, dest="workers", help=argparse.SUPPRESS)
     args = parser.parse_args()
-    workers = resolve_jobs(args.jobs)
+    workers = resolve_jobs(args.workers)
     sweep = dict(
         jobs=workers,
         progress=stderr_progress() if workers > 1 else None,

@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Run the checkpoint/replay soak harness (wrapper over ``repro soak``).
+
+Each epoch runs a randomized scenario to a random cut point, snapshots it
+to disk, restores the snapshot, and requires the resumed run to match the
+uninterrupted one byte-for-byte with invariants clean.  Progress persists
+to ``--state-dir/soak.json`` after every epoch, so a killed run — SIGKILL
+included — resumes where it left off::
+
+    python scripts/soak.py --epochs 5 --state-dir /tmp/soak
+    kill -9 %1 && python scripts/soak.py --epochs 5 --state-dir /tmp/soak
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["soak", *sys.argv[1:]]))

@@ -14,14 +14,29 @@ Typical entry points:
 >>> plan.num_prefixes
 1
 
+Scenarios run through one facade: build a
+:class:`~repro.api.ScenarioSpec`, call :func:`repro.api.run`:
+
+>>> from repro import ScenarioSpec, run
+>>> result = run(ScenarioSpec(topology=fabric, scheme="peel", jobs=jobs))
+
 Subpackages: :mod:`repro.topology` (fabrics), :mod:`repro.steiner`
 (tree oracles), :mod:`repro.core` (PEEL itself), :mod:`repro.state`
 (switch-state models), :mod:`repro.sim` (event simulator),
 :mod:`repro.collectives` (broadcast schemes), :mod:`repro.workloads`,
-:mod:`repro.metrics`, :mod:`repro.obs` (metrics registry + span
+:mod:`repro.metrics`, :mod:`repro.api` (scenario facade),
+:mod:`repro.replay` (checkpoint/replay + soak), :mod:`repro.serve`
+(multi-tenant serving), :mod:`repro.obs` (metrics registry + span
 tracing/timeline export) and :mod:`repro.experiments` (paper figures).
 """
 
+from .api import (
+    ReplayInfo,
+    ScenarioResult,
+    ScenarioRun,
+    ScenarioSpec,
+    run,
+)
 from .collectives import (
     BroadcastScheme,
     CollectiveEnv,
@@ -35,8 +50,16 @@ from .core import (
     layer_peeling_tree,
     optimal_symmetric_tree,
 )
-from .faults import FaultEvent, FaultInjector, FaultSchedule
+from .faults import FaultEvent, FaultInjector, FaultSchedule, Repeel
 from .obs import MetricsRegistry, Observability, SpanTracer
+from .replay import (
+    Snapshot,
+    SnapshotError,
+    SoakConfig,
+    SoakRunner,
+    verify_scenario_replay,
+)
+from .serve import ServeReport, ServeRuntime
 from .sim import (
     FabricObserver,
     InvariantChecker,
@@ -53,6 +76,11 @@ from .topology import FatTree, LeafSpine, Topology, asymmetric
 __version__ = "1.0.0"
 
 __all__ = [
+    "ScenarioSpec",
+    "ScenarioResult",
+    "ScenarioRun",
+    "ReplayInfo",
+    "run",
     "BroadcastScheme",
     "CollectiveEnv",
     "Gpu",
@@ -65,6 +93,14 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultSchedule",
+    "Repeel",
+    "Snapshot",
+    "SnapshotError",
+    "SoakConfig",
+    "SoakRunner",
+    "verify_scenario_replay",
+    "ServeReport",
+    "ServeRuntime",
     "MetricsRegistry",
     "Observability",
     "SpanTracer",

@@ -1,0 +1,296 @@
+"""Unified scenario facade: one spec object, one ``run()`` call.
+
+Every way of running a scenario in this repo — the figure scripts, the
+CLI subcommands, the observability demo, the soak harness — used to funnel
+through ``run_broadcast_scenario(...)`` and its nine positional-ish
+keywords.  This module replaces that with a small, typed surface:
+
+* :class:`ScenarioSpec` — a frozen description of *what* to run: fabric,
+  scheme, jobs, simulator config, and the optional correctness tooling
+  (invariants, fault schedule, golden trace, observability).
+* :func:`run` — ``run(spec) -> ScenarioResult``, the one-call entry point.
+  Byte-identical to the legacy runner for the same inputs (the legacy
+  function is now a deprecation shim over this one).
+* :class:`ScenarioRun` — the launched-but-unfinished middle state, exposed
+  because it is the checkpoint seam: ``prepare -> run_until -> snapshot``
+  lets :mod:`repro.replay` freeze a scenario mid-flight and resume it in
+  another process (see DESIGN.md "Checkpoint/replay").
+
+>>> from repro.api import ScenarioSpec, run
+>>> spec = ScenarioSpec(topology=fabric, scheme="peel", jobs=jobs)
+>>> result = run(spec)
+>>> result.stats.p99
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .collectives import BroadcastScheme, CollectiveEnv, scheme_by_name
+from .faults import FaultSchedule, Repeel
+from .metrics import CctStats, summarize_ccts
+from .sim import SimConfig, Violation
+from .topology import Topology
+from .workloads import CollectiveJob
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .obs import Observability
+    from .replay import Snapshot
+
+__all__ = [
+    "MIN_SEGMENT_BYTES",
+    "ReplayInfo",
+    "ScenarioResult",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "run",
+    "segment_bytes_for",
+]
+
+#: Below one MTU the simulator cannot segment (store-and-forward floor).
+MIN_SEGMENT_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything one scenario run needs, as a frozen value.
+
+    The spec itself is immutable (safe to share, hash by identity, stash in
+    sweep points); the attached objects are *used*, not copied — except the
+    topology, which is copied per-run whenever a ``fault_schedule`` is set,
+    because dynamic faults mutate the planning graph.
+
+    ``scheme`` takes a :class:`~repro.collectives.BroadcastScheme` instance
+    or a registry name (``"peel"``, ``"orca"``, ... — see
+    :func:`repro.collectives.scheme_by_name`).
+
+    ``event_digest`` additionally folds every fired simulator event into a
+    rolling :class:`~repro.sim.engine.EventDigest` — the replay tests use
+    it to prove a resumed run is event-for-event identical; it never
+    changes behaviour, only observes it.
+    """
+
+    topology: Topology
+    scheme: BroadcastScheme | str
+    jobs: tuple[CollectiveJob, ...]
+    config: SimConfig | None = None
+    max_events: int | None = None
+    check_invariants: bool = False
+    fault_schedule: FaultSchedule | None = None
+    record_trace: bool = False
+    keep_trace_events: bool = False
+    obs: "Observability | None" = None
+    event_digest: bool = False
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of jobs; store the canonical tuple.
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+
+    @property
+    def scheme_name(self) -> str:
+        """The scheme's registry name, whether given as object or string."""
+        if isinstance(self.scheme, str):
+            return self.scheme
+        return self.scheme.name
+
+
+@dataclass(frozen=True)
+class ReplayInfo:
+    """How a result was produced, checkpoint-wise.
+
+    Attached to every :class:`ScenarioResult`: ``resumed`` is False for a
+    straight-through run; after a :class:`~repro.replay.Snapshot` restore
+    it records where the run picked back up.  ``event_digest`` is the hex
+    digest of the fired-event sequence when the spec asked for one.
+    """
+
+    resumed: bool = False
+    resumed_at_s: float | None = None
+    snapshots_taken: int = 0
+    events_processed: int = 0
+    event_digest: str | None = None
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario: CCT samples plus fabric-level accounting."""
+
+    scheme: str
+    ccts: list[float]
+    total_bytes: int
+    wasted_bytes: int
+    pfc_pause_events: int
+    invariant_violations: list[Violation] = field(default_factory=list)
+    trace_digest: str | None = None
+    failure_drops: int = 0
+    repeels: list[Repeel] = field(default_factory=list)
+    replay: ReplayInfo | None = None
+    stats: CctStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = summarize_ccts(self.ccts)
+
+
+class ScenarioRun:
+    """A scenario after launch, before completion — the checkpoint seam.
+
+    Constructing one performs the same setup sequence the legacy runner
+    did (copy topology under faults, build the env, attach observability,
+    launch every job, track the handles), then stops at a safe point
+    without processing any events.  From there:
+
+    * :meth:`finish` drains the event queue and builds the result —
+      ``ScenarioRun(spec).finish()`` is exactly :func:`run`;
+    * :meth:`run_until` advances the clock partway, after which
+      :meth:`snapshot` pickles the whole live object graph (simulator
+      heap, fabric, transfers, RNGs, observers) for
+      :class:`repro.replay.Snapshot` to resume — in this process or a
+      fresh one.
+
+    A run is single-use: :meth:`finish` may only be called once.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        scheme = spec.scheme
+        if isinstance(scheme, str):
+            scheme = scheme_by_name(scheme)
+        self.scheme = scheme
+        topo = spec.topology
+        if spec.fault_schedule is not None:
+            topo = topo.copy()  # dynamic faults mutate the planning topology
+        self.env = CollectiveEnv(
+            topo,
+            spec.config,
+            fault_schedule=spec.fault_schedule,
+            check_invariants=spec.check_invariants,
+            record_trace=spec.record_trace,
+            keep_trace_events=spec.keep_trace_events,
+        )
+        if spec.event_digest:
+            self.env.sim.attach_digest()
+        obs = spec.obs
+        if obs is not None:
+            obs.attach(self.env.network)
+        self.handles = [
+            scheme.launch(self.env, job.group, job.message_bytes, job.arrival_s)
+            for job in spec.jobs
+        ]
+        if obs is not None:
+            for handle in self.handles:
+                obs.track_collective(handle)
+        self.resumed_at_s: float | None = None
+        self.snapshots_taken = 0
+        self.finished = False
+
+    # -- stepping ---------------------------------------------------------------
+
+    def run_until(self, until: float) -> int:
+        """Process events up to ``until`` (inclusive); returns the count.
+
+        Leaves the run at a safe point — callable any number of times
+        before :meth:`finish`, with a :meth:`snapshot` between any two.
+        """
+        if self.finished:
+            raise RuntimeError("scenario already finished")
+        return self.env.run(until=until)
+
+    def snapshot(self) -> "Snapshot":
+        """Freeze the entire run into a :class:`repro.replay.Snapshot`."""
+        from .replay import Snapshot
+
+        if self.finished:
+            raise RuntimeError("cannot snapshot a finished scenario")
+        self.snapshots_taken += 1
+        return Snapshot.capture(self)
+
+    def mark_resumed(self, at_s: float) -> None:
+        """Called by :meth:`repro.replay.Snapshot.restore`: records where
+        this run picked back up (surfaces in the result's ReplayInfo)."""
+        self.resumed_at_s = at_s
+
+    # -- completion -------------------------------------------------------------
+
+    def finish(self) -> ScenarioResult:
+        """Drain remaining events, finalize checks, build the result.
+
+        Mirrors the legacy runner's exact operation order so results are
+        byte-identical whichever door a scenario came in through.  Any
+        ``max_events`` budget counts events processed *across* checkpoints
+        (a resumed run inherits the simulator's processed count).
+        """
+        if self.finished:
+            raise RuntimeError("scenario already finished")
+        self.finished = True
+        spec = self.spec
+        env = self.env
+        remaining = None
+        if spec.max_events is not None:
+            remaining = max(0, spec.max_events - env.sim.processed)
+        env.run(max_events=remaining)
+        obs = spec.obs
+        if obs is not None:
+            obs.observe_plan_cache(env.plan_cache)
+            obs.finalize()
+        violations = env.finalize_checks()
+        unfinished = [h for h in self.handles if not h.complete]
+        if unfinished:
+            raise RuntimeError(
+                f"{len(unfinished)} of {len(self.handles)} collectives never "
+                f"completed ({self.scheme.name}); simulation stalled or "
+                f"max_events too low"
+            )
+        digest = env.sim.event_digest
+        return ScenarioResult(
+            scheme=self.scheme.name,
+            ccts=[h.cct_s for h in self.handles],
+            total_bytes=env.network.total_bytes_sent(),
+            wasted_bytes=env.network.wasted_bytes,
+            pfc_pause_events=env.network.pfc_pause_events,
+            invariant_violations=list(violations),
+            trace_digest=env.trace.digest() if env.trace is not None else None,
+            failure_drops=env.network.failure_drops,
+            repeels=(
+                list(env.fault_injector.repeels)
+                if env.fault_injector is not None
+                else []
+            ),
+            replay=ReplayInfo(
+                resumed=self.resumed_at_s is not None,
+                resumed_at_s=self.resumed_at_s,
+                snapshots_taken=self.snapshots_taken,
+                events_processed=env.sim.processed,
+                event_digest=(
+                    digest.hexdigest() if digest is not None else None
+                ),
+            ),
+        )
+
+
+def run(spec: ScenarioSpec) -> ScenarioResult:
+    """Run every job in ``spec`` under its scheme on a fresh fabric.
+
+    All jobs share the fabric, so concurrent collectives contend — this is
+    how the Poisson-load experiments produce queueing and tail effects.
+    Returns all CCTs plus fabric accounting; see :class:`ScenarioSpec` for
+    the correctness tooling the spec can switch on.
+    """
+    return ScenarioRun(spec).finish()
+
+
+def segment_bytes_for(message_bytes: int, target_segments: int = 64) -> int:
+    """Pick a store-and-forward granularity bounding event counts.
+
+    Mid-sized messages use 64 KiB segments; large ones are split into about
+    ``target_segments`` pieces so simulated event counts stay flat across
+    the paper's 2 MB - 512 MB sweep (see DESIGN.md on granularity).  The
+    granularity never exceeds the message itself (a 1 KiB message is one
+    1 KiB segment, not a 64 KiB one) except for the one-MTU floor
+    :class:`~repro.sim.config.SimConfig` requires — sub-MTU messages still
+    travel as a single short segment.
+    """
+    if message_bytes <= 0:
+        raise ValueError("message_bytes must be positive")
+    granularity = max(65536, message_bytes // target_segments)
+    return max(MIN_SEGMENT_BYTES, min(granularity, message_bytes))

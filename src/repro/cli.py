@@ -2,15 +2,19 @@
 
     python -m repro fig1
     python -m repro fig5 --sizes 2 8 32 --num-jobs 8 --check-invariants
-    python -m repro fig5 --jobs 4            # sweep on 4 worker processes
+    python -m repro fig5 --workers 4         # sweep on 4 worker processes
     python -m repro faults --scheme peel --trace /tmp/golden.trace
     python -m repro faults --schedule my_faults.json
     python -m repro churn --num-jobs 1000
+    python -m repro replay --scenario fault
+    python -m repro soak --epochs 5 --state-dir /tmp/soak
     python -m repro list
 
-Simulation sweeps (fig4-fig7, serve) fan their grid points out over
-``--jobs`` worker processes (default: one per CPU); results are
-byte-identical to a serial ``--jobs 1`` run.
+Flag conventions: ``--num-jobs`` is always *simulated collectives per
+scenario point*; ``-j``/``--workers`` is always *worker processes* for a
+sweep (default: one per CPU; 1 = serial in-process, byte-identical
+results).  ``--jobs`` survives as a hidden alias of ``--workers`` for
+old scripts.
 """
 
 from __future__ import annotations
@@ -54,6 +58,8 @@ EXPERIMENTS = {
     "churn": "switch state under group churn",
     "serve": "multi-tenant serving sweep: admission, queueing, plan cache",
     "obs": "instrumented run: metrics registry + Chrome-trace timeline",
+    "replay": "checkpoint/replay determinism smoke on a golden scenario",
+    "soak": "randomized checkpoint/replay soak epochs (resumable)",
 }
 
 
@@ -70,9 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_workers_flag(parser_: argparse.ArgumentParser) -> None:
         parser_.add_argument(
-            "-j", "--jobs", type=int, default=None, metavar="N",
+            "-j", "--workers", dest="workers", type=int, default=None,
+            metavar="N",
             help="worker processes for the sweep (default: one per CPU; "
                  "1 = serial in-process)")
+        # Old spelling, kept working but out of --help (it collided with
+        # --num-jobs in every head: workers != simulated collectives).
+        parser_.add_argument(
+            "--jobs", dest="workers", type=int, help=argparse.SUPPRESS)
 
     p = sub.add_parser("fig4", help=EXPERIMENTS["fig4"])
     p.add_argument("--sizes", type=int, nargs="+", default=[2, 8, 32])
@@ -167,12 +178,28 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("transfer", "segment"),
                    help="span granularity: per transfer (default) or down "
                         "to per-receiver segment spans")
+
+    p = sub.add_parser("replay", help=EXPERIMENTS["replay"])
+    p.add_argument("--scenario", default="headline",
+                   choices=("headline", "fault", "serve", "all"),
+                   help="golden scenario to checkpoint+resume (default: "
+                        "headline; 'all' runs every one)")
+
+    p = sub.add_parser("soak", help=EXPERIMENTS["soak"])
+    p.add_argument("--epochs", type=int, default=3,
+                   help="randomized epochs to verify (resumes where a "
+                        "killed run left off)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--state-dir", default="soak-state", metavar="DIR",
+                   help="manifest + snapshot directory (survives kills)")
+    p.add_argument("--fault-probability", type=float, default=0.6,
+                   help="chance an epoch includes a mid-run link flap")
     return parser
 
 
 def _sweep_kwargs(args: argparse.Namespace) -> dict:
-    """Worker-pool arguments for a sweep subcommand's ``--jobs`` flag."""
-    workers = resolve_jobs(args.jobs)
+    """Worker-pool arguments for a sweep subcommand's ``--workers`` flag."""
+    workers = resolve_jobs(args.workers)
     return {
         "jobs": workers,
         "progress": stderr_progress() if workers > 1 else None,
@@ -285,6 +312,57 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(result.metrics_json)
             print(f"metrics snapshot written to {args.metrics_out}")
+    elif args.command == "replay":
+        return _replay_smoke(args.scenario)
+    elif args.command == "soak":
+        from .replay import SoakConfig, SoakRunner, format_manifest
+
+        runner = SoakRunner(
+            SoakConfig(
+                epochs=args.epochs,
+                seed=args.seed,
+                state_dir=args.state_dir,
+                fault_probability=args.fault_probability,
+            ),
+            progress=_stderr_line,
+        )
+        print(format_manifest(runner.run()))
+    return 0
+
+
+def _stderr_line(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
+def _replay_smoke(scenario: str) -> int:
+    """Checkpoint each requested golden scenario at its canonical cut
+    points, resume from serialized snapshots, and compare digests."""
+    from .experiments import scenarios
+    from .replay import verify_cut_points, verify_serve_replay
+
+    names = scenarios.REPLAY_SCENARIOS if scenario == "all" else (scenario,)
+    failed = 0
+    for name in names:
+        if name == "serve":
+            _, cuts = scenarios.serve_runtime()
+            reports = [
+                verify_serve_replay(lambda: scenarios.serve_runtime()[0], cut)
+                for cut in cuts
+            ]
+        else:
+            builder = (
+                scenarios.headline_scenario
+                if name == "headline"
+                else scenarios.fault_scenario
+            )
+            spec, cuts = builder()
+            reports = verify_cut_points(spec, cuts)
+        for report in reports:
+            print(f"{name}: {report.describe()}")
+            failed += not report.identical
+    if failed:
+        print(f"{failed} replay verification(s) DIVERGED", file=sys.stderr)
+        return 1
     return 0
 
 

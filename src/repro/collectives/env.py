@@ -31,7 +31,10 @@ class CollectiveEnv:
       :class:`~repro.sim.invariants.InvariantChecker` (:attr:`invariants`);
     * ``record_trace`` — attach a
       :class:`~repro.sim.trace.TraceRecorder` (:attr:`trace`) producing a
-      deterministic golden-trace digest.
+      deterministic golden-trace digest; ``keep_trace_events`` implies it
+      and additionally retains the readable event log (what
+      :func:`repro.replay.verify_scenario_replay` diffs to localize a
+      divergence).
 
     ``plan_cache`` attaches a :class:`repro.serve.PlanCache`:
     :meth:`plan_broadcast` then reuses plans across repeated group shapes,
@@ -46,6 +49,7 @@ class CollectiveEnv:
         fault_schedule: "FaultSchedule | None" = None,
         check_invariants: bool = False,
         record_trace: bool = False,
+        keep_trace_events: bool = False,
         raise_on_violation: bool = True,
         plan_cache: "PlanCache | None" = None,
     ) -> None:
@@ -67,8 +71,10 @@ class CollectiveEnv:
                 self.network, raise_immediately=raise_on_violation
             )
         self.trace: TraceRecorder | None = None
-        if record_trace:
-            self.trace = TraceRecorder(self.network)
+        if record_trace or keep_trace_events:
+            self.trace = TraceRecorder(
+                self.network, keep_events=keep_trace_events
+            )
         self.plan_cache: "PlanCache | None" = None
         if plan_cache is not None:
             # Registered as an observer so dynamic faults invalidate it.

@@ -29,6 +29,39 @@ def _steiner_tree(env: CollectiveEnv, source: str, receivers: list[str]):
     return metric_closure_tree(env.topo.graph, source, receivers)
 
 
+class SteinerReplan:
+    """Fault replanner for single-tree multicast (picklable, no closure —
+    replanners live in the fault injector's recovery registry, which must
+    survive :mod:`repro.replay` checkpoints)."""
+
+    __slots__ = ("env", "source")
+
+    def __init__(self, env: CollectiveEnv, source: str) -> None:
+        self.env = env
+        self.source = source
+
+    def __call__(self, remaining: list[str]) -> list:
+        return [_steiner_tree(self.env, self.source, remaining)]
+
+
+class PeelReplan:
+    """Re-peel replanner: fresh static prefix trees for the unfinished
+    receivers on the (already degraded) topology (§2.3)."""
+
+    __slots__ = ("env", "source", "max_prefixes")
+
+    def __init__(
+        self, env: CollectiveEnv, source: str, max_prefixes: int | None
+    ) -> None:
+        self.env = env
+        self.source = source
+        self.max_prefixes = max_prefixes
+
+    def __call__(self, remaining: list[str]) -> list:
+        plan = self.env.peel(self.max_prefixes).plan(self.source, remaining)
+        return plan.static_trees
+
+
 class OptimalBroadcast(BroadcastScheme):
     """Bandwidth-optimal Steiner-tree multicast (idealized baseline)."""
     name = "optimal"
@@ -56,9 +89,7 @@ class OptimalBroadcast(BroadcastScheme):
             on_host_done=handle.host_done,
         )
         if env.fault_injector is not None:
-            env.fault_injector.register(
-                transfer, lambda remaining: [_steiner_tree(env, source, remaining)]
-            )
+            env.fault_injector.register(transfer, SteinerReplan(env, source))
         transfer.start()
         return handle
 
@@ -109,13 +140,8 @@ class PeelBroadcast(BroadcastScheme):
             on_host_done=handle.host_done,
         )
         if env.fault_injector is not None:
-            # Re-peel on fabric faults (§2.3): replan static prefix packets
-            # for the still-unfinished receivers on the degraded topology.
-            max_prefixes = self.max_prefixes_per_fanout
-
-            def replan(remaining: list[str]) -> list:
-                return env.peel(max_prefixes).plan(source, remaining).static_trees
-
-            env.fault_injector.register(transfer, replan)
+            env.fault_injector.register(
+                transfer, PeelReplan(env, source, self.max_prefixes_per_fanout)
+            )
         transfer.start()
         return handle

@@ -29,6 +29,61 @@ def server_of(endpoint: str, gpus_per_server: int = GPUS_PER_SERVER) -> tuple:
     return (info.pod, info.tor, info.index // gpus_per_server)
 
 
+# The per-transfer callbacks below are callable classes rather than
+# closures: they end up inside transfers and the fault injector's recovery
+# registry, all of which must pickle for repro.replay checkpoints.
+
+
+class NvlinkSpread:
+    """Server-internal distribution once the representative NIC has the
+    message: the representative completes, its siblings follow one NVLink
+    hop later."""
+
+    __slots__ = ("sim", "handle", "nvlink_s", "others")
+
+    def __init__(self, sim, handle: CollectiveHandle, nvlink_s: float,
+                 others: list[str]) -> None:
+        self.sim = sim
+        self.handle = handle
+        self.nvlink_s = nvlink_s
+        self.others = others
+
+    def __call__(self, host: str, now: float) -> None:
+        self.handle.host_done(host, now)
+        done_at = now + self.nvlink_s
+        for sibling in self.others:
+            self.sim.schedule_at(done_at, self.handle.host_done, sibling, done_at)
+
+
+class AgentFanout:
+    """Trunk completion router: each agent NIC's delivery triggers that
+    rack's :class:`NvlinkSpread`."""
+
+    __slots__ = ("callbacks",)
+
+    def __init__(self, callbacks: dict) -> None:
+        self.callbacks = callbacks
+
+    def __call__(self, host: str, now: float) -> None:
+        self.callbacks[host](host, now)
+
+
+class OrcaTrunkReplan:
+    """Controller fault reaction: recompute and re-install the trunk tree
+    for the agents still waiting."""
+
+    __slots__ = ("scheme", "env", "source")
+
+    def __init__(self, scheme: "OrcaBroadcast", env: CollectiveEnv,
+                 source: str) -> None:
+        self.scheme = scheme
+        self.env = env
+        self.source = source
+
+    def __call__(self, remaining: list[str]) -> list:
+        return [self.scheme._controller_tree(self.env, self.source, remaining)]
+
+
 class OrcaBroadcast(BroadcastScheme):
     """Orca: SDN-installed multicast with per-rack host agents (§3.1)."""
     def __init__(
@@ -66,20 +121,6 @@ class OrcaBroadcast(BroadcastScheme):
         src_rack = env.topo.tor_of(source)
         src_server = server_of(source, self.gpus_per_server)
 
-        def nvlink_spread(rep: str, others: list[str]):
-            """Server-internal distribution once the representative NIC has
-            the message."""
-
-            def on_done(host: str, now: float) -> None:
-                handle.host_done(host, now)
-                for sibling in others:
-                    env.sim.schedule_at(
-                        now + nvlink_s, handle.host_done, sibling, now + nvlink_s
-                    )
-
-            del rep
-            return on_done
-
         # One agent endpoint per rack (the source acts for its own rack).
         agents: dict[str, str] = {}
         for rack, servers in sorted(racks.items()):
@@ -100,10 +141,9 @@ class OrcaBroadcast(BroadcastScheme):
                     continue
                 server = server_of(agent, self.gpus_per_server)
                 siblings = [e for e in servers[server] if e != agent]
-                agent_callbacks[agent] = nvlink_spread(agent, siblings)
-
-            def trunk_done(host: str, now: float) -> None:
-                agent_callbacks[host](host, now)
+                agent_callbacks[agent] = NvlinkSpread(
+                    env.sim, handle, nvlink_s, siblings
+                )
 
             trunk = Transfer(
                 env.network,
@@ -112,7 +152,7 @@ class OrcaBroadcast(BroadcastScheme):
                 message_bytes,
                 [tree],
                 start_at=start,
-                on_host_done=trunk_done,
+                on_host_done=AgentFanout(agent_callbacks),
             )
             if env.fault_injector is not None:
                 # Orca's controller reacts to fabric faults by recomputing
@@ -120,10 +160,7 @@ class OrcaBroadcast(BroadcastScheme):
                 # waiting (the per-rack relay legs stay rack-local and are
                 # not registered, like other host-relay chains).
                 env.fault_injector.register(
-                    trunk,
-                    lambda remaining: [
-                        self._controller_tree(env, source, remaining)
-                    ],
+                    trunk, OrcaTrunkReplan(self, env, source)
                 )
 
         # Per-rack fan-out: the agent unicasts to one representative NIC of
@@ -153,7 +190,7 @@ class OrcaBroadcast(BroadcastScheme):
                     [env.router.path_tree(agent, rep)],
                     start_at=start,
                     is_relay=agent != source,
-                    on_host_done=nvlink_spread(rep, rest),
+                    on_host_done=NvlinkSpread(env.sim, handle, nvlink_s, rest),
                 )
                 if agent != source:
                     assert trunk is not None

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
 from ..workloads import generate_jobs
 from .common import MB, paper_fattree, sim_config
-from .runner import run_broadcast_scenario
 
 STAGES = (
     ("unicast", "ring"),
@@ -52,7 +53,11 @@ def run(
     cfg = sim_config(msg)
     rows = []
     for stage, scheme in STAGES:
-        result = run_broadcast_scenario(topo, scheme, jobs, cfg)
+        result = run_scenario(
+            ScenarioSpec(
+                topology=topo, scheme=scheme, jobs=tuple(jobs), config=cfg
+            )
+        )
         rows.append(
             DeploymentRow(
                 stage, scheme, result.stats.mean_s, result.stats.p99_s,

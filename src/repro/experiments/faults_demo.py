@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
 from ..collectives import scheme_by_name
 from ..core import Peel
 from ..faults import FaultSchedule
@@ -19,7 +21,6 @@ from ..steiner import metric_closure_tree
 from ..topology import LeafSpine
 from ..workloads import generate_jobs
 from .common import MB, sim_config
-from .runner import run_broadcast_scenario
 
 #: Schemes that register a replanner with the fault injector.  Orca's
 #: controller re-installs the trunk tree; its rack-local relay legs (like
@@ -112,8 +113,11 @@ def run(
     jobs = generate_jobs(topo, 1, num_gpus, msg, gpus_per_host=1, seed=seed)
     job = jobs[0]
 
-    clean = run_broadcast_scenario(
-        topo, scheme_obj, [job], cfg, check_invariants=True
+    clean = run_scenario(
+        ScenarioSpec(
+            topology=topo, scheme=scheme_obj, jobs=(job,), config=cfg,
+            check_invariants=True,
+        )
     )
     clean_cct = clean.stats.mean_s
 
@@ -127,14 +131,16 @@ def run(
             up_at = job.arrival_s + 2.0 * clean_cct
             schedule.link_up(*link, at_s=up_at)
 
-    faulted = run_broadcast_scenario(
-        topo,
-        scheme_obj,
-        [job],
-        cfg,
-        check_invariants=True,
-        fault_schedule=schedule,
-        record_trace=record_trace,
+    faulted = run_scenario(
+        ScenarioSpec(
+            topology=topo,
+            scheme=scheme_obj,
+            jobs=(job,),
+            config=cfg,
+            check_invariants=True,
+            fault_schedule=schedule,
+            record_trace=record_trace,
+        )
     )
     return FaultDemoResult(
         scheme=scheme,

@@ -7,10 +7,11 @@ Broadcast rising ~8x with controller overhead versus without.
 
 from __future__ import annotations
 
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
 from ..workloads import generate_jobs
 from .common import MB, CctRow, paper_fattree, sim_config
 from .parallel import ProgressFn, SweepPoint, run_sweep
-from .runner import run_broadcast_scenario
 
 DEFAULT_SIZES_MB = (2, 8, 32, 128)
 SCHEMES = ("orca", "orca-nosetup")
@@ -31,7 +32,12 @@ def _point(
         topo, num_jobs, num_gpus, msg, offered_load=offered_load,
         gpus_per_host=1, seed=seed,
     )
-    result = run_broadcast_scenario(topo, scheme, jobs, sim_config(msg))
+    result = run_scenario(
+        ScenarioSpec(
+            topology=topo, scheme=scheme, jobs=tuple(jobs),
+            config=sim_config(msg),
+        )
+    )
     return CctRow(scheme, size_mb, result.stats.mean_s, result.stats.p99_s)
 
 

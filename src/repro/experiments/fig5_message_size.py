@@ -8,10 +8,11 @@ closes most of the remaining gap for large messages.
 
 from __future__ import annotations
 
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
 from ..workloads import generate_jobs
 from .common import MB, CctRow, paper_fattree, sim_config
 from .parallel import ProgressFn, SweepPoint, run_sweep
-from .runner import run_broadcast_scenario
 
 DEFAULT_SIZES_MB = (2, 8, 32, 128, 512)
 DEFAULT_SCHEMES = ("ring", "tree", "optimal", "orca", "peel", "peel+cores")
@@ -33,8 +34,11 @@ def _point(
         topo, num_jobs, num_gpus, msg, offered_load=offered_load,
         gpus_per_host=1, seed=seed,
     )
-    result = run_broadcast_scenario(
-        topo, scheme, jobs, sim_config(msg), check_invariants=check_invariants
+    result = run_scenario(
+        ScenarioSpec(
+            topology=topo, scheme=scheme, jobs=tuple(jobs),
+            config=sim_config(msg), check_invariants=check_invariants,
+        )
     )
     return CctRow(scheme, size_mb, result.stats.mean_s, result.stats.p99_s)
 

@@ -7,10 +7,11 @@ reports PEEL below Ring/Tree/Orca across the whole range (at 256 GPUs:
 
 from __future__ import annotations
 
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
 from ..workloads import generate_jobs
 from .common import MB, CctRow, paper_fattree, sim_config
 from .parallel import ProgressFn, SweepPoint, run_sweep
-from .runner import run_broadcast_scenario
 
 DEFAULT_SCALES = (32, 128, 256, 1024)
 DEFAULT_SCHEMES = ("ring", "tree", "optimal", "orca", "peel", "peel+cores")
@@ -32,8 +33,11 @@ def _point(
         topo, num_jobs, scale, msg, offered_load=offered_load,
         gpus_per_host=1, seed=seed,
     )
-    result = run_broadcast_scenario(
-        topo, scheme, jobs, sim_config(msg), check_invariants=check_invariants
+    result = run_scenario(
+        ScenarioSpec(
+            topology=topo, scheme=scheme, jobs=tuple(jobs),
+            config=sim_config(msg), check_invariants=check_invariants,
+        )
     )
     return CctRow(scheme, scale, result.stats.mean_s, result.stats.p99_s)
 

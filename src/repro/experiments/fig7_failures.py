@@ -8,11 +8,12 @@ ahead of Tree.
 
 from __future__ import annotations
 
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
 from ..topology import fail_random_uplinks
 from ..workloads import generate_jobs
 from .common import MB, CctRow, paper_leafspine, sim_config
 from .parallel import ProgressFn, SweepPoint, run_sweep
-from .runner import run_broadcast_scenario
 
 DEFAULT_FAILURE_PCTS = (1, 2, 4, 8, 10)
 DEFAULT_SCHEMES = ("tree", "ring", "peel")
@@ -36,8 +37,11 @@ def _point(
         topo, num_jobs, num_gpus, msg, offered_load=offered_load,
         gpus_per_host=1, seed=seed,
     )
-    result = run_broadcast_scenario(
-        topo, scheme, jobs, sim_config(msg), check_invariants=check_invariants
+    result = run_scenario(
+        ScenarioSpec(
+            topology=topo, scheme=scheme, jobs=tuple(jobs),
+            config=sim_config(msg), check_invariants=check_invariants,
+        )
     )
     return CctRow(scheme, pct, result.stats.mean_s, result.stats.p99_s)
 

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
 from ..sim import DcqcnConfig
 from ..workloads import generate_jobs
 from .common import MB, paper_fattree, sim_config
-from .runner import run_broadcast_scenario
 
 
 @dataclass(frozen=True)
@@ -41,7 +42,11 @@ def run(
     for variant, per_cnp in (("guard-timer", False), ("per-cnp", True)):
         cfg = sim_config(msg)
         cfg.dcqcn = replace(DcqcnConfig(), per_cnp_reaction=per_cnp)
-        result = run_broadcast_scenario(topo, "peel", jobs, cfg)
+        result = run_scenario(
+            ScenarioSpec(
+                topology=topo, scheme="peel", jobs=tuple(jobs), config=cfg
+            )
+        )
         rows.append(
             GuardRow(
                 variant,

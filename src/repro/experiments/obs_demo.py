@@ -19,13 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
 from ..faults import FaultSchedule
 from ..obs import Observability
 from ..serve import ServeRuntime, TcamAdmission
 from ..topology import LeafSpine
 from ..workloads import TenantSpec, generate_jobs, generate_tenant_jobs
 from .common import sim_config
-from .runner import run_broadcast_scenario
 
 KB = 1024
 
@@ -59,7 +60,12 @@ def run_headline(
         topo, 3, 6, message_bytes, offered_load=0.4, gpus_per_host=1, seed=1
     )
     obs = _observability(sample_interval_s, detail)
-    run_broadcast_scenario(topo, "peel", jobs, cfg, obs=obs)
+    run_scenario(
+        ScenarioSpec(
+            topology=topo, scheme="peel", jobs=tuple(jobs), config=cfg,
+            obs=obs,
+        )
+    )
     return _result("headline", obs)
 
 
@@ -84,8 +90,11 @@ def run_fault(
         .link_up(*link, at_s=job.arrival_s + 120e-6)
     )
     obs = _observability(sample_interval_s, detail)
-    run_broadcast_scenario(
-        topo, "peel", [job], cfg, fault_schedule=schedule, obs=obs
+    run_scenario(
+        ScenarioSpec(
+            topology=topo, scheme="peel", jobs=(job,), config=cfg,
+            fault_schedule=schedule, obs=obs,
+        )
     )
     return _result("fault", obs)
 

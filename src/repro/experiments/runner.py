@@ -1,34 +1,34 @@
-"""Scenario runner: a workload + a scheme + a fabric -> CCT samples."""
+"""Legacy scenario runner: a thin deprecation shim over :mod:`repro.api`.
+
+``run_broadcast_scenario(...)`` predates the :class:`repro.api.ScenarioSpec`
+facade; it survives for one release as an alias that builds a spec and
+calls :func:`repro.api.run` — byte-identical results, plus one
+``DeprecationWarning`` per call.  ``ScenarioResult`` and
+``segment_bytes_for`` are re-exported from their new home unchanged.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from ..collectives import BroadcastScheme, CollectiveEnv, scheme_by_name
-from ..metrics import CctStats, summarize_ccts
+from ..api import (
+    MIN_SEGMENT_BYTES,
+    ScenarioResult,
+    ScenarioSpec,
+    segment_bytes_for,
+)
+from ..api import run as _run
+from ..collectives import BroadcastScheme
 from ..sim import SimConfig
 from ..topology import Topology
 from ..workloads import CollectiveJob
 
-#: Below one MTU the simulator cannot segment (store-and-forward floor).
-MIN_SEGMENT_BYTES = 1500
-
-
-@dataclass
-class ScenarioResult:
-    scheme: str
-    ccts: list[float]
-    total_bytes: int
-    wasted_bytes: int
-    pfc_pause_events: int
-    invariant_violations: list = field(default_factory=list)
-    trace_digest: str | None = None
-    failure_drops: int = 0
-    repeels: list = field(default_factory=list)
-    stats: CctStats = field(init=False)
-
-    def __post_init__(self) -> None:
-        self.stats = summarize_ccts(self.ccts)
+__all__ = [
+    "MIN_SEGMENT_BYTES",
+    "ScenarioResult",
+    "run_broadcast_scenario",
+    "segment_bytes_for",
+]
 
 
 def run_broadcast_scenario(
@@ -42,80 +42,27 @@ def run_broadcast_scenario(
     record_trace: bool = False,
     obs=None,
 ) -> ScenarioResult:
-    """Run every job under one scheme on a fresh fabric; returns all CCTs.
+    """Deprecated: build a :class:`repro.api.ScenarioSpec` and call
+    :func:`repro.api.run` instead.
 
-    All jobs share the fabric, so concurrent collectives contend — this is
-    how the Poisson-load experiments produce queueing and tail effects.
-
-    ``check_invariants`` attaches an
-    :class:`~repro.sim.invariants.InvariantChecker` (raising on the first
-    violation); ``fault_schedule`` injects dynamic mid-run faults (the
-    caller's topology is copied first, since faults mutate it);
-    ``record_trace`` computes a deterministic golden-trace digest;
-    ``obs`` attaches a :class:`repro.obs.Observability` — the scenario's
-    collectives are span-tracked and the registry/trace finalized on
-    return, ready for export.
+    Same semantics, same result bytes — this shim only assembles the spec.
     """
-    if isinstance(scheme, str):
-        scheme = scheme_by_name(scheme)
-    if fault_schedule is not None:
-        topo = topo.copy()  # dynamic faults mutate the planning topology
-    env = CollectiveEnv(
-        topo,
-        config,
-        fault_schedule=fault_schedule,
-        check_invariants=check_invariants,
-        record_trace=record_trace,
+    warnings.warn(
+        "run_broadcast_scenario() is deprecated; build a "
+        "repro.api.ScenarioSpec and call repro.api.run(spec)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if obs is not None:
-        obs.attach(env.network)
-    handles = [
-        scheme.launch(env, job.group, job.message_bytes, job.arrival_s)
-        for job in jobs
-    ]
-    if obs is not None:
-        for handle in handles:
-            obs.track_collective(handle)
-    env.run(max_events=max_events)
-    if obs is not None:
-        obs.observe_plan_cache(env.plan_cache)
-        obs.finalize()
-    violations = env.finalize_checks()
-    unfinished = [h for h in handles if not h.complete]
-    if unfinished:
-        raise RuntimeError(
-            f"{len(unfinished)} of {len(handles)} collectives never completed "
-            f"({scheme.name}); simulation stalled or max_events too low"
+    return _run(
+        ScenarioSpec(
+            topology=topo,
+            scheme=scheme,
+            jobs=tuple(jobs),
+            config=config,
+            max_events=max_events,
+            check_invariants=check_invariants,
+            fault_schedule=fault_schedule,
+            record_trace=record_trace,
+            obs=obs,
         )
-    return ScenarioResult(
-        scheme=scheme.name,
-        ccts=[h.cct_s for h in handles],
-        total_bytes=env.network.total_bytes_sent(),
-        wasted_bytes=env.network.wasted_bytes,
-        pfc_pause_events=env.network.pfc_pause_events,
-        invariant_violations=list(violations),
-        trace_digest=env.trace.digest() if env.trace is not None else None,
-        failure_drops=env.network.failure_drops,
-        repeels=(
-            list(env.fault_injector.repeels)
-            if env.fault_injector is not None
-            else []
-        ),
     )
-
-
-def segment_bytes_for(message_bytes: int, target_segments: int = 64) -> int:
-    """Pick a store-and-forward granularity bounding event counts.
-
-    Mid-sized messages use 64 KiB segments; large ones are split into about
-    ``target_segments`` pieces so simulated event counts stay flat across
-    the paper's 2 MB - 512 MB sweep (see DESIGN.md on granularity).  The
-    granularity never exceeds the message itself (a 1 KiB message is one
-    1 KiB segment, not a 64 KiB one) except for the one-MTU floor
-    :class:`~repro.sim.config.SimConfig` requires — sub-MTU messages still
-    travel as a single short segment.
-    """
-    if message_bytes <= 0:
-        raise ValueError("message_bytes must be positive")
-    granularity = max(65536, message_bytes // target_segments)
-    return max(MIN_SEGMENT_BYTES, min(granularity, message_bytes))

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, NamedTuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from .collectives.env import CollectiveEnv
@@ -55,6 +55,19 @@ ACTIONS = frozenset({LINK_DOWN, LINK_UP, SWITCH_DOWN, SWITCH_UP, DROP})
 #: Replans routes to the still-unfinished receivers on the (already
 #: degraded) topology; returns the new route trees.
 ReplanFn = Callable[[list[str]], "list[MulticastTree]"]
+
+
+class Repeel(NamedTuple):
+    """One successful mid-run re-peel.
+
+    Tuple-compatible with the historical ``(time_s, transfer, link)``
+    entries — existing unpacking code keeps working — but with named,
+    typed fields for :class:`repro.api.ScenarioResult`.
+    """
+
+    time_s: float
+    transfer: str
+    link: tuple[str, str]
 
 
 @dataclass(frozen=True, order=True)
@@ -204,8 +217,8 @@ class FaultInjector:
         self.schedule = schedule
         self.detection_delay_s = detection_delay_s
         self._recovery: list[tuple["Transfer", ReplanFn]] = []
-        #: (time_s, transfer name, link) for each successful re-peel.
-        self.repeels: list[tuple[float, str, tuple[str, str]]] = []
+        #: One :class:`Repeel` per successful re-peel.
+        self.repeels: list[Repeel] = []
         self.events_fired = 0
         # Transfers must track per-receiver segments from birth so a
         # mid-stream loss is repairable.
@@ -287,7 +300,7 @@ class FaultInjector:
             if not remaining:
                 continue
             transfer.reroute(replan(remaining))
-            self.repeels.append((self.env.sim.now, transfer.name, (u, v)))
+            self.repeels.append(Repeel(self.env.sim.now, transfer.name, (u, v)))
 
     @staticmethod
     def _routes_use(transfer: "Transfer", u: str, v: str) -> bool:

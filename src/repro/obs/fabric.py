@@ -60,8 +60,10 @@ class FabricMetricsObserver(FabricObserver):
         self.segment_detail = obs.detail == "segment"
         #: transfer name -> first on_inject time.
         self.first_inject: dict[str, float] = {}
-        #: transfer name -> {id(route tree): layer index}.
-        self._layer_index: dict[str, dict[int, int]] = {}
+        #: transfer name -> {route tree: layer index} (identity-keyed: trees
+        #: define no __eq__; keying the object rather than id() keeps the
+        #: mapping valid across replay-checkpoint pickling).
+        self._layer_index: dict[str, dict] = {}
         #: (transfer name, layer) -> [first_s, last_s] activity window.
         self.layer_window: dict[tuple[str, int], list[float]] = {}
         #: (transfer name, seq) -> inject time (segment detail only).
@@ -80,12 +82,12 @@ class FabricMetricsObserver(FabricObserver):
 
     def _layer_of(self, transfer_name: str, route) -> int:
         layers = self._layer_index.setdefault(transfer_name, {})
-        index = layers.get(id(route))
+        index = layers.get(route)
         if index is None:
             # Layers are numbered in first-use order, which matches the
             # plan's static-tree order for multi-tree PEEL transfers (the
             # first segment rides every tree) and appends re-peeled trees.
-            index = layers[id(route)] = len(layers)
+            index = layers[route] = len(layers)
         return index
 
     def _touch_layer(self, transfer_name: str, route, now: float) -> int:
@@ -270,8 +272,8 @@ class Observability:
         obs.save_trace("run.trace.json")     # open in chrome://tracing
         obs.save_metrics("run.metrics.json")
 
-    Experiment entry points (:func:`repro.experiments.runner.
-    run_broadcast_scenario`, :class:`repro.serve.ServeRuntime`, the
+    Experiment entry points (:func:`repro.api.run` via
+    ``ScenarioSpec(obs=...)``, :class:`repro.serve.ServeRuntime`, the
     ``repro obs`` CLI) accept an ``obs=`` argument and do all of the above.
     """
 

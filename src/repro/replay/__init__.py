@@ -1,0 +1,40 @@
+"""Deterministic checkpoint/replay for the simulator (see DESIGN.md).
+
+The simulator is deterministic and — after the groundwork of keeping every
+scheduled callable picklable — its entire live object graph serializes at
+any safe point (between ``run()`` calls).  This package turns that into
+three tools:
+
+* :class:`Snapshot` — a versioned, checksummed container around one
+  pickled :class:`repro.api.ScenarioRun` (or :class:`repro.serve.ServeRuntime`),
+  restorable in the same or a fresh process;
+* :func:`verify_scenario_replay` / :func:`verify_cut_points` — run a
+  scenario straight through, then again with a mid-run checkpoint+restore,
+  and prove the two byte-identical (event digests, golden-trace digests,
+  CCTs); on mismatch, locate the first diverging fabric event;
+* :class:`SoakRunner` — a long-haul harness cycling randomized scenarios
+  through checkpoint/restore epochs in bounded memory, with a resumable
+  on-disk manifest (``repro soak`` / ``scripts/soak.py``).
+"""
+
+from .snapshot import SNAPSHOT_VERSION, Snapshot, SnapshotError
+from .soak import SoakConfig, SoakRunner, format_manifest
+from .verify import (
+    ReplayReport,
+    verify_cut_points,
+    verify_scenario_replay,
+    verify_serve_replay,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "SnapshotError",
+    "ReplayReport",
+    "verify_cut_points",
+    "verify_scenario_replay",
+    "verify_serve_replay",
+    "SoakConfig",
+    "SoakRunner",
+    "format_manifest",
+]

@@ -1,0 +1,219 @@
+"""Replay verification: prove a resumed run equals an uninterrupted one.
+
+:func:`verify_scenario_replay` runs a :class:`~repro.api.ScenarioSpec`
+twice — once straight through, once checkpointed at a cut time, serialized
+through the full :class:`~repro.replay.snapshot.Snapshot` byte format and
+restored — and compares everything that could possibly differ: the CCT
+list, fired-event digest, golden-trace digest, byte/PFC/drop accounting,
+and the re-peel log.  Any mismatch is reported field-by-field, and because
+both runs keep their readable fabric-event logs, the report pinpoints the
+*first* diverging event (:func:`repro.sim.trace.diff_traces`) rather than
+just saying "digest differs".
+
+The spec's ``obs`` is deliberately dropped for verification: a shared
+``Observability`` would accumulate across both runs and fake a divergence.
+Trace recording, kept event logs and the event digest are forced on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..api import ScenarioResult, ScenarioRun, ScenarioSpec
+from ..sim import diff_traces
+from .snapshot import Snapshot
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of one checkpoint-at-``cut_at_s`` replay verification."""
+
+    cut_at_s: float
+    identical: bool
+    mismatches: tuple[str, ...]
+    first_divergence: tuple[str, ...]  # readable event diff, empty if clean
+    event_digest: str | None  # the (shared) digest when identical
+    trace_digest: str | None
+    events_at_cut: int
+    events_total: int
+    snapshot_bytes: int
+
+    def describe(self) -> str:
+        """One human line per fact; multi-line on failure."""
+        if self.identical:
+            return (
+                f"cut at {self.cut_at_s * 1e6:.1f} us "
+                f"({self.events_at_cut}/{self.events_total} events, "
+                f"{self.snapshot_bytes} snapshot bytes): resumed run "
+                f"identical (digest {self.event_digest})"
+            )
+        lines = [f"cut at {self.cut_at_s * 1e6:.1f} us: REPLAY DIVERGED"]
+        lines += [f"  {m}" for m in self.mismatches]
+        lines += [f"  {d}" for d in self.first_divergence]
+        return "\n".join(lines)
+
+
+def _instrumented(spec: ScenarioSpec) -> ScenarioSpec:
+    """The spec with every comparison channel on and shared state off."""
+    return replace(
+        spec,
+        record_trace=True,
+        keep_trace_events=True,
+        event_digest=True,
+        obs=None,
+    )
+
+
+def _compare(
+    baseline: ScenarioResult, resumed: ScenarioResult
+) -> list[str]:
+    """Field-by-field result comparison; empty list means identical."""
+    out: list[str] = []
+
+    def check(name: str, a: object, b: object) -> None:
+        if a != b:
+            out.append(f"{name}: straight-through {a!r} != resumed {b!r}")
+
+    check("ccts", baseline.ccts, resumed.ccts)
+    check("total_bytes", baseline.total_bytes, resumed.total_bytes)
+    check("wasted_bytes", baseline.wasted_bytes, resumed.wasted_bytes)
+    check(
+        "pfc_pause_events",
+        baseline.pfc_pause_events,
+        resumed.pfc_pause_events,
+    )
+    check("failure_drops", baseline.failure_drops, resumed.failure_drops)
+    check("repeels", baseline.repeels, resumed.repeels)
+    check("trace_digest", baseline.trace_digest, resumed.trace_digest)
+    check(
+        "event_digest",
+        baseline.replay.event_digest,
+        resumed.replay.event_digest,
+    )
+    check(
+        "events_processed",
+        baseline.replay.events_processed,
+        resumed.replay.events_processed,
+    )
+    return out
+
+
+def verify_scenario_replay(
+    spec: ScenarioSpec,
+    cut_at_s: float,
+    baseline: tuple[ScenarioRun, ScenarioResult] | None = None,
+    divergence_limit: int = 5,
+) -> ReplayReport:
+    """Checkpoint ``spec`` at ``cut_at_s``, resume from the serialized
+    snapshot, and compare against an uninterrupted run.
+
+    ``baseline`` lets callers verifying several cut points reuse one
+    straight-through run (see :func:`verify_cut_points`).
+    """
+    ispec = _instrumented(spec)
+    if baseline is None:
+        base_run = ScenarioRun(ispec)
+        base_result = base_run.finish()
+    else:
+        base_run, base_result = baseline
+
+    cut_run = ScenarioRun(ispec)
+    cut_run.run_until(cut_at_s)
+    events_at_cut = cut_run.env.sim.processed
+    blob = cut_run.snapshot().to_bytes()  # full wire format round-trip
+    resumed_run = Snapshot.from_bytes(blob).restore()
+    resumed_result = resumed_run.finish()
+
+    mismatches = _compare(base_result, resumed_result)
+    divergence: tuple[str, ...] = ()
+    if mismatches:
+        divergence = tuple(
+            diff_traces(
+                base_run.env.trace, resumed_run.env.trace, divergence_limit
+            )
+        )
+    return ReplayReport(
+        cut_at_s=cut_at_s,
+        identical=not mismatches,
+        mismatches=tuple(mismatches),
+        first_divergence=divergence,
+        event_digest=base_result.replay.event_digest,
+        trace_digest=base_result.trace_digest,
+        events_at_cut=events_at_cut,
+        events_total=base_result.replay.events_processed,
+        snapshot_bytes=len(blob),
+    )
+
+
+def verify_cut_points(
+    spec: ScenarioSpec, cuts: Sequence[float] | Iterable[float]
+) -> list[ReplayReport]:
+    """One :class:`ReplayReport` per cut time, sharing a single baseline."""
+    ispec = _instrumented(spec)
+    base_run = ScenarioRun(ispec)
+    base_result = base_run.finish()
+    return [
+        verify_scenario_replay(
+            spec, cut, baseline=(base_run, base_result)
+        )
+        for cut in cuts
+    ]
+
+
+def verify_serve_replay(runtime_factory, cut_at_s: float) -> ReplayReport:
+    """Replay verification for a :class:`~repro.serve.ServeRuntime` stream.
+
+    ``runtime_factory`` must build a *fresh*, fully-submitted runtime each
+    call (see :func:`repro.experiments.scenarios.serve_runtime`): one copy
+    runs straight through, the other is checkpointed at ``cut_at_s``,
+    round-tripped through snapshot bytes, and resumed.  Compares the
+    per-tenant report, golden-trace digest and fired-event digest.
+    """
+    base = runtime_factory()
+    base.env.sim.attach_digest()
+    base.run()
+    base_report = base.report()
+    base_trace = base.env.trace.digest() if base.env.trace is not None else None
+    base_digest = base.env.sim.event_digest.hexdigest()
+
+    cut = runtime_factory()
+    cut.env.sim.attach_digest()
+    cut.run(until=cut_at_s)
+    events_at_cut = cut.env.sim.processed
+    blob = cut.snapshot().to_bytes()
+    resumed = Snapshot.from_bytes(blob).restore()
+    resumed.run()
+    res_report = resumed.report()
+    res_trace = (
+        resumed.env.trace.digest() if resumed.env.trace is not None else None
+    )
+    res_digest = resumed.env.sim.event_digest.hexdigest()
+
+    mismatches: list[str] = []
+    if base_report != res_report:
+        mismatches.append(
+            f"report: straight-through {base_report!r} != resumed "
+            f"{res_report!r}"
+        )
+    if base_trace != res_trace:
+        mismatches.append(
+            f"trace_digest: straight-through {base_trace!r} != resumed "
+            f"{res_trace!r}"
+        )
+    if base_digest != res_digest:
+        mismatches.append(
+            f"event_digest: straight-through {base_digest!r} != resumed "
+            f"{res_digest!r}"
+        )
+    return ReplayReport(
+        cut_at_s=cut_at_s,
+        identical=not mismatches,
+        mismatches=tuple(mismatches),
+        first_divergence=(),
+        event_digest=base_digest,
+        trace_digest=base_trace,
+        events_at_cut=events_at_cut,
+        events_total=base.env.sim.processed,
+        snapshot_bytes=len(blob),
+    )

@@ -74,6 +74,21 @@ class JobRecord:
         return self.job.message_bytes * len(self.job.group.receiver_hosts)
 
 
+class _JobCompletion:
+    """Picklable ``on_complete`` binding for an admitted job's handle
+    (a lambda here would break :mod:`repro.replay` checkpoints)."""
+
+    __slots__ = ("runtime", "record")
+
+    def __init__(self, runtime: "ServeRuntime", record: JobRecord) -> None:
+        self.runtime = runtime
+        self.record = record
+
+    def __call__(self, handle: CollectiveHandle, now: float) -> None:
+        del handle  # the record already holds it
+        self.runtime._on_collective_done(self.record, now)
+
+
 @dataclass(frozen=True)
 class ServeReport:
     """End-of-run summary: per-tenant SLOs plus fabric-level accounting."""
@@ -222,6 +237,14 @@ class ServeRuntime:
         """Drive the simulation (arrivals, collectives, completions)."""
         return self.env.run(until=until, max_events=max_events)
 
+    def snapshot(self) -> "object":
+        """Freeze the whole runtime — fabric, queue, records, TCAM state —
+        into a :class:`repro.replay.Snapshot` at a safe point (between
+        :meth:`run` calls); restore resumes the exact event sequence."""
+        from ..replay import Snapshot
+
+        return Snapshot.capture(self, sim=self.env.sim)
+
     # -- admission plumbing ----------------------------------------------------
 
     def demand_for(self, record: JobRecord) -> Demand:
@@ -311,9 +334,7 @@ class ServeRuntime:
         if handle.complete:
             self._on_collective_done(record, now)
         else:
-            handle.on_complete = lambda _h, t, rec=record: (
-                self._on_collective_done(rec, t)
-            )
+            handle.on_complete = _JobCompletion(self, record)
 
     def _on_collective_done(self, record: JobRecord, now: float) -> None:
         record.status = "done"

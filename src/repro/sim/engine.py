@@ -15,7 +15,10 @@ cancel many timers don't grow the heap without bound).
 
 from __future__ import annotations
 
+import pickle
+from hashlib import blake2b
 from heapq import heapify, heappop, heappush
+from struct import pack
 from typing import Any, Callable
 
 # Heap-entry slot indices (an entry is [time, seq, fn, args]).
@@ -24,6 +27,32 @@ _TIME, _SEQ, _FN, _ARGS = 0, 1, 2, 3
 #: Below this heap size compaction is pointless (the scan costs more than
 #: the dead entries do).
 _COMPACT_MIN = 64
+
+
+class EventDigest:
+    """Rolling digest over the fired-event sequence ``(time, seq)``.
+
+    Unlike a live ``hashlib`` object, the state is a plain ``bytes`` value,
+    so a digest survives :meth:`Simulator.snapshot` / pickling and a
+    restored run keeps folding into the same chain.  Two runs that process
+    the same events in the same order at the same simulated times produce
+    the same hex digest — replay verification compares exactly that.
+    """
+
+    __slots__ = ("state", "count")
+
+    def __init__(self) -> None:
+        self.state = b"\x00" * 16
+        self.count = 0
+
+    def update(self, time: float, seq: int) -> None:
+        h = blake2b(self.state, digest_size=16)
+        h.update(pack("<dq", time, seq))
+        self.state = h.digest()
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        return self.state.hex()
 
 
 class EventHandle:
@@ -52,7 +81,9 @@ class EventHandle:
 class Simulator:
     """Event loop with a monotonically advancing clock (seconds)."""
 
-    __slots__ = ("now", "_heap", "_seq", "_processed", "_live", "_cancelled")
+    __slots__ = (
+        "now", "_heap", "_seq", "_processed", "_live", "_cancelled", "_digest"
+    )
 
     def __init__(self) -> None:
         self.now = 0.0
@@ -61,6 +92,7 @@ class Simulator:
         self._processed = 0
         self._live = 0  # scheduled entries not yet fired or cancelled
         self._cancelled = 0  # cancelled entries still parked in the heap
+        self._digest: EventDigest | None = None
 
     def schedule(
         self, delay: float, fn: Callable[..., Any], *args: Any
@@ -132,6 +164,8 @@ class Simulator:
         heap = self._heap
         pop = heappop
         processed = 0
+        # Hoisted: digests attach only between run() calls (safe points).
+        digest = self._digest
         while heap:
             if max_events is not None and processed >= max_events:
                 break
@@ -147,6 +181,8 @@ class Simulator:
             entry[2] = None  # fired: handle.active goes False, refs drop
             self._live -= 1
             self.now = time
+            if digest is not None:
+                digest.update(time, entry[1])
             fn(*entry[3])
             processed += 1
             heap = self._heap  # compaction may have swapped the list
@@ -163,3 +199,48 @@ class Simulator:
     @property
     def processed(self) -> int:
         return self._processed
+
+    # -- checkpoint/replay -----------------------------------------------------
+    #
+    # A simulator between run() calls is at a *safe point*: no callback is
+    # executing, every in-flight effect lives either in object state or as
+    # a heap entry.  Pickling the simulator therefore captures the entire
+    # reachable object graph — heap entries (tombstones included), the seq
+    # counter, and every network/transfer/RNG object the scheduled bound
+    # methods hang off — and unpickling resumes the exact event sequence.
+    # Callables scheduled into the loop must be picklable (bound methods or
+    # module-level callables; no lambdas or closures).
+
+    def attach_digest(self, digest: EventDigest | None = None) -> EventDigest:
+        """Fold every subsequently fired event into ``digest``.
+
+        Must be called at a safe point (never from inside a callback: the
+        running loop binds the digest once on entry).  Returns the digest.
+        """
+        if digest is None:
+            digest = EventDigest()
+        self._digest = digest
+        return digest
+
+    @property
+    def event_digest(self) -> EventDigest | None:
+        return self._digest
+
+    def snapshot(self) -> bytes:
+        """Serialize full simulator state at a safe point (see above).
+
+        The returned bytes capture the event heap (tombstones and the seq
+        counter included) plus everything reachable from scheduled
+        callbacks.  Restore with :meth:`Simulator.restore` — typically in a
+        fresh process — and the resumed run is event-for-event identical to
+        one that never stopped.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def restore(blob: bytes) -> "Simulator":
+        """Rehydrate a simulator (and its object graph) from snapshot()."""
+        sim = pickle.loads(blob)
+        if not isinstance(sim, Simulator):
+            raise TypeError(f"snapshot does not contain a Simulator: {type(sim)!r}")
+        return sim

@@ -119,7 +119,9 @@ class InvariantChecker(FabricObserver):
         )
         self._skid_cache: float | None = None
         # (transfer id, host) -> accepted segment seqs (exactly-once check).
-        self._accepted: dict[tuple[int, str], set[int]] = {}
+        # Keyed by the transfer object, not id(): identities change across
+        # pickle, and this ledger must survive repro.replay checkpoints.
+        self._accepted: dict[tuple["Transfer", str], set[int]] = {}
 
         self._watchdog_armed = False
         self._last_progress: tuple[int, ...] | None = None
@@ -258,7 +260,7 @@ class InvariantChecker(FabricObserver):
                 f"{transfer.name}#{seq} accepted with {segment.nbytes} B at "
                 f"{host}, expected {transfer.segment_sizes[seq]} B",
             )
-        accepted = self._accepted.setdefault((id(transfer), host), set())
+        accepted = self._accepted.setdefault((transfer, host), set())
         if seq in accepted:
             self._violate(
                 "exactly-once",
@@ -380,7 +382,7 @@ class InvariantChecker(FabricObserver):
                 continue
             for host in transfer.receivers:
                 self.checks += 1
-                accepted = self._accepted.get((id(transfer), host), set())
+                accepted = self._accepted.get((transfer, host), set())
                 if len(accepted) != transfer.num_segments:
                     self._violate(
                         "exactly-once",

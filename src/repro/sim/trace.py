@@ -11,6 +11,12 @@ the digest a *golden trace*: record it once, compare it forever.
 Event timestamps are hashed via ``float.hex()`` (exact, locale-free);
 nothing in the digest depends on ``repr`` formatting or hash randomization.
 
+The digest is *chained* rather than a live ``hashlib`` object: the recorder
+keeps only the previous 16-byte digest and folds each event line as
+``blake2b(prev || line)``.  A live hash object cannot be pickled, so this
+is what lets a recorder ride through :mod:`repro.replay` checkpoints — a
+restored run continues the chain exactly where the snapshot left it.
+
 With ``keep_events=True`` the recorder also retains the readable event
 log, at a memory cost proportional to the run — useful for diffing two
 runs whose digests disagree (:func:`diff_traces`).
@@ -36,7 +42,7 @@ class TraceRecorder(FabricObserver):
 
     def __init__(self, network: Network, keep_events: bool = False) -> None:
         self.network = network
-        self._hash = hashlib.blake2b(digest_size=16)
+        self._digest = b"\x00" * 16  # chained per-event (see module doc)
         self.num_events = 0
         self.events: list[str] | None = [] if keep_events else None
         network.add_observer(self)
@@ -47,8 +53,9 @@ class TraceRecorder(FabricObserver):
         parts = [kind, self.network.sim.now.hex()]
         parts += [str(f) for f in fields]
         line = " ".join(parts)
-        self._hash.update(line.encode())
-        self._hash.update(b"\n")
+        h = hashlib.blake2b(self._digest, digest_size=16)
+        h.update(line.encode())
+        self._digest = h.digest()
         self.num_events += 1
         if self.events is not None:
             self.events.append(line)
@@ -106,7 +113,7 @@ class TraceRecorder(FabricObserver):
 
     def digest(self) -> str:
         """Hex digest of every event so far (stable under identical runs)."""
-        return self._hash.hexdigest()
+        return self._digest.hex()
 
     def snapshot(self) -> dict:
         """JSON-serializable golden record: digest + event count."""

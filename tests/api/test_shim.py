@@ -1,0 +1,119 @@
+"""The deprecated ``run_broadcast_scenario`` shim is byte-identical to
+``repro.api.run`` — serially and through a ``run_sweep`` worker pool.
+
+The serving golden scenario lives in :class:`repro.serve.ServeRuntime`
+(the shim never covered it); the broadcast-side golden scenarios plus a
+third mixed-scheme batch stand in for full coverage here.
+"""
+
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.api import ScenarioSpec
+from repro.experiments.parallel import SweepPoint, run_sweep
+from repro.experiments.runner import run_broadcast_scenario
+from repro.experiments.scenarios import fault_scenario, headline_scenario
+from repro.experiments.common import sim_config
+from repro.topology import LeafSpine
+from repro.workloads import generate_jobs
+
+SCENARIOS = ("headline", "fault", "mixed")
+
+
+def _build(name: str) -> ScenarioSpec:
+    if name == "headline":
+        return headline_scenario()[0]
+    if name == "fault":
+        return fault_scenario()[0]
+    topo = LeafSpine(2, 4, 2)
+    jobs = generate_jobs(
+        topo, 4, 4, 128 * 1024, offered_load=0.5, gpus_per_host=1, seed=7
+    )
+    return ScenarioSpec(
+        topology=topo,
+        scheme="optimal",
+        jobs=tuple(jobs),
+        config=sim_config(128 * 1024, seed=7),
+        record_trace=True,
+    )
+
+
+def _fingerprint(name: str, via: str) -> tuple:
+    """Everything a ScenarioResult reports, as one comparable value.
+
+    Module-level so ``run_sweep`` can pickle a reference to it.
+    """
+    spec = _build(name)
+    if via == "shim":
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = run_broadcast_scenario(
+                spec.topology,
+                spec.scheme,
+                list(spec.jobs),
+                spec.config,
+                check_invariants=spec.check_invariants,
+                fault_schedule=spec.fault_schedule,
+                record_trace=spec.record_trace,
+            )
+    else:
+        result = api.run(spec)
+    return (
+        result.scheme,
+        tuple(result.ccts),
+        result.total_bytes,
+        result.wasted_bytes,
+        result.pfc_pause_events,
+        result.failure_drops,
+        result.trace_digest,
+        tuple(result.repeels),
+        len(result.invariant_violations),
+    )
+
+
+class TestShimIdentity:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_serial_byte_identity(self, name):
+        assert _fingerprint(name, "shim") == _fingerprint(name, "api")
+
+    def test_sweep_byte_identity(self):
+        """Both entry points agree when fanned out across 4 workers."""
+        points = [
+            SweepPoint(_fingerprint, {"name": n, "via": via}, f"{n}/{via}")
+            for n in SCENARIOS
+            for via in ("shim", "api")
+        ]
+        results = run_sweep(points, jobs=4)
+        by_key = {
+            (p.kwargs["name"], p.kwargs["via"]): r
+            for p, r in zip(points, results)
+        }
+        for name in SCENARIOS:
+            assert by_key[name, "shim"] == by_key[name, "api"], name
+            # ...and the pool run matches the in-process run.
+            assert by_key[name, "api"] == _fingerprint(name, "api"), name
+
+
+class TestDeprecation:
+    def test_single_deprecation_warning(self):
+        spec = _build("headline")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_broadcast_scenario(
+                spec.topology, spec.scheme, list(spec.jobs), spec.config
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.api" in str(deprecations[0].message)
+
+    def test_shim_reexports_match_api(self):
+        from repro.experiments import runner
+
+        assert runner.ScenarioSpec is api.ScenarioSpec
+        assert runner.ScenarioResult is api.ScenarioResult
+        assert runner.segment_bytes_for is api.segment_bytes_for
+        assert runner.MIN_SEGMENT_BYTES == api.MIN_SEGMENT_BYTES

@@ -1,0 +1,114 @@
+"""ScenarioSpec / ScenarioResult / ReplayInfo semantics."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import ReplayInfo, ScenarioSpec, run
+from repro.collectives import RingBroadcast
+from repro.faults import Repeel
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+from repro.workloads import generate_jobs
+
+
+@pytest.fixture
+def setup():
+    topo = LeafSpine(2, 4, 2)
+    jobs = generate_jobs(
+        topo, 2, num_gpus=6, message_bytes=2**18, gpus_per_host=1, seed=3
+    )
+    return topo, jobs
+
+
+class TestScenarioSpec:
+    def test_frozen(self, setup):
+        topo, jobs = setup
+        spec = ScenarioSpec(topology=topo, scheme="peel", jobs=tuple(jobs))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.scheme = "ring"
+
+    def test_jobs_coerced_to_tuple(self, setup):
+        topo, jobs = setup
+        spec = ScenarioSpec(topology=topo, scheme="peel", jobs=jobs)
+        assert isinstance(spec.jobs, tuple)
+        assert spec.jobs == tuple(jobs)
+
+    def test_scheme_name_from_string(self, setup):
+        topo, jobs = setup
+        spec = ScenarioSpec(topology=topo, scheme="peel", jobs=tuple(jobs))
+        assert spec.scheme_name == "peel"
+
+    def test_scheme_name_from_instance(self, setup):
+        topo, jobs = setup
+        spec = ScenarioSpec(
+            topology=topo, scheme=RingBroadcast(), jobs=tuple(jobs)
+        )
+        assert spec.scheme_name == "ring"
+
+    def test_replace_builds_variants(self, setup):
+        topo, jobs = setup
+        spec = ScenarioSpec(topology=topo, scheme="peel", jobs=tuple(jobs))
+        other = dataclasses.replace(spec, scheme="ring", record_trace=True)
+        assert other.scheme == "ring"
+        assert other.record_trace
+        assert spec.scheme == "peel"  # original untouched
+
+
+class TestRun:
+    def test_result_carries_replay_info(self, setup):
+        topo, jobs = setup
+        result = run(
+            ScenarioSpec(topology=topo, scheme="peel", jobs=tuple(jobs))
+        )
+        assert isinstance(result.replay, ReplayInfo)
+        assert result.replay.resumed is False
+        assert result.replay.resumed_at_s is None
+        assert result.replay.snapshots_taken == 0
+        assert result.replay.events_processed > 0
+        assert result.replay.event_digest is None  # not requested
+
+    def test_event_digest_on_request(self, setup):
+        topo, jobs = setup
+        spec = ScenarioSpec(
+            topology=topo, scheme="peel", jobs=tuple(jobs), event_digest=True
+        )
+        a = run(spec)
+        b = run(spec)
+        assert a.replay.event_digest
+        assert a.replay.event_digest == b.replay.event_digest
+
+    def test_typed_result_fields(self, setup):
+        topo, jobs = setup
+        result = run(
+            ScenarioSpec(
+                topology=topo,
+                scheme="peel",
+                jobs=tuple(jobs),
+                config=SimConfig(),
+                check_invariants=True,
+            )
+        )
+        assert result.invariant_violations == []
+        assert result.repeels == []
+        assert all(isinstance(r, Repeel) for r in result.repeels)
+        assert len(result.ccts) == len(jobs)
+        assert result.stats.mean_s > 0
+
+    def test_max_events_budget(self, setup):
+        topo, jobs = setup
+        with pytest.raises(RuntimeError, match="never completed"):
+            run(
+                ScenarioSpec(
+                    topology=topo, scheme="peel", jobs=tuple(jobs),
+                    max_events=3,
+                )
+            )
+
+
+class TestRepeelCompat:
+    def test_repeel_is_a_tuple(self):
+        r = Repeel(1.5e-3, "peel-1", ("spine:0", "leaf:1"))
+        assert r == (1.5e-3, "peel-1", ("spine:0", "leaf:1"))
+        time_s, transfer, link = r
+        assert (time_s, transfer, link) == (r.time_s, r.transfer, r.link)

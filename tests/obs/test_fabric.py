@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.experiments import run_broadcast_scenario
+from repro.api import ScenarioSpec, run
 from repro.experiments.common import sim_config
 from repro.faults import FaultSchedule
 from repro.obs import DETAIL_LEVELS, Observability, nesting_violations
@@ -23,7 +23,8 @@ def _run(detail="segment", sample_interval_s=50e-6, num_jobs=2):
         topo, num_jobs, 6, 256 * KB, offered_load=0.4, gpus_per_host=1, seed=3
     )
     obs = Observability(sample_interval_s=sample_interval_s, detail=detail)
-    result = run_broadcast_scenario(topo, "peel", jobs, cfg, obs=obs)
+    result = run(ScenarioSpec(topology=topo, scheme="peel",
+                              jobs=tuple(jobs), config=cfg, obs=obs))
     return obs, result
 
 
@@ -108,9 +109,8 @@ class TestIntegration:
             .link_up(host, tor, at_s=arrival + 60e-6)
         )
         obs = Observability(sample_interval_s=50e-6)
-        run_broadcast_scenario(
-            topo, "peel", jobs, cfg, fault_schedule=schedule, obs=obs
-        )
+        run(ScenarioSpec(topology=topo, scheme="peel", jobs=tuple(jobs),
+                         config=cfg, fault_schedule=schedule, obs=obs))
         assert obs.registry["fabric.link_down_events"].value == 1
         assert obs.registry["fabric.link_up_events"].value == 1
         instants = [

@@ -3,7 +3,7 @@ invariant.
 
 The InvariantChecker runs in raise mode, so any conservation, occupancy,
 PFC-quota, exactly-once or deadlock violation fails the example outright;
-run_broadcast_scenario additionally raises if a collective never finishes.
+repro.api.run additionally raises if a collective never finishes.
 """
 
 import random
@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.collectives import Gpu, Group
-from repro.experiments.runner import run_broadcast_scenario
+from repro.api import ScenarioSpec, run
 from repro.faults import FaultSchedule
 from repro.sim import SimConfig
 from repro.topology import FatTree, LeafSpine
@@ -92,13 +92,13 @@ class TestInvariantsHold:
     def test_clean_fabric_random_jobs(self, mix):
         _kind, scheme, jobs, seed = mix
         topo = build_topo(_kind)
-        result = run_broadcast_scenario(
-            topo,
-            scheme,
-            jobs,
-            SimConfig(segment_bytes=64 * KB, seed=seed),
+        result = run(ScenarioSpec(
+            topology=topo,
+            scheme=scheme,
+            jobs=tuple(jobs),
+            config=SimConfig(segment_bytes=64 * KB, seed=seed),
             check_invariants=True,
-        )
+        ))
         assert result.invariant_violations == []
 
     @given(fault_plans())
@@ -106,13 +106,13 @@ class TestInvariantsHold:
     def test_faulted_fabric_random_jobs(self, plan):
         kind, scheme, jobs, schedule = plan
         topo = build_topo(kind)
-        result = run_broadcast_scenario(
-            topo,
-            scheme,
-            jobs,
-            SimConfig(segment_bytes=64 * KB),
+        result = run(ScenarioSpec(
+            topology=topo,
+            scheme=scheme,
+            jobs=tuple(jobs),
+            config=SimConfig(segment_bytes=64 * KB),
             check_invariants=True,
             fault_schedule=schedule,
-        )
+        ))
         assert result.invariant_violations == []
         assert topo.is_symmetric  # runner worked on a copy

@@ -1,0 +1,120 @@
+"""Deterministic replay: resumed runs are byte-identical, divergences
+are located.
+
+Covers the three golden scenarios from
+:mod:`repro.experiments.scenarios` — the headline broadcast batch, the
+mid-collective link flap (with a checkpoint *inside* the re-peel
+detection window), and the two-tenant serving stream — plus the
+observability export, which must also survive a checkpoint unchanged.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import ScenarioRun, run
+from repro.experiments.scenarios import (
+    fault_scenario,
+    headline_scenario,
+    serve_runtime,
+)
+from repro.obs import Observability
+from repro.replay import (
+    Snapshot,
+    verify_cut_points,
+    verify_scenario_replay,
+    verify_serve_replay,
+)
+
+
+class TestGoldenScenarios:
+    def test_headline_cut_points(self):
+        spec, cuts = headline_scenario()
+        reports = verify_cut_points(spec, cuts)
+        assert len(reports) == len(cuts)
+        for report in reports:
+            assert report.identical, report.describe()
+            assert report.event_digest
+            assert report.trace_digest
+            assert 0 < report.events_at_cut < report.events_total
+            assert report.snapshot_bytes > 0
+
+    def test_fault_cut_points_including_mid_repeel(self):
+        spec, cuts = fault_scenario()
+        reports = verify_cut_points(spec, cuts)
+        for report in reports:
+            assert report.identical, report.describe()
+        # The scenario must actually exercise a re-peel, or the mid-window
+        # cut proves nothing.
+        result = run(spec)
+        assert result.repeels, "fault scenario produced no re-peel"
+        assert result.invariant_violations == []
+
+    def test_serve_cut_points(self):
+        runtime, cuts = serve_runtime()
+        del runtime  # verify builds fresh copies via the factory
+        for cut in cuts:
+            report = verify_serve_replay(
+                lambda: serve_runtime()[0], cut
+            )
+            assert report.identical, report.describe()
+
+
+class TestDivergenceDetection:
+    def test_mismatched_baseline_is_located(self):
+        """Feeding a different run as baseline must report a divergence
+        with the first differing event pinpointed, not just a digest."""
+        spec, cuts = headline_scenario()
+        other = dataclasses.replace(spec, scheme="tree")
+        ispec = dataclasses.replace(
+            other, record_trace=True, keep_trace_events=True,
+            event_digest=True,
+        )
+        base_run = ScenarioRun(ispec)
+        base_result = base_run.finish()
+        report = verify_scenario_replay(
+            spec, cuts[0], baseline=(base_run, base_result)
+        )
+        assert not report.identical
+        assert report.mismatches
+        assert report.first_divergence
+        assert "DIVERGED" in report.describe()
+
+
+class TestObservabilityReplay:
+    def test_obs_metrics_identical_after_restore(self):
+        spec, cuts = headline_scenario()
+
+        straight = dataclasses.replace(
+            spec, obs=Observability(), event_digest=True
+        )
+        base = ScenarioRun(straight).finish()
+        base_metrics = straight.obs.metrics_json()
+
+        checkpointed = dataclasses.replace(
+            spec, obs=Observability(), event_digest=True
+        )
+        cut_run = ScenarioRun(checkpointed)
+        cut_run.run_until(cuts[1])
+        resumed = Snapshot.from_bytes(
+            cut_run.snapshot().to_bytes()
+        ).restore()
+        result = resumed.finish()
+
+        assert result.ccts == base.ccts
+        assert result.replay.event_digest == base.replay.event_digest
+        # The restored run carries its own pickled Observability copy;
+        # its export must be byte-identical to the uninterrupted one.
+        assert resumed.spec.obs.metrics_json() == base_metrics
+
+
+class TestRestartBudget:
+    def test_max_events_spans_checkpoints(self):
+        """The event budget counts total work, not per-segment work."""
+        spec, cuts = headline_scenario()
+        capped = dataclasses.replace(spec, max_events=3)
+        run_ = ScenarioRun(capped)
+        run_.run_until(cuts[0])  # burns more than 3 events already
+        resumed = run_.snapshot().restore()
+        with pytest.raises(RuntimeError, match="never completed"):
+            resumed.finish()

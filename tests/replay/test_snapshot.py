@@ -1,0 +1,89 @@
+"""Snapshot format: versioning, checksums, atomic save/load, restore."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.api import ScenarioRun
+from repro.experiments.scenarios import headline_scenario
+from repro.replay import SNAPSHOT_VERSION, Snapshot, SnapshotError
+
+
+@pytest.fixture
+def cut_run():
+    spec, cuts = headline_scenario()
+    run = ScenarioRun(
+        dataclasses.replace(spec, event_digest=True)
+    )
+    run.run_until(cuts[0])
+    return run
+
+
+class TestFormat:
+    def test_capture_metadata(self, cut_run):
+        snap = cut_run.snapshot()
+        assert snap.version == SNAPSHOT_VERSION
+        assert snap.kind == "ScenarioRun"
+        assert snap.at_s == cut_run.env.sim.now
+        assert snap.events_processed == cut_run.env.sim.processed
+        assert snap.payload
+
+    def test_bytes_roundtrip(self, cut_run):
+        snap = cut_run.snapshot()
+        again = Snapshot.from_bytes(snap.to_bytes())
+        assert again == snap
+
+    def test_garbage_blob_rejected(self):
+        with pytest.raises(SnapshotError, match="unreadable"):
+            Snapshot.from_bytes(b"not a snapshot")
+
+    def test_wrong_header_rejected(self):
+        blob = pickle.dumps({"version": 1})
+        with pytest.raises(SnapshotError, match="not a snapshot header"):
+            Snapshot.from_bytes(blob)
+
+    def test_corrupt_payload_rejected(self, cut_run):
+        snap = cut_run.snapshot()
+        tampered = dataclasses.replace(
+            snap, payload=snap.payload[:-1] + b"\x00"
+        )
+        with pytest.raises(SnapshotError, match="corrupt"):
+            tampered.restore()
+
+    def test_version_skew_rejected(self, cut_run):
+        snap = cut_run.snapshot()
+        stale = dataclasses.replace(snap, version=SNAPSHOT_VERSION + 1)
+        with pytest.raises(SnapshotError, match="version"):
+            stale.restore()
+
+
+class TestDisk:
+    def test_save_load(self, cut_run, tmp_path):
+        path = tmp_path / "run.snap"
+        snap = cut_run.snapshot()
+        snap.save(path)
+        assert Snapshot.load(path) == snap
+        assert not path.with_suffix(".snap.tmp").exists()  # atomic rename
+
+    def test_truncated_file_rejected(self, cut_run, tmp_path):
+        path = tmp_path / "run.snap"
+        cut_run.snapshot().save(path)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(SnapshotError):
+            Snapshot.load(path)
+
+
+class TestRestore:
+    def test_restore_marks_resumed(self, cut_run):
+        snap = cut_run.snapshot()
+        resumed = snap.restore()
+        result = resumed.finish()
+        assert result.replay.resumed is True
+        assert result.replay.resumed_at_s == snap.at_s
+
+    def test_snapshot_counter(self, cut_run):
+        cut_run.snapshot()
+        snap = cut_run.snapshot()
+        resumed = snap.restore()
+        assert resumed.finish().replay.snapshots_taken == 2

@@ -56,7 +56,7 @@ class TestCleanRuns:
         env, _ = run_broadcast("peel")
         transfer = env.network.transfers[0]
         for host in transfer.receivers:
-            accepted = env.invariants._accepted[(id(transfer), host)]
+            accepted = env.invariants._accepted[(transfer, host)]
             assert accepted == set(range(transfer.num_segments))
 
     def test_summary_mentions_ok(self):

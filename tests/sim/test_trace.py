@@ -3,7 +3,7 @@
 import pytest
 
 from repro.collectives import Gpu, Group
-from repro.experiments.runner import run_broadcast_scenario
+from repro.api import ScenarioSpec, run
 from repro.sim import SimConfig, TraceRecorder, diff_traces
 from repro.sim.trace import TraceRecorder as _TraceRecorder
 from repro.topology import LeafSpine
@@ -20,9 +20,9 @@ def make_job(topo, n=8, message=MB, arrival=0.0):
 def run_once(seed=0, scheme="peel"):
     topo = LeafSpine(2, 4, 2)
     cfg = SimConfig(segment_bytes=64 * 1024, seed=seed)
-    return run_broadcast_scenario(
-        topo, scheme, [make_job(topo)], cfg, record_trace=True
-    )
+    return run(ScenarioSpec(topology=topo, scheme=scheme,
+                        jobs=(make_job(topo),), config=cfg,
+                        record_trace=True))
 
 
 class TestDeterministicReplay:
@@ -44,9 +44,9 @@ class TestDeterministicReplay:
                 topo, 2, 4, MB, gpus_per_host=1, seed=seed
             )
             cfg = SimConfig(segment_bytes=64 * 1024, seed=seed)
-            return run_broadcast_scenario(
-                topo, "peel", jobs, cfg, record_trace=True
-            )
+            return run(ScenarioSpec(topology=topo, scheme="peel",
+                                jobs=tuple(jobs), config=cfg,
+                                record_trace=True))
 
         assert run_workload(0).trace_digest != run_workload(1).trace_digest
 
@@ -58,7 +58,8 @@ class TestDeterministicReplay:
 
     def test_no_trace_by_default(self):
         topo = LeafSpine(2, 4, 2)
-        result = run_broadcast_scenario(topo, "peel", [make_job(topo)])
+        result = run(ScenarioSpec(topology=topo, scheme="peel",
+                                  jobs=(make_job(topo),)))
         assert result.trace_digest is None
 
 

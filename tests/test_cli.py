@@ -65,6 +65,28 @@ class TestMain:
                      "--jobs", "2"]) == 0
         assert "peel" in capsys.readouterr().out
 
+    def test_workers_flag(self, capsys):
+        """``--workers``/``-j`` is the documented spelling; ``--jobs``
+        stays as a hidden alias for old scripts."""
+        assert main(["fig7", "--failures", "4", "--num-jobs", "2",
+                     "--workers", "1"]) == 0
+        assert "peel" in capsys.readouterr().out
+        args = build_parser().parse_args(["fig7", "-j", "2"])
+        assert args.workers == 2
+        assert build_parser().parse_args(["fig7", "--jobs", "3"]).workers == 3
+
+    def test_jobs_alias_hidden_from_help(self):
+        import argparse
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        fig7_help = sub.choices["fig7"].format_help()
+        assert "--workers" in fig7_help
+        assert "--jobs" not in fig7_help
+
     def test_faults_demo(self, capsys, tmp_path):
         trace = tmp_path / "golden.txt"
         assert main(
@@ -120,6 +142,24 @@ class TestMain:
              "--detail", "transfer"]
         ) == 0
         assert "sampler ticks" in capsys.readouterr().out
+
+    def test_replay_headline(self, capsys):
+        assert main(["replay", "--scenario", "headline"]) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+        assert "DIVERGED" not in out
+
+    def test_replay_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--scenario", "nope"])
+
+    def test_soak_tiny(self, capsys, tmp_path):
+        assert main(
+            ["soak", "--epochs", "1", "--state-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1/1" in out
+        assert (tmp_path / "soak.json").exists()
 
     def test_obs_rejects_unknown_scenario(self):
         with pytest.raises(SystemExit):

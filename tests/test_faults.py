@@ -4,7 +4,7 @@ import pytest
 
 from repro.collectives import Gpu, Group
 from repro.core import Peel
-from repro.experiments.runner import run_broadcast_scenario
+from repro.api import ScenarioSpec, run
 from repro.faults import (
     DROP,
     LINK_DOWN,
@@ -32,8 +32,16 @@ def spine_link_in_plan(topo, job):
     raise AssertionError("plan uses no spine link")
 
 
+def run_scenario(topo, scheme, jobs, fault_schedule=None,
+                 check_invariants=False):
+    return run(ScenarioSpec(
+        topology=topo, scheme=scheme, jobs=tuple(jobs),
+        fault_schedule=fault_schedule, check_invariants=check_invariants,
+    ))
+
+
 def clean_cct(topo, job, scheme="peel"):
-    return run_broadcast_scenario(topo, scheme, [job]).stats.mean_s
+    return run_scenario(topo, scheme, [job]).stats.mean_s
 
 
 class TestFaultEvent:
@@ -114,7 +122,7 @@ class TestInjectorValidation:
         topo = LeafSpine(2, 2, 1)
         sched = FaultSchedule().link_down("spine:0", "leaf:99", at_s=1e-3)
         with pytest.raises(ValueError, match="no such link"):
-            run_broadcast_scenario(
+            run_scenario(
                 topo, "peel", [make_job(topo, n=4)], fault_schedule=sched
             )
 
@@ -122,7 +130,7 @@ class TestInjectorValidation:
         topo = LeafSpine(2, 2, 1)
         sched = FaultSchedule().switch_drain("spine:42", at_s=1e-3)
         with pytest.raises(ValueError, match="unknown switch"):
-            run_broadcast_scenario(
+            run_scenario(
                 topo, "peel", [make_job(topo, n=4)], fault_schedule=sched
             )
 
@@ -137,7 +145,7 @@ class TestMidstreamRecovery:
         sched = FaultSchedule().link_flap(
             *link, down_at_s=0.4 * cct, up_at_s=3.0 * cct
         )
-        result = run_broadcast_scenario(
+        result = run_scenario(
             topo, scheme, [job], fault_schedule=sched, check_invariants=True
         )
         assert result.invariant_violations == []
@@ -152,7 +160,7 @@ class TestMidstreamRecovery:
         cct = clean_cct(topo, job)
         link = spine_link_in_plan(topo, job)
         sched = FaultSchedule().link_down(*link, at_s=0.4 * cct)
-        result = run_broadcast_scenario(
+        result = run_scenario(
             topo, "peel", [job], fault_schedule=sched, check_invariants=True
         )
         assert result.invariant_violations == []
@@ -164,7 +172,7 @@ class TestMidstreamRecovery:
         cct = clean_cct(topo, job)
         link = spine_link_in_plan(topo, job)
         sched = FaultSchedule().drop_segments(*link, at_s=0.3 * cct, count=2)
-        result = run_broadcast_scenario(
+        result = run_scenario(
             topo, "peel", [job], fault_schedule=sched, check_invariants=True
         )
         assert result.invariant_violations == []
@@ -182,7 +190,7 @@ class TestMidstreamRecovery:
             .switch_drain(spine, at_s=0.4 * cct)
             .switch_restore(spine, at_s=3.0 * cct)
         )
-        result = run_broadcast_scenario(
+        result = run_scenario(
             topo, "peel", [job], fault_schedule=sched, check_invariants=True
         )
         assert result.invariant_violations == []
@@ -194,7 +202,7 @@ class TestMidstreamRecovery:
         cct = clean_cct(topo, job)
         link = spine_link_in_plan(topo, job)
         sched = FaultSchedule().link_down(*link, at_s=10.0 * cct)
-        result = run_broadcast_scenario(
+        result = run_scenario(
             topo, "peel", [job], fault_schedule=sched, check_invariants=True
         )
         assert result.invariant_violations == []

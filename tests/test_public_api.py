@@ -16,6 +16,8 @@ SUBPACKAGES = [
     "repro.collectives",
     "repro.workloads",
     "repro.metrics",
+    "repro.api",
+    "repro.replay",
     "repro.serve",
     "repro.experiments",
 ]
@@ -37,6 +39,8 @@ class TestTopLevel:
             Gpu,
             Group,
             Peel,
+            ScenarioSpec,
+            run,
             scheme_by_name,
         )
 
