@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Events/sec regression gate for CI's bench-smoke job.
+
+Compares a freshly produced BENCH json (``scripts/bench_report.py``)
+against the committed baseline and fails when the headline scenario's
+``events_per_sec`` dropped by more than the threshold.  Only the
+within-run throughput rate is compared — the fresh json may come from a
+``--quick`` run and the baseline from a full one; the rate is the
+machine-comparable quantity, absolute wall times are not.
+
+    python scripts/bench_gate.py BENCH_ci-smoke.json BENCH_4.json
+    python scripts/bench_gate.py fresh.json base.json --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def events_per_sec(path: str, scenario: str) -> float:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    try:
+        rate = data["scenarios"][scenario]["events_per_sec"]
+    except KeyError as exc:
+        raise SystemExit(
+            f"{path}: no events_per_sec for scenario {scenario!r} "
+            f"(missing key {exc})"
+        )
+    if not isinstance(rate, (int, float)) or rate <= 0:
+        raise SystemExit(f"{path}: bad events_per_sec {rate!r}")
+    return float(rate)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="BENCH json from this run")
+    parser.add_argument("baseline", help="committed baseline BENCH json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="maximum tolerated events/sec drop (default: 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--scenario", default="headline",
+        help="BENCH scenario to compare (default: headline)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.threshold < 1:
+        parser.error("--threshold must be in [0, 1)")
+
+    fresh = events_per_sec(args.fresh, args.scenario)
+    base = events_per_sec(args.baseline, args.scenario)
+    floor = base * (1 - args.threshold)
+    ratio = fresh / base
+    print(
+        f"{args.scenario}: fresh {fresh:,.0f} ev/s vs baseline "
+        f"{base:,.0f} ev/s ({ratio:.2%}); floor {floor:,.0f} "
+        f"(-{args.threshold:.0%})"
+    )
+    if fresh < floor:
+        print(
+            f"REGRESSION: {args.scenario} events/sec dropped "
+            f"{1 - ratio:.1%} (> {args.threshold:.0%} allowed)",
+            file=sys.stderr,
+        )
+        return 1
+    print("bench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

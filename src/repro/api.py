@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from .collectives import BroadcastScheme, CollectiveEnv, scheme_by_name
-from .faults import FaultSchedule, Repeel
+from .faults import Failover, FaultSchedule, Repeel
 from .metrics import CctStats, summarize_ccts
 from .sim import SimConfig, Violation
 from .topology import Topology
@@ -82,6 +82,10 @@ class ScenarioSpec:
     keep_trace_events: bool = False
     obs: "Observability | None" = None
     event_digest: bool = False
+    #: Resilience level F: every protected link of a peel tree gets F
+    #: pre-installed edge-disjoint backup subtrees; cuts on protected links
+    #: fail over locally instead of waiting out the detection window.
+    protection: int = 0
 
     def __post_init__(self) -> None:
         # Accept any iterable of jobs; store the canonical tuple.
@@ -126,6 +130,13 @@ class ScenarioResult:
     failure_drops: int = 0
     repeels: list[Repeel] = field(default_factory=list)
     replay: ReplayInfo | None = None
+    failovers: list[Failover] = field(default_factory=list)
+    protection: int = 0
+    #: Fast-failover entries pre-installed across the fabric, reported
+    #: against the per-switch static-rule budget (the paper's k−1 bound).
+    backup_tcam_entries: int = 0
+    backup_tcam_peak_per_switch: int = 0
+    static_rule_budget: int = 0
     stats: CctStats = field(init=False)
 
     def __post_init__(self) -> None:
@@ -167,6 +178,7 @@ class ScenarioRun:
             check_invariants=spec.check_invariants,
             record_trace=spec.record_trace,
             keep_trace_events=spec.keep_trace_events,
+            protection=spec.protection,
         )
         if spec.event_digest:
             self.env.sim.attach_digest()
@@ -242,6 +254,13 @@ class ScenarioRun:
                 f"max_events too low"
             )
         digest = env.sim.event_digest
+        backup_entries = 0
+        backup_peak = 0
+        if env.protection_state is not None:
+            backup_entries = sum(
+                len(t) for t in env.protection_state.tables.values()
+            )
+            backup_peak = env.protection_state.peak_entries_per_switch
         return ScenarioResult(
             scheme=self.scheme.name,
             ccts=[h.cct_s for h in self.handles],
@@ -264,6 +283,17 @@ class ScenarioRun:
                 event_digest=(
                     digest.hexdigest() if digest is not None else None
                 ),
+            ),
+            failovers=(
+                list(env.fault_injector.failovers)
+                if env.fault_injector is not None
+                else []
+            ),
+            protection=env.protection,
+            backup_tcam_entries=backup_entries,
+            backup_tcam_peak_per_switch=backup_peak,
+            static_rule_budget=(
+                env.static_rule_budget() if env.protection else 0
             ),
         )
 

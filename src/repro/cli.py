@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 from .experiments import (
     deployment,
+    failover,
     faults_demo,
     fig1_bandwidth,
     fig3_rsbf,
@@ -50,6 +52,7 @@ EXPERIMENTS = {
     "fig6": "CCT vs scale at 64 MB (simulation)",
     "fig7": "CCT vs failure rate (simulation)",
     "faults": "mid-Broadcast link failure + re-peel demo (simulation)",
+    "failover": "proactive fast-failover vs reactive re-peel (simulation)",
     "headline": "state table + aggregate-bandwidth headline",
     "trees": "layer-peeling quality vs exact Steiner",
     "guard": "DCQCN guard-timer ablation",
@@ -61,6 +64,19 @@ EXPERIMENTS = {
     "replay": "checkpoint/replay determinism smoke on a golden scenario",
     "soak": "randomized checkpoint/replay soak epochs (resumable)",
 }
+
+
+class _JobsAliasAction(argparse.Action):
+    """The hidden ``--jobs`` alias of ``-j``/``--workers``: same effect,
+    plus exactly one :class:`DeprecationWarning` per use."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            "--jobs is deprecated; use -j/--workers",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,7 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
         # Old spelling, kept working but out of --help (it collided with
         # --num-jobs in every head: workers != simulated collectives).
         parser_.add_argument(
-            "--jobs", dest="workers", type=int, help=argparse.SUPPRESS)
+            "--jobs", dest="workers", type=int, action=_JobsAliasAction,
+            help=argparse.SUPPRESS)
 
     p = sub.add_parser("fig4", help=EXPERIMENTS["fig4"])
     p.add_argument("--sizes", type=int, nargs="+", default=[2, 8, 32])
@@ -129,6 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH",
                    help="save the run's golden-trace digest to PATH")
     p.add_argument("--seed", type=int, default=3)
+
+    p = sub.add_parser("failover", help=EXPERIMENTS["failover"])
+    p.add_argument("--protection", type=int, nargs="+", default=[0, 1],
+                   metavar="F",
+                   help="resilience levels to sweep (0 = reactive re-peel "
+                        "only; F >= 1 pre-installs F backup subtrees per "
+                        "protected link)")
+    add_workers_flag(p)
 
     p = sub.add_parser("guard", help=EXPERIMENTS["guard"])
     p.add_argument("--num-jobs", type=int, default=12,
@@ -264,6 +289,12 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.trace, "w", encoding="utf-8") as fh:
                 fh.write(result.trace_digest + "\n")
             print(f"trace digest written to {args.trace}")
+    elif args.command == "failover":
+        rows = failover.run(
+            protection_levels=tuple(args.protection),
+            **_sweep_kwargs(args),
+        )
+        print(failover.format_table(rows))
     elif args.command == "headline":
         print(headline.format_state_table(headline.state_table()))
         bw = headline.bandwidth_headline()

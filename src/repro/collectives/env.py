@@ -52,8 +52,17 @@ class CollectiveEnv:
         keep_trace_events: bool = False,
         raise_on_violation: bool = True,
         plan_cache: "PlanCache | None" = None,
+        protection: int = 0,
     ) -> None:
+        if protection < 0:
+            raise ValueError(f"protection must be >= 0, got {protection}")
         self.topo = topo
+        #: Resilience level F: PEEL plans carry F edge-disjoint backup
+        #: subtrees per protected link (0 = reactive recovery only).
+        self.protection = protection
+        #: Lazily-created :class:`repro.serve.state.FabricState` holding the
+        #: fast-failover entries of every protected group (TCAM accounting).
+        self.protection_state = None
         self.config = config or SimConfig()
         self.network = Network(topo, self.config)
         self.sim: Simulator = self.network.sim
@@ -88,7 +97,9 @@ class CollectiveEnv:
     def peel(self, max_prefixes_per_fanout: int | None = None) -> Peel:
         planner = self._peel_planners.get(max_prefixes_per_fanout)
         if planner is None:
-            planner = Peel(self.topo, max_prefixes_per_fanout)
+            planner = Peel(
+                self.topo, max_prefixes_per_fanout, resilience=self.protection
+            )
             self._peel_planners[max_prefixes_per_fanout] = planner
         return planner
 
@@ -104,6 +115,27 @@ class CollectiveEnv:
         if self.plan_cache is not None and max_prefixes_per_fanout is None:
             return self.plan_cache.get(planner, source, receivers)
         return planner.plan(source, receivers)
+
+    def account_protection(self, group_id: str, protection) -> None:
+        """Charge a protected group's fast-failover entries to the per-switch
+        TCAM accounting (lazily created; plain switch tables, non-strict)."""
+        from ..serve.state import FabricState
+
+        if self.protection_state is None:
+            self.protection_state = FabricState(strict=False)
+        self.protection_state.install_group(
+            group_id, protection.tcam_demand(group_id)
+        )
+
+    def static_rule_budget(self) -> int:
+        """The paper's per-switch static-rule budget (2^(w+1) − 1 prefix
+        rules, i.e. the k−1 bound): the yardstick backup entries are
+        reported against.  0 when the topology has no PEEL id space."""
+        try:
+            width = self.peel().identifier_width
+        except (ValueError, AttributeError):
+            return 0
+        return (1 << (width + 1)) - 1
 
     def next_transfer_name(self, prefix: str) -> str:
         self._transfer_counter += 1

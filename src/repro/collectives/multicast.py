@@ -143,5 +143,9 @@ class PeelBroadcast(BroadcastScheme):
             env.fault_injector.register(
                 transfer, PeelReplan(env, source, self.max_prefixes_per_fanout)
             )
+        if plan.protection is not None and plan.protection.entries:
+            env.account_protection(transfer.name, plan.protection)
+            if env.fault_injector is not None:
+                env.fault_injector.protect(transfer, plan.protection)
         transfer.start()
         return handle

@@ -24,6 +24,7 @@ from .prefix import (
     covered_ids,
     exact_cover,
 )
+from .protection import BackupEntry, ProtectionPlan, build_protection
 from .refinement import ControllerModel, RefinementSchedule, core_rules_needed
 from .rules import ForwardingRule, PrefixRuleTable, preinstalled_rules, rule_count
 from .service import GroupClosedError, MulticastGroup, MulticastService
@@ -48,6 +49,9 @@ __all__ = [
     "peeled_tree_bound",
     "diverse_trees",
     "tree_overlap",
+    "BackupEntry",
+    "ProtectionPlan",
+    "build_protection",
     "optimal_symmetric_tree",
     "optimal_symmetric_cost",
     "SymmetryError",

@@ -29,6 +29,7 @@ from ..topology import addressing as addr
 from .header import PeelHeader
 from .layer_peeling import layer_peeling_tree
 from .prefix import Prefix, bounded_cover, exact_cover
+from .protection import ProtectionPlan, build_protection
 from .symmetric import optimal_symmetric_tree
 
 _EDGE_KINDS = {addr.NodeKind.TOR, addr.NodeKind.LEAF}
@@ -68,6 +69,8 @@ class PeelPlan:
     packets: list[PrefixPacket]
     local_tree: MulticastTree | None  # only when no prefix packet exists
     header_bytes: int
+    #: Pre-computed fast-failover backup subtrees (``resilience >= 1`` only).
+    protection: ProtectionPlan | None = None
 
     @property
     def static_trees(self) -> list[MulticastTree]:
@@ -115,10 +118,16 @@ class Peel:
     ``max_prefixes_per_fanout`` bounds the ToR-level packet count per pod
     (``None`` = exact cover, no redundant traffic); bounding it trades
     up-funnel copies for over-covered ToRs (§3.4's fragmentation knob).
+
+    ``resilience`` (``F``) switches on proactive protection: every plan
+    additionally carries up to ``F`` mutually edge-disjoint backup subtrees
+    per protected (switch-to-switch) link of its static trees, ready for
+    local fast-failover (see :mod:`repro.core.protection`).
     """
 
     topo: Topology
     max_prefixes_per_fanout: int | None = None
+    resilience: int = 0
     _width: int = field(init=False)
     _pod_width: int = field(init=False)
 
@@ -137,6 +146,8 @@ class Peel:
             raise TypeError(f"unsupported topology: {type(self.topo).__name__}")
         if self.max_prefixes_per_fanout is not None and self.max_prefixes_per_fanout < 1:
             raise ValueError("max_prefixes_per_fanout must be >= 1")
+        if self.resilience < 0:
+            raise ValueError("resilience must be >= 0")
 
     @property
     def identifier_width(self) -> int:
@@ -158,7 +169,7 @@ class Peel:
             drafts = self._per_fanout_drafts(tree, source)
         packets, local = self._finalize(tree, source, drafts)
         header_nbytes = packets[0].header.nbytes if packets else 0
-        return PeelPlan(
+        plan = PeelPlan(
             source=source,
             destinations=dests,
             base_tree=tree,
@@ -166,6 +177,11 @@ class Peel:
             local_tree=local,
             header_bytes=header_nbytes,
         )
+        if self.resilience:
+            plan.protection = build_protection(
+                self.topo, plan.static_trees, source, self.resilience
+            )
+        return plan
 
     # -- shared internals ------------------------------------------------------
 

@@ -1,0 +1,170 @@
+"""Proactive F-resilient protection: pre-computed backup subtrees per link.
+
+The reactive recovery story (:mod:`repro.faults`) detects a failure ~100 µs
+after the fact and re-peels; this module moves the work to *plan time*, in
+the style of OpenFlow Fast-Failover group tables.  For every protected link
+of a primary peel tree the planner computes up to ``F`` mutually
+edge-disjoint backup subtrees (the same scratch-topology construction
+:func:`repro.core.multipath.diverse_trees` uses) and records the extra
+per-switch entries they cost.  When a protected link dies, the affected
+transfer flips to the first healthy backup *at the cut event itself* — no
+detection delay, no controller round trip — while unprotected cuts keep
+falling back to the reactive re-peel.
+
+A *protected link* is a switch-to-switch link of the primary tree: host
+attachments are single-homed, so no backup subtree can route around them.
+Backup computation is best effort — a fabric without enough residual
+diversity simply leaves that link unprotected (reactive recovery still
+covers it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..steiner import MulticastTree
+from ..topology import Topology
+from ..topology.addressing import NodeKind, kind_of
+from .layer_peeling import layer_peeling_tree
+
+#: Entry demand of one protection plan: switch -> entry keys (mirrors
+#: :data:`repro.serve.state.Demand` without importing the serving layer).
+Demand = dict[str, list[object]]
+
+
+def _is_core_link(u: str, v: str) -> bool:
+    return kind_of(u) is not NodeKind.HOST and kind_of(v) is not NodeKind.HOST
+
+
+def _link_key(u: str, v: str) -> tuple[str, str]:
+    """Canonical (sorted) undirected identity of a link."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class BackupEntry:
+    """Pre-installed fast-failover alternatives for one protected link.
+
+    ``backups`` are ordered like the buckets of an OpenFlow Fast-Failover
+    group: on a cut, the first alternative whose links are all healthy
+    wins.  Alternatives are mutually edge-disjoint on switch-to-switch
+    links and never use the protected link itself.
+    """
+
+    tree_index: int
+    link: tuple[str, str]  # canonical (sorted) endpoints
+    backups: tuple[MulticastTree, ...]
+
+
+@dataclass
+class ProtectionPlan:
+    """Every backup subtree one peel plan pre-installs, plus its TCAM cost."""
+
+    resilience: int
+    #: ``(tree index, canonical link) -> BackupEntry``
+    entries: dict[tuple[int, tuple[str, str]], BackupEntry] = field(
+        default_factory=dict
+    )
+
+    def entry_for(self, tree_index: int, u: str, v: str) -> BackupEntry | None:
+        return self.entries.get((tree_index, _link_key(u, v)))
+
+    @property
+    def protected_links(self) -> set[tuple[str, str]]:
+        return {link for _idx, link in self.entries}
+
+    def protects(self, u: str, v: str) -> bool:
+        key = _link_key(u, v)
+        return any(link == key for _idx, link in self.entries)
+
+    # -- TCAM accounting -------------------------------------------------------
+
+    def tcam_demand(self, group_id: object) -> Demand:
+        """Per-switch fast-failover entries this plan pre-installs.
+
+        One entry per replication point of every backup alternative, keyed
+        by (group, protected link, tree, alternative) — the granularity a
+        fast-failover group table needs to flip one watched link without
+        touching any other group's state.
+        """
+        demand: Demand = {}
+        for (tree_index, link), entry in sorted(self.entries.items()):
+            for alt, backup in enumerate(entry.backups):
+                for switch in sorted(backup.children_map):
+                    if kind_of(switch) is NodeKind.HOST:
+                        continue
+                    demand.setdefault(switch, []).append(
+                        ("ff", group_id, link, tree_index, alt)
+                    )
+        return demand
+
+    def total_entries(self) -> int:
+        return sum(len(keys) for keys in self.tcam_demand(None).values())
+
+    def peak_entries_per_switch(self) -> int:
+        return max(
+            (len(keys) for keys in self.tcam_demand(None).values()), default=0
+        )
+
+
+def build_protection(
+    topo: Topology,
+    trees: list[MulticastTree],
+    source: str,
+    resilience: int,
+) -> ProtectionPlan:
+    """Backup subtrees for every protectable link of the primary trees.
+
+    For alternative ``j`` of a protected link the scratch topology drops
+    the protected link plus the switch-to-switch links of alternatives
+    ``0..j-1``, then re-runs the layer-peeling greedy toward the tree's
+    own receivers — so alternatives are mutually edge-disjoint and each
+    avoids the link it protects.  Links whose removal disconnects some
+    receiver get no (or fewer) backups.
+    """
+    if resilience < 1:
+        raise ValueError(f"resilience must be >= 1, got {resilience}")
+    plan = ProtectionPlan(resilience=resilience)
+    for index, tree in enumerate(trees):
+        hosts = sorted(
+            n for n in tree.nodes if kind_of(n) is NodeKind.HOST and n != source
+        )
+        if not hosts:
+            continue
+        for parent_node, child in sorted(tree.edges):
+            if not _is_core_link(parent_node, child):
+                continue
+            key = (index, _link_key(parent_node, child))
+            if key in plan.entries:
+                continue
+            backups = _backup_alternatives(
+                topo, source, hosts, (parent_node, child), resilience
+            )
+            if backups:
+                plan.entries[key] = BackupEntry(
+                    tree_index=index, link=key[1], backups=tuple(backups)
+                )
+    return plan
+
+
+def _backup_alternatives(
+    topo: Topology,
+    source: str,
+    hosts: list[str],
+    protected: tuple[str, str],
+    resilience: int,
+) -> list[MulticastTree]:
+    scratch = topo.copy()
+    if scratch.graph.has_edge(*protected):
+        scratch.graph.remove_edge(*protected)
+    backups: list[MulticastTree] = []
+    for _ in range(resilience):
+        try:
+            backup = layer_peeling_tree(scratch, source, hosts)
+        except ValueError:
+            break  # residual diversity exhausted; keep what we have
+        backups.append(backup)
+        for u, v in backup.edges:
+            if _is_core_link(u, v) and scratch.graph.has_edge(u, v):
+                scratch.graph.remove_edge(u, v)
+    return backups

@@ -14,6 +14,8 @@ window (link already down, detection timer still pending in the heap).
 
 from __future__ import annotations
 
+import dataclasses
+
 from ..api import ScenarioSpec
 from ..faults import FaultSchedule
 from ..serve import ServeRuntime, TcamAdmission
@@ -78,6 +80,19 @@ def fault_scenario() -> tuple[ScenarioSpec, tuple[float, ...]]:
     # Detection fires 100 us after down_at: cut inside that window.
     cuts = (job.arrival_s + 5e-6, down_at + 50e-6, down_at + 110e-6)
     return spec, cuts
+
+
+def protected_fault_scenario(
+    protection: int = 1,
+) -> tuple[ScenarioSpec, tuple[float, ...]]:
+    """The golden fault scenario with proactive protection switched on.
+
+    Identical workload, fabric, cut link and cut times as
+    :func:`fault_scenario` — only ``protection`` differs — so a pair of
+    runs isolates local fast-failover against the reactive re-peel.
+    """
+    spec, cuts = fault_scenario()
+    return dataclasses.replace(spec, protection=protection), cuts
 
 
 def serve_runtime(record_trace: bool = True) -> tuple[ServeRuntime, tuple[float, ...]]:

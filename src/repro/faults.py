@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Callable, NamedTuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from .collectives.env import CollectiveEnv
+    from .core.protection import ProtectionPlan
     from .sim.transfer import Transfer
     from .steiner import MulticastTree
 
@@ -68,6 +69,76 @@ class Repeel(NamedTuple):
     time_s: float
     transfer: str
     link: tuple[str, str]
+
+
+class Failover(NamedTuple):
+    """One successful *local* fast-failover: a protected link died and the
+    affected transfer flipped to its pre-installed backup subtree at the cut
+    event itself — zero detection delay, no re-plan (cf. :class:`Repeel`,
+    the reactive path)."""
+
+    time_s: float
+    transfer: str
+    link: tuple[str, str]
+
+
+class _ProtectedTransfer:
+    """Fast-failover group state for one transfer (picklable, no closures —
+    this lives in the fault injector, which must survive replay snapshots).
+
+    One *slot* per static tree of the transfer's plan: ``[tree,
+    primary_index, entry_key]`` where ``entry_key`` is ``None`` while the
+    slot still runs its primary tree and the owning
+    ``(tree_index, protected_link)`` key once it switched to a backup.
+    """
+
+    __slots__ = ("transfer", "plan", "slots")
+
+    def __init__(self, transfer: "Transfer", plan: "ProtectionPlan") -> None:
+        self.transfer = transfer
+        self.plan = plan
+        self.slots: list[list] = [
+            [tree, index, None]
+            for index, tree in enumerate(transfer.static_trees)
+        ]
+
+    @staticmethod
+    def _uses(tree: "MulticastTree", u: str, v: str) -> bool:
+        return tree.parent.get(v) == u or tree.parent.get(u) == v
+
+    def try_failover(self, u: str, v: str, ports) -> "list[MulticastTree] | None":
+        """The transfer's new tree list if *every* slot crossing the dead
+        link has a healthy pre-installed backup; ``None`` hands the cut to
+        the reactive re-peel path."""
+        if self.transfer.complete:
+            return None
+        affected = [s for s in self.slots if self._uses(s[0], u, v)]
+        if not affected:
+            return None
+        flips: list[tuple[list, tuple, "MulticastTree"]] = []
+        for slot in affected:
+            _tree, primary, entry_key = slot
+            if entry_key is None:
+                entry = self.plan.entry_for(primary, u, v)
+                key = None if entry is None else (primary, entry.link)
+            else:
+                # Already on a backup: the same fast-failover group's next
+                # live bucket takes over (no new watch entry for backups).
+                entry = self.plan.entries.get(entry_key)
+                key = entry_key
+            backup = None
+            if entry is not None:
+                for candidate in entry.backups:
+                    if all(not ports[edge].down for edge in candidate.edges):
+                        backup = candidate
+                        break
+            if backup is None:
+                return None  # some slot is unprotected: reactive fallback
+            flips.append((slot, key, backup))
+        for slot, key, backup in flips:
+            slot[0] = backup
+            slot[2] = key
+        return [slot[0] for slot in self.slots]
 
 
 @dataclass(frozen=True, order=True)
@@ -217,8 +288,11 @@ class FaultInjector:
         self.schedule = schedule
         self.detection_delay_s = detection_delay_s
         self._recovery: list[tuple["Transfer", ReplanFn]] = []
+        self._protection: list[_ProtectedTransfer] = []
         #: One :class:`Repeel` per successful re-peel.
         self.repeels: list[Repeel] = []
+        #: One :class:`Failover` per successful local fast-failover.
+        self.failovers: list[Failover] = []
         self.events_fired = 0
         # Transfers must track per-receiver segments from birth so a
         # mid-stream loss is repairable.
@@ -245,6 +319,14 @@ class FaultInjector:
         """Arrange for ``transfer`` to be re-peeled when a fault hits its
         route trees; ``replan`` maps unfinished receivers to fresh trees."""
         self._recovery.append((transfer, replan))
+
+    def protect(self, transfer: "Transfer", plan: "ProtectionPlan | None") -> None:
+        """Arm ``transfer`` with pre-installed backup subtrees: cuts hitting
+        a protected link of its trees flip to the backup locally, at the cut
+        event, instead of waiting out the detection delay."""
+        if plan is None or not plan.entries:
+            return
+        self._protection.append(_ProtectedTransfer(transfer, plan))
 
     # -- event firing ----------------------------------------------------------
 
@@ -277,7 +359,27 @@ class FaultInjector:
         topo = self.env.topo
         if topo.graph.has_edge(u, v):
             topo.fail_link(u, v)
+        self._local_failover(u, v)
         self.env.sim.schedule(self.detection_delay_s, self._replan_around, (u, v))
+
+    def _local_failover(self, u: str, v: str) -> None:
+        """Fast-failover at the cut event itself: protected transfers whose
+        trees cross the dead link flip to pre-installed backups with zero
+        replan latency.  The detection-delayed :meth:`_replan_around` still
+        fires but skips them (their new trees avoid the link), so protected
+        cuts never show up as re-peels."""
+        network = self.env.network
+        for prot in self._protection:
+            trees = prot.try_failover(u, v, network.ports)
+            if trees is None:
+                continue
+            prot.transfer.reroute(trees)
+            self.failovers.append(
+                Failover(self.env.sim.now, prot.transfer.name, (u, v))
+            )
+            if network.observers:
+                for ob in network.observers:
+                    ob.on_failover(prot.transfer, (u, v))
 
     def _link_up(self, u: str, v: str) -> None:
         network = self.env.network

@@ -154,6 +154,14 @@ class FabricMetricsObserver(FabricObserver):
             "fabric",
         )
 
+    def on_failover(self, transfer: "Transfer", link: tuple[str, str]) -> None:
+        self.registry.counter("failover.local_recoveries").inc()
+        self.tracer.instant(
+            f"failover {transfer.name} around {link[0]} -- {link[1]}",
+            self.network.sim.now,
+            "fabric",
+        )
+
     # -- finalize --------------------------------------------------------------
 
     def close_pauses(self, now: float) -> None:

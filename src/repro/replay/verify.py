@@ -85,6 +85,7 @@ def _compare(
     )
     check("failure_drops", baseline.failure_drops, resumed.failure_drops)
     check("repeels", baseline.repeels, resumed.repeels)
+    check("failovers", baseline.failovers, resumed.failovers)
     check("trace_digest", baseline.trace_digest, resumed.trace_digest)
     check(
         "event_digest",

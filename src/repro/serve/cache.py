@@ -38,13 +38,16 @@ class PlanKey:
     ``source_tor`` / ``receiver_tors`` are the shape the paper's state
     argument cares about; ``hosts`` (source followed by the sorted receiver
     set) pins the host-level attachment edges so a hit is byte-identical to
-    a fresh plan; ``epoch`` ties the entry to one topology generation.
+    a fresh plan; ``epoch`` ties the entry to one topology generation;
+    ``resilience`` keeps plans with different backup-subtree levels from
+    aliasing when planners of several protection levels share one cache.
     """
 
     source_tor: str
     receiver_tors: frozenset[str]
     hosts: tuple[str, ...]
     epoch: int
+    resilience: int = 0
 
 
 class PlanCache(FabricObserver):
@@ -72,6 +75,7 @@ class PlanCache(FabricObserver):
             receiver_tors=frozenset(topo.tor_of(r) for r in dests),
             hosts=(source, *dests),
             epoch=self.epoch,
+            resilience=getattr(planner, "resilience", 0),
         )
 
     # -- lookup ----------------------------------------------------------------

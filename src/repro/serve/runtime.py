@@ -127,6 +127,7 @@ class ServeRuntime:
         fault_schedule=None,
         raise_on_violation: bool = True,
         obs=None,
+        protection: int = 0,
     ) -> None:
         if scheme not in DATAPLANE:
             raise ValueError(
@@ -137,6 +138,10 @@ class ServeRuntime:
             raise ValueError("max_queue must be non-negative")
         self.scheme_name = scheme
         self.scheme = scheme_by_name(DATAPLANE[scheme])
+        #: Resilience level F: peel plans carry pre-installed backup
+        #: subtrees whose fast-failover entries join each group's TCAM
+        #: demand (and therefore its admission cost).
+        self.protection = protection
         self.admission = admission or FifoAdmission()
         self.max_queue = max_queue
         if plan_cache is True:
@@ -153,6 +158,7 @@ class ServeRuntime:
             record_trace=record_trace,
             raise_on_violation=raise_on_violation,
             plan_cache=plan_cache,
+            protection=protection,
         )
         self.state_policy = policy_for(scheme)
         self.state = FabricState(capacity=tcam_capacity, strict=False)
@@ -251,13 +257,28 @@ class ServeRuntime:
         """The per-switch entries this job's group needs (cached)."""
         if record._demand is None:
             if not self.state_policy.per_group:
-                record._demand = {}
+                record._demand = self._protection_demand(record)
             else:
                 tree = self._group_tree(record)
                 record._demand = self.state_policy.demand(
                     record.index, tree_switch_fanouts(tree)
                 )
         return record._demand
+
+    def _protection_demand(self, record: JobRecord) -> Demand:
+        """Fast-failover entries a protected peel group pre-installs; the
+        only *per-group* state a static-rule scheme has, so it rides the
+        install/remove lifecycle (and admission cost) like per-group rules."""
+        if not self.protection or not self.scheme_name.startswith("peel"):
+            return {}
+        group = record.job.group
+        receivers = group.receiver_hosts
+        if not receivers:
+            return {}
+        plan = self.env.plan_broadcast(group.source.host, receivers)
+        if plan.protection is None:
+            return {}
+        return plan.protection.tcam_demand(record.index)
 
     def route_edges_for(self, record: JobRecord) -> tuple:
         """Directed links this job's copies will cross (cached)."""

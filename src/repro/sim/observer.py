@@ -96,3 +96,7 @@ class FabricObserver:
 
     def on_reroute(self, transfer: "Transfer", num_trees: int) -> None:
         """A transfer switched to re-planned route trees after a fault."""
+
+    def on_failover(self, transfer: "Transfer", link: tuple[str, str]) -> None:
+        """A transfer flipped to a pre-installed backup subtree — local
+        fast-failover at the cut event, no detection delay or re-peel."""

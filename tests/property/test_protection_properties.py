@@ -1,0 +1,162 @@
+"""Property tests: proactive protection plans are sound for random fabrics.
+
+Two families, per the protection design (DESIGN.md "Protection"):
+
+* *structural* — for random topologies and F in {1, 2}, every protected
+  link has at least one pre-installed backup subtree; each backup avoids
+  the link it protects, spans the primary tree's receivers from the
+  source, and distinct alternatives are mutually edge-disjoint on
+  switch-to-switch links;
+* *behavioural* — cutting any fully-protected link mid-broadcast with the
+  InvariantChecker in raise mode still delivers exactly-once to every
+  receiver, recovers by local failover (no re-peel), and never trips a
+  conservation/exactly-once invariant.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.api import ScenarioSpec, run
+from repro.collectives import Gpu, Group
+from repro.core import Peel
+from repro.faults import FaultSchedule
+from repro.sim import SimConfig
+from repro.topology import FatTree, LeafSpine
+from repro.topology.addressing import NodeKind, kind_of
+from repro.workloads import CollectiveJob
+
+KB = 1024
+
+
+def build_topo(kind):
+    # Small fabrics with >= 2 disjoint spine/core paths, so any single
+    # switch-to-switch link has residual diversity to protect with.
+    if kind == "leafspine":
+        return LeafSpine(2, 4, 2)
+    return FatTree(4, hosts_per_tor=2)
+
+
+def core_edges(tree):
+    """Canonical switch-to-switch edges of a tree."""
+    return {
+        tuple(sorted((u, v)))
+        for u, v in tree.edges
+        if kind_of(u) is not NodeKind.HOST and kind_of(v) is not NodeKind.HOST
+    }
+
+
+def tree_uses(tree, link):
+    u, v = link
+    return tree.parent.get(v) == u or tree.parent.get(u) == v
+
+
+@st.composite
+def protected_plans(draw):
+    """A random broadcast group planned with protection F in {1, 2}."""
+    kind = draw(st.sampled_from(["leafspine", "fattree"]))
+    resilience = draw(st.integers(min_value=1, max_value=2))
+    seed = draw(st.integers(min_value=0, max_value=499))
+    topo = build_topo(kind)
+    rng = random.Random(seed)
+    n = rng.randint(3, min(10, len(topo.hosts)))
+    hosts = rng.sample(topo.hosts, n)
+    planner = Peel(topo, resilience=resilience)
+    plan = planner.plan(hosts[0], hosts[1:])
+    return kind, topo, hosts, plan, resilience, seed
+
+
+class TestProtectionStructure:
+    @given(protected_plans())
+    @settings(max_examples=15, deadline=None)
+    def test_backups_edge_disjoint_and_spanning(self, case):
+        _kind, _topo, hosts, plan, resilience, _seed = case
+        protection = plan.protection
+        assert protection is not None
+        assert protection.resilience == resilience
+        source, receivers = hosts[0], set(hosts[1:])
+        for (tree_index, link), entry in protection.entries.items():
+            primary = plan.static_trees[tree_index]
+            assert tree_uses(primary, link) or tree_uses(
+                primary, (link[1], link[0])
+            )
+            assert 1 <= len(entry.backups) <= resilience
+            primary_hosts = {
+                n for n in primary.nodes
+                if kind_of(n) is NodeKind.HOST and n != source
+            }
+            seen_core: set = set()
+            for backup in entry.backups:
+                edges = core_edges(backup)
+                # Edge-disjoint with the protected link itself...
+                assert tuple(sorted(link)) not in edges
+                # ...and with every earlier alternative (core links only).
+                assert not (edges & seen_core)
+                seen_core |= edges
+                # Still spans the primary tree's receivers from the source.
+                assert source in backup.nodes
+                assert primary_hosts <= set(backup.nodes)
+                assert primary_hosts <= receivers
+
+    @given(protected_plans())
+    @settings(max_examples=15, deadline=None)
+    def test_every_core_link_of_these_fabrics_is_protected(self, case):
+        # These reference fabrics always leave >= 1 residual disjoint path
+        # around any single switch-to-switch link, so best-effort
+        # protection must cover every core link of every primary tree.
+        _kind, _topo, _hosts, plan, _resilience, _seed = case
+        protection = plan.protection
+        for index, tree in enumerate(plan.static_trees):
+            for edge in core_edges(tree):
+                assert protection.entry_for(index, *edge) is not None
+
+
+@st.composite
+def protected_cuts(draw):
+    """A protected broadcast plus one cuttable fully-protected link."""
+    kind, topo, hosts, plan, resilience, seed = draw(protected_plans())
+    protection = plan.protection
+    assume(protection.entries)
+    # A link is fully protected when every primary tree crossing it has an
+    # entry — only then is the failover all-or-nothing flip guaranteed.
+    fully = []
+    for link in sorted(protection.protected_links):
+        using = [
+            i for i, t in enumerate(plan.static_trees) if tree_uses(t, link)
+        ]
+        if using and all(
+            protection.entry_for(i, *link) is not None for i in using
+        ):
+            fully.append(link)
+    assume(fully)
+    link = fully[draw(st.integers(min_value=0, max_value=len(fully) - 1))]
+    return kind, hosts, link, resilience, seed
+
+
+class TestProtectedCutDelivery:
+    @given(protected_cuts())
+    @settings(max_examples=12, deadline=None)
+    def test_single_protected_cut_delivers_exactly_once(self, case):
+        kind, hosts, link, resilience, seed = case
+        topo = build_topo(kind)
+        message = 512 * KB
+        members = tuple(Gpu(h, 0) for h in hosts)
+        job = CollectiveJob(0.0, Group(members[0], members), message)
+        schedule = FaultSchedule().link_down(*link, at_s=15e-6)
+        result = run(ScenarioSpec(
+            topology=topo,
+            scheme="peel",
+            jobs=(job,),
+            config=SimConfig(segment_bytes=64 * KB, seed=seed),
+            check_invariants=True,
+            fault_schedule=schedule,
+            protection=resilience,
+        ))
+        # run() already raises unless every receiver finished; the checker
+        # (raise mode) vetoes duplicate delivery — exactly-once both ways.
+        assert result.invariant_violations == []
+        assert len(result.ccts) == 1
+        # The cut took the local path, never the detection-delayed re-peel.
+        assert result.repeels == []
+        assert [f.link for f in result.failovers] == [link]

@@ -1,0 +1,79 @@
+"""The events/sec regression gate CI's bench-smoke job runs."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+GATE = os.path.join(os.path.dirname(SRC_DIR), "scripts", "bench_gate.py")
+BASELINE = os.path.join(os.path.dirname(SRC_DIR), "BENCH_4.json")
+
+
+def write_bench(path, rate, scenario="headline"):
+    path.write_text(
+        json.dumps({"scenarios": {scenario: {"events_per_sec": rate}}})
+    )
+    return path
+
+
+def gate(*argv):
+    return subprocess.run(
+        [sys.executable, GATE, *map(str, argv)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return write_bench(tmp_path / "base.json", 400_000.0)
+
+
+class TestBenchGate:
+    def test_passes_within_threshold(self, tmp_path, baseline):
+        fresh = write_bench(tmp_path / "fresh.json", 390_000.0)
+        proc = gate(fresh, baseline)
+        assert proc.returncode == 0, proc.stderr
+        assert "bench gate OK" in proc.stdout
+
+    def test_fails_past_ten_percent(self, tmp_path, baseline):
+        fresh = write_bench(tmp_path / "fresh.json", 300_000.0)
+        proc = gate(fresh, baseline)
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stderr
+
+    def test_boundary_is_inclusive(self, tmp_path, baseline):
+        # Exactly -10% is still allowed; a hair under is not.
+        assert gate(
+            write_bench(tmp_path / "at.json", 360_000.0), baseline
+        ).returncode == 0
+        assert gate(
+            write_bench(tmp_path / "under.json", 359_999.0), baseline
+        ).returncode == 1
+
+    def test_custom_threshold_and_scenario(self, tmp_path):
+        base = write_bench(tmp_path / "b.json", 100_000.0, scenario="obs")
+        fresh = write_bench(tmp_path / "f.json", 80_000.0, scenario="obs")
+        assert gate(
+            fresh, base, "--scenario", "obs", "--threshold", "0.25"
+        ).returncode == 0
+        assert gate(
+            fresh, base, "--scenario", "obs", "--threshold", "0.10"
+        ).returncode == 1
+
+    def test_missing_scenario_fails_loudly(self, tmp_path, baseline):
+        fresh = write_bench(tmp_path / "f.json", 1.0, scenario="other")
+        proc = gate(fresh, baseline)
+        assert proc.returncode != 0
+        assert "headline" in proc.stderr
+
+    def test_committed_baseline_passes_against_itself(self):
+        proc = gate(BASELINE, BASELINE)
+        assert proc.returncode == 0, proc.stderr
+        assert "bench gate OK" in proc.stdout

@@ -1,5 +1,7 @@
 """CLI smoke tests (fast subcommands only)."""
 
+import warnings
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -75,6 +77,36 @@ class TestMain:
         assert args.workers == 2
         assert build_parser().parse_args(["fig7", "--jobs", "3"]).workers == 3
 
+    def test_jobs_alias_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            args = build_parser().parse_args(["fig7", "--jobs", "3"])
+        assert args.workers == 3
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "-j/--workers" in str(deprecations[0].message)
+
+    def test_workers_flag_never_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            build_parser().parse_args(["fig7", "--workers", "3"])
+            build_parser().parse_args(["fig7", "-j", "3"])
+        assert [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ] == []
+
+    def test_jobs_alias_byte_identical_to_workers(self, capsys):
+        assert main(["failover", "--protection", "0", "--workers", "1"]) == 0
+        via_workers = capsys.readouterr().out
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert main(
+                ["failover", "--protection", "0", "--jobs", "1"]
+            ) == 0
+        assert capsys.readouterr().out == via_workers
+
     def test_jobs_alias_hidden_from_help(self):
         import argparse
 
@@ -86,6 +118,13 @@ class TestMain:
         fig7_help = sub.choices["fig7"].format_help()
         assert "--workers" in fig7_help
         assert "--jobs" not in fig7_help
+
+    def test_failover_sweep(self, capsys):
+        assert main(["failover", "--protection", "0", "1", "-j", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "reactive re-peel" in out
+        assert "local failover" in out
+        assert "budget/switch" in out
 
     def test_faults_demo(self, capsys, tmp_path):
         trace = tmp_path / "golden.txt"
