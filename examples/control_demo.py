@@ -1,0 +1,159 @@
+"""Scenario: a persistent multicast control plane serving two tenants.
+
+The paper's deploy-once fabric becomes a *service*: a `ControlPlane` owns
+the topology, the installed peel rules, the plan cache and the simulator
+clock, and clients talk to it over a unix-socket NDJSON protocol — create
+groups, submit collectives, and churn membership while transfers are in
+flight.  Joins graft the new receiver onto the installed trees (with
+segment backfill), leaves prune it, and the congestion replanner watches
+link utilization and moves running groups off hot spines.
+
+The demo drives a short two-tenant campaign through a real socket server
+with a live event/metrics subscription, then prints the service report,
+the membership accounting, and a tail of the streamed events.
+
+Run:  python examples/control_demo.py [--jobs 24] [--seed 7] [--local]
+"""
+
+import argparse
+import random
+import tempfile
+import threading
+import time
+
+from repro.control import (
+    CongestionReplanner,
+    ControlPlane,
+    ControlServer,
+    LocalClient,
+    SocketClient,
+)
+from repro.obs import Observability
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+
+KB = 1024
+MB = 1024 * KB
+
+TENANTS = {
+    "train": (4 * MB, 120e-6),  # big broadcasts, slower cadence
+    "infer": (512 * KB, 60e-6),  # weight pushes, faster cadence
+}
+
+
+def build_control(seed: int) -> ControlPlane:
+    return ControlPlane(
+        LeafSpine(2, 4, 2),
+        "peel",
+        SimConfig(segment_bytes=64 * KB, seed=seed),
+        check_invariants=True,
+        obs=Observability(sample_interval_s=100e-6),
+        replanner=CongestionReplanner(),
+    )
+
+
+def drive(client, num_jobs: int, seed: int) -> None:
+    """The campaign: four shared groups, Poisson submits, periodic churn."""
+    topo = LeafSpine(2, 4, 2)
+    hosts = topo.hosts
+    rng = random.Random(f"control-demo:{seed}")
+    groups = [
+        ("train", hosts[0], {hosts[1], hosts[2], hosts[4]}),
+        ("train", hosts[3], {hosts[2], hosts[5], hosts[6]}),
+        ("infer", hosts[7], {hosts[0], hosts[5]}),
+        ("infer", hosts[4], {hosts[1], hosts[6], hosts[7]}),
+    ]
+    gids = [client.create_group(t, src, m) for t, src, m in groups]
+    members = {g: set(m) for g, (_, _, m) in zip(gids, groups)}
+    sources = {g: src for g, (_, src, _) in zip(gids, groups)}
+    clocks = dict.fromkeys(TENANTS, 0.0)
+    for index in range(num_jobs):
+        gid = gids[index % len(gids)]
+        tenant = groups[index % len(gids)][0]
+        message_bytes, mean_gap = TENANTS[tenant]
+        clocks[tenant] += rng.expovariate(1.0 / mean_gap)
+        client.submit(gid, message_bytes, at_s=clocks[tenant])
+        if index % 4 != 3:
+            continue
+        churn_at = clocks[tenant] + rng.uniform(10e-6, 80e-6)
+        candidates = sorted(set(hosts) - members[gid] - {sources[gid]})
+        if (index // 4) % 2 == 0 and candidates:
+            host = rng.choice(candidates)
+            members[gid].add(host)
+            client.join(gid, host, at_s=churn_at)
+        elif len(members[gid]) > 2:
+            host = rng.choice(sorted(members[gid]))
+            members[gid].discard(host)
+            client.leave(gid, host, at_s=churn_at)
+    client.run()
+
+
+def print_outcome(report, stats, streamed) -> None:
+    counters = stats["counters"]
+    rejected = sum(t["rejected"] for t in report["tenants"].values())
+    print(f"completed  : {report['completed']}  (rejected {rejected})")
+    print(f"violations : {len(report['violations'])}")
+    print(f"p99 CCT    : {report['p99_cct_s'] * 1e6:.1f} us")
+    for tenant, row in sorted(report["tenants"].items()):
+        print(f"  {tenant:<9}: {row['completed']} done, "
+              f"p99 {row['p99_cct_s'] * 1e6:.1f} us")
+    print(f"membership : {counters['joins']} joins, "
+          f"{counters['leaves']} leaves -> {counters['grafts']} grafts, "
+          f"{counters['prunes']} prunes, "
+          f"{counters['full_repeels']} full re-peels")
+    print(f"replans    : {stats.get('replans', 0)}  "
+          f"(cache invalidations {report['cache_invalidations']})")
+    if streamed is not None:
+        events = [x for x in streamed if x.get("stream") == "event"]
+        metrics = [x for x in streamed if x.get("stream") == "metrics"]
+        print(f"subscribed : {len(events)} events, "
+              f"{len(metrics)} metric snapshots streamed")
+        for line in events[-4:]:
+            tag = {k: v for k, v in line.items() if k != "stream"}
+            print(f"  ... {tag}")
+
+
+def run_local(args) -> None:
+    client = LocalClient(build_control(args.seed))
+    drive(client, args.jobs, args.seed)
+    print_outcome(client.report(), client.stats(), None)
+
+
+def run_socket(args) -> None:
+    control = build_control(args.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/control.sock"
+        server = ControlServer(control, path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        for _ in range(100):
+            try:
+                client = SocketClient(path)
+                break
+            except (FileNotFoundError, ConnectionRefusedError):
+                time.sleep(0.05)
+        else:
+            raise SystemExit("control server socket never came up")
+        with client:
+            client.subscribe()
+            drive(client, args.jobs, args.seed)
+            print_outcome(client.report(), client.stats(), client.stream)
+            client.shutdown()
+        thread.join(timeout=5)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--local", action="store_true",
+                        help="in-process client, no socket server")
+    args = parser.parse_args()
+    if args.local:
+        run_local(args)
+    else:
+        run_socket(args)
+
+
+if __name__ == "__main__":
+    main()

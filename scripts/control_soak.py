@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""SIGKILL-resume soak for the control-plane service.
+
+Each epoch scripts a deterministic churn campaign (the same generator the
+``repro control`` experiment uses), runs it uninterrupted for a reference
+digest, then re-runs it to a mid-campaign cut point, freezes the whole
+service with :meth:`ControlPlane.snapshot`, and *resumes from the on-disk
+snapshot* to completion.  The resumed run must match the uninterrupted one
+byte-for-byte (obs metrics + trace digest) with invariants clean.
+
+The snapshot is written atomically before the resume leg, so killing the
+process at any point — SIGKILL included — and re-running picks up from the
+frozen service instead of starting over::
+
+    python scripts/control_soak.py --epochs 3 --state-dir /tmp/ctl-soak
+    kill -9 %1 && python scripts/control_soak.py --epochs 3 --state-dir /tmp/ctl-soak
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from hashlib import blake2b
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.control import ControlPlane, LocalClient  # noqa: E402
+from repro.experiments.control_churn import _build_campaign  # noqa: E402
+from repro.obs import Observability  # noqa: E402
+from repro.replay import Snapshot  # noqa: E402
+from repro.sim import SimConfig  # noqa: E402
+
+CUT_FRACTION = 0.4  # freeze after ~40% of simulated campaign time
+
+
+def build_loaded_control(num_jobs: int, seed: int) -> ControlPlane:
+    """The full campaign, submitted up-front: every submit/join/leave is a
+    pending simulator event, so the pickled service carries the future."""
+    topo, groups, ops = _build_campaign(num_jobs, seed)
+    control = ControlPlane(
+        topo,
+        "peel",
+        SimConfig(segment_bytes=65536, seed=seed),
+        check_invariants=True,
+        obs=Observability(sample_interval_s=100e-6),
+    )
+    client = LocalClient(control)
+    gids = [
+        client.create_group(tenant, source, members)
+        for tenant, source, members in groups
+    ]
+    for op in ops:
+        if op[0] == "submit":
+            _, gid, message_bytes, at = op
+            client.submit(gids[gid], message_bytes, at_s=at)
+        elif op[0] == "join":
+            _, gid, host, at = op
+            client.join(gids[gid], host, at_s=at)
+        else:
+            _, gid, host, at = op
+            client.leave(gids[gid], host, at_s=at)
+    return control
+
+
+def finish_and_digest(control: ControlPlane) -> dict:
+    control.run()
+    violations = control.finalize_checks()
+    digest = blake2b(digest_size=16)
+    digest.update(control.runtime.obs.metrics_json().encode("utf-8"))
+    digest.update(control.runtime.obs.trace_json().encode("utf-8"))
+    return {
+        "digest": digest.hexdigest(),
+        "completed": control.report().total.completed,
+        "violations": [str(v) for v in violations],
+        "counters": dict(control.counters),
+        "t_s": control.now,
+    }
+
+
+def last_op_time(num_jobs: int, seed: int) -> float:
+    _, _, ops = _build_campaign(num_jobs, seed)
+    return max(op[-1] for op in ops)
+
+
+def run_epoch(epoch: int, num_jobs: int, seed: int, snap_path: str) -> bool:
+    epoch_seed = seed + epoch
+    if os.path.exists(snap_path):
+        print(f"epoch {epoch}: found {snap_path}, resuming from snapshot")
+        control = Snapshot.load(snap_path).restore()
+    else:
+        reference = finish_and_digest(build_loaded_control(num_jobs, epoch_seed))
+        control = build_loaded_control(num_jobs, epoch_seed)
+        cut = CUT_FRACTION * last_op_time(num_jobs, epoch_seed)
+        control.advance(until=cut)
+        control.snapshot().save(snap_path)
+        print(
+            f"epoch {epoch}: snapshot at t={control.now * 1e6:.1f}us "
+            f"({control.runtime.running} running) -> {snap_path}"
+        )
+        # From here on a SIGKILL replays the resume leg from disk.
+        control = Snapshot.load(snap_path).restore()
+        resumed = finish_and_digest(control)
+        os.remove(snap_path)
+        ok = (
+            resumed["digest"] == reference["digest"]
+            and not resumed["violations"]
+            and resumed["completed"] == num_jobs
+        )
+        print(
+            f"epoch {epoch}: resumed digest {resumed['digest']} "
+            f"{'==' if ok else '!='} reference {reference['digest']}, "
+            f"{resumed['completed']}/{num_jobs} done, "
+            f"{len(resumed['violations'])} violations"
+        )
+        return ok
+    # Killed-and-restarted path: no in-process reference; recompute it.
+    resumed = finish_and_digest(control)
+    reference = finish_and_digest(build_loaded_control(num_jobs, epoch_seed))
+    os.remove(snap_path)
+    ok = (
+        resumed["digest"] == reference["digest"]
+        and not resumed["violations"]
+        and resumed["completed"] == num_jobs
+    )
+    print(
+        f"epoch {epoch}: post-kill resume digest {resumed['digest']} "
+        f"{'==' if ok else '!='} reference, "
+        f"{len(resumed['violations'])} violations"
+    )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--num-jobs", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--state-dir", default="/tmp/control-soak")
+    args = parser.parse_args(argv)
+    os.makedirs(args.state_dir, exist_ok=True)
+    progress_path = os.path.join(args.state_dir, "soak.json")
+    start = 0
+    if os.path.exists(progress_path):
+        with open(progress_path) as fh:
+            start = json.load(fh).get("next_epoch", 0)
+    for epoch in range(start, args.epochs):
+        snap_path = os.path.join(args.state_dir, f"epoch{epoch}.snap")
+        if not run_epoch(epoch, args.num_jobs, args.seed, snap_path):
+            print(f"epoch {epoch}: FAILED")
+            return 1
+        with open(progress_path, "w") as fh:
+            json.dump({"next_epoch": epoch + 1}, fh)
+    print(f"soak clean: {args.epochs} epochs, "
+          f"{args.num_jobs} jobs each, byte-identical resumes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,12 @@ class ScenarioSpec:
     rolling :class:`~repro.sim.engine.EventDigest` — the replay tests use
     it to prove a resumed run is event-for-event identical; it never
     changes behaviour, only observes it.
+
+    ``churn`` attaches a :class:`repro.control.ChurnSchedule` of timed
+    join/leave events (``event.group`` indexes into ``jobs``): mid-flight
+    joins graft the host onto the running transfer's trees and backfill
+    missed segments, leaves prune it.  Like dynamic faults, churn switches
+    the fabric to per-receiver segment tracking.
     """
 
     topology: Topology
@@ -86,10 +92,19 @@ class ScenarioSpec:
     #: pre-installed edge-disjoint backup subtrees; cuts on protected links
     #: fail over locally instead of waiting out the detection window.
     protection: int = 0
+    #: Timed membership churn (a ChurnSchedule or iterable of ChurnEvents).
+    churn: "object | None" = None
 
     def __post_init__(self) -> None:
         # Accept any iterable of jobs; store the canonical tuple.
         object.__setattr__(self, "jobs", tuple(self.jobs))
+        if self.churn is not None:
+            from .control.membership import ChurnSchedule
+
+            if not isinstance(self.churn, ChurnSchedule):
+                object.__setattr__(
+                    self, "churn", ChurnSchedule(tuple(self.churn))
+                )
 
     @property
     def scheme_name(self) -> str:
@@ -137,6 +152,9 @@ class ScenarioResult:
     backup_tcam_entries: int = 0
     backup_tcam_peak_per_switch: int = 0
     static_rule_budget: int = 0
+    #: Membership-churn accounting (joins/leaves/grafts/prunes/full_repeels)
+    #: when the spec carried a churn schedule; empty otherwise.
+    membership: dict = field(default_factory=dict)
     stats: CctStats = field(init=False)
 
     def __post_init__(self) -> None:
@@ -185,6 +203,10 @@ class ScenarioRun:
         obs = spec.obs
         if obs is not None:
             obs.attach(self.env.network)
+        if spec.churn is not None:
+            # Joins/leaves need per-receiver segment tracking (graft +
+            # backfill); must be set before any transfer is constructed.
+            self.env.network.fault_tolerant = True
         self.handles = [
             scheme.launch(self.env, job.group, job.message_bytes, job.arrival_s)
             for job in spec.jobs
@@ -192,6 +214,12 @@ class ScenarioRun:
         if obs is not None:
             for handle in self.handles:
                 obs.track_collective(handle)
+        self.churn_driver = None
+        if spec.churn is not None:
+            from .control.membership import ChurnDriver
+
+            self.churn_driver = ChurnDriver(self.env, spec.churn)
+            self.churn_driver.install(self.handles)
         self.resumed_at_s: float | None = None
         self.snapshots_taken = 0
         self.finished = False
@@ -242,6 +270,14 @@ class ScenarioRun:
             remaining = max(0, spec.max_events - env.sim.processed)
         env.run(max_events=remaining)
         obs = spec.obs
+        membership: dict = {}
+        if self.churn_driver is not None:
+            membership = dict(self.churn_driver.counters)
+            if obs is not None:
+                for name in sorted(membership):
+                    obs.registry.counter(f"membership.{name}").inc(
+                        membership[name]
+                    )
         if obs is not None:
             obs.observe_plan_cache(env.plan_cache)
             obs.finalize()
@@ -295,6 +331,7 @@ class ScenarioRun:
             static_rule_budget=(
                 env.static_rule_budget() if env.protection else 0
             ),
+            membership=membership,
         )
 
 

@@ -24,6 +24,7 @@ import sys
 import warnings
 
 from .experiments import (
+    control_churn,
     deployment,
     failover,
     faults_demo,
@@ -59,6 +60,7 @@ EXPERIMENTS = {
     "frag": "fragmentation / adaptive prefix packing",
     "deploy": "incremental deployment stages",
     "churn": "switch state under group churn",
+    "control": "control-plane service: membership churn + congestion replans",
     "serve": "multi-tenant serving sweep: admission, queueing, plan cache",
     "obs": "instrumented run: metrics registry + Chrome-trace timeline",
     "replay": "checkpoint/replay determinism smoke on a golden scenario",
@@ -167,6 +169,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("churn", help=EXPERIMENTS["churn"])
     p.add_argument("--num-jobs", type=int, default=1500)
+
+    p = sub.add_parser("control", help=EXPERIMENTS["control"])
+    p.add_argument("--num-jobs", type=int,
+                   default=control_churn.DEFAULT_NUM_JOBS,
+                   help="collectives submitted through the service")
+    p.add_argument("--seed", type=int, default=control_churn.DEFAULT_SEED)
+    p.add_argument("--admit-mb", type=int, default=None, metavar="MB",
+                   help="cap outstanding admitted bytes per link "
+                        "(LinkLoadAdmission): bounded fabric occupancy, "
+                        "head-of-line queueing in the tail")
+    p.add_argument("--gap-scale", type=float, default=1.0, metavar="X",
+                   help="stretch interarrival gaps; 1.0 offers ~3x fabric "
+                        "capacity (replanner headline), 8.0 keeps even "
+                        "fully shared spine links subcritical for "
+                        "thousand-job campaigns")
+    add_workers_flag(p)
 
     p = sub.add_parser("serve", help=EXPERIMENTS["serve"])
     p.add_argument("--loads", type=float, nargs="+",
@@ -314,6 +332,13 @@ def main(argv: list[str] | None = None) -> int:
         print(deployment.format_table(deployment.run(num_jobs=args.num_jobs)))
     elif args.command == "churn":
         print(state_churn.format_table(state_churn.run(num_jobs=args.num_jobs)))
+    elif args.command == "control":
+        rows = control_churn.run(
+            num_jobs=args.num_jobs, seed=args.seed,
+            admit_mb=args.admit_mb, gap_scale=args.gap_scale,
+            **_sweep_kwargs(args),
+        )
+        print(control_churn.format_table(rows))
     elif args.command == "serve":
         rows = fig_serving.run(
             loads=tuple(args.loads),

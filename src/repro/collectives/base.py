@@ -86,6 +86,11 @@ class CollectiveHandle:
             pending_hosts = set(group.receiver_hosts)
         self.pending_hosts = pending_hosts
         self.host_done_at: dict[str, float] = {}
+        #: The network transfers realizing this collective, in launch order.
+        #: Tree-based schemes (PEEL, the optimal baseline) populate it so
+        #: the control plane can graft/prune live membership changes; relay
+        #: schemes leave it empty (no mid-flight membership support).
+        self.transfers: list = []
         self.network_complete_s: float | None = None
         #: Optional hook fired once, at network completion, with
         #: ``(handle, now)`` — the serving runtime uses it to free admission
@@ -102,6 +107,29 @@ class CollectiveHandle:
         self.pending_hosts.discard(host)
         self.host_done_at[host] = now
         if not self.pending_hosts:
+            self.network_complete_s = now
+            if self.on_complete is not None:
+                self.on_complete(self, now)
+
+    # -- dynamic membership -----------------------------------------------------
+
+    def add_pending(self, host: str) -> None:
+        """A mid-collective join: completion now also waits for ``host``."""
+        if self.complete:
+            raise RuntimeError(
+                "collective already complete; membership changes must target "
+                "the next collective"
+            )
+        self.pending_hosts.add(host)
+
+    def drop_pending(self, host: str, now: float) -> None:
+        """A mid-collective leave: stop waiting for ``host``.  Unlike
+        :meth:`host_done` no delivery is recorded, but removing the last
+        pending host does complete the collective."""
+        if host not in self.pending_hosts:
+            return
+        self.pending_hosts.discard(host)
+        if not self.pending_hosts and self.network_complete_s is None:
             self.network_complete_s = now
             if self.on_complete is not None:
                 self.on_complete(self, now)

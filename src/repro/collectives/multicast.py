@@ -88,6 +88,7 @@ class OptimalBroadcast(BroadcastScheme):
             start_at=arrival_s,
             on_host_done=handle.host_done,
         )
+        handle.transfers.append(transfer)
         if env.fault_injector is not None:
             env.fault_injector.register(transfer, SteinerReplan(env, source))
         transfer.start()
@@ -139,6 +140,7 @@ class PeelBroadcast(BroadcastScheme):
             start_at=arrival_s,
             on_host_done=handle.host_done,
         )
+        handle.transfers.append(transfer)
         if env.fault_injector is not None:
             env.fault_injector.register(
                 transfer, PeelReplan(env, source, self.max_prefixes_per_fanout)

@@ -1,0 +1,170 @@
+"""Clients for the control-plane service: in-process and unix-socket.
+
+:class:`LocalClient` talks straight to a :class:`Dispatcher` — no I/O, no
+event loop, fully deterministic; it is what the experiments and property
+tests drive.  :class:`SocketClient` speaks the same newline-delimited JSON
+over the unix socket a :class:`~repro.control.server.ControlServer`
+listens on (the demo and CI smoke job exercise that path).  Both expose
+the identical convenience surface, so a campaign script works unchanged
+against either.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from .protocol import ProtocolError, decode, encode, error
+
+
+class ControlRequestError(RuntimeError):
+    """The service answered ``{"ok": false}``."""
+
+
+class _ClientApi:
+    """Convenience methods shared by both transports."""
+
+    def request(self, op: str, **fields) -> dict:  # pragma: no cover - ABC
+        raise NotImplementedError
+
+    def _checked(self, op: str, **fields) -> dict:
+        resp = self.request(op, **fields)
+        if not resp.get("ok"):
+            raise ControlRequestError(resp.get("error", "request failed"))
+        return resp
+
+    def ping(self) -> float:
+        return self._checked("ping")["t_s"]
+
+    def create_group(self, tenant: str, source: str, members=()) -> int:
+        return self._checked(
+            "create", tenant=tenant, source=source, members=sorted(members)
+        )["group"]
+
+    def join(self, group: int, host: str, at_s: float | None = None) -> None:
+        fields = {"group": group, "host": host}
+        if at_s is not None:
+            fields["at_s"] = at_s
+        self._checked("join", **fields)
+
+    def leave(self, group: int, host: str, at_s: float | None = None) -> None:
+        fields = {"group": group, "host": host}
+        if at_s is not None:
+            fields["at_s"] = at_s
+        self._checked("leave", **fields)
+
+    def submit(
+        self, group: int, message_bytes: int, at_s: float | None = None
+    ) -> int:
+        fields = {"group": group, "message_bytes": message_bytes}
+        if at_s is not None:
+            fields["at_s"] = at_s
+        return self._checked("submit", **fields)["job"]
+
+    def advance(
+        self, until_s: float | None = None, max_events: int | None = None
+    ) -> int:
+        fields = {}
+        if until_s is not None:
+            fields["until_s"] = until_s
+        if max_events is not None:
+            fields["max_events"] = max_events
+        return self._checked("advance", **fields)["processed"]
+
+    def run(self) -> int:
+        return self._checked("run")["processed"]
+
+    def stats(self) -> dict:
+        return self._checked("stats")["stats"]
+
+    def events(self, cursor: int = 0) -> tuple[list[dict], int]:
+        resp = self._checked("events", cursor=cursor)
+        return resp["events"], resp["cursor"]
+
+    def metrics(self) -> dict:
+        return self._checked("metrics")["metrics"]
+
+    def report(self) -> dict:
+        return self._checked("report")
+
+    def shutdown(self) -> None:
+        self._checked("shutdown")
+
+
+class LocalClient(_ClientApi):
+    """In-process client over a dispatcher (or a bare control plane)."""
+
+    def __init__(self, control_or_dispatcher) -> None:
+        from .server import Dispatcher
+        from .service import ControlPlane
+
+        if isinstance(control_or_dispatcher, ControlPlane):
+            self.dispatcher = Dispatcher(control_or_dispatcher)
+        else:
+            self.dispatcher = control_or_dispatcher
+
+    @property
+    def control(self):
+        return self.dispatcher.control
+
+    def request(self, op: str, **fields) -> dict:
+        try:
+            req = decode(encode({"op": op, **fields}))
+        except ProtocolError as exc:
+            return error(str(exc))
+        return self.dispatcher.handle(req)
+
+
+class SocketClient(_ClientApi):
+    """Blocking unix-socket client (demo / CI smoke path).
+
+    Responses are matched to requests by order; stream lines pushed to a
+    subscribed connection (``{"stream": ...}``) are collected into
+    :attr:`stream` as they interleave with responses.
+    """
+
+    def __init__(self, path: str, timeout_s: float = 30.0) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout_s)
+        self.sock.connect(path)
+        self._file = self.sock.makefile("rwb")
+        #: Stream lines (events / metric snapshots) received so far.
+        self.stream: list[dict] = []
+
+    def request(self, op: str, **fields) -> dict:
+        self._file.write((encode({"op": op, **fields}) + "\n").encode("utf-8"))
+        self._file.flush()
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            obj = decode_response(line.decode("utf-8"))
+            if "stream" in obj:
+                self.stream.append(obj)
+                continue
+            return obj
+
+    def subscribe(self) -> None:
+        self._checked("subscribe")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self.sock.close()
+
+    def __enter__(self) -> "SocketClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def decode_response(line: str) -> dict:
+    """Parse one response/stream line (no op validation — responses have
+    none)."""
+    import json
+
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ProtocolError("response must be a JSON object")
+    return obj

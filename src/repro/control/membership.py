@@ -1,0 +1,390 @@
+"""Incremental multicast-tree maintenance under membership churn.
+
+The paper's elasticity story (§3.2) is that PEEL's static prefix rules make
+group membership *cheap*: a joining ToR is usually already covered by some
+prefix-packet tree, so the controller grafts the host locally instead of
+re-planning.  This module is that controller logic, factored as pure
+functions over :class:`~repro.steiner.tree.MulticastTree` lists so both the
+:class:`~repro.control.service.ControlPlane` and the scenario-level
+:class:`ChurnDriver` share one implementation (and the hypothesis property
+test can compare it against a from-scratch re-peel directly):
+
+* :func:`graft_host` — attach a joining host under its ToR when any
+  installed tree already reaches it (the free case), else merge a shortest
+  source path into a tree, else add an auxiliary unicast branch;
+* :func:`prune_host` — detach a leaving host and strip the now-childless
+  switch chain above it (other receivers' paths are never touched);
+* :class:`ChurnPolicy` — when accumulated deltas warrant a full re-peel.
+
+:class:`ChurnSchedule` / :class:`ChurnEvent` describe a join/leave/submit
+timeline the way :class:`repro.faults.FaultSchedule` describes link flaps:
+plain frozen values with a JSON round-trip, schedulable into a simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+from ..steiner import MulticastTree
+from ..topology.addressing import NodeKind, kind_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..topology import Topology
+
+CHURN_OPS = ("join", "leave", "submit")
+
+
+class MembershipError(ValueError):
+    """A membership operation that cannot be realized on the fabric."""
+
+
+# -- tree surgery ---------------------------------------------------------------
+
+
+def covered_hosts(trees: list[MulticastTree]) -> set[str]:
+    """Every receiver host some tree currently delivers to."""
+    out: set[str] = set()
+    for tree in trees:
+        out.update(
+            n
+            for n in tree.parent
+            if kind_of(n) is NodeKind.HOST and n != tree.root
+        )
+    return out
+
+
+def graft_host(
+    topo: "Topology",
+    trees: list[MulticastTree],
+    source: str,
+    host: str,
+) -> tuple[list[MulticastTree], str]:
+    """Attach ``host`` to the installed trees; returns ``(trees, kind)``.
+
+    ``kind`` reports the cost class of the graft:
+
+    * ``"noop"`` — some tree already delivers to the host;
+    * ``"covered"`` — its ToR is on a tree, so the graft is one
+      host-attachment edge (the paper's free case: the prefix rule at the
+      ToR already matches);
+    * ``"branch"`` — no tree reaches the ToR; a shortest source→host path
+      is merged into the first conflict-free tree, or appended as an
+      auxiliary unicast branch.  Branches accumulate toward the
+      :class:`ChurnPolicy` full re-peel threshold.
+
+    The input list is never mutated; modified trees are rebuilt.
+    """
+    if host == source:
+        raise MembershipError("the source host cannot join its own group")
+    if kind_of(host) is not NodeKind.HOST:
+        raise MembershipError(f"{host!r} is not a host")
+    for tree in trees:
+        if host in tree.parent:
+            return trees, "noop"
+    try:
+        tor = topo.tor_of(host)
+    except ValueError as exc:  # detached from its ToR entirely
+        raise MembershipError(
+            f"joining host {host!r} is disconnected from the fabric"
+        ) from exc
+    for i, tree in enumerate(trees):
+        if tor in tree.nodes:
+            parent = dict(tree.parent)
+            parent[host] = tor
+            out = list(trees)
+            out[i] = MulticastTree(tree.root, parent)
+            return out, "covered"
+    try:
+        path = nx.shortest_path(topo.graph, source, host)
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+        raise MembershipError(
+            f"no path from {source!r} to joining host {host!r} on the "
+            "current fabric"
+        ) from exc
+    for i, tree in enumerate(trees):
+        parent = dict(tree.parent)
+        compatible = True
+        for par, child in zip(path, path[1:]):
+            if child == tree.root:
+                compatible = False
+                break
+            existing = parent.get(child)
+            if existing is not None and existing != par:
+                compatible = False
+                break
+            parent[child] = par
+        if compatible:
+            out = list(trees)
+            out[i] = MulticastTree(tree.root, parent)
+            return out, "branch"
+    branch = MulticastTree(
+        source, {child: par for par, child in zip(path, path[1:])}
+    )
+    return [*trees, branch], "branch"
+
+
+def prune_host(
+    trees: list[MulticastTree], host: str
+) -> tuple[list[MulticastTree], bool]:
+    """Detach ``host`` from every tree; returns ``(trees, changed)``.
+
+    The switch chain above the departed host is stripped exactly as far as
+    it serves nobody else — nodes with surviving children (or the root)
+    stop the walk, so concurrent receivers keep their paths bit-identical.
+    Trees reduced to a bare root are dropped from the list entirely.
+    """
+    out: list[MulticastTree] = []
+    changed = False
+    for tree in trees:
+        if host == tree.root:
+            raise MembershipError("cannot prune a tree's source")
+        if host not in tree.parent:
+            out.append(tree)
+            continue
+        changed = True
+        parent = dict(tree.parent)
+        children: dict[str, set[str]] = {}
+        for child, par in parent.items():
+            children.setdefault(par, set()).add(child)
+        if children.get(host):
+            raise MembershipError(
+                f"{host!r} relays to downstream nodes; only leaf receivers "
+                "can be pruned"
+            )
+        node = parent.pop(host)
+        children[node].discard(host)
+        while (
+            node != tree.root
+            and not children.get(node)
+            and kind_of(node) is not NodeKind.HOST
+        ):
+            par = parent.pop(node)
+            children[par].discard(node)
+            node = par
+        if parent:
+            out.append(MulticastTree(tree.root, parent))
+    return out, changed
+
+
+# -- re-peel policy -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnPolicy:
+    """When incremental maintenance should give way to a full re-peel.
+
+    ``max_delta_fraction`` bounds accumulated grafts+prunes relative to the
+    group size (0.5 → re-peel once half the group has churned since the
+    last plan); ``max_branch_grafts`` bounds the expensive out-of-cover
+    grafts, which degrade the trees toward unicast, independently of size.
+    """
+
+    max_delta_fraction: float = 0.5
+    max_branch_grafts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_delta_fraction <= 0:
+            raise ValueError("max_delta_fraction must be positive")
+        if self.max_branch_grafts < 0:
+            raise ValueError("max_branch_grafts must be >= 0")
+
+    def needs_full_repeel(
+        self, ops_since_plan: int, branch_grafts: int, group_size: int
+    ) -> bool:
+        if branch_grafts > self.max_branch_grafts:
+            return True
+        budget = max(1, math.ceil(self.max_delta_fraction * max(group_size, 1)))
+        return ops_since_plan > budget
+
+
+# -- churn timelines ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One timed membership or submit operation against a group.
+
+    ``group`` is a group id in the control-plane service, or a job index in
+    the :class:`ChurnDriver` scenario path.  ``host`` names the joining or
+    leaving endpoint for membership ops; ``message_bytes`` sizes a
+    ``submit``.
+    """
+
+    at_s: float
+    group: int
+    op: str
+    host: str | None = None
+    message_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in CHURN_OPS:
+            raise ValueError(f"op must be one of {CHURN_OPS}, got {self.op!r}")
+        if self.op in ("join", "leave") and not self.host:
+            raise ValueError(f"{self.op} event needs a host")
+        if self.op == "submit" and (
+            self.message_bytes is None or self.message_bytes <= 0
+        ):
+            raise ValueError("submit event needs positive message_bytes")
+        if self.at_s < 0:
+            raise ValueError("at_s must be non-negative")
+
+    def to_dict(self) -> dict:
+        out = {"at_s": self.at_s, "group": self.group, "op": self.op}
+        if self.host is not None:
+            out["host"] = self.host
+        if self.message_bytes is not None:
+            out["message_bytes"] = self.message_bytes
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ChurnEvent":
+        return cls(
+            at_s=raw["at_s"],
+            group=raw["group"],
+            op=raw["op"],
+            host=raw.get("host"),
+            message_bytes=raw.get("message_bytes"),
+        )
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A time-ordered churn timeline, JSON round-trippable like
+    :class:`repro.faults.FaultSchedule`."""
+
+    events: tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.at_s, e.group, e.op, e.host or ""))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [e.to_dict() for e in self.events], sort_keys=True
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChurnSchedule":
+        return cls(tuple(ChurnEvent.from_dict(raw) for raw in json.loads(text)))
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "ChurnSchedule":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+MEMBERSHIP_COUNTERS = ("joins", "leaves", "grafts", "prunes", "full_repeels")
+
+
+class ChurnDriver:
+    """Applies join/leave churn to a live scenario's collectives.
+
+    The :class:`repro.api.ScenarioSpec` path: each event targets the job at
+    index ``event.group``; joins graft the host onto the running transfer's
+    trees (backfilling missed segments), leaves prune it.  Everything is a
+    bound-method simulator callback on a plain object, so checkpointed runs
+    replay churn byte-identically.
+    """
+
+    def __init__(self, env, schedule: ChurnSchedule, policy: ChurnPolicy | None = None):
+        self.env = env
+        self.schedule = schedule
+        self.policy = policy or ChurnPolicy()
+        self.handles: list = []
+        self.counters = dict.fromkeys(MEMBERSHIP_COUNTERS, 0)
+        self.ignored = 0
+        #: per-job (ops_since_plan, branch_grafts) toward the re-peel policy.
+        self._pressure: dict[int, list[int]] = {}
+
+    def install(self, handles: list) -> None:
+        """Bind the launched handles and schedule every churn event."""
+        self.handles = handles
+        for event in self.schedule:
+            if not 0 <= event.group < len(handles):
+                raise MembershipError(
+                    f"churn event targets job {event.group}, but the "
+                    f"scenario has {len(handles)} jobs"
+                )
+            if event.op == "submit":
+                raise MembershipError(
+                    "submit events need the control-plane service; scenario "
+                    "churn is join/leave only"
+                )
+            self.env.sim.schedule_at(event.at_s, self._apply, event)
+
+    # -- event application -----------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        self.counters[name] += 1
+
+    def _apply(self, event: ChurnEvent) -> None:
+        handle = self.handles[event.group]
+        transfers = [t for t in handle.transfers if not t.complete]
+        if handle.complete or not transfers:
+            self.ignored += 1  # collective already finished: nothing to do
+            return
+        if event.op == "join":
+            self._join(event.group, handle, transfers, event.host)
+        else:
+            self._leave(handle, transfers, event.host)
+
+    def _join(self, index: int, handle, transfers, host: str) -> None:
+        self._count("joins")
+        for transfer in transfers:
+            if host in transfer.receivers or host == transfer.src_host:
+                continue
+            pressure = self._pressure.setdefault(index, [0, 0])
+            trees, kind = graft_host(
+                self.env.topo, transfer.static_trees, transfer.src_host, host
+            )
+            pressure[0] += 1
+            if kind == "branch":
+                pressure[1] += 1
+            if self.policy.needs_full_repeel(
+                pressure[0], pressure[1], len(transfer.receivers) + 1
+            ):
+                remaining = sorted(
+                    (transfer.receivers - transfer.finished_hosts) | {host}
+                )
+                trees = self.env.peel().plan(
+                    transfer.src_host, remaining
+                ).static_trees
+                self._pressure[index] = [0, 0]
+                self._count("full_repeels")
+            else:
+                self._count("grafts")
+            transfer.add_receiver(host)
+            handle.add_pending(host)
+            transfer.set_route_trees(trees)
+            transfer.catch_up(host)
+
+    def _leave(self, handle, transfers, host: str) -> None:
+        now = self.env.sim.now
+        self._count("leaves")
+        for transfer in transfers:
+            if host not in transfer.receivers:
+                continue
+            trees, changed = prune_host(transfer.static_trees, host)
+            transfer.remove_receiver(host)
+            handle.drop_pending(host, now)
+            if changed:
+                self._count("prunes")
+            if trees and not transfer.complete:
+                transfer.set_route_trees(trees)

@@ -1,0 +1,93 @@
+"""Newline-delimited JSON protocol for the control-plane service.
+
+One request per line, one response per line.  Requests are JSON objects
+with an ``op`` field; responses are ``{"ok": true, ...}`` or
+``{"ok": false, "error": "..."}``.  All JSON is serialized with sorted
+keys and compact separators so byte-level comparisons of protocol
+transcripts are meaningful (the control-smoke CI job diffs them).
+
+Ops (see :class:`~repro.control.server.Dispatcher` for semantics):
+
+==============  =================================================given
+``ping``        liveness check
+``create``      ``tenant``, ``source``, ``members`` -> ``group``
+``join``        ``group``, ``host``, optional ``at_s``
+``leave``       ``group``, ``host``, optional ``at_s``
+``submit``      ``group``, ``message_bytes``, optional ``at_s`` -> ``job``
+``advance``     optional ``until_s`` / ``max_events`` -> events processed
+``run``         drain the simulation completely
+``stats``       service introspection snapshot
+``events``      drain the event stream from ``cursor``
+``metrics``     current obs metric snapshot (requires ``obs``)
+``subscribe``   mark this connection as a snapshot subscriber
+``report``      end-of-run per-tenant SLO report
+``shutdown``    stop the server after responding
+==============  =================================================given
+"""
+
+from __future__ import annotations
+
+import json
+
+OPS = (
+    "ping",
+    "create",
+    "join",
+    "leave",
+    "submit",
+    "advance",
+    "run",
+    "stats",
+    "events",
+    "metrics",
+    "subscribe",
+    "report",
+    "shutdown",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed or unsupported protocol request."""
+
+
+def encode(obj: dict) -> str:
+    """Canonical one-line JSON encoding (sorted keys, compact)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def decode(line: str) -> dict:
+    """Parse one request line; raises :class:`ProtocolError` on garbage."""
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty request line")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    return obj
+
+
+def ok(**fields) -> dict:
+    return {"ok": True, **fields}
+
+
+def error(message: str) -> dict:
+    return {"ok": False, "error": message}
+
+
+def require(req: dict, field: str, kind=None):
+    """Fetch a required request field, type-checked when ``kind`` given."""
+    if field not in req:
+        raise ProtocolError(f"op {req.get('op')!r} requires field {field!r}")
+    value = req[field]
+    if kind is not None and not isinstance(value, kind):
+        raise ProtocolError(
+            f"field {field!r} must be {getattr(kind, '__name__', kind)}, "
+            f"got {type(value).__name__}"
+        )
+    return value

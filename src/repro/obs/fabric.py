@@ -336,6 +336,9 @@ class Observability:
         self.registry.counter("plan_cache.hits").inc(cache.hits)
         self.registry.counter("plan_cache.misses").inc(cache.misses)
         self.registry.counter("plan_cache.invalidations").inc(cache.invalidations)
+        # Scheme-agnostic alias covering both fault-driven (epoch bump) and
+        # membership-driven (invalidate_hosts) invalidation events.
+        self.registry.counter("cache.invalidations").inc(cache.invalidations)
         lookups = cache.hits + cache.misses
         if lookups:
             self.registry.gauge("plan_cache.hit_rate", "max").set(

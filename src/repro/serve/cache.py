@@ -109,6 +109,26 @@ class PlanCache(FabricObserver):
         self.invalidations += 1
         self._plans.clear()
 
+    def invalidate_hosts(self, hosts) -> int:
+        """Targeted invalidation for a membership-epoch bump: drop every
+        entry whose host set intersects ``hosts`` and return the count.
+
+        Used by the control plane when a group's membership changes — the
+        old-shape entries will never be requested again, and dropping them
+        guarantees no stale tree can alias a future lookup whatever key the
+        caller constructs.  The topology epoch is *not* bumped (the fabric
+        did not change), so unrelated entries stay hot.
+        """
+        hosts = frozenset(hosts)
+        dropped = [
+            key for key in self._plans if hosts.intersection(key.hosts)
+        ]
+        for key in dropped:
+            del self._plans[key]
+        if dropped:
+            self.invalidations += 1
+        return len(dropped)
+
     # -- observer hooks (PR-1 layer): any fabric change kills the cache --------
 
     def on_link_down(self, u: str, v: str) -> None:

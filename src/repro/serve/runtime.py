@@ -178,6 +178,12 @@ class ServeRuntime:
         #: One dict per sampler tick when ``obs`` is attached.
         self.obs_snapshots: list[dict] = []
         self._obs_folded = False
+        #: Optional hook fired as ``on_job_done(record, now)`` after a job's
+        #: accounting is released and before the queue re-drains — the
+        #: control plane uses it to retire group state and stream completion
+        #: events to subscribers.  Must be picklable (a bound method of a
+        #: picklable object) to survive :mod:`repro.replay` checkpoints.
+        self.on_job_done = None
         if obs is not None:
             obs.attach(self.env.network)
             obs.add_sample_hook(self._obs_sample)
@@ -379,6 +385,8 @@ class ServeRuntime:
                 self.link_outstanding[edge] = remaining
             else:
                 self.link_outstanding.pop(edge, None)
+        if self.on_job_done is not None:
+            self.on_job_done(record, now)
         self._drain_queue()
 
     def _reject(self, record: JobRecord) -> None:

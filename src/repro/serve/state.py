@@ -89,6 +89,52 @@ class FabricState:
                 self._refs[ref] = count + 1
         self._groups[group_id] = demand
 
+    def update_group(self, group_id: object, demand: Demand) -> bool:
+        """Re-point an installed group at a new demand, applying only the
+        delta (shared entries that survive the change are never touched, so
+        TCAM ``updates`` counts real churn, not a remove+reinstall).
+
+        Returns False — leaving the old demand installed — when the fresh
+        entries the new demand needs would not fit some switch; the caller
+        treats that like a rejected admission.  Installing an unknown group
+        is allowed (equivalent to :meth:`install_group`).
+        """
+        old = self._groups.get(group_id)
+        if old is None:
+            if not self.fits(demand):
+                return False
+            self.install_group(group_id, demand)
+            return True
+        old_keys = {(s, k) for s, keys in old.items() for k in set(keys)}
+        new_keys = {(s, k) for s, keys in demand.items() for k in set(keys)}
+        added = new_keys - old_keys
+        fresh: dict[str, int] = {}
+        for switch, key in added:
+            if (switch, key) not in self._refs:
+                fresh[switch] = fresh.get(switch, 0) + 1
+        if not all(
+            self.table(switch).would_fit(count)
+            for switch, count in fresh.items()
+        ):
+            return False
+        # Iteration order within the add/remove sets is unobservable (adds
+        # all precede removes, tables are keyed, nothing is scheduled), so
+        # plain set iteration keeps this deterministic where it matters.
+        for switch, key in added:
+            ref = (switch, key)
+            count = self._refs.get(ref, 0)
+            if count == 0:
+                self.table(switch).install(key)
+            self._refs[ref] = count + 1
+        for switch, key in old_keys - new_keys:
+            ref = (switch, key)
+            self._refs[ref] -= 1
+            if self._refs[ref] == 0:
+                del self._refs[ref]
+                self.table(switch).remove(key)
+        self._groups[group_id] = demand
+        return True
+
     def remove_group(self, group_id: object) -> None:
         demand = self._groups.pop(group_id, None)
         if demand is None:

@@ -269,6 +269,12 @@ class InvariantChecker(FabricObserver):
             return
         accepted.add(seq)
 
+    def on_receiver_removed(self, transfer: "Transfer", host: str) -> None:
+        # A leave voids the host's delivery history: if it rejoins the same
+        # transfer, the catch-up backfill re-delivers segments it had before
+        # leaving, which is correct and must not trip exactly-once.
+        self._accepted.pop((transfer, host), None)
+
     # -- periodic scan ---------------------------------------------------------
 
     def scan(self) -> None:

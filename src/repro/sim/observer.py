@@ -97,6 +97,11 @@ class FabricObserver:
     def on_reroute(self, transfer: "Transfer", num_trees: int) -> None:
         """A transfer switched to re-planned route trees after a fault."""
 
+    def on_receiver_removed(self, transfer: "Transfer", host: str) -> None:
+        """A membership leave dropped a receiver mid-transfer.  Per-host
+        delivery state is void: if the host later rejoins, deliveries start
+        from scratch (segments it saw before leaving arrive again)."""
+
     def on_failover(self, transfer: "Transfer", link: tuple[str, str]) -> None:
         """A transfer flipped to a pre-installed backup subtree — local
         fast-failover at the cut event, no detection delay or re-peel."""

@@ -314,6 +314,97 @@ class Transfer:
                 )
         return None
 
+    # -- dynamic membership -----------------------------------------------------
+
+    def add_receiver(self, host: str) -> None:
+        """Graft a new receiver mid-transfer (a membership join).
+
+        The host starts with nothing: callers must also place it on a route
+        tree (:meth:`set_route_trees` / :meth:`reroute`) and backfill the
+        segments it missed (:meth:`catch_up`).  Requires segment tracking,
+        like every mid-flight topology change.
+        """
+        if host in self.receivers:
+            return
+        if self.complete:
+            raise RuntimeError(f"{self.name} already complete; cannot graft {host!r}")
+        if not self._track:
+            raise RuntimeError(
+                "add_receiver requires per-receiver segment tracking (set "
+                "network.fault_tolerant before creating transfers)"
+            )
+        self.receivers.add(host)
+        self._delivered_count[host] = 0
+        self._delivered_bytes[host] = 0
+        self._received[host] = set()
+
+    def remove_receiver(self, host: str) -> None:
+        """Drop a receiver mid-transfer (a membership leave).
+
+        All per-host tracking is deleted, so copies still in flight toward
+        the departed host are ignored on arrival (an untracked endpoint),
+        and completion no longer waits for it.
+        """
+        if host not in self.receivers:
+            return
+        self.receivers.discard(host)
+        self.finished_hosts.discard(host)
+        self._delivered_count.pop(host, None)
+        self._delivered_bytes.pop(host, None)
+        self._received.pop(host, None)
+        if self.network.observers:
+            for ob in self.network.observers:
+                ob.on_receiver_removed(self, host)
+        if (
+            not self.complete
+            and len(self.finished_hosts) == len(self.receivers)
+        ):
+            self._finish(self.sim.now)
+
+    def set_route_trees(self, trees: list[MulticastTree]) -> None:
+        """Swap the route trees without re-multicasting anything.
+
+        Segments not yet injected ride the new trees; already-injected
+        segments are untouched (use :meth:`reroute` or :meth:`catch_up` when
+        in-flight receivers need backfill).
+        """
+        if not trees:
+            raise ValueError("transfer needs at least one route tree")
+        for tree in trees:
+            if tree.root != self.src_host:
+                raise ValueError(
+                    f"route tree rooted at {tree.root!r}, expected "
+                    f"{self.src_host!r}"
+                )
+        self.static_trees = list(trees)
+        self.refined_tree = None
+        self.refinement_ready_at = None
+
+    def catch_up(self, host: str) -> None:
+        """Unicast already-injected segments the given receiver is missing
+        (backfill after a mid-transfer join).  Segments not yet injected
+        arrive through the normal multicast pump."""
+        if self.complete or host not in self.receivers or not self._track:
+            return
+        route = self._repair_route(host)
+        if route is None:
+            raise RuntimeError(
+                f"no route tree of {self.name} reaches {host!r}; graft it "
+                "before catching up"
+            )
+        got = self._received[host]
+        host_node = self.network.host(self.src_host)
+        horizon = min(self.injected, self.num_segments)
+        for seq in range(horizon):
+            if seq in got:
+                continue
+            self.retransmissions += 1
+            host_node.send(Segment(self, seq, self.segment_sizes[seq], route))
+        if self.injected < self.num_segments:
+            self._schedule_pump(self.sim.now)
+        else:
+            self._start_repair_timer()
+
     # -- fault recovery ---------------------------------------------------------
 
     def reroute(self, trees: list[MulticastTree]) -> None:
@@ -327,22 +418,12 @@ class Transfer:
         """
         if self.complete:
             return
-        if not trees:
-            raise ValueError("reroute needs at least one route tree")
-        for tree in trees:
-            if tree.root != self.src_host:
-                raise ValueError(
-                    f"route tree rooted at {tree.root!r}, expected "
-                    f"{self.src_host!r}"
-                )
         if not self._track:
             raise RuntimeError(
                 "reroute requires per-receiver segment tracking (install a "
                 "fault injector before creating transfers)"
             )
-        self.static_trees = list(trees)
-        self.refined_tree = None
-        self.refinement_ready_at = None
+        self.set_route_trees(trees)
         self.reroutes += 1
         if self.network.observers:
             for ob in self.network.observers:

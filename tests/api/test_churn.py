@@ -1,0 +1,89 @@
+"""ScenarioSpec.churn: canonicalization, determinism, membership counters."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import ScenarioSpec, run
+from repro.collectives import Gpu, Group
+from repro.control import ChurnEvent, ChurnSchedule
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+from repro.workloads import CollectiveJob
+
+KB = 1024
+
+
+def churn_spec(events, **kwargs):
+    topo = LeafSpine(2, 4, 2)
+    job = CollectiveJob(
+        0.0,
+        Group(
+            Gpu("host:l0:0", 0),
+            (
+                Gpu("host:l0:0", 0),
+                Gpu("host:l0:1", 0),
+                Gpu("host:l1:0", 0),
+            ),
+        ),
+        1 << 20,
+    )
+    kwargs.setdefault("check_invariants", True)
+    kwargs.setdefault("event_digest", True)
+    return ScenarioSpec(
+        topology=topo,
+        scheme="peel",
+        jobs=(job,),
+        config=SimConfig(segment_bytes=32 * KB),
+        churn=events,
+        **kwargs,
+    )
+
+
+EVENTS = (
+    ChurnEvent(30e-6, 0, "join", host="host:l3:1"),
+    ChurnEvent(60e-6, 0, "leave", host="host:l1:0"),
+)
+
+
+class TestCanonicalization:
+    def test_iterable_coerced_to_schedule(self):
+        spec = churn_spec(list(EVENTS))
+        assert isinstance(spec.churn, ChurnSchedule)
+        assert spec.churn.events == EVENTS
+
+    def test_schedule_passes_through(self):
+        schedule = ChurnSchedule(EVENTS)
+        assert churn_spec(schedule).churn is schedule
+
+    def test_bad_event_rejected_at_spec_build(self):
+        with pytest.raises(ValueError):
+            churn_spec([ChurnEvent(10e-6, 0, "join")])  # join needs a host
+
+
+class TestChurnRun:
+    def test_membership_counters_populated(self):
+        result = run(churn_spec(EVENTS))
+        assert result.invariant_violations == []
+        assert result.membership["joins"] == 1
+        assert result.membership["leaves"] == 1
+        assert result.membership["grafts"] + result.membership["full_repeels"] >= 1
+        assert result.membership["prunes"] >= 1
+        assert len(result.ccts) == 1
+
+    def test_no_churn_means_empty_membership(self):
+        spec = churn_spec(EVENTS)
+        plain = dataclasses.replace(spec, churn=None)
+        assert run(plain).membership == {}
+
+    def test_identical_runs_match_byte_for_byte(self):
+        first = run(churn_spec(EVENTS))
+        second = run(churn_spec(EVENTS))
+        assert first.replay.event_digest == second.replay.event_digest
+        assert first.ccts == second.ccts
+        assert first.membership == second.membership
+
+    def test_churn_changes_the_event_stream(self):
+        with_churn = run(churn_spec(EVENTS))
+        without = run(dataclasses.replace(churn_spec(EVENTS), churn=None))
+        assert with_churn.replay.event_digest != without.replay.event_digest

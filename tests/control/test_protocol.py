@@ -1,0 +1,134 @@
+"""Line protocol, dispatcher, and both client transports."""
+
+import threading
+
+import pytest
+
+from repro.control import (
+    ControlPlane,
+    ControlRequestError,
+    ControlServer,
+    Dispatcher,
+    LocalClient,
+    ProtocolError,
+    SocketClient,
+)
+from repro.control.protocol import decode, encode
+from repro.obs import Observability
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+
+KB = 1024
+
+
+def control_plane(**kwargs) -> ControlPlane:
+    return ControlPlane(
+        LeafSpine(2, 4, 2), "peel", SimConfig(segment_bytes=16 * KB), **kwargs
+    )
+
+
+class TestWireFormat:
+    def test_encode_is_canonical(self):
+        assert encode({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_decode_round_trip(self):
+        req = decode(encode({"op": "ping"}))
+        assert req == {"op": "ping"}
+
+    @pytest.mark.parametrize(
+        "line", ["", "   ", "not json", "[1,2]", '{"op":"reboot"}']
+    )
+    def test_decode_rejects_garbage(self, line):
+        with pytest.raises(ProtocolError):
+            decode(line)
+
+
+class TestDispatcher:
+    def test_domain_errors_become_error_responses(self):
+        d = Dispatcher(control_plane())
+        resp = d.handle({"op": "submit", "group": 7, "message_bytes": KB})
+        assert resp["ok"] is False and "unknown group" in resp["error"]
+        resp = d.handle({"op": "create", "tenant": "t"})
+        assert resp["ok"] is False and "source" in resp["error"]
+
+    def test_metrics_requires_obs(self):
+        d = Dispatcher(control_plane())
+        assert d.handle({"op": "metrics"})["ok"] is False
+
+
+class TestLocalClient:
+    def test_full_campaign_round_trip(self):
+        client = LocalClient(control_plane(check_invariants=True))
+        assert client.ping() == 0.0
+        gid = client.create_group("t", "host:l0:0", ["host:l0:1"])
+        job = client.submit(gid, 256 * KB)
+        client.join(gid, "host:l1:0", at_s=20e-6)
+        assert client.run() > 0
+        report = client.report()
+        assert report["completed"] == 1
+        assert report["violations"] == []
+        assert report["tenants"]["t"]["completed"] == 1
+        events, cursor = client.events()
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "group_created"
+        assert "join" in kinds and "job_done" in kinds
+        assert client.events(cursor) == ([], cursor)
+        stats = client.stats()
+        assert stats["jobs"] == job + 1
+
+    def test_errors_raise(self):
+        client = LocalClient(control_plane())
+        with pytest.raises(ControlRequestError):
+            client.submit(5, KB)
+
+    def test_metrics_snapshot(self):
+        client = LocalClient(
+            control_plane(obs=Observability(sample_interval_s=50e-6))
+        )
+        gid = client.create_group("t", "host:l0:0", ["host:l0:1"])
+        client.submit(gid, 64 * KB)
+        client.run()
+        metrics = client.metrics()
+        assert "counters" in metrics or metrics  # snapshot is non-empty
+
+
+class TestSocketTransport:
+    def test_socket_campaign_with_subscription(self, tmp_path):
+        path = str(tmp_path / "control.sock")
+        control = control_plane(
+            check_invariants=True, obs=Observability(sample_interval_s=50e-6)
+        )
+        server = ControlServer(control, path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        deadline = 50
+        import time
+
+        for _ in range(deadline):
+            try:
+                client = SocketClient(path)
+                break
+            except (FileNotFoundError, ConnectionRefusedError):
+                time.sleep(0.05)
+        else:
+            pytest.fail("server socket never came up")
+        with client:
+            assert client.ping() == 0.0
+            client.subscribe()
+            gid = client.create_group("t", "host:l0:0", ["host:l0:1"])
+            client.submit(gid, 128 * KB)
+            client.run()
+            report = client.report()
+            assert report["completed"] == 1
+            # The subscription streamed events and a metrics snapshot.
+            streams = {line["stream"] for line in client.stream}
+            assert streams == {"event", "metrics"}
+            kinds = [
+                line["event"]
+                for line in client.stream
+                if line["stream"] == "event"
+            ]
+            assert "group_created" in kinds and "job_done" in kinds
+            client.shutdown()
+        thread.join(timeout=5)
+        assert not thread.is_alive()

@@ -1,0 +1,111 @@
+"""CongestionReplanner: hot-link detection, replan mechanics, termination."""
+
+import pytest
+
+from repro.control import CongestionReplanner, ControlPlane
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+
+KB = 1024
+
+
+def loaded_control(replanner) -> tuple[ControlPlane, list[int]]:
+    """Four overlapping groups pushing multi-MB messages: enough shared
+    spine load for the watch thresholds to trip."""
+    control = ControlPlane(
+        LeafSpine(2, 4, 2),
+        "peel",
+        SimConfig(segment_bytes=64 * KB),
+        check_invariants=True,
+        replanner=replanner,
+    )
+    h = control.env.topo.hosts
+    gids = [
+        control.create_group("a", h[0], [h[1], h[2], h[4]]),
+        control.create_group("a", h[3], [h[2], h[5], h[6]]),
+        control.create_group("b", h[7], [h[0], h[5]]),
+        control.create_group("b", h[4], [h[1], h[6], h[7]]),
+    ]
+    for i, gid in enumerate(gids):
+        for k in range(3):
+            control.submit(gid, 4 << 20, at_s=(i * 4 + k) * 20e-6)
+    return control, gids
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CongestionReplanner(interval_s=0)
+        with pytest.raises(ValueError):
+            CongestionReplanner(utilization_threshold=0)
+        with pytest.raises(ValueError):
+            CongestionReplanner(persistence=0)
+
+    def test_start_requires_binding(self):
+        with pytest.raises(RuntimeError):
+            CongestionReplanner().start()
+
+
+class TestReplanning:
+    def test_replans_fire_and_stay_invariant_clean(self):
+        replanner = CongestionReplanner(
+            utilization_threshold=0.3, ecn_threshold=4, persistence=1,
+            cooldown_s=400e-6,
+        )
+        control, _ = loaded_control(replanner)
+        control.run()
+        assert control.finalize_checks() == []
+        assert replanner.replans > 0
+        assert control.report().total.completed == 12
+        assert any(e["event"] == "replanned" for e in control.events)
+
+    def test_tick_terminates_alongside_other_periodic_work(self):
+        """The tick must stop on "no unresolved jobs", not "no pending
+        events" — with the obs sampler also self-rescheduling, two tickers
+        gating on the event queue would keep each other alive forever."""
+        from repro.obs import Observability
+
+        replanner = CongestionReplanner()
+        control = ControlPlane(
+            LeafSpine(2, 4, 2),
+            "peel",
+            SimConfig(segment_bytes=16 * KB),
+            obs=Observability(sample_interval_s=50e-6),
+            replanner=replanner,
+        )
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1"])
+        control.submit(gid, 256 * KB)
+        control.run()  # hangs without the unresolved-jobs stop condition
+        assert control.sim.pending == 0
+        assert replanner.ticks > 0
+
+    def test_persistence_suppresses_transient_bursts(self):
+        eager = CongestionReplanner(
+            utilization_threshold=0.3, ecn_threshold=4, persistence=1,
+            cooldown_s=400e-6,
+        )
+        control, _ = loaded_control(eager)
+        control.run()
+        patient = CongestionReplanner(
+            utilization_threshold=0.3, ecn_threshold=4, persistence=50,
+            cooldown_s=400e-6,
+        )
+        control2, _ = loaded_control(patient)
+        control2.run()
+        assert patient.replans < eager.replans
+
+    def test_replanned_trees_avoid_the_masked_links(self):
+        replanner = CongestionReplanner(
+            utilization_threshold=0.3, ecn_threshold=4, persistence=1,
+            cooldown_s=400e-6, max_hot_links=1,
+        )
+        control, _ = loaded_control(replanner)
+        control.run()
+        avoided = [
+            e for e in control.events if e["event"] == "replanned"
+        ]
+        assert avoided  # the campaign tripped the watch at least once
+        # The planning topology was restored after every mask.
+        assert control.env.topo.graph.number_of_edges() == sum(
+            1 for _ in LeafSpine(2, 4, 2).graph.edges
+        )

@@ -1,0 +1,217 @@
+"""ControlPlane service: group lifecycle, mid-flight membership, accounting."""
+
+import pytest
+
+from repro.control import ControlError, ControlPlane
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+
+KB = 1024
+
+
+def control_plane(scheme="peel", **kwargs) -> ControlPlane:
+    kwargs.setdefault("check_invariants", True)
+    return ControlPlane(
+        LeafSpine(2, 4, 2), scheme, SimConfig(segment_bytes=16 * KB), **kwargs
+    )
+
+
+class TestGroupLifecycle:
+    def test_protection_is_refused(self):
+        with pytest.raises(ControlError):
+            control_plane(protection=1)
+
+    def test_unknown_hosts_and_groups_rejected(self):
+        control = control_plane()
+        with pytest.raises(ControlError):
+            control.create_group("t", "host:l9:9")
+        with pytest.raises(ControlError):
+            control.create_group("t", "host:l0:0", ["nope"])
+        with pytest.raises(ControlError):
+            control.submit(42, KB)
+        with pytest.raises(ControlError):
+            control.join(42, "host:l0:1")
+
+    def test_submit_completes_and_retires(self):
+        control = control_plane()
+        gid = control.create_group(
+            "train", "host:l0:0", ["host:l0:1", "host:l1:0"]
+        )
+        index = control.submit(gid, 256 * KB)
+        control.run()
+        assert control.finalize_checks() == []
+        report = control.report()
+        assert report.total.completed == 1
+        assert control.groups[gid].active == set()
+        kinds = [e["event"] for e in control.events]
+        assert kinds == ["group_created", "submitted", "job_done"]
+        assert control.events[-1]["job"] == index
+
+    def test_bad_submit_rejected(self):
+        control = control_plane()
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1"])
+        with pytest.raises(ControlError):
+            control.submit(gid, 0)
+
+
+class TestMembership:
+    def test_join_reshapes_a_not_yet_launched_job(self):
+        control = control_plane()
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1"])
+        control.submit(gid, 256 * KB, at_s=100e-6)
+        control.join(gid, "host:l2:0")  # applies before the arrival fires
+        control.run()
+        assert control.finalize_checks() == []
+        record = control.runtime.records[0]
+        receivers = set().union(
+            *(t.receivers for t in record.handle.transfers)
+        )
+        assert "host:l2:0" in receivers
+        assert control.counters["joins"] == 1
+        assert control.counters["grafts"] == 0  # nothing was in flight
+
+    def test_midflight_graft_backfills_and_epoch_bumps(self):
+        control = control_plane()
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1", "host:l1:0"])
+        control.submit(gid, 1 << 20)
+        control.join(gid, "host:l3:1", at_s=30e-6)
+        control.run()
+        assert control.finalize_checks() == []
+        assert control.groups[gid].epoch == 1
+        assert control.counters["joins"] == 1
+        assert control.counters["grafts"] + control.counters["full_repeels"] == 1
+        transfer = control.runtime.records[0].handle.transfers[0]
+        assert "host:l3:1" in transfer.finished_hosts
+
+    def test_midflight_prune_stops_waiting_for_the_host(self):
+        control = control_plane()
+        gid = control.create_group(
+            "t", "host:l0:0", ["host:l0:1", "host:l1:0", "host:l2:0"]
+        )
+        control.submit(gid, 1 << 20)
+        control.leave(gid, "host:l2:0", at_s=30e-6)
+        control.run()
+        assert control.finalize_checks() == []
+        assert control.counters["leaves"] == 1
+        assert control.counters["prunes"] == 1
+        transfer = control.runtime.records[0].handle.transfers[0]
+        assert "host:l2:0" not in transfer.receivers
+        assert control.report().total.completed == 1
+
+    def test_leave_then_rejoin_same_transfer_is_exactly_once(self):
+        """A host that leaves and rejoins one in-flight collective starts
+        from scratch: the backfill re-delivers what it saw before leaving,
+        and the invariant checker must treat that as fresh, not duplicate."""
+        control = control_plane()
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1", "host:l1:0"])
+        control.submit(gid, 8 << 20)
+        control.leave(gid, "host:l1:0", at_s=50e-6)
+        control.join(gid, "host:l1:0", at_s=200e-6)
+        control.run()
+        assert control.finalize_checks() == []
+        transfer = control.runtime.records[0].handle.transfers[0]
+        assert "host:l1:0" in transfer.finished_hosts
+
+    def test_membership_ops_are_idempotent(self):
+        control = control_plane()
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1"])
+        control.join(gid, "host:l0:1")  # already a member
+        control.leave(gid, "host:l3:0")  # never was one
+        assert control.counters["joins"] == 0
+        assert control.counters["leaves"] == 0
+        assert control.groups[gid].epoch == 0
+
+    def test_membership_bump_invalidates_cache_entries(self):
+        control = control_plane()
+        cache = control.env.plan_cache
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1", "host:l1:0"])
+        control.submit(gid, 64 * KB)
+        control.run()
+        assert len(cache) == 1
+        # A leave drops the old-shape entry (it names the departed host);
+        # a join of an outsider leaves it alone — the entry is still a
+        # correct plan for its exact host set and can never alias the new
+        # shape, whose key includes the joined host.
+        control.join(gid, "host:l2:1")
+        assert len(cache) == 1 and cache.invalidations == 0
+        control.leave(gid, "host:l1:0")
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+
+
+class TestStateAccounting:
+    def test_orca_graft_pays_tcam_delta(self):
+        control = control_plane(scheme="orca", check_invariants=False)
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1"])
+        control.submit(gid, 1 << 20)
+        control.join(gid, "host:l2:0", at_s=30e-6)
+        control.run()
+        assert control.counters["graft_rejects"] == 0
+        report = control.report()
+        assert report.total.completed == 1
+        # Departed group released every re-pointed entry again.
+        assert all(len(t) == 0 for t in control.runtime.state.tables.values())
+
+    def test_orca_join_shapes_future_submits_only(self):
+        """Orca's data path is agent-relayed (no tree transfers registered
+        on the handle), so a mid-flight join cannot graft; it still
+        reshapes every submit after it."""
+        control = control_plane(scheme="orca", check_invariants=False)
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1"])
+        control.submit(gid, 1 << 20)
+        control.join(gid, "host:l2:0", at_s=30e-6)
+        control.run()
+        assert control.counters["joins"] == 1
+        assert control.counters["grafts"] == 0
+        second = control.submit(gid, 1 << 20)
+        hosts = {
+            g.host for g in control.runtime.records[second].job.group.members
+        }
+        assert "host:l2:0" in hosts
+
+    def test_charge_state_gate_rejects_overflowing_delta(self):
+        """The TCAM gate every graft and congestion replan passes through:
+        a delta whose fresh entries would overflow a switch is refused and
+        the old demand stays installed."""
+        control = control_plane(
+            scheme="orca", check_invariants=False, tcam_capacity=1
+        )
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1"])
+        control.submit(gid, 1 << 20)
+        # A second tenant's group occupies leaf:2's single TCAM slot.
+        other = control.create_group("u", "host:l2:0", ["host:l2:1"])
+        control.submit(other, 1 << 20)
+        control.advance(until=30e-6)
+        record = control.runtime.records[0]
+        assert record.status == "running"
+        from repro.control import graft_host
+
+        trees = control.env.peel().plan("host:l0:0", ["host:l0:1"]).static_trees
+        grafted, _ = graft_host(
+            control.env.topo, list(trees), "host:l0:0", "host:l2:1"
+        )
+        # The grafted tree now branches at leaf:2, whose only entry belongs
+        # to the other group: the fresh entry cannot fit, the delta is
+        # refused, and the old demand stays installed.
+        assert not control._charge_state(record, grafted)
+        assert control._charge_state(record, list(trees))  # no-delta fits
+
+
+class TestIntrospection:
+    def test_stats_snapshot(self):
+        control = control_plane()
+        gid = control.create_group("t", "host:l0:0", ["host:l0:1"])
+        control.submit(gid, 64 * KB)
+        control.run()
+        stats = control.stats()
+        assert stats["jobs"] == 1 and stats["running"] == 0
+        assert stats["groups"][0]["gid"] == gid
+        assert stats["counters"]["submits"] == 1
+
+    def test_drain_events_cursor(self):
+        control = control_plane()
+        control.create_group("t", "host:l0:0", ["host:l0:1"])
+        events, cursor = control.drain_events()
+        assert [e["event"] for e in events] == ["group_created"]
+        again, cursor2 = control.drain_events(cursor)
+        assert again == [] and cursor2 == cursor

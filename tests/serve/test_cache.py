@@ -152,3 +152,59 @@ class TestCacheMechanics:
         key_after = cache.key_for(planner, HOSTS[0], [HOSTS[1]])
         assert key_before != key_after
         assert key_before.hosts == key_after.hosts
+
+
+class TestHostInvalidation:
+    """Membership-epoch invalidation: targeted, no stale hits, no aliasing."""
+
+    def test_drops_only_intersecting_entries(self):
+        topo = small_topo()
+        planner = Peel(topo)
+        cache = PlanCache()
+        cache.get(planner, HOSTS[0], [HOSTS[1], HOSTS[2]])
+        cache.get(planner, HOSTS[4], [HOSTS[5]])
+        assert cache.invalidate_hosts({HOSTS[2]}) == 1
+        assert len(cache) == 1
+        assert cache.invalidations == 1
+        # The untouched group still hits; the topology epoch never moved.
+        hits = cache.hits
+        cache.get(planner, HOSTS[4], [HOSTS[5]])
+        assert cache.hits == hits + 1 and cache.epoch == 0
+
+    def test_no_stale_tree_after_membership_change(self):
+        """A departed host's old-shape entry is gone: the next lookup of
+        that exact shape re-peels instead of serving the cached plan."""
+        topo = small_topo()
+        planner = Peel(topo)
+        cache = PlanCache()
+        cache.get(planner, HOSTS[0], [HOSTS[1], HOSTS[2]])
+        cache.invalidate_hosts({HOSTS[1]})
+        misses = cache.misses
+        cache.get(planner, HOSTS[0], [HOSTS[1], HOSTS[2]])
+        assert cache.misses == misses + 1
+
+    def test_disjoint_hosts_are_a_noop(self):
+        topo = small_topo()
+        planner = Peel(topo)
+        cache = PlanCache()
+        cache.get(planner, HOSTS[0], [HOSTS[1]])
+        assert cache.invalidate_hosts({HOSTS[6]}) == 0
+        assert cache.invalidations == 0 and len(cache) == 1
+
+    def test_no_aliasing_with_protection_keyed_entries(self):
+        """Entries for the same host set at different resilience levels are
+        distinct; a membership bump drops both, and neither can ever
+        satisfy the other's lookup."""
+        topo = small_topo()
+        plain = Peel(topo)
+        protected = Peel(topo, resilience=1)
+        cache = PlanCache()
+        key_plain = cache.key_for(plain, HOSTS[0], [HOSTS[1]])
+        key_prot = cache.key_for(protected, HOSTS[0], [HOSTS[1]])
+        assert key_plain != key_prot
+        assert key_plain.hosts == key_prot.hosts
+        cache.get(plain, HOSTS[0], [HOSTS[1]])
+        cache.get(protected, HOSTS[0], [HOSTS[1]])
+        assert len(cache) == 2
+        assert cache.invalidate_hosts({HOSTS[1]}) == 2
+        assert len(cache) == 0

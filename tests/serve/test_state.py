@@ -68,6 +68,39 @@ class TestFabricState:
         assert len(state.table(SW)) == 1
 
 
+class TestUpdateGroup:
+    """Membership-delta re-pointing: the control plane's TCAM accounting."""
+
+    def test_applies_only_the_delta(self):
+        state = FabricState(capacity=4)
+        state.install_group("g", {SW: [("a",), ("b",)]})
+        updates = state.total_updates
+        assert state.update_group("g", {SW: [("b",), ("c",)]})
+        # ("b",) survived untouched: one install for ("c",), one remove
+        # for ("a",) — not a full remove+reinstall.
+        assert state.total_updates == updates + 2
+        assert len(state.table(SW)) == 2
+
+    def test_reject_leaves_old_demand_installed(self):
+        state = FabricState(capacity=2)
+        state.install_group("g", {SW: [("a",), ("b",)]})
+        assert not state.update_group("g", {SW: [("a",), ("b",), ("c",)]})
+        assert len(state.table(SW)) == 2  # untouched
+
+    def test_shared_entries_survive_the_other_group(self):
+        state = FabricState(capacity=4)
+        key = ("shared",)
+        state.install_group("g", {SW: [key]})
+        state.install_group("h", {SW: [key]})
+        assert state.update_group("g", {SW: [("solo",)]})
+        assert key in state.table(SW)  # "h" still references it
+
+    def test_unknown_group_installs_fresh(self):
+        state = FabricState(capacity=1)
+        assert state.update_group("g", {SW: [("a",)]})
+        assert not state.update_group("h", {SW: [("b",)]})
+
+
 class TestPolicies:
     FANOUTS = [
         ("agg:p0:0", frozenset({"tor:p0:0", "tor:p0:1"})),
