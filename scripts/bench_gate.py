@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Events/sec regression gate for CI's bench-smoke job.
+"""Perf regression gate for CI's bench-smoke job.
 
 Compares a freshly produced BENCH json (``scripts/bench_report.py``)
-against the committed baseline and fails when the headline scenario's
-``events_per_sec`` dropped by more than the threshold.  Only the
-within-run throughput rate is compared — the fresh json may come from a
-``--quick`` run and the baseline from a full one; the rate is the
-machine-comparable quantity, absolute wall times are not.
+against the committed baseline and fails when a gated quantity regressed
+past its threshold.  Two quantities are gated:
 
-    python scripts/bench_gate.py BENCH_ci-smoke.json BENCH_4.json
+* ``headline.events_per_sec`` — the within-run throughput rate of the
+  headline scenario (the fresh json may come from a ``--quick`` run and
+  the baseline from a full one; the rate is the machine-comparable
+  quantity, absolute wall times are not);
+* ``obs.enabled_over_disabled`` — the observability cost ratio (enabled
+  events/sec over disabled events/sec).  Being a same-run ratio it is
+  box-speed independent; a relative drop past ``--obs-threshold`` fails.
+  Skipped with a note when either json lacks the ``obs`` scenario (e.g.
+  a ``--only headline`` run).
+
+Every failure message names the gated scenario key it fired on.
+
+    python scripts/bench_gate.py BENCH_ci-smoke.json BENCH_8.json
     python scripts/bench_gate.py fresh.json base.json --threshold 0.25
 """
 
@@ -19,19 +28,48 @@ import json
 import sys
 
 
-def events_per_sec(path: str, scenario: str) -> float:
+def load(path: str) -> dict:
     with open(path, encoding="utf-8") as fh:
-        data = json.load(fh)
+        return json.load(fh)
+
+
+def scenario_value(data: dict, path: str, scenario: str, key: str) -> float:
+    """Fetch ``scenarios[scenario][key]``, failing loudly with the gated
+    scenario key in the message."""
     try:
-        rate = data["scenarios"][scenario]["events_per_sec"]
+        value = data["scenarios"][scenario][key]
     except KeyError as exc:
         raise SystemExit(
-            f"{path}: no events_per_sec for scenario {scenario!r} "
-            f"(missing key {exc})"
+            f"{path}: no {key} for scenario {scenario!r} "
+            f"(gated key {scenario}.{key}; missing {exc})"
         )
-    if not isinstance(rate, (int, float)) or rate <= 0:
-        raise SystemExit(f"{path}: bad events_per_sec {rate!r}")
-    return float(rate)
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise SystemExit(f"{path}: bad {scenario}.{key} value {value!r}")
+    return float(value)
+
+
+def has_scenario(data: dict, scenario: str) -> bool:
+    return scenario in data.get("scenarios", {})
+
+
+def check_drop(
+    name: str, fresh: float, base: float, threshold: float
+) -> bool:
+    """One relative-drop check; returns True when it passes."""
+    floor = base * (1 - threshold)
+    ratio = fresh / base
+    print(
+        f"{name}: fresh {fresh:,.4g} vs baseline {base:,.4g} "
+        f"({ratio:.2%}); floor {floor:,.4g} (-{threshold:.0%})"
+    )
+    if fresh < floor:
+        print(
+            f"REGRESSION[{name}]: dropped {1 - ratio:.1%} "
+            f"(> {threshold:.0%} allowed)",
+            file=sys.stderr,
+        )
+        return False
+    return True
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,28 +81,42 @@ def main(argv: list[str] | None = None) -> int:
         help="maximum tolerated events/sec drop (default: 0.10 = 10%%)",
     )
     parser.add_argument(
+        "--obs-threshold", type=float, default=0.10, metavar="FRACTION",
+        help="maximum tolerated relative drop of the obs "
+        "enabled_over_disabled ratio (default: 0.10 = 10%%)",
+    )
+    parser.add_argument(
         "--scenario", default="headline",
-        help="BENCH scenario to compare (default: headline)",
+        help="BENCH scenario whose events_per_sec is gated "
+        "(default: headline)",
     )
     args = parser.parse_args(argv)
-    if not 0 <= args.threshold < 1:
-        parser.error("--threshold must be in [0, 1)")
+    for flag, value in (("--threshold", args.threshold),
+                        ("--obs-threshold", args.obs_threshold)):
+        if not 0 <= value < 1:
+            parser.error(f"{flag} must be in [0, 1)")
 
-    fresh = events_per_sec(args.fresh, args.scenario)
-    base = events_per_sec(args.baseline, args.scenario)
-    floor = base * (1 - args.threshold)
-    ratio = fresh / base
-    print(
-        f"{args.scenario}: fresh {fresh:,.0f} ev/s vs baseline "
-        f"{base:,.0f} ev/s ({ratio:.2%}); floor {floor:,.0f} "
-        f"(-{args.threshold:.0%})"
+    fresh_data = load(args.fresh)
+    base_data = load(args.baseline)
+
+    ok = check_drop(
+        f"{args.scenario}.events_per_sec",
+        scenario_value(fresh_data, args.fresh, args.scenario, "events_per_sec"),
+        scenario_value(base_data, args.baseline, args.scenario, "events_per_sec"),
+        args.threshold,
     )
-    if fresh < floor:
-        print(
-            f"REGRESSION: {args.scenario} events/sec dropped "
-            f"{1 - ratio:.1%} (> {args.threshold:.0%} allowed)",
-            file=sys.stderr,
+
+    if has_scenario(fresh_data, "obs") and has_scenario(base_data, "obs"):
+        ok &= check_drop(
+            "obs.enabled_over_disabled",
+            scenario_value(fresh_data, args.fresh, "obs", "enabled_over_disabled"),
+            scenario_value(base_data, args.baseline, "obs", "enabled_over_disabled"),
+            args.obs_threshold,
         )
+    else:
+        print("obs.enabled_over_disabled: scenario absent, gate skipped")
+
+    if not ok:
         return 1
     print("bench gate OK")
     return 0

@@ -14,7 +14,10 @@ simulator events/sec so every PR leaves a comparable perf sample behind:
   executor is not available, so the script also runs on older checkouts);
 * ``obs``       — the headline Broadcast batch run bare and again with the
   :mod:`repro.obs` observability layer attached, recording the
-  enabled/disabled events-per-second delta (skipped on pre-obs checkouts).
+  enabled/disabled events-per-second delta (skipped on pre-obs checkouts);
+* ``sched_ops`` — a pure calendar-queue microbenchmark: scheduler churn
+  (schedule/post/cancel/pop) under dense, sparse, and bimodal timer-delay
+  regimes, with no fabric attached.
 
 Usage::
 
@@ -283,9 +286,14 @@ def bench_obs(quick: bool) -> dict | None:
             obs.finalize()
         return env.sim.processed, time.perf_counter() - t0
 
+    # Interleave the legs so box-speed drift over the scenario's wall
+    # time hits both the same way (the ratio is the gated quantity).
     repeats = 1 if quick else 3
-    disabled = [once(False) for _ in range(repeats)]
-    enabled = [once(True) for _ in range(repeats)]
+    disabled = []
+    enabled = []
+    for _ in range(repeats):
+        disabled.append(once(False))
+        enabled.append(once(True))
     dis_events = disabled[0][0]
     en_events = enabled[0][0]
     dis_wall = min(w for _, w in disabled)
@@ -304,7 +312,106 @@ def bench_obs(quick: bool) -> dict | None:
     }
 
 
-SCENARIOS = ("headline", "fig1_point", "serving", "failure", "sweep", "obs")
+def bench_sched_ops(quick: bool) -> dict:
+    """Pure scheduler churn: the calendar queue with no fabric attached.
+
+    Three timer-delay regimes stress different queue shapes:
+
+    * ``dense``   — delays within a few bucket widths (serialization
+      timers; the active-bucket insort and post fast paths dominate);
+    * ``sparse``  — delays spread across half a second of mostly-empty
+      buckets (timeout timers; bucket-index heap churn dominates);
+    * ``bimodal`` — a near/far mix, the fabric's realistic shape
+      (per-segment tx timers plus occasional protocol timeouts).
+
+    Each regime interleaves ``schedule``/``schedule_at`` (handle-
+    allocating), the ``post``/``post1``/``post2`` fast paths, cancels of
+    roughly one in seven handles, and periodic budgeted partial drains
+    (the checked run loop), then drains to empty (the fast run loop).
+    Ops = inserts + cancels + fired events; the per-regime op totals are
+    deterministic and asserted identical across repeats.
+    """
+    from random import Random
+
+    from repro.sim.engine import Simulator
+
+    n_inserts = 20_000 if quick else 200_000
+    repeats = 2 if quick else 3
+
+    def churn(mode: str) -> tuple[int, float]:
+        rng = Random(0x5EED)
+        rand = rng.random
+        sink = [0]
+
+        def cb() -> None:
+            sink[0] += 1
+
+        def cb1(a) -> None:
+            sink[0] += a
+
+        def cb2(a, b) -> None:
+            sink[0] += a + b
+
+        sim = Simulator()
+        handles: list = []
+        pop_handle = handles.pop
+        push_handle = handles.append
+        cancels = 0
+        t0 = time.perf_counter()
+        for i in range(n_inserts):
+            r = rand()
+            if mode == "dense":
+                delay = r * 2e-5
+            elif mode == "sparse":
+                delay = r * 0.5
+            else:  # bimodal: 3/4 near, 1/4 far
+                delay = r * 2e-5 if i & 3 else 0.25 + r * 0.25
+            k = i % 6
+            if k == 0:
+                push_handle(sim.schedule(delay, cb))
+            elif k == 1:
+                push_handle(sim.schedule_at(sim.now + delay, cb1, 1))
+            elif k == 2:
+                sim.post1(delay, cb1, 1)
+            elif k == 3:
+                sim.post2(delay, cb2, 1, 2)
+            else:
+                sim.post(delay, cb)
+            if i % 7 == 0 and handles:
+                # Cancelling an already-fired handle is a no-op, so this
+                # exercises both live cancellation and the fired path.
+                pop_handle().cancel()
+                cancels += 1
+            if i & 1023 == 1023:
+                sim.run(max_events=256)  # budgeted partial drain
+        sim.run()  # drain to empty via the fast loop
+        wall = time.perf_counter() - t0
+        assert sim.pending == 0
+        return n_inserts + cancels + sim.processed, wall
+
+    out: dict = {"inserts": n_inserts, "repeats": repeats}
+    for mode in ("dense", "sparse", "bimodal"):
+        ops = None
+        best = float("inf")
+        for _ in range(repeats):
+            n, wall = churn(mode)
+            best = min(best, wall)
+            if ops is None:
+                ops = n
+            elif n != ops:
+                raise AssertionError(
+                    f"non-deterministic {mode} op count: {n} != {ops}"
+                )
+        out[f"{mode}_ops"] = ops
+        out[f"{mode}_wall_s"] = round(best, 4)
+        out[f"{mode}_ops_per_sec"] = round(ops / best, 1)
+    return out
+
+
+SCENARIOS = (
+    "headline", "fig1_point", "serving", "failure", "sweep", "obs",
+    "sched_ops",
+)
 
 
 def run_report(quick: bool, repeats: int, only: list[str] | None = None) -> dict:
@@ -323,6 +430,8 @@ def run_report(quick: bool, repeats: int, only: list[str] | None = None) -> dict
             if result is None:
                 print("  obs: repro.obs unavailable, skipped", file=sys.stderr)
                 continue
+        elif name == "sched_ops":
+            result = bench_sched_ops(quick)
         else:
             builder = globals()[f"bench_{name}"]
             result = _timed(builder(quick), repeats)

@@ -27,6 +27,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    SampleRing,
 )
 from .spans import Span, SpanTracer, nesting_violations
 
@@ -35,6 +36,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SampleRing",
     "Span",
     "SpanTracer",
     "nesting_violations",

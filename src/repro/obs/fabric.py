@@ -25,11 +25,18 @@ Span hierarchy (cf. §4's CCT-shape arguments):
 
 from __future__ import annotations
 
+import operator
 from typing import TYPE_CHECKING
 
 from ..sim.observer import FabricObserver
 from ..sim.stats import _tier as link_tier
-from .metrics import BYTES_BOUNDS, RATIO_BOUNDS, SECONDS_BOUNDS, MetricsRegistry
+from .metrics import (
+    BYTES_BOUNDS,
+    RATIO_BOUNDS,
+    SECONDS_BOUNDS,
+    MetricsRegistry,
+    SampleRing,
+)
 from .spans import Span, SpanTracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -39,6 +46,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Rate histogram bounds in Gb/s (DCQCN operating range on 100G links).
 GBPS_BOUNDS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0)
+
+#: C-level slot reader for the sampler's per-tick depth sweep.
+_GET_QUEUE_BYTES = operator.attrgetter("queue_bytes")
 
 DETAIL_LEVELS = ("transfer", "segment")
 
@@ -55,6 +65,9 @@ class FabricMetricsObserver(FabricObserver):
     def __init__(self, obs: "Observability", network: "Network") -> None:
         self.obs = obs
         self.network = network
+        #: Hot-path alias: every hook needs ``sim.now`` and the engine
+        #: object is stable for the network's lifetime.
+        self._sim = network.sim
         self.registry = obs.registry
         self.tracer = obs.tracer
         self.segment_detail = obs.detail == "segment"
@@ -73,51 +86,81 @@ class FabricMetricsObserver(FabricObserver):
         #: (switch name, ingress port src) -> pause start time.
         self._open_pauses: dict[tuple[str, str], float] = {}
         self._pause_seconds = 0.0
-        self._copy_counts = dict.fromkeys(
-            ("injected", "forked", "delivered", "accepted", "wasted", "lost"), 0
-        )
+        # Copy-lifecycle tallies as plain int attributes (fold_counters
+        # publishes them once at the end of the run).  Fork and deliver
+        # are not hooked at all: they fire once per copy per hop and were
+        # pure counters, so the forwarding path bumps shared cells in
+        # ``Network.copy_counters`` instead of paying a per-copy callback;
+        # this observer reads the deltas since it attached.
+        self._n_injected = 0
+        self._n_accepted = 0
+        self._n_wasted = 0
+        self._n_lost = 0
+        cells = network.copy_counters
+        if cells is None:
+            cells = network.copy_counters = [0, 0]
+        self._copy_cells = cells
+        self._base_forked = cells[0]
+        self._base_delivered = cells[1]
+        # One-entry (transfer name, route) -> (layer, window) cache:
+        # acceptances arrive in long same-transfer same-tree bursts (every
+        # receiver accepts segment k at nearby times), so the common case
+        # skips three dict lookups and a tuple allocation.  Windows are
+        # mutated in place and never replaced, so aliasing one is safe.
+        self._lt_name: str | None = None
+        self._lt_route = None
+        self._lt_layer = 0
+        self._lt_window: list[float] | None = None
         network.add_observer(self)
 
     # -- live event handling ---------------------------------------------------
 
-    def _layer_of(self, transfer_name: str, route) -> int:
-        layers = self._layer_index.setdefault(transfer_name, {})
-        index = layers.get(route)
-        if index is None:
+    def _touch_layer(self, transfer_name: str, route, now: float) -> int:
+        if route is self._lt_route and transfer_name == self._lt_name:
+            self._lt_window[1] = now
+            return self._lt_layer
+        layers = self._layer_index.get(transfer_name)
+        if layers is None:
+            layers = self._layer_index[transfer_name] = {}
+        layer = layers.get(route)
+        if layer is None:
             # Layers are numbered in first-use order, which matches the
             # plan's static-tree order for multi-tree PEEL transfers (the
             # first segment rides every tree) and appends re-peeled trees.
-            index = layers[route] = len(layers)
-        return index
-
-    def _touch_layer(self, transfer_name: str, route, now: float) -> int:
-        layer = self._layer_of(transfer_name, route)
+            layer = layers[route] = len(layers)
         window = self.layer_window.get((transfer_name, layer))
         if window is None:
-            self.layer_window[transfer_name, layer] = [now, now]
+            window = self.layer_window[transfer_name, layer] = [now, now]
         else:
             window[1] = now
+        self._lt_name = transfer_name
+        self._lt_route = route
+        self._lt_layer = layer
+        self._lt_window = window
         return layer
 
     def on_inject(self, host: "HostNode", segment: "Segment") -> None:
-        now = self.network.sim.now
-        self._copy_counts["injected"] += 1
+        now = self._sim.now
+        self._n_injected += 1
         name = segment.transfer.name
-        self.first_inject.setdefault(name, now)
+        if name not in self.first_inject:
+            self.first_inject[name] = now
         self._touch_layer(name, segment.route, now)
         if self.segment_detail:
             self._seg_start.setdefault((name, segment.seq), now)
 
-    def on_fork(self, switch: "SwitchNode", segment: "Segment") -> None:
-        self._copy_counts["forked"] += 1
-
-    def on_deliver(self, host: "HostNode", segment: "Segment") -> None:
-        self._copy_counts["delivered"] += 1
-
     def on_accept(self, transfer: "Transfer", host: str, segment: "Segment") -> None:
-        now = self.network.sim.now
-        self._copy_counts["accepted"] += 1
-        layer = self._touch_layer(transfer.name, segment.route, now)
+        now = self._sim.now
+        self._n_accepted += 1
+        route = segment.route
+        name = transfer.name
+        if route is self._lt_route and name == self._lt_name:
+            # Inlined _touch_layer cache hit (the overwhelmingly common
+            # case on the acceptance path).
+            self._lt_window[1] = now
+            layer = self._lt_layer
+        else:
+            layer = self._touch_layer(name, route, now)
         if self.segment_detail:
             start = self._seg_start.get((transfer.name, segment.seq), now)
             self.segment_records.append(
@@ -125,10 +168,10 @@ class FabricMetricsObserver(FabricObserver):
             )
 
     def on_wasted(self, switch: "SwitchNode", segment: "Segment") -> None:
-        self._copy_counts["wasted"] += 1
+        self._n_wasted += 1
 
     def on_lost(self, port: "Port", segment: "Segment") -> None:
-        self._copy_counts["lost"] += 1
+        self._n_lost += 1
 
     def on_pfc_pause(self, switch: "SwitchNode", port: "Port") -> None:
         self._open_pauses[switch.name, port.src] = self.network.sim.now
@@ -168,12 +211,24 @@ class FabricMetricsObserver(FabricObserver):
         for key in sorted(self._open_pauses):
             self._pause_seconds += now - self._open_pauses.pop(key)
 
+    def copy_counts(self) -> dict[str, int]:
+        """Live copy-lifecycle tallies, keyed like ``fabric.copies.*``."""
+        cells = self._copy_cells
+        return {
+            "accepted": self._n_accepted,
+            "delivered": cells[1] - self._base_delivered,
+            "forked": cells[0] - self._base_forked,
+            "injected": self._n_injected,
+            "lost": self._n_lost,
+            "wasted": self._n_wasted,
+        }
+
     def fold_counters(self) -> None:
         """End-of-run aggregates from fabric- and port-level counters."""
         registry = self.registry
         network = self.network
-        for kind in sorted(self._copy_counts):
-            registry.counter(f"fabric.copies.{kind}").inc(self._copy_counts[kind])
+        for kind, count in self.copy_counts().items():
+            registry.counter(f"fabric.copies.{kind}").inc(count)
         registry.counter("fabric.pfc.pause_events").inc(network.pfc_pause_events)
         registry.counter("fabric.pfc.pause_seconds").inc(self._pause_seconds)
         registry.counter("fabric.wasted_bytes").inc(network.wasted_bytes)
@@ -212,9 +267,18 @@ class PeriodicSampler:
     The tick reschedules itself only while *other* live events remain, so
     an attached sampler never keeps the event loop alive on its own and
     ``env.run()`` still terminates.  Each tick records queue-depth and
-    DCQCN-rate samples into the registry, emits Chrome counter events, and
-    invokes any caller-registered hooks (the serving runtime adds one for
-    queue length, TCAM occupancy and cache hit rate).
+    DCQCN-rate samples, emits Chrome counter events, and invokes any
+    caller-registered hooks (the serving runtime adds one for queue
+    length, TCAM occupancy and cache hit rate).
+
+    The hot path is allocation-light: the sorted port walk is precomputed
+    once (the port set is fixed at :class:`~repro.sim.network.Network`
+    construction — link faults flip ``Port.down``, they never add or
+    remove ports), and raw depth/rate samples land in preallocated
+    append-only :class:`~repro.obs.metrics.SampleRing` buffers.  Histogram
+    bucketing is deferred to :meth:`flush` (run by
+    ``Observability.finalize``), which replays the rings in recording
+    order so the exported registry is byte-identical to live observation.
     """
 
     def __init__(self, obs: "Observability", network: "Network") -> None:
@@ -223,6 +287,15 @@ class PeriodicSampler:
         self.interval_s = obs.sample_interval_s
         self.ticks = 0
         self._started = False
+        self._ports = [network.ports[key] for key in sorted(network.ports)]
+        # Histogram/gauge handles are bound lazily on the first tick so a
+        # run with zero ticks leaves the registry exactly as empty as the
+        # per-tick get-or-create used to.
+        self._queue_hist = None
+        self._rate_hist = None
+        self._peak_gauge = None
+        self._queue_ring = SampleRing()
+        self._rate_ring = SampleRing()
 
     def start(self) -> None:
         if not self._started:
@@ -240,29 +313,61 @@ class PeriodicSampler:
             self._started = False
 
     def sample(self, now: float) -> None:
-        registry = self.obs.registry
+        queue_hist = self._queue_hist
+        if queue_hist is None:
+            registry = self.obs.registry
+            queue_hist = self._queue_hist = registry.histogram(
+                "sample.queue_bytes", BYTES_BOUNDS
+            )
+            self._rate_hist = registry.histogram("dcqcn.rate_gbps", GBPS_BOUNDS)
+            self._peak_gauge = registry.gauge("sample.queued_bytes.peak", "max")
         tracer = self.obs.tracer
-        network = self.network
-        queued_total = 0
-        queue_hist = registry.histogram("sample.queue_bytes", BYTES_BOUNDS)
-        for key in sorted(network.ports):
-            depth = network.ports[key].queue_bytes
-            if depth:
-                queued_total += depth
-                queue_hist.observe(depth)
-        registry.gauge("sample.queued_bytes.peak", "max").set(queued_total)
+        # C-speed depth sweep: attrgetter+map+sum touch every port without
+        # a Python-level loop; the per-port Python loop runs only when at
+        # least one queue is nonempty, and then over plain ints.
+        depths = list(map(_GET_QUEUE_BYTES, self._ports))
+        queued_total = sum(depths)
+        if queued_total:
+            ring = self._queue_ring
+            buf = ring.buf
+            n = ring.n
+            for depth in depths:
+                if depth:
+                    if n == len(buf):
+                        buf.extend(buf)
+                    buf[n] = depth
+                    n += 1
+            ring.n = n
+        self._peak_gauge.set(queued_total)
         tracer.sample("queued_bytes", now, queued_total)
-        rate_hist = registry.histogram("dcqcn.rate_gbps", GBPS_BOUNDS)
+        ring = self._rate_ring
+        buf = ring.buf
+        n = ring.n
         slowest = None
-        for transfer in network.transfers:
+        for transfer in self.network.transfers:
             if not transfer.complete:
                 rate = transfer.dcqcn.current_rate_bps / 1e9
-                rate_hist.observe(rate)
+                if n == len(buf):
+                    buf.extend(buf)
+                buf[n] = rate
+                n += 1
                 slowest = rate if slowest is None else min(slowest, rate)
+        ring.n = n
         if slowest is not None:
             tracer.sample("dcqcn_min_rate_gbps", now, slowest)
         for hook in self.obs.sample_hooks:
             hook(now)
+
+    def flush(self) -> None:
+        """Replay ring-buffered samples into their histograms.
+
+        Recording order is preserved, so the deferred bucketing serializes
+        byte-identically to the old per-tick ``observe`` calls.  Idempotent
+        between ticks (the rings reset on flush).
+        """
+        if self._queue_hist is not None:
+            self._queue_ring.flush_into(self._queue_hist)
+            self._rate_ring.flush_into(self._rate_hist)
 
 
 class Observability:
@@ -361,6 +466,8 @@ class Observability:
         self._finalized = True
         observer = self.observer
         now = self.network.sim.now
+        if self.sampler is not None:
+            self.sampler.flush()
         observer.close_pauses(now)
         observer.fold_counters()
 

@@ -156,6 +156,31 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Bulk :meth:`observe`, byte-identical to observing each value in
+        order (``sum`` is float accumulation, so replay order matters)."""
+        if not values:
+            return
+        bounds = self.bounds
+        nbounds = len(bounds)
+        counts = self.counts
+        acc = self.sum
+        for value in values:
+            lo, hi = 0, nbounds
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if bounds[mid] < value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            counts[lo] += 1
+            acc += value
+        self.sum = acc
+        self.total += len(values)
+        low, high = min(values), max(values)
+        self.min = low if self.min is None else min(self.min, low)
+        self.max = high if self.max is None else max(self.max, high)
+
     def merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError(
@@ -202,6 +227,51 @@ class Histogram:
             "min": self.min,
             "max": self.max,
         }
+
+
+class SampleRing:
+    """Preallocated append-only buffer for deferred histogram bucketing.
+
+    Hot-path recording is one list store plus an index bump — no bisect,
+    no histogram bookkeeping, no per-sample allocation (the buffer doubles
+    in place when full).  :meth:`flush_into` replays the samples into a
+    histogram *in recording order* at export time, which keeps the
+    deferred path byte-identical to live observation: bucket counts and
+    min/max are order-independent, and the float ``sum`` accumulates in
+    the exact same sequence.
+    """
+
+    __slots__ = ("buf", "n")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.buf: list[float] = [0.0] * capacity
+        self.n = 0
+
+    def __len__(self) -> int:
+        return self.n
+
+    def append(self, value: float) -> None:
+        buf = self.buf
+        n = self.n
+        if n == len(buf):
+            buf.extend(buf)
+        buf[n] = value
+        self.n = n + 1
+
+    def values(self) -> list[float]:
+        """The recorded samples, oldest first."""
+        return self.buf[: self.n]
+
+    def flush_into(self, histogram: Histogram) -> int:
+        """Replay all buffered samples into ``histogram`` and reset;
+        returns how many samples were flushed."""
+        n = self.n
+        if n:
+            histogram.observe_many(self.buf[:n])
+            self.n = 0
+        return n
 
 
 class MetricsRegistry:

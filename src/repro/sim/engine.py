@@ -1,32 +1,83 @@
-"""Minimal discrete-event simulation engine (heapq-based).
+"""Minimal discrete-event simulation engine (calendar-queue based).
 
 Events are plain callbacks; ordering ties break by insertion sequence so
 runs are fully deterministic for a fixed seed.
 
-Fast path: heap entries are plain lists ``[time, seq, fn, args]`` rather
-than objects with a Python-level ``__lt__``.  ``heapq`` then compares
-entries with C-level list comparison (``time`` first, then the unique
-``seq`` — ``fn`` is never reached), which removes the per-sift method-call
-overhead that used to dominate large runs.  Cancellation nulls the ``fn``
-slot in place; cancelled entries are skipped on pop and compacted away in
-bulk when they outnumber the live ones (so long fault-heavy runs that
-cancel many timers don't grow the heap without bound).
+Fast path: entries are plain lists ``[time, seq, fn, args]`` compared with
+C-level list comparison (``time`` first, then the unique ``seq`` — ``fn``
+is never reached).  Instead of one global binary heap, entries live in a
+**calendar queue**: a sparse dict of time buckets keyed by
+``int(time * inv_width)``.  Inserting is an O(1) amortized append into the
+target bucket; the engine consumes buckets in index order, sorting each
+one once (C timsort) on activation and then popping by plain index
+increment — no per-event heap sift.  The dense-timestamp segment workload
+(hundreds of thousands of events spaced by serialization/propagation
+constants) is exactly the shape this favours.
+
+Structural notes:
+
+* **Bucket order is total order.**  ``idx(t) = int(t * inv_width)`` is a
+  monotone function of ``t``, so consuming buckets in index order and each
+  bucket in sorted ``(time, seq)`` order yields the exact global
+  ``(time, seq)`` order a heap would — tie-breaking included.
+* **Far-future timers** (guard timers, fault schedules, samplers) cost
+  nothing extra: the bucket dict is sparse, so a timer seconds ahead of a
+  microsecond-scale workload is one distant bucket plus one entry in the
+  bucket-index min-heap (the "sorted spill" that stands in for a heap
+  fallback).  Indices past ``_FAR_IDX`` collapse into one overflow bucket
+  so even ``inf``-ish timestamps stay finite to index.
+* **Late arrivals into the active bucket** (a callback scheduling a few
+  microseconds ahead) are merged with ``bisect.insort`` — C code, correct
+  by the same list-comparison order.
+* **Cancellation** nulls the ``fn`` slot in place (tombstone); dead
+  entries are skipped on pop and compacted away in bulk when they
+  outnumber the live ones.
+* **Width retuning** is deterministic: every ``_RETUNE_EVERY`` fired
+  events the engine re-estimates the mean event gap from simulated time
+  actually covered and rebuckets if the bucket width is badly sized.  The
+  estimate depends only on event history, so identical runs retune
+  identically and :meth:`snapshot`/:meth:`restore` carry the tuning state
+  with the rest of the queue.
 """
 
 from __future__ import annotations
 
 import pickle
+from bisect import insort
 from hashlib import blake2b
-from heapq import heapify, heappop, heappush
+from heapq import heappop, heappush
 from struct import pack
 from typing import Any, Callable
 
-# Heap-entry slot indices (an entry is [time, seq, fn, args]).
-_TIME, _SEQ, _FN, _ARGS = 0, 1, 2, 3
+# Entry slot indices.  Entry shape is length-coded by arity so the hot
+# paths never build or unpack an args tuple:
+#   len 3: [time, seq, fn]              -> fn()
+#   len 4: [time, seq, fn, a]           -> fn(a)
+#   len 5: [time, seq, fn, a, b]        -> fn(a, b)
+#   len 6: [time, seq, fn, None, None, args] -> fn(*args)   (generic; the
+#          only shape :meth:`Simulator.schedule` hands to an EventHandle)
+# List comparison orders entries by (time, seq) — seq is unique, so the
+# payload slots past index 1 are never compared.
+_TIME, _SEQ, _FN, _GENERIC_ARGS = 0, 1, 2, 5
 
-#: Below this heap size compaction is pointless (the scan costs more than
+#: Below this queue size compaction is pointless (the scan costs more than
 #: the dead entries do).
 _COMPACT_MIN = 64
+
+#: Target mean live entries per bucket after a retune.
+_TARGET_OCCUPANCY = 16
+
+#: Fired events between width-retune checks.
+_RETUNE_EVERY = 8192
+
+#: Bucket indices at or past this collapse into one far-overflow bucket
+#: (keeps ``int(time * inv_width)`` harmless for enormous timestamps).
+_FAR_IDX = 1 << 62
+
+#: Initial bucket width in simulated seconds.  Sized for the microsecond
+#: segment workload; the deterministic retune adapts it for slower or
+#: faster event densities within one retune window.
+_INITIAL_WIDTH = 1e-5
 
 
 class EventDigest:
@@ -82,17 +133,50 @@ class Simulator:
     """Event loop with a monotonically advancing clock (seconds)."""
 
     __slots__ = (
-        "now", "_heap", "_seq", "_processed", "_live", "_cancelled", "_digest"
+        "now", "_seq", "_processed", "_live", "_cancelled", "_digest",
+        "_buckets", "_bidx", "_cur", "_cur_i", "_cur_idx",
+        "_width", "_inv_width", "_tune_t0", "_tune_n0", "_fired",
     )
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[list] = []
         self._seq = 0
         self._processed = 0
         self._live = 0  # scheduled entries not yet fired or cancelled
-        self._cancelled = 0  # cancelled entries still parked in the heap
+        self._cancelled = 0  # cancelled entries still parked in the queue
         self._digest: EventDigest | None = None
+        # Calendar queue state (see module docstring).
+        self._buckets: dict[int, list[list]] = {}
+        self._bidx: list[int] = []  # min-heap of pending bucket indices
+        self._cur: list[list] = []  # activated bucket, sorted, popped by index
+        self._cur_i = 0
+        self._cur_idx = -1
+        self._width = _INITIAL_WIDTH
+        self._inv_width = 1.0 / _INITIAL_WIDTH
+        # Deterministic width-retune window (simulated time vs events).
+        self._tune_t0 = 0.0
+        self._tune_n0 = 0
+        self._fired = 0
+
+    # -- insertion -------------------------------------------------------------
+
+    def _insert(self, entry: list) -> None:
+        time = entry[0]
+        idx = int(time * self._inv_width)
+        if idx >= _FAR_IDX:
+            idx = _FAR_IDX
+        if idx <= self._cur_idx:
+            # Lands in (or before) the active bucket: merge in sorted
+            # position.  ``lo=_cur_i`` is safe — the entry's time is >= the
+            # clock, so it cannot sort before an already-fired entry.
+            insort(self._cur, entry, self._cur_i)
+        else:
+            bucket = self._buckets.get(idx)
+            if bucket is None:
+                self._buckets[idx] = [entry]
+                heappush(self._bidx, idx)
+            else:
+                bucket.append(entry)
 
     def schedule(
         self, delay: float, fn: Callable[..., Any], *args: Any
@@ -100,10 +184,10 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        entry = [self.now + delay, self._seq, fn, args]
+        entry = [self.now + delay, self._seq, fn, None, None, args]
         self._seq += 1
         self._live += 1
-        heappush(self._heap, entry)
+        self._insert(entry)
         return EventHandle(self, entry)
 
     def schedule_at(
@@ -111,10 +195,10 @@ class Simulator:
     ) -> EventHandle:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        entry = [time, self._seq, fn, args]
+        entry = [time, self._seq, fn, None, None, args]
         self._seq += 1
         self._live += 1
-        heappush(self._heap, entry)
+        self._insert(entry)
         return EventHandle(self, entry)
 
     # -- no-handle fast path ---------------------------------------------------
@@ -128,32 +212,151 @@ class Simulator:
         """:meth:`schedule` without allocating a cancellation handle."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
-        heappush(self._heap, [self.now + delay, self._seq, fn, args])
-        self._seq += 1
+        time = self.now + delay
+        n = len(args)
+        if n == 1:
+            entry = [time, seq, fn, args[0]]
+        elif n == 2:
+            entry = [time, seq, fn, args[0], args[1]]
+        elif n == 0:
+            entry = [time, seq, fn]
+        else:
+            entry = [time, seq, fn, None, None, args]
+        idx = int(time * self._inv_width)
+        if self._cur_idx < idx < _FAR_IDX:
+            # Existing-bucket append is the overwhelmingly common case
+            # (one miss per bucket lifetime): subscript + EAFP beats .get.
+            try:
+                self._buckets[idx].append(entry)
+            except KeyError:
+                self._buckets[idx] = [entry]
+                heappush(self._bidx, idx)
+        else:
+            self._insert(entry)
+
+    def post1(self, delay: float, fn: Callable[..., Any], a: Any) -> None:
+        """:meth:`post` specialized to one argument (no tuple packing)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        time = self.now + delay
+        idx = int(time * self._inv_width)
+        if self._cur_idx < idx < _FAR_IDX:
+            try:
+                self._buckets[idx].append([time, seq, fn, a])
+            except KeyError:
+                self._buckets[idx] = [[time, seq, fn, a]]
+                heappush(self._bidx, idx)
+        else:
+            self._insert([time, seq, fn, a])
+
+    def post2(self, delay: float, fn: Callable[..., Any], a: Any, b: Any) -> None:
+        """:meth:`post` specialized to two arguments (no tuple packing)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        time = self.now + delay
+        idx = int(time * self._inv_width)
+        if self._cur_idx < idx < _FAR_IDX:
+            try:
+                self._buckets[idx].append([time, seq, fn, a, b])
+            except KeyError:
+                self._buckets[idx] = [[time, seq, fn, a, b]]
+                heappush(self._bidx, idx)
+        else:
+            self._insert([time, seq, fn, a, b])
 
     def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
         """:meth:`schedule_at` without allocating a cancellation handle."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
-        heappush(self._heap, [time, self._seq, fn, args])
-        self._seq += 1
+        n = len(args)
+        if n == 1:
+            self._insert([time, seq, fn, args[0]])
+        elif n == 0:
+            self._insert([time, seq, fn])
+        elif n == 2:
+            self._insert([time, seq, fn, args[0], args[1]])
+        else:
+            self._insert([time, seq, fn, None, None, args])
 
     # -- cancellation ----------------------------------------------------------
 
     def _cancel(self, entry: list) -> None:
+        # Only schedule()/schedule_at() hand out handles, so a cancelled
+        # entry always has the generic (len 6) shape.
         entry[_FN] = None
-        entry[_ARGS] = ()  # drop references early (segments, transfers)
+        entry[_GENERIC_ARGS] = ()  # drop references early (segments, ...)
         self._live -= 1
         self._cancelled += 1
         # Lazy compaction: once dead entries outnumber live ones in a
-        # non-trivial heap, rebuild it.  Amortized O(1) per cancellation.
-        heap = self._heap
-        if self._cancelled > len(heap) // 2 and len(heap) >= _COMPACT_MIN:
-            self._heap = [e for e in heap if e[_FN] is not None]
-            heapify(self._heap)
-            self._cancelled = 0
+        # non-trivial queue, rebuild it.  Amortized O(1) per cancellation.
+        if (
+            self._cancelled > self._live
+            and self._cancelled + self._live >= _COMPACT_MIN
+        ):
+            self._rebuild(self._width)
+
+    def _rebuild(self, width: float) -> None:
+        """Re-bucket every pending entry (dropping tombstones) at ``width``.
+
+        Also the compaction path (same width) and the retune path (new
+        width).  Safe at any point outside :meth:`_insert` — entry lists
+        keep their identity, so live :class:`EventHandle` references stay
+        valid.
+        """
+        entries = [e for e in self._cur[self._cur_i:] if e[_FN] is not None]
+        for bucket in self._buckets.values():
+            entries.extend(e for e in bucket if e[_FN] is not None)
+        self._cancelled = 0
+        self._width = width
+        self._inv_width = inv = 1.0 / width
+        self._buckets = {}
+        self._bidx = []
+        self._cur = []
+        self._cur_i = 0
+        self._cur_idx = int(self.now * inv)
+        for entry in entries:
+            self._insert(entry)
+
+    def _maybe_retune(self) -> None:
+        """Deterministic width adaptation (see module docstring)."""
+        fired = self._fired
+        span = self.now - self._tune_t0
+        gap = span / max(fired - self._tune_n0, 1)
+        self._tune_t0 = self.now
+        self._tune_n0 = fired
+        if gap <= 0.0:
+            return
+        width = gap * _TARGET_OCCUPANCY
+        # Only pay the O(n) rebucket when the current width is badly off.
+        if not 0.25 <= width / self._width <= 4.0:
+            self._rebuild(width)
+
+    # -- activation ------------------------------------------------------------
+
+    def _activate(self) -> bool:
+        """Make ``_cur[_cur_i]`` the global head; False when queue empty."""
+        while self._cur_i >= len(self._cur):
+            if not self._bidx:
+                return False
+            idx = heappop(self._bidx)
+            bucket = self._buckets.pop(idx)
+            bucket.sort()
+            self._cur = bucket
+            self._cur_i = 0
+            self._cur_idx = idx
+        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Drain the event queue; returns the number of events processed.
@@ -161,33 +364,102 @@ class Simulator:
         ``until`` stops the clock at a horizon (inclusive); ``max_events``
         guards against runaway simulations.
         """
-        heap = self._heap
-        pop = heappop
         processed = 0
         # Hoisted: digests attach only between run() calls (safe points).
         digest = self._digest
-        while heap:
-            if max_events is not None and processed >= max_events:
-                break
-            entry = heap[0]
+        fired = self._fired
+        retune_at = fired + _RETUNE_EVERY
+        if until is None and max_events is None and digest is None:
+            # Drain-to-empty fast loop: no horizon/budget/digest checks per
+            # event, ``_fired`` kept in a local (synced at retune points and
+            # on exit).  Still re-validates the active bucket after every
+            # callback — an insort only grows ``cur`` in place (refresh the
+            # length), while compaction/retune swaps the list object
+            # (identity check falls back to the outer refetch).
+            while True:
+                cur = self._cur
+                i = self._cur_i
+                n = len(cur)
+                if i >= n:
+                    self._fired = fired
+                    if not self._activate():
+                        break
+                    continue
+                while i < n:
+                    entry = cur[i]
+                    i += 1
+                    self._cur_i = i
+                    fn = entry[2]
+                    if fn is None:
+                        self._cancelled -= 1
+                        continue
+                    self._live -= 1
+                    self.now = entry[0]
+                    length = len(entry)
+                    if length == 4:
+                        fn(entry[3])
+                    elif length == 5:
+                        fn(entry[3], entry[4])
+                    elif length == 3:
+                        fn()
+                    else:
+                        entry[2] = None  # fired: handle.active drops
+                        fn(*entry[5])
+                    processed += 1
+                    fired += 1
+                    if fired >= retune_at:
+                        self._fired = fired
+                        self._maybe_retune()
+                        retune_at = fired + _RETUNE_EVERY
+                    if self._cur is not cur:
+                        break  # compaction/retune replaced the bucket list
+                    # An insort from the callback can only grow ``cur`` at
+                    # or after ``_cur_i`` (== local ``i``): refresh length.
+                    n = len(cur)
+            self._fired = fired
+            self._processed += processed
+            return processed
+        while True:
+            cur = self._cur
+            i = self._cur_i
+            if i >= len(cur):
+                if not self._activate():
+                    break
+                continue
+            entry = cur[i]
             time = entry[0]
             if until is not None and time > until:
                 break
-            pop(heap)
+            if max_events is not None and processed >= max_events:
+                break
+            self._cur_i = i + 1
             fn = entry[2]
             if fn is None:
                 self._cancelled -= 1
                 continue
-            entry[2] = None  # fired: handle.active goes False, refs drop
             self._live -= 1
             self.now = time
             if digest is not None:
                 digest.update(time, entry[1])
-            fn(*entry[3])
+            length = len(entry)
+            if length == 4:
+                fn(entry[3])
+            elif length == 5:
+                fn(entry[3], entry[4])
+            elif length == 3:
+                fn()
+            else:
+                entry[2] = None  # fired: handle.active goes False, refs drop
+                fn(*entry[5])
             processed += 1
-            heap = self._heap  # compaction may have swapped the list
+            fired = self._fired = self._fired + 1
+            if fired >= retune_at:
+                self._maybe_retune()
+                retune_at = fired + _RETUNE_EVERY
         self._processed += processed
-        if until is not None and (not heap or heap[0][0] > until):
+        if until is not None and (
+            not self._activate() or self._cur[self._cur_i][0] > until
+        ):
             self.now = max(self.now, until)
         return processed
 
@@ -204,12 +476,13 @@ class Simulator:
     #
     # A simulator between run() calls is at a *safe point*: no callback is
     # executing, every in-flight effect lives either in object state or as
-    # a heap entry.  Pickling the simulator therefore captures the entire
-    # reachable object graph — heap entries (tombstones included), the seq
-    # counter, and every network/transfer/RNG object the scheduled bound
-    # methods hang off — and unpickling resumes the exact event sequence.
-    # Callables scheduled into the loop must be picklable (bound methods or
-    # module-level callables; no lambdas or closures).
+    # a bucket entry.  Pickling the simulator therefore captures the entire
+    # reachable object graph — calendar buckets (tombstones included), the
+    # seq counter and width-tuning state, and every network/transfer/RNG
+    # object the scheduled bound methods hang off — and unpickling resumes
+    # the exact event sequence.  Callables scheduled into the loop must be
+    # picklable (bound methods or module-level callables; no lambdas or
+    # closures).
 
     def attach_digest(self, digest: EventDigest | None = None) -> EventDigest:
         """Fold every subsequently fired event into ``digest``.
@@ -229,11 +502,12 @@ class Simulator:
     def snapshot(self) -> bytes:
         """Serialize full simulator state at a safe point (see above).
 
-        The returned bytes capture the event heap (tombstones and the seq
-        counter included) plus everything reachable from scheduled
-        callbacks.  Restore with :meth:`Simulator.restore` — typically in a
-        fresh process — and the resumed run is event-for-event identical to
-        one that never stopped.
+        The returned bytes capture the calendar queue (tombstones, the seq
+        counter and bucket-width tuning state included) plus everything
+        reachable from scheduled callbacks.  Restore with
+        :meth:`Simulator.restore` — typically in a fresh process — and the
+        resumed run is event-for-event identical to one that never
+        stopped.
         """
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
 

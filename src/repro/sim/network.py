@@ -28,6 +28,25 @@ from .engine import Simulator
 from .observer import FabricObserver
 from .packet import Segment
 
+#: Hooks dispatched through per-hook observer lists (``Network.obs_*``):
+#: the per-copy hot path.  Cold lifecycle hooks (link up/down, transfer
+#: start/complete, reroute, failover, receiver-removed) keep iterating the
+#: full ``Network.observers`` list — they fire a handful of times per run.
+_HOT_HOOKS = (
+    "on_inject", "on_fork", "on_deliver", "on_accept", "on_wasted",
+    "on_lost", "on_enqueue", "on_tx_done", "on_switch_receive",
+    "on_pfc_pause", "on_pfc_resume",
+)
+
+
+def _overrides(observer: FabricObserver, hook: str) -> bool:
+    """True when ``observer`` implements ``hook`` beyond the no-op base."""
+    fn = getattr(observer, hook, None)
+    if fn is None:
+        return False
+    base_fn = getattr(FabricObserver, hook)
+    return getattr(fn, "__func__", fn) is not base_fn
+
 
 class Port:
     """Unidirectional output port ``src -> dst`` with a FIFO queue."""
@@ -53,6 +72,11 @@ class Port:
         "dst_node",
         "_bits_per_byte_s",
         "_prop_delay_s",
+        "_tx_cb",
+        "_recv_cb",
+        "_ecn_kmin",
+        "_ecn_kmax",
+        "_ecn_pmax",
     )
 
     def __init__(
@@ -85,6 +109,16 @@ class Port:
         self.dst_node = network.nodes[dst]
         self._bits_per_byte_s = 8.0 / capacity_bps
         self._prop_delay_s = network.config.propagation_delay_s
+        # Pre-bound callbacks: every serialization/propagation event posts
+        # one of these two; binding them once avoids a bound-method
+        # allocation per event on the hot path.
+        self._tx_cb = self._tx_done
+        self._recv_cb = self.dst_node.receive
+        # ECN profile, fixed at Network construction; cached per port so
+        # the marking decision reads slots instead of three network attrs.
+        self._ecn_kmin = network.ecn_kmin_eff
+        self._ecn_kmax = network.ecn_kmax_eff
+        self._ecn_pmax = network.config.ecn_pmax
 
     @property
     def key(self) -> tuple[str, str]:
@@ -96,24 +130,55 @@ class Port:
             # in a queue that can never drain (which would wedge PFC).
             self.network.drop_for_failure(self, segment)
             return
+        network = self.network
+        nbytes = segment.nbytes
         src_switch = self.src_switch
         if src_switch is not None:
             # ECN decision uses the *waiting* bytes the segment lands behind
-            # (the in-service segment is not queueing delay).
-            if self._ecn_mark():
-                segment.ecn = True
-                self.ecn_marks += 1
-            src_switch.buffer_charge(segment)
+            # (the in-service segment is not queueing delay).  Inlined
+            # _ecn_mark with the common shallow-queue case rejected first.
+            depth = self.queue_bytes
+            if depth > self._ecn_kmin:
+                if depth >= self._ecn_kmax:
+                    segment.ecn = True
+                    self.ecn_marks += 1
+                else:
+                    # Same expression shape as _ecn_mark: float results (and
+                    # therefore RNG-threshold comparisons) are bit-identical.
+                    ramp = (depth - self._ecn_kmin) / (
+                        self._ecn_kmax - self._ecn_kmin
+                    )
+                    if network.rng.random() < self._ecn_pmax * ramp:
+                        segment.ecn = True
+                        self.ecn_marks += 1
+            # Inlined buffer_charge (the PFC pause crossing is the rare
+            # path and stays out of line in _pause_ingress).
+            src_switch.buffered_bytes += nbytes
+            via = segment.ingress
+            if via is not None:
+                ingress_bytes = src_switch.ingress_bytes
+                held = ingress_bytes.get(via, 0) + nbytes
+                ingress_bytes[via] = held
+                if held > src_switch.pause_quota and via not in src_switch.paused_ingress:
+                    src_switch._pause_ingress(via)
         self.queue.append(segment)
-        queue_bytes = self.queue_bytes + segment.nbytes
+        queue_bytes = self.queue_bytes + nbytes
         self.queue_bytes = queue_bytes
         if queue_bytes > self.peak_queue_bytes:
             self.peak_queue_bytes = queue_bytes
-        observers = self.network.observers
+        observers = network.obs_enqueue
         if observers:
-            for ob in observers:
-                ob.on_enqueue(self, segment)
-        self._maybe_start()
+            for fn in observers:
+                fn(self, segment)
+        # Inlined _maybe_start (down was handled above; the queue is
+        # non-empty by construction).
+        if not (self.transmitting or self.paused or self.down):
+            head = self.queue.popleft()
+            nbytes = head.nbytes
+            self.queue_bytes -= nbytes
+            self.transmitting = True
+            self.in_service = head
+            self.sim.post1(nbytes * self._bits_per_byte_s, self._tx_cb, head)
 
     def _ecn_mark(self) -> bool:
         net = self.network
@@ -133,10 +198,11 @@ class Port:
         self.queue_bytes -= nbytes
         self.transmitting = True
         self.in_service = segment
-        self.sim.post(nbytes * self._bits_per_byte_s, self._tx_done, segment)
+        self.sim.post1(nbytes * self._bits_per_byte_s, self._tx_cb, segment)
 
     def _tx_done(self, segment: Segment) -> None:
         network = self.network
+        sim = self.sim
         nbytes = segment.nbytes
         self.bytes_sent += nbytes
         self.segments_sent += 1
@@ -144,7 +210,16 @@ class Port:
         self.in_service = None
         src_switch = self.src_switch
         if src_switch is not None:
-            src_switch.buffer_release(segment)
+            # Inlined buffer_release (the PFC resume crossing is the rare
+            # path and stays out of line in _resume_ingress).
+            src_switch.buffered_bytes -= nbytes
+            via = segment.ingress
+            if via is not None:
+                ingress_bytes = src_switch.ingress_bytes
+                held = ingress_bytes.get(via, 0) - nbytes
+                ingress_bytes[via] = held
+                if src_switch.paused_ingress and held <= src_switch.resume_quota:
+                    src_switch._resume_ingress(via)
         if self.down:
             # The link failed while this frame was on the wire.
             network.drop_for_failure(self, segment)
@@ -158,18 +233,24 @@ class Port:
             # Corrupted on the wire: the link time was spent, the bytes die.
             # Selective-repeat recovery happens at the transfer layer.
             network.lost_segments += 1
-            if network.observers:
-                for ob in network.observers:
-                    ob.on_lost(self, segment)
-        else:
-            observers = network.observers
+            observers = network.obs_lost
             if observers:
-                for ob in observers:
-                    ob.on_tx_done(self, segment)
-            self.sim.post(
-                self._prop_delay_s, self.dst_node.receive, segment, self
-            )
-        self._maybe_start()
+                for fn in observers:
+                    fn(self, segment)
+        else:
+            observers = network.obs_tx_done
+            if observers:
+                for fn in observers:
+                    fn(self, segment)
+            sim.post2(self._prop_delay_s, self._recv_cb, segment, self)
+        # Inlined _maybe_start for the next queued segment.
+        if self.queue and not (self.paused or self.down):
+            head = self.queue.popleft()
+            nbytes = head.nbytes
+            self.queue_bytes -= nbytes
+            self.transmitting = True
+            self.in_service = head
+            sim.post1(nbytes * self._bits_per_byte_s, self._tx_cb, head)
 
     def pause(self) -> None:
         self.paused = True
@@ -245,18 +326,22 @@ class SwitchNode:
         self.resume_quota = max(0.0, self.pause_quota - hysteresis)
 
     def receive(self, segment: Segment, via: Port | None) -> None:
-        observers = self.network.observers
+        network = self.network
+        observers = network.obs_switch_receive
         if observers:
-            for ob in observers:
-                ob.on_switch_receive(self, segment)
+            for fn in observers:
+                fn(self, segment)
         route = segment.route
         cache = self._route_children
-        out_ports = cache.get(route)
+        try:
+            out_ports = cache[route]
+        except KeyError:
+            out_ports = None
         if out_ports is None:
             # Resolve once per (tree, this switch): the child list mapped
             # straight to Port objects, so the steady state is a single
             # identity-keyed dict hit per hop.
-            ports = self.network.ports
+            ports = network.ports
             name = self.name
             out_ports = tuple(
                 ports[name, child] for child in route.children(name)
@@ -265,20 +350,26 @@ class SwitchNode:
         if not out_ports:
             # Over-covered ToR (§3.3): the packet arrived, nobody wants it.
             self.dropped_bytes += segment.nbytes
-            self.network.wasted_bytes += segment.nbytes
+            network.wasted_bytes += segment.nbytes
+            observers = network.obs_wasted
             if observers:
-                for ob in observers:
-                    ob.on_wasted(self, segment)
+                for fn in observers:
+                    fn(self, segment)
             return
+        fork_obs = network.obs_fork
         last = len(out_ports) - 1
+        if last:
+            counters = network.copy_counters
+            if counters is not None:
+                counters[0] += last  # one fork per non-final out port
         for i, port in enumerate(out_ports):
             if i == last:
                 copy = segment
             else:
                 copy = segment.fork()
-                if observers:
-                    for ob in observers:
-                        ob.on_fork(self, copy)
+                if fork_obs:
+                    for fn in fork_obs:
+                        fn(self, copy)
             copy.ingress = via
             port.enqueue(copy)
 
@@ -292,12 +383,7 @@ class SwitchNode:
         held = self.ingress_bytes.get(via, 0) + segment.nbytes
         self.ingress_bytes[via] = held
         if held > self.pause_quota and via not in self.paused_ingress:
-            self.paused_ingress.add(via)
-            self.network.pfc_pause_events += 1
-            via.pause()
-            if self.network.observers:
-                for ob in self.network.observers:
-                    ob.on_pfc_pause(self, via)
+            self._pause_ingress(via)
 
     def buffer_release(self, segment: Segment) -> None:
         self.buffered_bytes -= segment.nbytes
@@ -306,12 +392,29 @@ class SwitchNode:
             return
         held = self.ingress_bytes.get(via, 0) - segment.nbytes
         self.ingress_bytes[via] = held
-        if via in self.paused_ingress and held <= self.resume_quota:
-            self.paused_ingress.discard(via)
-            via.resume()
-            if self.network.observers:
-                for ob in self.network.observers:
-                    ob.on_pfc_resume(self, via)
+        if self.paused_ingress and held <= self.resume_quota:
+            self._resume_ingress(via)
+
+    def _pause_ingress(self, via: Port) -> None:
+        """Quota crossed: PAUSE ``via`` (rare path, kept out of line)."""
+        self.paused_ingress.add(via)
+        self.network.pfc_pause_events += 1
+        via.pause()
+        observers = self.network.obs_pfc_pause
+        if observers:
+            for fn in observers:
+                fn(self, via)
+
+    def _resume_ingress(self, via: Port) -> None:
+        """Below hysteresis with pauses outstanding: maybe RESUME ``via``."""
+        if via not in self.paused_ingress:
+            return
+        self.paused_ingress.discard(via)
+        via.resume()
+        observers = self.network.obs_pfc_resume
+        if observers:
+            for fn in observers:
+                fn(self, via)
 
 
 class HostNode:
@@ -326,9 +429,13 @@ class HostNode:
     def receive(self, segment: Segment, via: Port | None = None) -> None:
         del via  # hosts sink traffic; no onward buffer accounting
         network = self.network
-        if network.observers:
-            for ob in network.observers:
-                ob.on_deliver(self, segment)
+        observers = network.obs_deliver
+        if observers:
+            for fn in observers:
+                fn(self, segment)
+        counters = network.copy_counters
+        if counters is not None:
+            counters[1] += 1
         transfer = segment.transfer
         sim = network.sim
         if segment.ecn:
@@ -347,9 +454,10 @@ class HostNode:
                 f"host {self.name} route must have exactly one first hop, "
                 f"got {children}"
             )
-        if self.network.observers:
-            for ob in self.network.observers:
-                ob.on_inject(self, segment)
+        observers = self.network.obs_inject
+        if observers:
+            for fn in observers:
+                fn(self, segment)
         self.network.ports[self.name, children[0]].enqueue(segment)
 
 
@@ -372,10 +480,21 @@ class Network:
         self.pfc_pause_events = 0
         self.lost_segments = 0  # wire corruption (loss_probability)
         self.failure_drops = 0  # copies killed by failed links / injected drops
+        #: Bulk copy-lifecycle tallies ``[forked, delivered]``, installed by
+        #: the first metrics observer that wants them (None = not counting).
+        #: Fork/deliver fire once per copy per hop; a shared int cell that
+        #: the forwarding path bumps in place is far cheaper than a
+        #: per-copy observer callback that would only ever increment.
+        self.copy_counters: list[int] | None = None
         #: Every transfer ever bound to this fabric (observability + faults).
         self.transfers: list = []
         #: Registered :class:`~repro.sim.observer.FabricObserver` consumers.
         self.observers: list[FabricObserver] = []
+        # Per-hook dispatch lists: only observers that actually override a
+        # hot hook appear in its list, so no-op base-class methods cost
+        # nothing on the hot path (see _rebuild_dispatch).
+        for _hook in _HOT_HOOKS:
+            setattr(self, "obs_" + _hook[3:], [])
         #: Set by a fault injector: transfers then track per-receiver segment
         #: state so mid-stream losses can be repaired.
         self.fault_tolerant = False
@@ -409,9 +528,26 @@ class Network:
 
     def add_observer(self, observer: FabricObserver) -> None:
         self.observers.append(observer)
+        self._rebuild_dispatch()
 
     def remove_observer(self, observer: FabricObserver) -> None:
         self.observers.remove(observer)
+        self._rebuild_dispatch()
+
+    def _rebuild_dispatch(self) -> None:
+        """Recompute the per-hook hot-path dispatch lists.
+
+        Each list holds the *bound methods* of the observers that override
+        that hook (one attribute lookup saved per callback per event), in
+        registration order so callback order matches the plain
+        ``self.observers`` loop exactly.
+        """
+        for hook in _HOT_HOOKS:
+            setattr(
+                self,
+                "obs_" + hook[3:],
+                [getattr(ob, hook) for ob in self.observers if _overrides(ob, hook)],
+            )
 
     # -- dynamic link state ----------------------------------------------------
 
@@ -452,9 +588,10 @@ class Network:
     def drop_for_failure(self, port: Port, segment: Segment) -> None:
         """Account one copy killed by a failed link or an injected drop."""
         self.failure_drops += 1
-        if self.observers:
-            for ob in self.observers:
-                ob.on_lost(port, segment)
+        observers = self.obs_lost
+        if observers:
+            for fn in observers:
+                fn(port, segment)
 
     # -- observability --------------------------------------------------------
 

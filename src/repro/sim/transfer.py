@@ -229,7 +229,8 @@ class Transfer:
     # -- delivery -------------------------------------------------------------
 
     def on_delivered(self, host: str, segment, now: float) -> None:
-        count = self._delivered_count.get(host)
+        counts = self._delivered_count
+        count = counts.get(host)
         if count is None:
             return  # e.g. copy reached a non-tracked endpoint; ignore
         if self._track:
@@ -237,23 +238,35 @@ class Transfer:
             if segment.seq in got:
                 return  # duplicate (original raced a repair copy)
             got.add(segment.seq)
-        self._delivered_count[host] = count + 1
-        if self.network.observers:
-            for ob in self.network.observers:
-                ob.on_accept(self, host, segment)
-        self._delivered_bytes[host] += segment.nbytes
-        children = self._relay_children.get(host)
-        if children:
-            delivered = self._delivered_bytes[host]
-            if self.relay_chunk_bytes is None or delivered >= self.message_bytes:
-                announce = delivered
+        count += 1
+        counts[host] = count
+        observers = self.network.obs_accept
+        if observers:
+            if len(observers) == 1:
+                # The overwhelmingly common case (one metrics observer):
+                # skip the iterator protocol on the acceptance fast path.
+                observers[0](self, host, segment)
             else:
-                announce = (
-                    delivered // self.relay_chunk_bytes
-                ) * self.relay_chunk_bytes
-            for child in children:
-                child.set_available_bytes(announce)
-        if self._delivered_count[host] == self.num_segments:
+                for fn in observers:
+                    fn(self, host, segment)
+        delivered_bytes = self._delivered_bytes
+        delivered = delivered_bytes[host] + segment.nbytes
+        delivered_bytes[host] = delivered
+        if self._relay_children:
+            children = self._relay_children.get(host)
+            if children:
+                if (
+                    self.relay_chunk_bytes is None
+                    or delivered >= self.message_bytes
+                ):
+                    announce = delivered
+                else:
+                    announce = (
+                        delivered // self.relay_chunk_bytes
+                    ) * self.relay_chunk_bytes
+                for child in children:
+                    child.set_available_bytes(announce)
+        if count == self.num_segments:
             self.finished_hosts.add(host)
             if self.on_host_done is not None:
                 self.on_host_done(host, now)

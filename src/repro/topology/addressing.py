@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 
 class NodeKind(str, Enum):
@@ -81,8 +82,10 @@ def leafspine_host_name(leaf: int, index: int) -> str:
     return f"host:l{leaf}:{index}"
 
 
+@lru_cache(maxsize=None)
 def parse(name: str) -> Address:
-    """Parse a node name into an :class:`Address`.
+    """Parse a node name into an :class:`Address` (memoized: names are
+    interned strings and :class:`Address` is frozen, so sharing is safe).
 
     Raises ``ValueError`` for names this module did not produce.
     """
@@ -108,8 +111,10 @@ def parse(name: str) -> Address:
     raise ValueError(f"unrecognized node name: {name!r}")
 
 
+@lru_cache(maxsize=None)
 def kind_of(name: str) -> NodeKind:
-    """Return the :class:`NodeKind` encoded in ``name`` (cheap prefix check)."""
+    """Return the :class:`NodeKind` encoded in ``name`` (cheap prefix check,
+    memoized — planners resolve the same node names millions of times)."""
     return NodeKind(name.split(":", 1)[0])
 
 

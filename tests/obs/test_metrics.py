@@ -12,6 +12,7 @@ from repro.obs import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    SampleRing,
 )
 
 
@@ -210,3 +211,70 @@ class TestMetricsRegistry:
         path = tmp_path / "metrics.json"
         reg.save(path)
         assert json.loads(path.read_text())["c"]["value"] == 7
+
+
+class TestObserveMany:
+    def test_identical_to_sequential_observes(self):
+        # Including the float `sum`: observe_many must accumulate in the
+        # same order, so the end state is bit-identical, not just close.
+        values = [0.5, 3.0, 1e9, 0.0, 7.25, 1e-9, 3.0]
+        one = Histogram("h", BYTES_BOUNDS)
+        many = Histogram("h", BYTES_BOUNDS)
+        for v in values:
+            one.observe(v)
+        many.observe_many(values)
+        assert one.to_dict() == many.to_dict()
+        assert one.sum == many.sum
+
+    def test_empty_is_a_noop(self):
+        h = Histogram("h", [1.0])
+        h.observe_many([])
+        assert h.total == 0
+        assert h.min is None and h.max is None
+
+    def test_split_batches_match_one_batch(self):
+        values = [float(i % 13) for i in range(100)]
+        split = Histogram("h", [2.0, 5.0, 11.0])
+        whole = Histogram("h", [2.0, 5.0, 11.0])
+        split.observe_many(values[:37])
+        split.observe_many(values[37:])
+        whole.observe_many(values)
+        assert split.to_dict() == whole.to_dict()
+
+
+class TestSampleRing:
+    def test_preserves_recording_order_across_doubling(self):
+        ring = SampleRing(capacity=2)
+        values = [5.0, 1.0, 4.0, 2.0, 3.0]
+        for v in values:
+            ring.append(v)
+        assert ring.values() == values
+        assert len(ring) == 5
+
+    def test_flush_replays_in_order_and_resets(self):
+        live = Histogram("h", BYTES_BOUNDS)
+        ring = SampleRing(capacity=4)
+        values = [1.0, 1e12, 2.5, 0.0, 9.0, 1e12, 3.0]
+        for v in values:
+            live.observe(v)
+            ring.append(v)
+        deferred = Histogram("h", BYTES_BOUNDS)
+        assert ring.flush_into(deferred) == len(values)
+        assert deferred.to_dict() == live.to_dict()
+        assert deferred.sum == live.sum
+        # The ring is drained: a second flush adds nothing.
+        assert ring.flush_into(deferred) == 0
+        assert deferred.to_dict() == live.to_dict()
+        assert len(ring) == 0
+
+    def test_reusable_after_flush(self):
+        ring = SampleRing(capacity=2)
+        for v in (1.0, 2.0, 3.0):
+            ring.append(v)
+        ring.flush_into(Histogram("h", [10.0]))
+        ring.append(4.0)
+        assert ring.values() == [4.0]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SampleRing(capacity=0)

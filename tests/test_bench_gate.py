@@ -11,13 +11,14 @@ import repro
 
 SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
 GATE = os.path.join(os.path.dirname(SRC_DIR), "scripts", "bench_gate.py")
-BASELINE = os.path.join(os.path.dirname(SRC_DIR), "BENCH_4.json")
+BASELINE = os.path.join(os.path.dirname(SRC_DIR), "BENCH_8.json")
 
 
-def write_bench(path, rate, scenario="headline"):
-    path.write_text(
-        json.dumps({"scenarios": {scenario: {"events_per_sec": rate}}})
-    )
+def write_bench(path, rate, scenario="headline", obs_ratio=None):
+    scenarios = {scenario: {"events_per_sec": rate}}
+    if obs_ratio is not None:
+        scenarios["obs"] = {"enabled_over_disabled": obs_ratio}
+    path.write_text(json.dumps({"scenarios": scenarios}))
     return path
 
 
@@ -58,13 +59,13 @@ class TestBenchGate:
         ).returncode == 1
 
     def test_custom_threshold_and_scenario(self, tmp_path):
-        base = write_bench(tmp_path / "b.json", 100_000.0, scenario="obs")
-        fresh = write_bench(tmp_path / "f.json", 80_000.0, scenario="obs")
+        base = write_bench(tmp_path / "b.json", 100_000.0, scenario="serving")
+        fresh = write_bench(tmp_path / "f.json", 80_000.0, scenario="serving")
         assert gate(
-            fresh, base, "--scenario", "obs", "--threshold", "0.25"
+            fresh, base, "--scenario", "serving", "--threshold", "0.25"
         ).returncode == 0
         assert gate(
-            fresh, base, "--scenario", "obs", "--threshold", "0.10"
+            fresh, base, "--scenario", "serving", "--threshold", "0.10"
         ).returncode == 1
 
     def test_missing_scenario_fails_loudly(self, tmp_path, baseline):
@@ -73,7 +74,51 @@ class TestBenchGate:
         assert proc.returncode != 0
         assert "headline" in proc.stderr
 
+    def test_regression_names_gated_scenario_key(self, tmp_path, baseline):
+        fresh = write_bench(tmp_path / "fresh.json", 300_000.0)
+        proc = gate(fresh, baseline)
+        assert proc.returncode == 1
+        assert "REGRESSION[headline.events_per_sec]" in proc.stderr
+
     def test_committed_baseline_passes_against_itself(self):
         proc = gate(BASELINE, BASELINE)
         assert proc.returncode == 0, proc.stderr
         assert "bench gate OK" in proc.stdout
+
+
+class TestObsRatioGate:
+    def test_skipped_when_obs_scenario_absent(self, tmp_path):
+        base = write_bench(tmp_path / "b.json", 400_000.0)
+        fresh = write_bench(tmp_path / "f.json", 400_000.0)
+        proc = gate(fresh, base)
+        assert proc.returncode == 0, proc.stderr
+        assert "gate skipped" in proc.stdout
+
+    def test_passes_within_relative_threshold(self, tmp_path):
+        base = write_bench(tmp_path / "b.json", 400_000.0, obs_ratio=0.85)
+        fresh = write_bench(tmp_path / "f.json", 400_000.0, obs_ratio=0.80)
+        proc = gate(fresh, base)  # -5.9% relative, within 10%
+        assert proc.returncode == 0, proc.stderr
+        assert "bench gate OK" in proc.stdout
+
+    def test_fails_past_relative_threshold(self, tmp_path):
+        base = write_bench(tmp_path / "b.json", 400_000.0, obs_ratio=0.85)
+        fresh = write_bench(tmp_path / "f.json", 400_000.0, obs_ratio=0.70)
+        proc = gate(fresh, base)  # -17.6% relative regression
+        assert proc.returncode == 1
+        assert "REGRESSION[obs.enabled_over_disabled]" in proc.stderr
+
+    def test_custom_obs_threshold(self, tmp_path):
+        base = write_bench(tmp_path / "b.json", 400_000.0, obs_ratio=0.85)
+        fresh = write_bench(tmp_path / "f.json", 400_000.0, obs_ratio=0.70)
+        proc = gate(fresh, base, "--obs-threshold", "0.25")
+        assert proc.returncode == 0, proc.stderr
+
+    def test_obs_regression_does_not_mask_headline_pass(self, tmp_path):
+        # Both quantities are checked and reported; one failing is enough.
+        base = write_bench(tmp_path / "b.json", 400_000.0, obs_ratio=0.85)
+        fresh = write_bench(tmp_path / "f.json", 395_000.0, obs_ratio=0.01)
+        proc = gate(fresh, base)
+        assert proc.returncode == 1
+        assert "headline.events_per_sec" in proc.stdout
+        assert "REGRESSION[obs.enabled_over_disabled]" in proc.stderr
