@@ -13,7 +13,11 @@ past its threshold.  Two quantities are gated:
   events/sec over disabled events/sec).  Being a same-run ratio it is
   box-speed independent; a relative drop past ``--obs-threshold`` fails.
   Skipped with a note when either json lacks the ``obs`` scenario (e.g.
-  a ``--only headline`` run).
+  a ``--only headline`` run);
+* ``shard_scaleup.byte_identical`` — the sharded-vs-serial identity flag
+  from the fresh run must be ``true`` (sharding is only allowed to change
+  wall time, never results).  Skipped with a note when the fresh json
+  lacks the scenario (pre-shard checkouts).
 
 Every failure message names the gated scenario key it fired on.
 
@@ -115,6 +119,21 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print("obs.enabled_over_disabled: scenario absent, gate skipped")
+
+    if has_scenario(fresh_data, "shard_scaleup"):
+        identical = fresh_data["scenarios"]["shard_scaleup"].get(
+            "byte_identical"
+        )
+        print(f"shard_scaleup.byte_identical: {identical}")
+        if identical is not True:
+            print(
+                "REGRESSION[shard_scaleup.byte_identical]: sharded run "
+                "no longer byte-identical to serial",
+                file=sys.stderr,
+            )
+            ok = False
+    else:
+        print("shard_scaleup.byte_identical: scenario absent, gate skipped")
 
     if not ok:
         return 1

@@ -17,7 +17,11 @@ simulator events/sec so every PR leaves a comparable perf sample behind:
   enabled/disabled events-per-second delta (skipped on pre-obs checkouts);
 * ``sched_ops`` — a pure calendar-queue microbenchmark: scheduler churn
   (schedule/post/cancel/pop) under dense, sparse, and bimodal timer-delay
-  regimes, with no fabric attached.
+  regimes, with no fabric attached;
+* ``shard_scaleup`` — a pod-local batch run serially and again across
+  shard worker processes (``repro.shard``), recording the wall-time ratio
+  and asserting the sharded run byte-identical to serial (skipped on
+  pre-shard checkouts).
 
 Usage::
 
@@ -236,6 +240,58 @@ def bench_sweep(quick: bool) -> dict | None:
     }
 
 
+def bench_shard_scaleup(quick: bool) -> dict | None:
+    """Sharded core scale-up: one pod-local batch run serially, then again
+    across shard worker processes.  ``sharded_over_serial`` < 1 means the
+    shards won (only expected with enough CPUs and a non-quick workload —
+    ``cpu_count`` is recorded); ``byte_identical`` is asserted
+    unconditionally, because a sharded run that isn't byte-identical to
+    serial is a correctness bug, not a perf datum (skipped on pre-shard
+    checkouts)."""
+    try:
+        from repro.api import ScenarioSpec
+        from repro.experiments.parallel import shard_speedup
+        from repro.shard import pod_local_jobs
+    except ImportError:
+        return None  # pre-shard checkout: skip the scale-up sample
+
+    if quick:
+        topo = FatTree(4)
+        shards, jobs_per_pod, msg = 2, 6, 256 * KB
+    else:
+        topo = FatTree(8, hosts_per_tor=4)
+        shards, jobs_per_pod, msg = 8, 32, 1 * MB
+    # ECN marking band pushed out of reach: probabilistic marks draw from
+    # the fabric RNG, which a sharded run refuses (per-shard draws could
+    # not interleave like the serial run's).  The bench measures the
+    # sharded core, so it runs the deterministic regime sharding supports.
+    cfg = SimConfig(
+        segment_bytes=_segment_bytes_for(msg),
+        ecn_kmin_bytes=1 << 30,
+        ecn_kmax_bytes=1 << 31,
+    )
+    jobs = pod_local_jobs(topo, jobs_per_pod, 4, msg, seed=7)
+    spec = ScenarioSpec(
+        topology=topo, scheme="peel", jobs=tuple(jobs), config=cfg,
+        shards=shards,
+    )
+    result = shard_speedup(spec, processes=True)
+    if not result.byte_identical:
+        raise AssertionError("sharded run diverged from serial")
+    return {
+        "shards": result.shards,
+        "cpu_count": os.cpu_count(),
+        "jobs": len(jobs),
+        "events": result.events,
+        "serial_wall_s": round(result.serial_wall_s, 4),
+        "sharded_wall_s": round(result.sharded_wall_s, 4),
+        "sharded_over_serial": round(
+            result.sharded_wall_s / max(result.serial_wall_s, 1e-9), 4
+        ),
+        "byte_identical": result.byte_identical,
+    }
+
+
 def bench_obs(quick: bool) -> dict | None:
     """Observability overhead on the headline scenario: the same Broadcast
     batch run bare and with ``repro.obs`` attached (metrics + spans +
@@ -410,7 +466,7 @@ def bench_sched_ops(quick: bool) -> dict:
 
 SCENARIOS = (
     "headline", "fig1_point", "serving", "failure", "sweep", "obs",
-    "sched_ops",
+    "sched_ops", "shard_scaleup",
 )
 
 
@@ -432,6 +488,12 @@ def run_report(quick: bool, repeats: int, only: list[str] | None = None) -> dict
                 continue
         elif name == "sched_ops":
             result = bench_sched_ops(quick)
+        elif name == "shard_scaleup":
+            result = bench_shard_scaleup(quick)
+            if result is None:
+                print("  shard_scaleup: repro.shard unavailable, skipped",
+                      file=sys.stderr)
+                continue
         else:
             builder = globals()[f"bench_{name}"]
             result = _timed(builder(quick), repeats)

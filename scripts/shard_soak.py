@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Sharded soak: epoch after epoch of serial-vs-sharded byte-identity,
+with a mid-epoch sharded snapshot, resumable across SIGKILL.
+
+Each epoch derives a fresh pod-local workload from ``(seed, epoch)`` —
+never from wall clock — runs it serially, then sharded with a snapshot
+taken mid-stream and the run completed *from the restored snapshot*, and
+requires the golden-trace digest, fired-event digest and CCT list to
+match byte-for-byte.  Progress persists in ``<state-dir>/manifest.json``
+after every step, so a killed process resumes exactly where it died: an
+epoch interrupted between snapshot and verdict is completed from its
+on-disk snapshot, not rerun.
+
+CI's shard-smoke job exercises the kill path deterministically with
+``--kill-after-cut``: the process SIGKILLs itself right after writing
+epoch 0's snapshot, and the follow-up invocation must resume from that
+snapshot and still prove byte-identity.
+
+    python scripts/shard_soak.py --epochs 3 --state-dir /tmp/shard-soak
+    python scripts/shard_soak.py --epochs 3 --state-dir /tmp/shard-soak \
+        --kill-after-cut        # dies after the first un-done epoch's cut
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import signal
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.api import ScenarioSpec, run  # noqa: E402
+from repro.experiments.common import sim_config  # noqa: E402
+from repro.replay import Snapshot  # noqa: E402
+from repro.shard import ShardedScenarioRun, pod_local_jobs  # noqa: E402
+from repro.topology import FatTree  # noqa: E402
+
+KB = 1024
+
+
+def epoch_spec(seed: int, epoch: int, shards: int) -> tuple[ScenarioSpec, float]:
+    """The epoch's scenario: keyed by ``(seed, epoch)`` only (no wall
+    clock, no global counters), so any process at any time rebuilds the
+    identical spec — that's what makes the manifest resumable."""
+    topo = FatTree(4)
+    message_bytes = 128 * KB
+    jobs = pod_local_jobs(
+        topo, jobs_per_pod=3, group_hosts=3, message_bytes=message_bytes,
+        offered_load=0.4, seed=seed * 10007 + epoch,
+    )
+    spec = ScenarioSpec(
+        topology=topo,
+        scheme="peel",
+        jobs=tuple(jobs),
+        config=sim_config(message_bytes, seed=seed * 10007 + epoch),
+        record_trace=True,
+        event_digest=True,
+        shards=shards,
+    )
+    arrivals = sorted(job.arrival_s for job in jobs)
+    return spec, arrivals[len(arrivals) // 2]
+
+
+class SoakState:
+    """The on-disk manifest: one dict per epoch, flushed after each step."""
+
+    def __init__(self, state_dir: str) -> None:
+        self.state_dir = state_dir
+        self.path = os.path.join(state_dir, "manifest.json")
+        os.makedirs(state_dir, exist_ok=True)
+        if os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as fh:
+                self.epochs: dict[str, dict] = json.load(fh)["epochs"]
+        else:
+            self.epochs = {}
+
+    def get(self, epoch: int) -> dict:
+        return self.epochs.setdefault(str(epoch), {"status": "new"})
+
+    def flush(self) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"epochs": self.epochs}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    def snap_path(self, epoch: int) -> str:
+        return os.path.join(self.state_dir, f"shard-epoch-{epoch:04d}.snap")
+
+
+def run_epoch(state: SoakState, epoch: int, seed: int, shards: int,
+              kill_after_cut: bool) -> bool:
+    """One epoch to its verdict; returns True when byte-identical."""
+    record = state.get(epoch)
+    if record["status"] == "done":
+        print(f"epoch {epoch}: already verified, skipping", file=sys.stderr)
+        return record["identical"]
+    spec, cut = epoch_spec(seed, epoch, shards)
+
+    if record["status"] == "new":
+        serial = run(dataclasses.replace(spec, shards=1))
+        record.update(
+            status="serial",
+            serial_trace=serial.trace_digest,
+            serial_event=serial.replay.event_digest,
+            serial_ccts=serial.ccts,
+        )
+        state.flush()
+
+    if record["status"] == "serial":
+        sharded_run = ShardedScenarioRun(spec)
+        sharded_run.run_until(cut)
+        blob = sharded_run.snapshot().to_bytes()
+        with open(state.snap_path(epoch), "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        record["status"] = "cut"
+        state.flush()
+        if kill_after_cut:
+            print(f"epoch {epoch}: snapshot written, SIGKILLing self",
+                  file=sys.stderr)
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    # status == "cut": finish from the on-disk snapshot — both on the
+    # straight-through path and after a kill, so the resumed artifact is
+    # what gets verified every time.
+    with open(state.snap_path(epoch), "rb") as fh:
+        resumed = Snapshot.from_bytes(fh.read()).restore()
+    result = resumed.finish()
+    identical = (
+        result.trace_digest == record["serial_trace"]
+        and result.replay.event_digest == record["serial_event"]
+        and list(result.ccts) == [tuple(c) if isinstance(c, list) else c
+                                  for c in record["serial_ccts"]]
+    )
+    record.update(status="done", identical=identical,
+                  trace_digest=result.trace_digest)
+    state.flush()
+    os.remove(state.snap_path(epoch))
+    verdict = "byte-identical" if identical else "DIVERGED"
+    print(f"epoch {epoch}: resumed sharded run {verdict} "
+          f"(trace {result.trace_digest})")
+    return identical
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--state-dir", default="shard-soak-state")
+    parser.add_argument("--kill-after-cut", action="store_true",
+                        help="SIGKILL self after the first un-done epoch "
+                             "writes its snapshot (CI kill-path hook)")
+    args = parser.parse_args(argv)
+
+    state = SoakState(args.state_dir)
+    ok = True
+    for epoch in range(args.epochs):
+        ok &= run_epoch(state, epoch, args.seed, args.shards,
+                        args.kill_after_cut)
+    if not ok:
+        print("shard soak: DIVERGENCE detected", file=sys.stderr)
+        return 1
+    print(f"shard soak: {args.epochs} epoch(s) byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,17 @@ class ScenarioSpec:
     protection: int = 0
     #: Timed membership churn (a ChurnSchedule or iterable of ChurnEvents).
     churn: "object | None" = None
+    #: Run the scenario across N parallel shards (see :mod:`repro.shard`):
+    #: the fabric and workload are partitioned into traffic-closed slices
+    #: synchronized by a conservative window barrier, and the merged run is
+    #: byte-identical to ``shards=1`` — same golden trace, same digests,
+    #: same metrics exports.  Requires a partitionable spec (``run`` raises
+    #: :class:`repro.shard.ShardError` otherwise, never degrades silently).
+    shards: int = 1
+    #: The invariant checker's deadlock watchdog schedules real simulator
+    #: events; sharded runs (and their serial comparators) set this False so
+    #: both sides fire the same event stream.
+    invariant_watchdog: bool = True
 
     def __post_init__(self) -> None:
         # Accept any iterable of jobs; store the canonical tuple.
@@ -197,6 +208,7 @@ class ScenarioRun:
             record_trace=spec.record_trace,
             keep_trace_events=spec.keep_trace_events,
             protection=spec.protection,
+            invariant_watchdog=spec.invariant_watchdog,
         )
         if spec.event_digest:
             self.env.sim.attach_digest()
@@ -342,7 +354,15 @@ def run(spec: ScenarioSpec) -> ScenarioResult:
     how the Poisson-load experiments produce queueing and tail effects.
     Returns all CCTs plus fabric accounting; see :class:`ScenarioSpec` for
     the correctness tooling the spec can switch on.
+
+    ``spec.shards > 1`` routes through :mod:`repro.shard`: the same
+    scenario partitioned across parallel shard simulators, with a
+    byte-identical result or a loud :class:`~repro.shard.ShardError`.
     """
+    if spec.shards > 1:
+        from .shard import run_sharded
+
+        return run_sharded(spec)
     return ScenarioRun(spec).finish()
 
 

@@ -65,6 +65,7 @@ EXPERIMENTS = {
     "obs": "instrumented run: metrics registry + Chrome-trace timeline",
     "replay": "checkpoint/replay determinism smoke on a golden scenario",
     "soak": "randomized checkpoint/replay soak epochs (resumable)",
+    "shard": "sharded parallel run, proven byte-identical to serial",
 }
 
 
@@ -237,6 +238,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="manifest + snapshot directory (survives kills)")
     p.add_argument("--fault-probability", type=float, default=0.6,
                    help="chance an epoch includes a mid-run link flap")
+
+    p = sub.add_parser("shard", help=EXPERIMENTS["shard"])
+    p.add_argument("--shards", type=int, default=4,
+                   help="worker shards (each a full simulator)")
+    p.add_argument("--pods", type=int, default=4,
+                   help="fat-tree arity k = pod count (even)")
+    p.add_argument("--jobs-per-pod", type=int, default=8,
+                   help="pod-local broadcasts per pod")
+    p.add_argument("--message-kb", type=int, default=128)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--serve", action="store_true",
+                   help="run a sharded *serving* campaign (ServeRuntime "
+                        "per shard) instead of a scenario batch")
+    p.add_argument("--in-process", action="store_true",
+                   help="lockstep windows in one process (debugging; "
+                        "default forks one worker per shard)")
     return parser
 
 
@@ -383,6 +400,8 @@ def main(argv: list[str] | None = None) -> int:
             progress=_stderr_line,
         )
         print(format_manifest(runner.run()))
+    elif args.command == "shard":
+        return _shard_demo(args)
     return 0
 
 
@@ -420,6 +439,76 @@ def _replay_smoke(scenario: str) -> int:
         print(f"{failed} replay verification(s) DIVERGED", file=sys.stderr)
         return 1
     return 0
+
+
+def _shard_demo(args: argparse.Namespace) -> int:
+    """Run a pod-local workload serially and sharded; prove them equal.
+
+    Scenario mode times both runs and reports the speedup alongside the
+    shared digests; ``--serve`` mode compares a sharded serving campaign's
+    rebuilt report (and both digests) against a serial ``ServeRuntime``
+    over the same submit stream.  Exit 1 on any byte difference.
+    """
+    from .api import ScenarioSpec
+    from .experiments.common import sim_config
+    from .shard import pod_local_jobs
+    from .topology import FatTree
+
+    topo = FatTree(args.pods)
+    message_bytes = args.message_kb * 1024
+    processes = not args.in_process
+
+    if args.serve:
+        from .metrics import format_slo_table
+        from .serve import ServeRuntime
+        from .shard import ServeShardSpec, serve_sharded
+
+        jobs = pod_local_jobs(
+            topo, args.jobs_per_pod, 3, message_bytes,
+            seed=args.seed, tenants=("train", "infer"),
+        )
+        config = sim_config(message_bytes, seed=args.seed)
+        sspec = ServeShardSpec(
+            topology=topo, scheme="peel", jobs=tuple(jobs),
+            shards=args.shards, config=config,
+            record_trace=True, event_digest=True,
+        )
+        sharded = serve_sharded(sspec, processes=processes)
+        serial = ServeRuntime(topo, "peel", config, record_trace=True)
+        serial.env.sim.attach_digest()
+        serial.submit_all(jobs)
+        serial.run()
+        identical = (
+            serial.report() == sharded.report
+            and serial.env.trace.digest() == sharded.trace_digest
+            and serial.env.sim.event_digest.hexdigest() == sharded.event_digest
+        )
+        print(format_slo_table(sharded.report.tenants + [sharded.report.total]))
+        print(
+            f"{len(jobs)} jobs on {sharded.shards} shards, "
+            f"{sharded.windows} windows, {sharded.events_processed} events"
+        )
+    else:
+        from .experiments.parallel import shard_speedup
+
+        jobs = pod_local_jobs(
+            topo, args.jobs_per_pod, 3, message_bytes, seed=args.seed
+        )
+        spec = ScenarioSpec(
+            topology=topo, scheme="peel", jobs=tuple(jobs),
+            config=sim_config(message_bytes, seed=args.seed),
+            shards=args.shards,
+        )
+        result = shard_speedup(spec, processes=processes)
+        identical = result.byte_identical
+        print(
+            f"{len(jobs)} jobs, {result.events} events: serial "
+            f"{result.serial_wall_s:.3f}s, {result.shards} shards "
+            f"{result.sharded_wall_s:.3f}s ({result.speedup:.2f}x)"
+        )
+    verdict = "byte-identical" if identical else "DIVERGED"
+    print(f"serial vs sharded: {verdict}")
+    return 0 if identical else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

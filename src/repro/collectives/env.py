@@ -53,6 +53,8 @@ class CollectiveEnv:
         raise_on_violation: bool = True,
         plan_cache: "PlanCache | None" = None,
         protection: int = 0,
+        sim: Simulator | None = None,
+        invariant_watchdog: bool = True,
     ) -> None:
         if protection < 0:
             raise ValueError(f"protection must be >= 0, got {protection}")
@@ -64,7 +66,7 @@ class CollectiveEnv:
         #: fast-failover entries of every protected group (TCAM accounting).
         self.protection_state = None
         self.config = config or SimConfig()
-        self.network = Network(topo, self.config)
+        self.network = Network(topo, self.config, sim)
         self.sim: Simulator = self.network.sim
         self.rng = random.Random(self.config.seed + 0x5EED)
         self.router = UnicastRouter(topo, random.Random(self.config.seed + 1))
@@ -77,7 +79,9 @@ class CollectiveEnv:
         self.invariants: InvariantChecker | None = None
         if check_invariants:
             self.invariants = InvariantChecker(
-                self.network, raise_immediately=raise_on_violation
+                self.network,
+                raise_immediately=raise_on_violation,
+                watchdog=invariant_watchdog,
             )
         self.trace: TraceRecorder | None = None
         if record_trace or keep_trace_events:

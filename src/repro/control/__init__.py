@@ -18,7 +18,14 @@ Layering:
   socket front end, and the two client transports.
 """
 
-from .client import ControlRequestError, LocalClient, SocketClient
+from .client import (
+    ControlPlaneRequestError,
+    ControlRequestError,
+    LocalClient,
+    MembershipRequestError,
+    ProtocolRequestError,
+    SocketClient,
+)
 from .membership import (
     ChurnDriver,
     ChurnEvent,
@@ -42,13 +49,16 @@ __all__ = [
     "CongestionReplanner",
     "ControlError",
     "ControlPlane",
+    "ControlPlaneRequestError",
     "ControlRequestError",
     "ControlServer",
     "Dispatcher",
     "LocalClient",
     "ManagedGroup",
     "MembershipError",
+    "MembershipRequestError",
     "ProtocolError",
+    "ProtocolRequestError",
     "SocketClient",
     "covered_hosts",
     "graft_host",

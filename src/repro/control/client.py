@@ -17,7 +17,57 @@ from .protocol import ProtocolError, decode, encode, error
 
 
 class ControlRequestError(RuntimeError):
-    """The service answered ``{"ok": false}``."""
+    """The service answered ``{"ok": false}``.
+
+    :attr:`kind` carries the response's error kind (which exception family
+    the dispatcher caught server-side), and :func:`raise_for_response`
+    raises the matching subclass — so callers can catch, say,
+    :class:`MembershipRequestError` across both transports without
+    string-matching the message.
+    """
+
+    #: The response's ``kind`` field; ``None`` when the server sent none.
+    kind: str | None = None
+
+    def __init__(self, message: str, kind: str | None = None) -> None:
+        super().__init__(message)
+        if kind is not None:
+            self.kind = kind
+
+
+class ProtocolRequestError(ControlRequestError):
+    """The request itself was malformed (``kind == "protocol"``)."""
+
+    kind = "protocol"
+
+
+class ControlPlaneRequestError(ControlRequestError):
+    """The control plane refused the operation (``kind == "control"``)."""
+
+    kind = "control"
+
+
+class MembershipRequestError(ControlRequestError):
+    """A membership change cannot be realized (``kind == "membership"``)."""
+
+    kind = "membership"
+
+
+_ERRORS_BY_KIND = {
+    cls.kind: cls
+    for cls in (
+        ProtocolRequestError,
+        ControlPlaneRequestError,
+        MembershipRequestError,
+    )
+}
+
+
+def raise_for_response(resp: dict) -> None:
+    """Raise the typed error for a ``{"ok": false}`` response."""
+    kind = resp.get("kind")
+    cls = _ERRORS_BY_KIND.get(kind, ControlRequestError)
+    raise cls(resp.get("error", "request failed"), kind=kind)
 
 
 class _ClientApi:
@@ -29,7 +79,7 @@ class _ClientApi:
     def _checked(self, op: str, **fields) -> dict:
         resp = self.request(op, **fields)
         if not resp.get("ok"):
-            raise ControlRequestError(resp.get("error", "request failed"))
+            raise_for_response(resp)
         return resp
 
     def ping(self) -> float:
@@ -110,7 +160,7 @@ class LocalClient(_ClientApi):
         try:
             req = decode(encode({"op": op, **fields}))
         except ProtocolError as exc:
-            return error(str(exc))
+            return error(str(exc), kind="protocol")
         return self.dispatcher.handle(req)
 
 

@@ -315,6 +315,13 @@ class ChurnDriver:
 
     def install(self, handles: list) -> None:
         """Bind the launched handles and schedule every churn event."""
+        if self.env.protection > 0:
+            raise MembershipError(
+                "churn cannot be combined with protection > 0: backup "
+                "subtrees are planned against launch-time trees, and a "
+                "grafted or pruned membership would silently void the "
+                "F-resilience guarantee"
+            )
         self.handles = handles
         for event in self.schedule:
             if not 0 <= event.group < len(handles):

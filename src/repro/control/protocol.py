@@ -76,8 +76,20 @@ def ok(**fields) -> dict:
     return {"ok": True, **fields}
 
 
-def error(message: str) -> dict:
-    return {"ok": False, "error": message}
+#: Error kinds a ``{"ok": false}`` response may carry.  The kind names
+#: the *class* of refusal (which exception family the dispatcher caught),
+#: so clients can branch without parsing message text — see
+#: :class:`~repro.control.client.ControlRequestError` and its subclasses.
+ERROR_KINDS = ("protocol", "control", "membership", "value", "unknown-key")
+
+
+def error(message: str, kind: str | None = None) -> dict:
+    if kind is not None and kind not in ERROR_KINDS:
+        raise ValueError(f"unknown error kind {kind!r}")
+    resp = {"ok": False, "error": message}
+    if kind is not None:
+        resp["kind"] = kind
+    return resp
 
 
 def require(req: dict, field: str, kind=None):

@@ -42,10 +42,16 @@ class Dispatcher:
         domain errors (they become ``{"ok": false}`` responses)."""
         try:
             return self._dispatch(req)
-        except (ProtocolError, ControlError, MembershipError, ValueError) as exc:
-            return error(str(exc))
+        except ProtocolError as exc:
+            return error(str(exc), kind="protocol")
+        except ControlError as exc:
+            return error(str(exc), kind="control")
+        except MembershipError as exc:
+            return error(str(exc), kind="membership")
+        except ValueError as exc:
+            return error(str(exc), kind="value")
         except KeyError as exc:
-            return error(f"unknown key: {exc}")
+            return error(f"unknown key: {exc}", kind="unknown-key")
 
     def _dispatch(self, req: dict) -> dict:
         control = self.control
@@ -161,7 +167,7 @@ class ControlServer:
                 try:
                     req = decode(line.decode("utf-8"))
                 except ProtocolError as exc:
-                    await self._send(writer, error(str(exc)))
+                    await self._send(writer, error(str(exc), kind="protocol"))
                     continue
                 resp = self.dispatcher.handle(req)
                 if req.get("op") == "subscribe" and resp.get("ok"):

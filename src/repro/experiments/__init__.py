@@ -8,10 +8,13 @@ experiment-to-module index and EXPERIMENTS.md for measured results.
 
 from .common import CctRow, format_cct_table, mean_ratio, rows_for
 from .parallel import (
+    ShardSpeedup,
     SweepPoint,
     flatten,
     resolve_jobs,
+    run_scenario_sharded,
     run_sweep,
+    shard_speedup,
     stderr_progress,
 )
 from .runner import ScenarioResult, run_broadcast_scenario, segment_bytes_for
@@ -24,9 +27,12 @@ __all__ = [
     "ScenarioResult",
     "run_broadcast_scenario",
     "segment_bytes_for",
+    "ShardSpeedup",
     "SweepPoint",
     "flatten",
     "resolve_jobs",
+    "run_scenario_sharded",
     "run_sweep",
+    "shard_speedup",
     "stderr_progress",
 ]

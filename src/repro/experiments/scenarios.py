@@ -19,7 +19,8 @@ import dataclasses
 from ..api import ScenarioSpec
 from ..faults import FaultSchedule
 from ..serve import ServeRuntime, TcamAdmission
-from ..topology import LeafSpine
+from ..shard import pod_local_jobs
+from ..topology import FatTree, LeafSpine
 from ..workloads import TenantSpec, generate_jobs, generate_tenant_jobs
 from .common import sim_config
 
@@ -93,6 +94,36 @@ def protected_fault_scenario(
     """
     spec, cuts = fault_scenario()
     return dataclasses.replace(spec, protection=protection), cuts
+
+
+def shard_scenario(shards: int = 2) -> tuple[ScenarioSpec, tuple[float, ...]]:
+    """The golden *sharded* scenario: pod-local broadcasts on a fat-tree.
+
+    A k=4 fat-tree with three 3-host broadcasts per pod — every group (and
+    so every PEEL tree) pod-local, which is exactly the traffic-closure
+    :func:`repro.shard.plan_partition` needs.  Running the returned spec
+    with ``shards`` rewound to 1 gives the serial comparator; CI's
+    shard-smoke job and the unit suite pin the two byte-identical.  Cut
+    times land mid-stream for sharded snapshot/resume checks.
+    """
+    topo = FatTree(4)
+    message_bytes = 128 * KB
+    jobs = pod_local_jobs(
+        topo, jobs_per_pod=3, group_hosts=3, message_bytes=message_bytes,
+        offered_load=0.4, seed=11,
+    )
+    spec = ScenarioSpec(
+        topology=topo,
+        scheme="peel",
+        jobs=tuple(jobs),
+        config=sim_config(message_bytes, seed=11),
+        record_trace=True,
+        event_digest=True,
+        shards=shards,
+    )
+    arrivals = sorted(job.arrival_s for job in jobs)
+    mid = arrivals[len(arrivals) // 2]
+    return spec, (arrivals[0] + 5e-6, mid, arrivals[-1] + 10e-6)
 
 
 def serve_runtime(record_trace: bool = True) -> tuple[ServeRuntime, tuple[float, ...]]:

@@ -396,6 +396,7 @@ class Observability:
         detail: str = "transfer",
         registry: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
+        periodic_sampling: bool = True,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
@@ -403,6 +404,10 @@ class Observability:
             raise ValueError(f"detail must be one of {DETAIL_LEVELS}, got {detail!r}")
         self.sample_interval_s = sample_interval_s
         self.detail = detail
+        #: The sampler schedules real simulator events; sharded runs build
+        #: their obs with ``periodic_sampling=False`` so the fired-event
+        #: stream contains fabric work only (see repro.shard).
+        self.periodic_sampling = periodic_sampling
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else SpanTracer()
         self.sample_hooks: list = []
@@ -421,8 +426,9 @@ class Observability:
             raise RuntimeError("Observability is already attached")
         self.network = network
         self.observer = FabricMetricsObserver(self, network)
-        self.sampler = PeriodicSampler(self, network)
-        self.sampler.start()
+        if self.periodic_sampling:
+            self.sampler = PeriodicSampler(self, network)
+            self.sampler.start()
         return self
 
     def track_collective(self, handle, label: str | None = None) -> None:

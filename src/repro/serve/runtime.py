@@ -128,6 +128,8 @@ class ServeRuntime:
         raise_on_violation: bool = True,
         obs=None,
         protection: int = 0,
+        sim=None,
+        invariant_watchdog: bool = True,
     ) -> None:
         if scheme not in DATAPLANE:
             raise ValueError(
@@ -159,6 +161,8 @@ class ServeRuntime:
             raise_on_violation=raise_on_violation,
             plan_cache=plan_cache,
             protection=protection,
+            sim=sim,
+            invariant_watchdog=invariant_watchdog,
         )
         self.state_policy = policy_for(scheme)
         self.state = FabricState(capacity=tcam_capacity, strict=False)

@@ -1,0 +1,134 @@
+"""Conservative time-window barrier and boundary messages.
+
+The protocol (classic conservative/Chandy–Misra-with-lookahead shape):
+
+1. the coordinator **opens** a window ``(committed_edge, edge]``;
+2. every shard simulates up to ``edge`` (inclusive) and **arrives**,
+   handing over any cross-shard boundary messages it produced;
+3. once all shards have arrived the window **commits**: messages whose
+   timestamp falls inside the *next* window are routed to their
+   destination shard's inbox, and ``committed_edge`` advances.
+
+No shard may fire an event with ``time > committed_edge`` — enforcing
+exactly the invariant the differential battery property-tests.  A
+boundary message is timestamped with send time plus the link lookahead;
+conservativeness requires it to land at or beyond the edge of the window
+it was produced in (a message *inside* its own window would mean a shard
+fired an event the receiver should already have seen — a causality
+violation, rejected loudly).
+
+With the v1 traffic-closed partition the lookahead is infinite and no
+messages flow; the barrier then only paces the incremental stream merge.
+Windows of *any* width produce identical merged output — another battery
+property — which is what makes the adaptive window sizing in the runner
+a pure memory/throughput knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ShardError
+
+__all__ = ["BoundaryMessage", "WindowBarrier"]
+
+
+@dataclass(frozen=True, order=True)
+class BoundaryMessage:
+    """A timestamped cross-shard event, exchanged at window edges.
+
+    Ordered by ``(time, src_shard, src_seq)`` so merge order is total and
+    shard-symmetric.  ``payload`` is an opaque picklable tuple; encoding
+    is the plain dataclass tuple (see :meth:`encode`), chosen over a
+    packed binary form because messages cross a pickle boundary anyway.
+    """
+
+    time: float
+    src_shard: int
+    src_seq: int
+    dst_shard: int
+    payload: tuple = ()
+
+    def encode(self) -> tuple:
+        return (self.time, self.src_shard, self.src_seq, self.dst_shard, self.payload)
+
+    @classmethod
+    def decode(cls, raw: tuple) -> "BoundaryMessage":
+        return cls(*raw)
+
+
+class WindowBarrier:
+    """Synchronizes ``num_shards`` shards over conservative windows."""
+
+    def __init__(self, num_shards: int, start_s: float = 0.0) -> None:
+        if num_shards < 1:
+            raise ShardError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+        #: No event at or before this time remains unfired on any shard.
+        self.committed_edge = start_s
+        #: Upper edge of the currently open window (None: no open window).
+        self.edge: float | None = None
+        self.windows_committed = 0
+        self._arrived: set[int] = set()
+        self._in_flight: list[BoundaryMessage] = []
+        self._inbox: list[list[BoundaryMessage]] = [[] for _ in range(num_shards)]
+
+    def open(self, edge: float) -> float:
+        """Open the next window ``(committed_edge, edge]``."""
+        if self.edge is not None:
+            raise ShardError("window already open")
+        if edge <= self.committed_edge:
+            raise ShardError(
+                f"window edge {edge} does not advance past committed "
+                f"edge {self.committed_edge}"
+            )
+        self.edge = edge
+        self._arrived.clear()
+        return edge
+
+    def can_fire(self, time: float) -> bool:
+        """May an event at ``time`` fire right now?  Only inside the open
+        window — never beyond it, never without one."""
+        return self.edge is not None and time <= self.edge
+
+    def arrive(self, shard: int, messages: tuple = ()) -> bool:
+        """Shard ``shard`` finished simulating the open window.
+
+        Returns True once every shard has arrived (the window committed).
+        """
+        if self.edge is None:
+            raise ShardError("no open window to arrive at")
+        if shard in self._arrived:
+            raise ShardError(f"shard {shard} arrived twice at the same window")
+        for msg in messages:
+            if msg.time <= self.edge:
+                raise ShardError(
+                    f"causality violation: boundary message at t={msg.time} "
+                    f"from shard {msg.src_shard} lands inside its own "
+                    f"window (edge {self.edge}); lookahead too small"
+                )
+            self._in_flight.append(msg)
+        self._arrived.add(shard)
+        if len(self._arrived) < self.num_shards:
+            return False
+        self._commit()
+        return True
+
+    def _commit(self) -> None:
+        self.committed_edge = self.edge
+        self.edge = None
+        self.windows_committed += 1
+        self._arrived.clear()
+        # Deterministic delivery order regardless of arrival order.
+        self._in_flight.sort()
+        still_flying: list[BoundaryMessage] = []
+        for msg in self._in_flight:
+            if msg.time <= self.committed_edge:  # pragma: no cover - defensive
+                raise ShardError("message for an already-committed window")
+            self._inbox[msg.dst_shard].append(msg)
+        self._in_flight = still_flying
+
+    def take_inbox(self, shard: int) -> list[BoundaryMessage]:
+        """Messages deliverable to ``shard`` in the next window (sorted)."""
+        out, self._inbox[shard] = self._inbox[shard], []
+        return out

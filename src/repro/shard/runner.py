@@ -1,0 +1,662 @@
+"""The sharded scenario runner: build, lockstep-drive, merge, prove.
+
+``run_sharded(spec)`` is to a ``ScenarioSpec(shards=N)`` what
+:func:`repro.api.run` is to a serial spec, with a byte-identical result:
+golden-trace digest, fired-event digest, CCTs and obs exports all match
+the serial run of the same spec.  How:
+
+* :func:`repro.shard.partition.plan_partition` cuts the fabric+workload
+  into traffic-closed shards (or refuses, loudly);
+* every shard builds a full private copy of the environment — topology,
+  config, seeds — but launches only its own jobs/faults/churn, on a
+  :class:`~repro.shard.record.RecordingSimulator`;
+* a :class:`~repro.shard.barrier.WindowBarrier` advances all shards in
+  lockstep windows (pure pacing here: the partition has infinite
+  lookahead); each window's records stream into the
+  :class:`~repro.shard.sequencer.GlobalSequencer`, which re-derives the
+  serial ``(time, seq)`` numbering, transfer names, digests and traces;
+* post-run determinism proofs: every fabric RNG state untouched (no
+  shard took an ECN/loss draw the serial run would have interleaved
+  differently), every multicast tree confined to its shard's territory,
+  every queue drained.
+
+``processes=True`` forks one worker per shard (fork start method; the
+streamed chunks keep coordinator memory bounded).  In-process sharded
+runs snapshot/resume through :class:`repro.replay.Snapshot` exactly like
+serial ones — capture between windows, restore anywhere, finish, same
+digests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..collectives import CollectiveEnv, scheme_by_name
+from ..faults import FaultSchedule
+from .barrier import WindowBarrier
+from .errors import ShardError, ShardPartitionError
+from .obs_merge import ShardObservability, extract_obs, merge_observability
+from .partition import ShardPlan, lookahead_s, plan_partition
+from .record import RecordingSimulator, ShardTraceRecorder
+from .sequencer import GlobalSequencer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api import ScenarioResult, ScenarioSpec
+
+__all__ = ["SHARDABLE_SCHEMES", "ShardedScenarioRun", "run_sharded"]
+
+#: Dataplane schemes whose planning and launch paths are RNG-free.
+#: ECMP-routed schemes (tree/ring/allreduce/...) draw from the shared
+#: router RNG per job, and ``peel+cores`` samples controller setup
+#: latency — both interleave across jobs in ways a shard cannot see.
+SHARDABLE_SCHEMES = ("peel", "optimal")
+
+#: Initial barrier-window span in simulated seconds; adapted per round
+#: toward a records-per-window target (pure pacing, never correctness —
+#: the battery proves window-size invariance).
+_INITIAL_WINDOW_S = 1e-4
+_WINDOW_TARGET_LO = 16_384
+_WINDOW_TARGET_HI = 262_144
+
+
+def validate_spec(spec: "ScenarioSpec") -> None:
+    """Reject specs whose serial behaviour a sharded run cannot reproduce."""
+    if spec.scheme_name not in SHARDABLE_SCHEMES:
+        raise ShardError(
+            f"scheme {spec.scheme_name!r} is not shardable (RNG-coupled "
+            f"planning); shardable schemes: {SHARDABLE_SCHEMES}"
+        )
+    if spec.max_events is not None:
+        raise ShardError(
+            "max_events budgets cannot be partitioned across shards; "
+            "run serially or drop the budget"
+        )
+    if spec.check_invariants and spec.invariant_watchdog:
+        raise ShardError(
+            "the invariant deadlock watchdog schedules simulator events; "
+            "set ScenarioSpec(invariant_watchdog=False) so serial and "
+            "sharded runs fire the same event stream"
+        )
+    if spec.obs is not None and spec.obs.periodic_sampling:
+        raise ShardError(
+            "periodic sampling schedules simulator events; build the spec "
+            "with Observability(periodic_sampling=False) for sharded runs"
+        )
+    config = spec.config
+    if config is not None and config.loss_probability > 0:
+        raise ShardError(
+            "loss_probability > 0 draws from the shared fabric RNG per "
+            "transmitted segment; unshardable"
+        )
+
+
+class ShardState:
+    """One shard's live half-world (in-process or inside a worker)."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.sim: RecordingSimulator | None = None
+        self.env: CollectiveEnv | None = None
+        self.handle_pairs: list[tuple[int, object]] = []
+        self.churn_driver = None
+        self.obs: ShardObservability | None = None
+        #: (phase, global index, n_sched, lines, names) setup segments.
+        self.segments: list[tuple] = []
+        self.territory: set[str] = set()
+        self._rng_marks: tuple = ()
+
+    def take_pauses(self) -> dict:
+        if self.obs is None:
+            return {}
+        return self.obs.observer.take_pauses()
+
+    # -- determinism proofs ------------------------------------------------
+
+    def mark_rngs(self) -> None:
+        env = self.env
+        self._rng_marks = (
+            env.network.rng.getstate(),
+            env.rng.getstate(),
+            env.router.rng.getstate(),
+            env.controller.rng.getstate(),
+        )
+
+    def check_rngs(self) -> None:
+        env = self.env
+        names = ("network", "env", "router", "controller")
+        current = (
+            env.network.rng.getstate(),
+            env.rng.getstate(),
+            env.router.rng.getstate(),
+            env.controller.rng.getstate(),
+        )
+        for name, before, after in zip(names, self._rng_marks, current):
+            if before != after:
+                raise ShardError(
+                    f"shard {self.index} drew from the {name} RNG during "
+                    "the run (ECN ramp marking or random routing); the "
+                    "serial run would interleave these draws globally — "
+                    "result not byte-identical, run this scenario serially"
+                )
+
+    def check_containment(self) -> None:
+        for transfer in self.env.network.transfers:
+            trees = list(transfer.static_trees)
+            if transfer.refined_tree is not None:
+                trees.append(transfer.refined_tree)
+            for tree in trees:
+                stray = tree.nodes - self.territory
+                if stray:
+                    raise ShardPartitionError(
+                        f"transfer {transfer.name} on shard {self.index} "
+                        f"routed through foreign nodes {sorted(stray)[:4]}; "
+                        "the partition is not traffic-closed"
+                    )
+
+
+def build_scenario_shard(
+    spec: "ScenarioSpec", plan: ShardPlan, shard_index: int
+) -> ShardState:
+    """Construct one shard's environment, mirroring the serial setup order
+    (faults at env construction, jobs in spec order, churn install) while
+    capturing per-action segments for the sequencer's setup interleave."""
+    scheme = spec.scheme
+    if isinstance(scheme, str):
+        scheme = scheme_by_name(scheme)
+    state = ShardState(shard_index)
+    sim = state.sim = RecordingSimulator()
+    topo = spec.topology
+    fault_pairs: list[tuple] = []
+    shard_faults = None
+    if spec.fault_schedule is not None:
+        topo = topo.copy()  # dynamic faults mutate the planning topology
+        fault_pairs = [
+            (g, event)
+            for g, event in enumerate(spec.fault_schedule)
+            if plan.fault_shard[g] == shard_index
+        ]
+        shard_faults = FaultSchedule([event for _, event in fault_pairs])
+    env = state.env = CollectiveEnv(
+        topo,
+        spec.config,
+        fault_schedule=shard_faults,
+        check_invariants=spec.check_invariants,
+        record_trace=False,
+        protection=spec.protection,
+        sim=sim,
+        invariant_watchdog=False,
+    )
+    if sim._seq != len(fault_pairs):  # pragma: no cover - engine invariant
+        raise ShardError(
+            f"env construction scheduled {sim._seq} events for "
+            f"{len(fault_pairs)} faults; setup interleave unknown"
+        )
+    # The fault injector schedules exactly one entry per event, in
+    # schedule order, with no trace lines or transfers.
+    state.segments = [(0, g, 1, [], None) for g, _ in fault_pairs]
+    if spec.record_trace or spec.keep_trace_events:
+        ShardTraceRecorder(env.network, sim.lines)
+    sim.watch_transfers(env.network.transfers)
+    if spec.obs is not None:
+        state.obs = ShardObservability(spec.obs).attach(env.network)
+    if spec.churn is not None:
+        # Joins/leaves need per-receiver segment tracking; must be set
+        # before any transfer is constructed (mirrors ScenarioRun).
+        env.network.fault_tolerant = True
+    transfers = env.network.transfers
+    for g, job in enumerate(spec.jobs):
+        if plan.job_shard[g] != shard_index:
+            continue
+        seq0, lines0, created0 = sim._seq, len(sim.lines), len(transfers)
+        handle = scheme.launch(env, job.group, job.message_bytes, job.arrival_s)
+        names = [t.name for t in transfers[created0:]] or None
+        state.segments.append(
+            (1, g, sim._seq - seq0, sim.lines[lines0:], names)
+        )
+        state.handle_pairs.append((g, handle))
+    sim.lines.clear()  # setup lines now live in the segments
+    if spec.churn is not None:
+        from ..control.membership import ChurnDriver, ChurnSchedule
+
+        churn_pairs = [
+            (g, event)
+            for g, event in enumerate(spec.churn)
+            if plan.churn_shard[g] == shard_index
+        ]
+        filtered = ChurnSchedule(tuple(event for _, event in churn_pairs))
+        padded: list = [None] * len(spec.jobs)
+        for g, handle in state.handle_pairs:
+            padded[g] = handle
+        state.churn_driver = ChurnDriver(env, filtered)
+        seq0 = sim._seq
+        state.churn_driver.install(padded)
+        if sim._seq - seq0 != len(churn_pairs):  # pragma: no cover
+            raise ShardError("churn install scheduled an unexpected count")
+        state.segments.extend((2, g, 1, [], None) for g, _ in churn_pairs)
+    state.territory = plan.nodes_for(shard_index, spec.topology)
+    state.mark_rngs()
+    return state
+
+
+def finalize_scenario_shard(state: ShardState) -> dict:
+    """Drained-shard epilogue: determinism proofs + result contribution."""
+    env = state.env
+    if state.sim.peek_time() is not None:
+        raise ShardError(f"shard {state.index} still has pending events")
+    state.check_rngs()
+    state.check_containment()
+    violations = env.finalize_checks()
+    handles = [handle for _, handle in state.handle_pairs]
+    unfinished = [h for h in handles if not h.complete]
+    if unfinished:
+        raise RuntimeError(
+            f"{len(unfinished)} of {len(handles)} collectives never "
+            f"completed on shard {state.index}; simulation stalled"
+        )
+    backup_entries = 0
+    backup_peak = 0
+    if env.protection_state is not None:
+        backup_entries = sum(
+            len(t) for t in env.protection_state.tables.values()
+        )
+        backup_peak = env.protection_state.peak_entries_per_switch
+    injector = env.fault_injector
+    return {
+        "ccts": [(g, handle.cct_s) for g, handle in state.handle_pairs],
+        "total_bytes": env.network.total_bytes_sent(),
+        "wasted_bytes": env.network.wasted_bytes,
+        "pfc_pause_events": env.network.pfc_pause_events,
+        "failure_drops": env.network.failure_drops,
+        "violations": list(violations),
+        "repeels": list(injector.repeels) if injector is not None else [],
+        "failovers": list(injector.failovers) if injector is not None else [],
+        "membership": (
+            dict(state.churn_driver.counters) if state.churn_driver else {}
+        ),
+        "backup_entries": backup_entries,
+        "backup_peak": backup_peak,
+        "static_rule_budget": (
+            env.static_rule_budget() if env.protection else 0
+        ),
+        "obs": (
+            extract_obs(state.obs, env.network, handles)
+            if state.obs is not None
+            else None
+        ),
+        "processed": state.sim.processed,
+    }
+
+
+class _Chunk:
+    __slots__ = ("records", "lines", "pauses", "peek")
+
+    def __init__(self, records, lines, pauses, peek) -> None:
+        self.records = records
+        self.lines = lines
+        self.pauses = pauses
+        self.peek = peek
+
+
+class LocalShard:
+    """In-process shard adapter (snapshot-friendly).
+
+    ``finalize_fn(state)`` is the epilogue matching how ``state`` was
+    built (scenario or serve) — both expose ``sim``, ``segments`` and
+    ``take_pauses()``.
+    """
+
+    def __init__(self, state, finalize_fn) -> None:
+        self.index = state.index
+        self.state = state
+        self._finalize = finalize_fn
+        self._edge: float | None = None
+
+    def setup_segments(self) -> list[tuple]:
+        return self.state.segments
+
+    def initial_peek(self) -> float | None:
+        return self.state.sim.peek_time()
+
+    def start_advance(self, edge: float) -> None:
+        self._edge = edge
+
+    def collect(self) -> _Chunk:
+        sim = self.state.sim
+        sim.run_window(self._edge)
+        self._edge = None
+        records, lines = sim.take_chunk()
+        return _Chunk(records, lines, self.state.take_pauses(), sim.peek_time())
+
+    def finalize(self) -> dict:
+        return self._finalize(self.state)
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessShard:
+    """Worker-process shard adapter (fork + pipe, streamed chunks)."""
+
+    def __init__(self, build_request: tuple, index: int) -> None:
+        import multiprocessing as mp
+
+        self.index = index
+        ctx = mp.get_context("fork")
+        self._conn, child_conn = ctx.Pipe()
+        from .worker import shard_worker_main
+
+        self._proc = ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, build_request),
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+        kind, self._segments, self._peek = self._recv("setup")
+
+    def _recv(self, expect: str):
+        reply = self._conn.recv()
+        if reply[0] == "error":
+            self.close()
+            raise ShardError(f"shard {self.index} worker failed: {reply[1]}")
+        if reply[0] != expect:  # pragma: no cover - protocol bug
+            raise ShardError(f"expected {expect!r}, got {reply[0]!r}")
+        return reply
+
+    def setup_segments(self) -> list[tuple]:
+        return self._segments
+
+    def initial_peek(self) -> float | None:
+        return self._peek
+
+    def start_advance(self, edge: float) -> None:
+        self._conn.send(("advance", edge))
+
+    def collect(self) -> _Chunk:
+        _, records, lines, pauses, peek = self._recv("chunk")
+        return _Chunk(records, lines, pauses, peek)
+
+    def finalize(self) -> dict:
+        self._conn.send(("finalize",))
+        _, payload = self._recv("final")
+        self.close()
+        return payload
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._proc.is_alive():
+            self._proc.join(timeout=10)
+            if self._proc.is_alive():  # pragma: no cover
+                self._proc.kill()
+
+
+class LockstepDriver:
+    """Drives N shard adapters through barrier windows into a sequencer.
+
+    Shared by scenario and serve sharding: owns the peeks, the adaptive
+    window span, and the open→advance→collect→feed→merge round.  Pickles
+    whole (with in-process shards) for sharded snapshots.
+    """
+
+    def __init__(self, shards: list, sequencer: GlobalSequencer) -> None:
+        self.shards = shards
+        self.sequencer = sequencer
+        self.barrier = WindowBarrier(len(shards))
+        # Serial setup interleave: segments sort by (phase, global index)
+        # across shards — faults, then jobs/submits, then churn.
+        merged_setup: list[tuple[int, tuple]] = []
+        for shard in shards:
+            merged_setup.extend(
+                (shard.index, segment) for segment in shard.setup_segments()
+            )
+        merged_setup.sort(key=lambda item: (item[1][0], item[1][1]))
+        for shard_index, (_, _, n_sched, lines, names) in merged_setup:
+            sequencer.push_setup(shard_index, n_sched, lines, names or [])
+        self._peeks: list[float | None] = [
+            shard.initial_peek() for shard in shards
+        ]
+        self._window_s = _INITIAL_WINDOW_S
+        self.windows_run = 0
+
+    @property
+    def drained(self) -> bool:
+        return all(peek is None for peek in self._peeks)
+
+    def advance_window(self) -> int:
+        """Open, simulate and commit one barrier window on every shard;
+        merge its records.  Returns records merged (0 when drained)."""
+        live = [peek for peek in self._peeks if peek is not None]
+        if not live:
+            return 0
+        edge = min(live) + self._window_s
+        if edge <= self.barrier.committed_edge:  # pragma: no cover - defensive
+            edge = self.barrier.committed_edge + self._window_s
+        self.barrier.open(edge)
+        for shard in self.shards:
+            if self._peeks[shard.index] is not None:
+                shard.start_advance(edge)
+        total = 0
+        for shard in self.shards:
+            if self._peeks[shard.index] is None:
+                self.barrier.arrive(shard.index)
+                continue
+            chunk = shard.collect()
+            self.barrier.arrive(shard.index)
+            self.sequencer.feed(
+                shard.index, chunk.records, chunk.lines, chunk.pauses
+            )
+            self._peeks[shard.index] = chunk.peek
+            total += len(chunk.records)
+        merged = self.sequencer.merge_available()
+        if merged != total:  # pragma: no cover - sequencer invariant
+            raise ShardError(f"merged {merged} of {total} window records")
+        self.windows_run += 1
+        # Window sizing is pure pacing; correctness is window-invariant.
+        if total < _WINDOW_TARGET_LO:
+            self._window_s *= 4.0
+        elif total > _WINDOW_TARGET_HI:
+            self._window_s *= 0.5
+        return total
+
+    def drain(self) -> None:
+        while not self.drained:
+            self.advance_window()
+        self.sequencer.assert_drained()
+
+    def finalize_all(self) -> list[dict]:
+        return [shard.finalize() for shard in self.shards]
+
+
+class ShardedScenarioRun:
+    """A sharded scenario mid-flight — the sharded checkpoint seam.
+
+    The in-process form pickles whole (shard states + sequencer + barrier),
+    so :class:`repro.replay.Snapshot` SIGKILL-resume works sharded: capture
+    between windows, restore in a fresh process, :meth:`finish`, and every
+    digest matches the uninterrupted run.
+    """
+
+    def __init__(self, spec: "ScenarioSpec", processes: bool = False) -> None:
+        shards = spec.shards
+        if shards < 2:
+            raise ShardError(f"sharded run needs shards >= 2, got {shards}")
+        validate_spec(spec)
+        self.spec = spec
+        self.plan = plan_partition(
+            spec.topology, spec.jobs, shards, spec.fault_schedule, spec.churn
+        )
+        self.lookahead_s = lookahead_s(
+            self.plan, spec.topology, spec.config or _default_config()
+        )
+        self.processes = processes
+        self.sequencer = GlobalSequencer(
+            shards,
+            event_digest=spec.event_digest,
+            trace=spec.record_trace or spec.keep_trace_events,
+            keep_lines=spec.keep_trace_events,
+        )
+        if processes:
+            shard_list: list = [
+                ProcessShard(("scenario", spec, self.plan, s), s)
+                for s in range(shards)
+            ]
+        else:
+            shard_list = [
+                LocalShard(
+                    build_scenario_shard(spec, self.plan, s),
+                    finalize_scenario_shard,
+                )
+                for s in range(shards)
+            ]
+        self.driver = LockstepDriver(shard_list, self.sequencer)
+        self.resumed_at_s: float | None = None
+        self.snapshots_taken = 0
+        self.finished = False
+
+    # -- stepping ----------------------------------------------------------
+
+    @property
+    def shards(self) -> list:
+        return self.driver.shards
+
+    @property
+    def barrier(self) -> WindowBarrier:
+        return self.driver.barrier
+
+    @property
+    def windows_run(self) -> int:
+        return self.driver.windows_run
+
+    @property
+    def drained(self) -> bool:
+        return self.driver.drained
+
+    def advance_window(self) -> int:
+        return self.driver.advance_window()
+
+    def run_until(self, until: float) -> None:
+        """Advance windows until the committed edge passes ``until`` (or
+        the run drains); leaves the run at a snapshot-safe point."""
+        while not self.drained and self.barrier.committed_edge < until:
+            self.advance_window()
+
+    def snapshot(self):
+        """Freeze the whole sharded run into a :class:`repro.replay.Snapshot`."""
+        from ..replay import Snapshot
+
+        if self.processes:
+            raise ShardError(
+                "snapshotting is supported for in-process sharded runs only"
+            )
+        if self.finished:
+            raise RuntimeError("cannot snapshot a finished scenario")
+        self.snapshots_taken += 1
+        return Snapshot.capture(
+            self, sim=self.shards[0].state.sim, kind="ShardedScenarioRun"
+        )
+
+    def mark_resumed(self, at_s: float) -> None:
+        self.resumed_at_s = at_s
+
+    # -- completion --------------------------------------------------------
+
+    def finish(self) -> "ScenarioResult":
+        from ..api import ReplayInfo, ScenarioResult
+
+        if self.finished:
+            raise RuntimeError("scenario already finished")
+        self.finished = True
+        self.driver.drain()
+        payloads = self.driver.finalize_all()
+        spec = self.spec
+        sequencer = self.sequencer
+        ccts: list = [None] * len(spec.jobs)
+        for payload in payloads:
+            for g, cct in payload["ccts"]:
+                ccts[g] = cct
+        membership: dict = {}
+        for payload in payloads:
+            for name, count in payload["membership"].items():
+                membership[name] = membership.get(name, 0) + count
+        repeels = []
+        failovers = []
+        for shard, payload in zip(self.shards, payloads):
+            rename = sequencer.name_map[shard.index]
+            repeels.extend(
+                r._replace(transfer=rename.get(r.transfer, r.transfer))
+                for r in payload["repeels"]
+            )
+            failovers.extend(
+                f._replace(transfer=rename.get(f.transfer, f.transfer))
+                for f in payload["failovers"]
+            )
+        repeels.sort(key=lambda r: r.time_s)
+        failovers.sort(key=lambda f: f.time_s)
+        violations = [v for payload in payloads for v in payload["violations"]]
+        violations.sort(key=lambda v: v.time_s)
+        obs = spec.obs
+        if obs is not None:
+            merged = merge_observability(
+                [payload["obs"] for payload in payloads],
+                sequencer,
+                ccts,
+                membership,
+            )
+            obs.registry.merge(merged)
+            obs._finalized = True  # exports serve the merged registry as-is
+        digest = sequencer.digest
+        return ScenarioResult(
+            scheme=spec.scheme_name,
+            ccts=ccts,
+            total_bytes=sum(p["total_bytes"] for p in payloads),
+            wasted_bytes=sum(p["wasted_bytes"] for p in payloads),
+            pfc_pause_events=sum(p["pfc_pause_events"] for p in payloads),
+            invariant_violations=violations,
+            trace_digest=(
+                sequencer.trace_digest()
+                if (spec.record_trace or spec.keep_trace_events)
+                else None
+            ),
+            failure_drops=sum(p["failure_drops"] for p in payloads),
+            repeels=repeels,
+            replay=ReplayInfo(
+                resumed=self.resumed_at_s is not None,
+                resumed_at_s=self.resumed_at_s,
+                snapshots_taken=self.snapshots_taken,
+                events_processed=sum(p["processed"] for p in payloads),
+                event_digest=(
+                    digest.hexdigest() if digest is not None else None
+                ),
+            ),
+            failovers=failovers,
+            protection=spec.protection,
+            backup_tcam_entries=sum(p["backup_entries"] for p in payloads),
+            backup_tcam_peak_per_switch=max(
+                (p["backup_peak"] for p in payloads), default=0
+            ),
+            static_rule_budget=max(
+                (p["static_rule_budget"] for p in payloads), default=0
+            ),
+            membership=membership,
+        )
+
+    @property
+    def trace_events(self) -> list[str] | None:
+        """Merged, globally-renamed golden-trace lines when the spec asked
+        for ``keep_trace_events`` (the serial ``env.trace.events``)."""
+        return self.sequencer.kept_lines
+
+
+def _default_config():
+    from ..sim import SimConfig
+
+    return SimConfig()
+
+
+def run_sharded(spec: "ScenarioSpec", processes: bool = False) -> "ScenarioResult":
+    """Run ``spec`` across ``spec.shards`` workers, byte-identical to
+    :func:`repro.api.run` of the same spec with ``shards=1``."""
+    return ShardedScenarioRun(spec, processes=processes).finish()

@@ -1,0 +1,87 @@
+"""Pod-local workloads: job streams a shard partition can actually cut.
+
+:func:`plan_partition` requires the workload to be *traffic-closed* per
+shard — every job's group (and therefore every tree the scheme builds)
+must stay inside one zone component.  The generic generators in
+:mod:`repro.workloads` place GPUs fabric-wide, which welds all pods into
+a single component and makes any ``shards >= 2`` request fail.  This
+module generates the shardable counterpart: independent per-pod Poisson
+streams on a fat-tree, each pod's placements drawn from its own
+string-seeded RNG so the workload is reproducible job-for-job no matter
+how many shards later partition it.
+
+Used by the golden shard scenario
+(:func:`repro.experiments.scenarios.shard_scenario`), the differential
+battery, and the ``scripts/shard_campaign.py`` acceptance campaign.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..collectives import Gpu, Group
+from ..workloads import CollectiveJob
+from ..workloads.arrivals import fixed_count_arrivals
+from ..workloads.load import arrival_rate_for_load
+from .errors import ShardError
+from .partition import zone_of
+
+__all__ = ["pod_local_jobs"]
+
+
+def pod_local_jobs(
+    topo,
+    jobs_per_pod: int,
+    group_hosts: int,
+    message_bytes: int,
+    offered_load: float = 0.3,
+    seed: int = 0,
+    tenants: tuple[str, ...] = ("default",),
+) -> list[CollectiveJob]:
+    """A fat-tree workload whose every group lives inside one pod.
+
+    Each pod gets its own Poisson arrival process and placement RNG
+    (seeded ``f"shard-pod:{seed}:{pod}"``), calibrated so *each pod*
+    carries ``offered_load`` on its slice of the fabric.  Jobs are merged
+    into one timeline sorted by ``(arrival_s, pod)`` — a deterministic
+    total order even in the astronomically unlikely event of an arrival
+    tie — and tagged round-robin from ``tenants`` in timeline order, so
+    multi-tenant serving campaigns shard the same way scenario batches do.
+    """
+    num_pods = getattr(topo, "num_pods", None)
+    if not num_pods:
+        raise ShardError(
+            f"pod_local_jobs needs a pod-structured topology, got {topo!r}"
+        )
+    by_pod: dict[int, list[str]] = {pod: [] for pod in range(num_pods)}
+    for host in topo.hosts:
+        kind, index = zone_of(host)
+        if kind == "pod":
+            by_pod[index].append(host)
+    tagged: list[tuple[float, int, CollectiveJob]] = []
+    for pod in range(num_pods):
+        hosts = sorted(by_pod[pod])
+        if len(hosts) < group_hosts:
+            raise ShardError(
+                f"pod {pod} has {len(hosts)} hosts; cannot place "
+                f"{group_hosts}-host groups"
+            )
+        rng = random.Random(f"shard-pod:{seed}:{pod}")
+        rate = arrival_rate_for_load(
+            offered_load,
+            message_bytes,
+            group_hosts - 1,
+            len(hosts),
+            topo.link_bps,
+        )
+        for t in fixed_count_arrivals(rate, jobs_per_pod, rng):
+            members = tuple(
+                Gpu(host, 0) for host in rng.sample(hosts, group_hosts)
+            )
+            tagged.append((t, pod, CollectiveJob(t, Group(members[0], members), message_bytes)))
+    tagged.sort(key=lambda item: (item[0], item[1]))
+    cycle = len(tenants)
+    return [
+        CollectiveJob(job.arrival_s, job.group, job.message_bytes, tenants[i % cycle])
+        for i, (_, _, job) in enumerate(tagged)
+    ]

@@ -79,6 +79,7 @@ class InvariantChecker(FabricObserver):
         raise_immediately: bool = True,
         watchdog_interval_s: float = 2e-3,
         pfc_skid_bytes: float | None = None,
+        watchdog: bool = True,
     ) -> None:
         if watchdog_interval_s <= 0:
             raise ValueError("watchdog_interval_s must be positive")
@@ -86,6 +87,9 @@ class InvariantChecker(FabricObserver):
         self.sim = network.sim
         self.raise_immediately = raise_immediately
         self.watchdog_interval_s = watchdog_interval_s
+        #: The deadlock watchdog schedules real simulator events; sharded
+        #: runs disable it so the fired-event stream stays partitionable.
+        self.watchdog_enabled = watchdog
         self._pfc_skid_override = pfc_skid_bytes
 
         self.violations: list[Violation] = []
@@ -333,7 +337,7 @@ class InvariantChecker(FabricObserver):
         )
 
     def _arm_watchdog(self) -> None:
-        if self._watchdog_armed:
+        if self._watchdog_armed or not self.watchdog_enabled:
             return
         self._watchdog_armed = True
         self._last_progress = self._progress_vector()

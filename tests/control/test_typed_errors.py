@@ -1,0 +1,180 @@
+"""Typed error surfacing: error kinds over the wire, churn × protection.
+
+Refusals used to reach clients as bare strings; now every ``{"ok":
+false}`` response carries a ``kind`` naming the exception family the
+dispatcher caught, and both client transports raise the matching
+:class:`ControlRequestError` subclass — so a campaign script can branch
+on ``MembershipRequestError`` without regex-matching message text.  The
+churn × protection combination is the motivating case: it is refused on
+*every* path (scenario churn driver, control-plane constructor), and the
+refusal must arrive typed through the local and socket clients alike.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ScenarioRun, ScenarioSpec
+from repro.collectives import Gpu, Group
+from repro.control import (
+    ChurnEvent,
+    ControlError,
+    ControlPlane,
+    ControlPlaneRequestError,
+    ControlRequestError,
+    ControlServer,
+    Dispatcher,
+    LocalClient,
+    MembershipError,
+    MembershipRequestError,
+    ProtocolRequestError,
+    SocketClient,
+)
+from repro.control.protocol import error
+from repro.sim import SimConfig
+from repro.topology import LeafSpine
+from repro.workloads import CollectiveJob
+
+KB = 1024
+
+
+def control_plane(**kwargs) -> ControlPlane:
+    return ControlPlane(
+        LeafSpine(2, 4, 2), "peel", SimConfig(segment_bytes=16 * KB), **kwargs
+    )
+
+
+def detach_host(control: ControlPlane, host: str) -> None:
+    """Sever a host from its ToR so a mid-flight graft cannot reach it."""
+    tor = control.env.topo.tor_of(host)
+    control.env.topo.graph.remove_edge(host, tor)
+
+
+def start_inflight_collective(client) -> int:
+    """A group with one collective guaranteed to be in flight at `now`."""
+    gid = client.create_group("t", "host:l0:0", ["host:l0:1", "host:l1:0"])
+    client.submit(gid, 1 << 20)
+    client.advance(until_s=10e-6)
+    return gid
+
+
+class TestProtocolErrorKind:
+    def test_error_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError, match="kind"):
+            error("boom", kind="mystery")
+
+    def test_kind_is_omitted_when_absent(self):
+        assert "kind" not in error("boom")
+        assert error("boom", kind="control")["kind"] == "control"
+
+
+class TestDispatcherKinds:
+    def test_missing_field_is_protocol_kind(self):
+        resp = Dispatcher(control_plane()).handle({"op": "create", "tenant": "t"})
+        assert resp["ok"] is False and resp["kind"] == "protocol"
+
+    def test_unknown_group_is_control_kind(self):
+        resp = Dispatcher(control_plane()).handle(
+            {"op": "submit", "group": 7, "message_bytes": KB}
+        )
+        assert resp["ok"] is False and resp["kind"] == "control"
+
+    def test_unreachable_graft_is_membership_kind(self):
+        control = control_plane()
+        client = LocalClient(control)
+        gid = start_inflight_collective(client)
+        detach_host(control, "host:l3:1")
+        resp = client.request("join", group=gid, host="host:l3:1")
+        assert resp["ok"] is False and resp["kind"] == "membership"
+        assert "disconnected" in resp["error"]
+
+
+class TestLocalClientTyped:
+    def test_control_refusal_raises_typed(self):
+        client = LocalClient(control_plane())
+        with pytest.raises(ControlPlaneRequestError) as exc:
+            client.submit(5, KB)
+        assert exc.value.kind == "control"
+        assert isinstance(exc.value, ControlRequestError)
+
+    def test_protocol_refusal_raises_typed(self):
+        client = LocalClient(control_plane())
+        with pytest.raises(ProtocolRequestError) as exc:
+            client._checked("create", tenant="t")  # no source
+        assert exc.value.kind == "protocol"
+
+    def test_membership_refusal_raises_typed(self):
+        control = control_plane()
+        client = LocalClient(control)
+        gid = start_inflight_collective(client)
+        detach_host(control, "host:l3:1")
+        with pytest.raises(MembershipRequestError) as exc:
+            client.join(gid, "host:l3:1")
+        assert exc.value.kind == "membership"
+
+    def test_untyped_response_still_raises_base_error(self):
+        # Talking to an old server that sends no kind must keep working.
+        client = LocalClient(control_plane())
+        original = client.dispatcher.handle
+        client.dispatcher.handle = lambda req: {"ok": False, "error": "x"}
+        try:
+            with pytest.raises(ControlRequestError) as exc:
+                client.ping()
+            assert type(exc.value) is ControlRequestError
+            assert exc.value.kind is None
+        finally:
+            client.dispatcher.handle = original
+
+
+class TestSocketClientTyped:
+    def test_kinds_survive_the_wire(self, tmp_path):
+        path = str(tmp_path / "control.sock")
+        control = control_plane()
+        server = ControlServer(control, path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        for _ in range(50):
+            try:
+                client = SocketClient(path)
+                break
+            except (FileNotFoundError, ConnectionRefusedError):
+                time.sleep(0.05)
+        else:
+            pytest.fail("server socket never came up")
+        with client:
+            with pytest.raises(ControlPlaneRequestError) as exc:
+                client.submit(5, KB)
+            assert exc.value.kind == "control"
+            with pytest.raises(ProtocolRequestError):
+                client._checked("create", tenant="t")
+            gid = start_inflight_collective(client)
+            detach_host(control, "host:l3:1")
+            with pytest.raises(MembershipRequestError) as exc:
+                client.join(gid, "host:l3:1")
+            assert exc.value.kind == "membership"
+            client.shutdown()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+
+class TestChurnTimesProtection:
+    def test_scenario_churn_with_protection_refused(self):
+        topo = LeafSpine(2, 4, 2)
+        members = (
+            Gpu("host:l0:0", 0), Gpu("host:l0:1", 0), Gpu("host:l1:0", 0)
+        )
+        spec = ScenarioSpec(
+            topology=topo,
+            scheme="peel",
+            jobs=(CollectiveJob(0.0, Group(members[0], members), 1 << 20),),
+            config=SimConfig(segment_bytes=32 * KB),
+            churn=(ChurnEvent(30e-6, 0, "join", host="host:l3:1"),),
+            protection=1,
+        )
+        with pytest.raises(MembershipError, match="protection"):
+            ScenarioRun(spec)
+
+    def test_control_plane_protection_refused_as_control_error(self):
+        with pytest.raises(ControlError, match="protection"):
+            control_plane(protection=1)

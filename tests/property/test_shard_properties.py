@@ -1,0 +1,329 @@
+"""Differential battery: sharded runs are byte-identical to serial.
+
+The central claim of ``repro.shard`` is not "close" but *equal*: for any
+spec the partition accepts, running it across N lockstep shards yields
+the same golden-trace chain, the same fired-event digest, the same CCTs
+and the same observability export as the serial engine, byte for byte.
+These properties draw random pod-local workloads — topology size, shard
+count in {2, 4, 8}, scheme, faults, membership churn, protection level,
+seeds — and check exactly that, plus the protocol-level invariants the
+equality rests on: no event fires beyond the open window, causality
+violations are rejected loudly, and the stream merge is associative over
+any window decomposition.
+"""
+
+import dataclasses
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ScenarioSpec, run
+from repro.control import ChurnEvent, ChurnSchedule
+from repro.experiments.common import sim_config
+from repro.faults import FaultSchedule
+from repro.obs import Observability
+from repro.shard import (
+    BoundaryMessage,
+    GlobalSequencer,
+    ShardError,
+    WindowBarrier,
+    pod_local_jobs,
+)
+from repro.topology import FatTree
+
+KB = 1024
+
+
+def _fresh_obs() -> Observability:
+    # Periodic sampling schedules wall-clock-free *sampler* events in the
+    # simulator, which the shard runner refuses (they are not fabric work
+    # and would differ per shard); everything else is compared.
+    return Observability(periodic_sampling=False)
+
+
+def _result_facts(result, obs):
+    """Every comparable fact of one run, obs export included."""
+    return {
+        "ccts": list(result.ccts),
+        "trace": result.trace_digest,
+        "events": result.replay.event_digest,
+        "processed": result.replay.events_processed,
+        "total_bytes": result.total_bytes,
+        "wasted_bytes": result.wasted_bytes,
+        "pfc_pause_events": result.pfc_pause_events,
+        "failure_drops": result.failure_drops,
+        "repeels": list(result.repeels),
+        "failovers": list(result.failovers),
+        "membership": dict(result.membership),
+        "backup_entries": result.backup_tcam_entries,
+        "metrics": obs.metrics_json() if obs is not None else None,
+    }
+
+
+def _assert_identical(spec: ScenarioSpec, with_obs: bool) -> None:
+    serial_obs = _fresh_obs() if with_obs else None
+    serial = run(dataclasses.replace(spec, shards=1, obs=serial_obs))
+    shard_obs = _fresh_obs() if with_obs else None
+    sharded = run(dataclasses.replace(spec, obs=shard_obs))
+    base = _result_facts(serial, serial_obs)
+    other = _result_facts(sharded, shard_obs)
+    for key, expect in base.items():
+        assert other[key] == expect, f"{key} diverged on {spec.shards} shards"
+
+
+@st.composite
+def shard_cases(draw):
+    shards = draw(st.sampled_from((2, 4, 8)))
+    # A k-ary fat-tree partitions into k pod components plus the core, so
+    # 8 shards need the k=8 fabric; the small fabric keeps most examples
+    # fast.  hosts_per_tor=2 bounds the event count.
+    k = 8 if shards == 8 else 4
+    topo = FatTree(k, hosts_per_tor=2)
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    variant = draw(st.sampled_from(("plain", "fault", "churn", "protection")))
+    # Churn grafting and protection planning are PEEL mechanisms; the
+    # plain and fault variants also exercise the optimal scheme.
+    scheme = (
+        draw(st.sampled_from(("peel", "optimal")))
+        if variant in ("plain", "fault")
+        else "peel"
+    )
+    jobs_per_pod = draw(st.integers(min_value=1, max_value=1 if k == 8 else 2))
+    message_bytes = draw(st.sampled_from((64 * KB, 128 * KB)))
+    with_obs = draw(st.booleans())
+    jobs = pod_local_jobs(
+        topo, jobs_per_pod, 3, message_bytes, offered_load=0.4, seed=seed
+    )
+    arrivals = sorted(job.arrival_s for job in jobs)
+    fault_schedule = None
+    churn = None
+    protection = 0
+    rng = random.Random(seed + 77)
+    if variant == "fault":
+        pod = rng.randrange(k)
+        tor = topo.tors_in_pod(pod)[0]
+        agg = topo.aggs_in_pod(pod)[0]
+        down_at = arrivals[0] + rng.choice((5e-6, 15e-6, 40e-6))
+        fault_schedule = FaultSchedule().link_flap(
+            tor, agg, down_at, down_at + 150e-6
+        )
+    elif variant == "churn":
+        g = rng.randrange(len(jobs))
+        group = jobs[g].group
+        members = {gpu.host for gpu in group.members}
+        pod_hosts = {
+            h for h in topo.hosts
+            if h.split(":")[1] == group.source.host.split(":")[1]
+        }
+        outside = sorted(pod_hosts - members)
+        leavers = sorted(members - {group.source.host})
+        events = []
+        at = jobs[g].arrival_s + rng.choice((5e-6, 20e-6))
+        if outside and rng.random() < 0.7:
+            events.append(ChurnEvent(at, g, "join", host=outside[0]))
+        if not events or rng.random() < 0.5:
+            events.append(
+                ChurnEvent(at + 10e-6, g, "leave", host=leavers[0])
+            )
+        churn = ChurnSchedule(tuple(events))
+    elif variant == "protection":
+        protection = 1
+    spec = ScenarioSpec(
+        topology=topo,
+        scheme=scheme,
+        jobs=tuple(jobs),
+        config=sim_config(message_bytes, seed=seed),
+        record_trace=True,
+        event_digest=True,
+        fault_schedule=fault_schedule,
+        churn=churn,
+        protection=protection,
+        shards=shards,
+    )
+    return spec, with_obs
+
+
+class TestShardedEqualsSerial:
+    @given(shard_cases())
+    @settings(max_examples=12, deadline=None)
+    def test_byte_identical(self, case):
+        spec, with_obs = case
+        _assert_identical(spec, with_obs)
+
+
+class TestWindowInvariance:
+    def test_window_size_is_a_pure_pacing_knob(self, monkeypatch):
+        """Any initial window width yields the same merged bytes."""
+        from repro.experiments.scenarios import shard_scenario
+        from repro.shard import runner
+
+        spec, _ = shard_scenario(shards=2)
+        digests = set()
+        for window in (3e-6, 1e-4, 5e-3):
+            monkeypatch.setattr(runner, "_INITIAL_WINDOW_S", window)
+            result = run(spec)
+            digests.add((result.trace_digest, result.replay.event_digest))
+        assert len(digests) == 1
+
+
+# -- barrier protocol properties ---------------------------------------------
+
+
+@st.composite
+def edge_sequences(draw):
+    steps = draw(st.lists(st.floats(min_value=1e-7, max_value=1e-3,
+                                    allow_nan=False), min_size=1, max_size=6))
+    edges = []
+    acc = 0.0
+    for step in steps:
+        acc += step
+        edges.append(acc)
+    return edges
+
+
+class TestBarrierProtocol:
+    @given(edge_sequences(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_no_fire_beyond_open_window(self, edges, num_shards):
+        """can_fire is exactly "inside the open window": never without an
+        open window, never past its edge, and never after commit."""
+        barrier = WindowBarrier(num_shards)
+        assert not barrier.can_fire(0.0)
+        for edge in edges:
+            barrier.open(edge)
+            assert barrier.can_fire(edge)
+            assert barrier.can_fire(barrier.committed_edge)
+            assert not barrier.can_fire(edge * (1 + 1e-9) + 1e-12)
+            for shard in range(num_shards):
+                committed = barrier.arrive(shard)
+                assert committed == (shard == num_shards - 1)
+            assert barrier.committed_edge == edge
+            assert not barrier.can_fire(edge)  # window gone until reopened
+        assert barrier.windows_committed == len(edges)
+
+    @given(edge_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_lookahead_violations_rejected(self, edges):
+        """A boundary message timestamped inside its own window means a
+        shard outran its lookahead; the barrier must refuse it."""
+        barrier = WindowBarrier(2)
+        edge = barrier.open(edges[0])
+        bad = BoundaryMessage(time=edge, src_shard=0, src_seq=0, dst_shard=1)
+        try:
+            barrier.arrive(0, (bad,))
+        except ShardError as exc:
+            assert "causality" in str(exc)
+        else:
+            raise AssertionError("in-window message accepted")
+
+    @given(edge_sequences(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_messages_route_to_inboxes_sorted(self, edges, data):
+        barrier = WindowBarrier(2)
+        edge = barrier.open(edges[-1])
+        times = data.draw(
+            st.lists(st.floats(min_value=edge * 1.01, max_value=edge * 4 + 1.0,
+                               allow_nan=False), min_size=1, max_size=5)
+        )
+        messages = tuple(
+            BoundaryMessage(time=t, src_shard=0, src_seq=i, dst_shard=1)
+            for i, t in enumerate(times)
+        )
+        barrier.arrive(0, messages)
+        barrier.arrive(1)
+        delivered = barrier.take_inbox(1)
+        assert sorted(delivered) == delivered
+        assert {m.src_seq for m in delivered} == set(range(len(times)))
+        assert barrier.take_inbox(0) == []
+        assert barrier.take_inbox(1) == []  # drained exactly once
+
+    def test_double_arrive_rejected(self):
+        barrier = WindowBarrier(3)
+        barrier.open(1e-6)
+        barrier.arrive(0)
+        try:
+            barrier.arrive(0)
+        except ShardError as exc:
+            assert "twice" in str(exc)
+        else:
+            raise AssertionError("double arrive accepted")
+
+    def test_window_must_advance(self):
+        barrier = WindowBarrier(1)
+        barrier.open(1e-6)
+        barrier.arrive(0)
+        try:
+            barrier.open(1e-6)
+        except ShardError as exc:
+            assert "advance" in str(exc)
+        else:
+            raise AssertionError("non-advancing window accepted")
+
+
+# -- merge associativity ------------------------------------------------------
+
+
+@st.composite
+def merge_programs(draw):
+    """Two shards' fired-record streams plus a random window decomposition.
+
+    Times come from a coarse grid so cross-shard ties are common — the
+    merge must break them by global seq, identically however the stream
+    is chunked.
+    """
+    streams = []
+    for _ in range(2):
+        n = draw(st.integers(min_value=1, max_value=6))
+        times = sorted(
+            draw(st.integers(min_value=0, max_value=8)) * 1e-6
+            for _ in range(n)
+        )
+        streams.append([(t, i, 0, 0, None) for i, t in enumerate(times)])
+    cut_grid = sorted({r[0] for s in streams for r in s})
+    cuts = draw(st.sets(st.sampled_from(cut_grid))) if cut_grid else set()
+    edges = sorted(cuts | {cut_grid[-1]}) if cut_grid else [0.0]
+    first_shard = draw(st.sampled_from((0, 1)))
+    return streams, edges, first_shard
+
+
+def _merged_digest(streams, edges, first_shard):
+    seq = GlobalSequencer(2, event_digest=True)
+    for shard, stream in enumerate(streams):
+        seq.push_setup(shard, len(stream), [], None)
+    cursor = [0, 0]
+    order = (first_shard, 1 - first_shard)
+    for edge in edges:
+        for shard in order:
+            stream = streams[shard]
+            start = cursor[shard]
+            stop = start
+            while stop < len(stream) and stream[stop][0] <= edge:
+                stop += 1
+            seq.feed(shard, stream[start:stop], [])
+            cursor[shard] = stop
+        seq.merge_available()
+    seq.assert_drained()
+    assert seq.merged_events == sum(len(s) for s in streams)
+    return seq.digest.hexdigest()
+
+
+class TestMergeAssociativity:
+    @given(merge_programs())
+    @settings(max_examples=80, deadline=None)
+    def test_any_window_decomposition_merges_identically(self, program):
+        streams, edges, first_shard = program
+        one_shot = _merged_digest(streams, [edges[-1]], 0)
+        chunked = _merged_digest(streams, edges, first_shard)
+        assert chunked == one_shot
+
+    def test_fire_before_schedule_rejected(self):
+        seq = GlobalSequencer(2)
+        seq.push_setup(0, 1, [], None)
+        seq.feed(0, [(1e-6, 5, 0, 0, None)], [])  # lseq 5 never scheduled
+        try:
+            seq.merge_available()
+        except ShardError as exc:
+            assert "before its" in str(exc)
+        else:
+            raise AssertionError("unscheduled lseq merged")

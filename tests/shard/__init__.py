@@ -1,0 +1,1 @@
+"""Unit tests for the sharded parallel core (repro.shard)."""
