@@ -17,9 +17,16 @@ keywords.  This module replaces that with a small, typed surface:
   another process (see DESIGN.md "Checkpoint/replay").
 
 >>> from repro.api import ScenarioSpec, run
->>> spec = ScenarioSpec(topology=fabric, scheme="peel", jobs=jobs)
+>>> from repro.collectives import SchemeSpec
+>>> spec = ScenarioSpec(
+...     topology=fabric, scheme=SchemeSpec("elmo", header_bytes=64), jobs=jobs
+... )
 >>> result = run(spec)
 >>> result.stats.p99
+
+``scheme`` accepts any form the scheme registry resolves: a
+:class:`~repro.collectives.SchemeSpec`, a ``"name:param=value"`` string,
+a bare registered name, or a live scheme instance.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from .collectives import BroadcastScheme, CollectiveEnv, scheme_by_name
+from .collectives import BroadcastScheme, CollectiveEnv, SchemeSpec, resolve_scheme
 from .faults import Failover, FaultSchedule, Repeel
 from .metrics import CctStats, summarize_ccts
 from .sim import SimConfig, Violation
@@ -61,9 +68,12 @@ class ScenarioSpec:
     topology, which is copied per-run whenever a ``fault_schedule`` is set,
     because dynamic faults mutate the planning graph.
 
-    ``scheme`` takes a :class:`~repro.collectives.BroadcastScheme` instance
-    or a registry name (``"peel"``, ``"orca"``, ... — see
-    :func:`repro.collectives.scheme_by_name`).
+    ``scheme`` takes anything the scheme registry resolves: a
+    :class:`~repro.collectives.BroadcastScheme` instance, a frozen
+    :class:`~repro.collectives.SchemeSpec`, or a string — a bare name
+    (``"peel"``) or the parameterized ``"name:param=value"`` syntax
+    (``"elmo:header_bytes=64"``); see
+    :func:`repro.collectives.resolve_scheme`.
 
     ``event_digest`` additionally folds every fired simulator event into a
     rolling :class:`~repro.sim.engine.EventDigest` — the replay tests use
@@ -78,7 +88,7 @@ class ScenarioSpec:
     """
 
     topology: Topology
-    scheme: BroadcastScheme | str
+    scheme: BroadcastScheme | SchemeSpec | str
     jobs: tuple[CollectiveJob, ...]
     config: SimConfig | None = None
     max_events: int | None = None
@@ -119,9 +129,12 @@ class ScenarioSpec:
 
     @property
     def scheme_name(self) -> str:
-        """The scheme's registry name, whether given as object or string."""
+        """The scheme's registry name (canonical ``name:param=value`` form
+        for a parameterized :class:`~repro.collectives.SchemeSpec`)."""
         if isinstance(self.scheme, str):
             return self.scheme
+        if isinstance(self.scheme, SchemeSpec):
+            return str(self.scheme)
         return self.scheme.name
 
 
@@ -166,6 +179,15 @@ class ScenarioResult:
     #: Membership-churn accounting (joins/leaves/grafts/prunes/full_repeels)
     #: when the spec carried a churn schedule; empty otherwise.
     membership: dict = field(default_factory=dict)
+    #: Header bytes the scheme charged on the wire (source-routed schemes:
+    #: encoding bytes × segments sent, retransmissions included); zero for
+    #: schemes that carry no multicast encoding in the packet.
+    header_overhead_bytes: int = 0
+    #: Peak per-switch *per-group* forwarding entries any switch held
+    #: (ip-multicast subsets, Elmo s-rule fallback, Orca group entries
+    #: under serving); zero for stateless-dataplane schemes — the Fig 3
+    #: switch-state axis.
+    per_group_tcam_peak: int = 0
     stats: CctStats = field(init=False)
 
     def __post_init__(self) -> None:
@@ -193,9 +215,7 @@ class ScenarioRun:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
-        scheme = spec.scheme
-        if isinstance(scheme, str):
-            scheme = scheme_by_name(scheme)
+        scheme = resolve_scheme(spec.scheme)
         self.scheme = scheme
         topo = spec.topology
         if spec.fault_schedule is not None:
@@ -219,10 +239,13 @@ class ScenarioRun:
             # Joins/leaves need per-receiver segment tracking (graft +
             # backfill); must be set before any transfer is constructed.
             self.env.network.fault_tolerant = True
-        self.handles = [
-            scheme.launch(self.env, job.group, job.message_bytes, job.arrival_s)
-            for job in spec.jobs
-        ]
+        self.handles = []
+        for i, job in enumerate(spec.jobs):
+            # Per-job ECMP streams key on this index, not launch order.
+            self.env.job_seq = i
+            self.handles.append(
+                scheme.launch(self.env, job.group, job.message_bytes, job.arrival_s)
+            )
         if obs is not None:
             for handle in self.handles:
                 obs.track_collective(handle)
@@ -302,6 +325,17 @@ class ScenarioRun:
                 f"max_events too low"
             )
         digest = env.sim.event_digest
+        header_overhead = sum(
+            t.header_bytes * (t.num_segments + t.retransmissions)
+            for h in self.handles
+            for t in h.transfers
+            if t.header_bytes
+        )
+        group_tcam_peak = (
+            env.group_state.peak_entries_per_switch
+            if env.group_state is not None
+            else 0
+        )
         backup_entries = 0
         backup_peak = 0
         if env.protection_state is not None:
@@ -344,6 +378,8 @@ class ScenarioRun:
                 env.static_rule_budget() if env.protection else 0
             ),
             membership=membership,
+            header_overhead_bytes=header_overhead,
+            per_group_tcam_peak=group_tcam_peak,
         )
 
 

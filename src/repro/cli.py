@@ -29,6 +29,7 @@ from .experiments import (
     failover,
     faults_demo,
     fig1_bandwidth,
+    fig3_frontier,
     fig3_rsbf,
     fig4_orca,
     fig5_message_size,
@@ -48,6 +49,8 @@ from .experiments.parallel import resolve_jobs, stderr_progress
 EXPERIMENTS = {
     "fig1": "unicast vs multicast bandwidth (analytic)",
     "fig3": "RSBF Bloom header size sweep (analytic)",
+    "frontier": "header bytes vs switch state frontier, all schemes "
+                "(simulation)",
     "fig4": "Orca controller setup delay (simulation)",
     "fig5": "CCT vs message size, all schemes (simulation)",
     "fig6": "CCT vs scale at 64 MB (simulation)",
@@ -104,6 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
         parser_.add_argument(
             "--jobs", dest="workers", type=int, action=_JobsAliasAction,
             help=argparse.SUPPRESS)
+
+    p = sub.add_parser("frontier", help=EXPERIMENTS["frontier"])
+    p.add_argument("--sizes", type=int, nargs="+",
+                   default=list(fig3_frontier.DEFAULT_SIZES),
+                   help="group sizes (hosts per group) to sweep")
+    p.add_argument("--fanouts", type=int, nargs="+",
+                   default=list(fig3_frontier.DEFAULT_FANOUTS),
+                   help="rack fanouts (racks per group) to sweep")
+    p.add_argument("--schemes", nargs="+",
+                   default=list(fig3_frontier.DEFAULT_SCHEMES),
+                   help="registry schemes to sweep (name or name:param=value)")
+    p.add_argument("--message-kb", type=int, default=64,
+                   help="message size per collective (KB)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="simulation shards per point (byte-identical to 1)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="assert fabric invariants throughout (slower)")
+    add_workers_flag(p)
 
     p = sub.add_parser("fig4", help=EXPERIMENTS["fig4"])
     p.add_argument("--sizes", type=int, nargs="+", default=[2, 8, 32])
@@ -276,6 +298,15 @@ def main(argv: list[str] | None = None) -> int:
         print(fig1_bandwidth.format_table(fig1_bandwidth.run()))
     elif args.command == "fig3":
         print(fig3_rsbf.format_table(fig3_rsbf.run()))
+    elif args.command == "frontier":
+        rows = fig3_frontier.run(
+            sizes=tuple(args.sizes), fanouts=tuple(args.fanouts),
+            schemes=tuple(args.schemes),
+            message_bytes=args.message_kb * 1024, seed=args.seed,
+            shards=args.shards, check_invariants=args.check_invariants,
+            **_sweep_kwargs(args),
+        )
+        print(fig3_frontier.format_table(rows))
     elif args.command == "fig4":
         rows = fig4_orca.run(
             sizes_mb=tuple(args.sizes), num_jobs=args.num_jobs,

@@ -1,5 +1,11 @@
-"""Broadcast collective schemes: Ring, Binary Tree, Optimal multicast,
-Orca, and PEEL (static and programmable-cores)."""
+"""Broadcast collective schemes behind the open scheme registry.
+
+Every scheme module registers itself with ``@register_scheme`` at import
+time; :func:`resolve_scheme` turns a name, a ``"name:param=value"`` string,
+or a :class:`SchemeSpec` into a live instance.  Legacy spellings
+(``"peel+cores"``, ``"orca-nosetup"``) remain as registered aliases that
+emit one :class:`DeprecationWarning` per process.
+"""
 
 from .allgather import PeelAllgather, RingAllgather, shard_bytes
 from .allreduce import PeelAllReduce, RingAllReduce
@@ -8,32 +14,32 @@ from .env import CollectiveEnv
 from .multicast import OptimalBroadcast, PeelBroadcast
 from .multipath import StripedMulticastBroadcast
 from .orca import OrcaBroadcast
+from .registry import (
+    SchemeSpec,
+    register_alias,
+    register_scheme,
+    registered_schemes,
+    reset_alias_warnings,
+    resolve_scheme,
+    scheme_aliases,
+)
 from .ring import RingBroadcast
+from .sourcerouted import (
+    BertBroadcast,
+    ElmoBroadcast,
+    IpMulticastBroadcast,
+    LipsinBroadcast,
+    RsbfBroadcast,
+    SourceRoutedBroadcast,
+)
 from .tree import BinaryTreeBroadcast
 
 
 def scheme_by_name(name: str) -> BroadcastScheme:
-    """Factory for the scheme names the experiments use."""
-    factories = {
-        "ring": RingBroadcast,
-        "tree": BinaryTreeBroadcast,
-        "optimal": OptimalBroadcast,
-        "orca": OrcaBroadcast,
-        "orca-nosetup": lambda: OrcaBroadcast(controller_overhead=False),
-        "peel": PeelBroadcast,
-        "peel+cores": lambda: PeelBroadcast(programmable_cores=True),
-        "striped": StripedMulticastBroadcast,
-        "allgather-ring": RingAllgather,
-        "allgather-peel": PeelAllgather,
-        "allreduce-ring": RingAllReduce,
-        "allreduce-peel": PeelAllReduce,
-    }
-    try:
-        return factories[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown scheme {name!r}; choose from {sorted(factories)}"
-        ) from None
+    """Back-compat wrapper over :func:`resolve_scheme`: resolves any
+    registered scheme name, ``"name:param=value"`` spec string, or
+    :class:`SchemeSpec` through the scheme registry."""
+    return resolve_scheme(name)
 
 
 __all__ = [
@@ -54,5 +60,18 @@ __all__ = [
     "OrcaBroadcast",
     "RingBroadcast",
     "BinaryTreeBroadcast",
+    "SourceRoutedBroadcast",
+    "ElmoBroadcast",
+    "BertBroadcast",
+    "RsbfBroadcast",
+    "LipsinBroadcast",
+    "IpMulticastBroadcast",
+    "SchemeSpec",
+    "register_scheme",
+    "register_alias",
+    "registered_schemes",
+    "scheme_aliases",
+    "reset_alias_warnings",
+    "resolve_scheme",
     "scheme_by_name",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 from ..sim import Transfer
 from .base import BroadcastScheme, CollectiveHandle, Group, nccl_chunk_bytes
 from .env import CollectiveEnv
+from .registry import register_scheme
 
 
 def shard_bytes(message_bytes: int, num_ranks: int) -> int:
@@ -58,9 +59,11 @@ class _AllgatherScheme(BroadcastScheme):
         return on_shard_done
 
 
+@register_scheme("allgather-ring", description="unicast ring allgather")
 class RingAllgather(_AllgatherScheme):
     """Unicast ring allgather (the deployed baseline)."""
     name = "allgather-ring"
+    shardable = True  # ECMP draws come from the per-job stream
 
     def launch(
         self,
@@ -79,6 +82,7 @@ class RingAllgather(_AllgatherScheme):
         shard = shard_bytes(message_bytes, n)
         chunk = nccl_chunk_bytes(shard, env.config.mtu_bytes)
         sink = self._shard_sink(handle, counters, needed)
+        ecmp = env.ecmp_rng()
 
         for owner in range(n):
             previous: Transfer | None = None
@@ -90,7 +94,7 @@ class RingAllgather(_AllgatherScheme):
                     env.next_transfer_name(f"ag-ring-{owner}"),
                     src,
                     shard,
-                    [env.router.path_tree(src, dst)],
+                    [env.router.path_tree(src, dst, ecmp)],
                     start_at=arrival_s,
                     is_relay=previous is not None,
                     on_host_done=sink,
@@ -103,9 +107,11 @@ class RingAllgather(_AllgatherScheme):
         return handle
 
 
+@register_scheme("allgather-peel", description="per-rank PEEL multicast allgather")
 class PeelAllgather(_AllgatherScheme):
     """Per-rank PEEL multicast allgather: N groups, zero group state."""
     name = "allgather-peel"
+    shardable = True  # PEEL planning is RNG-free
 
     def launch(
         self,

@@ -22,6 +22,7 @@ from ..sim import Transfer
 from .allgather import PeelAllgather, RingAllgather, shard_bytes
 from .base import BroadcastScheme, CollectiveHandle, Group, nccl_chunk_bytes
 from .env import CollectiveEnv
+from .registry import register_scheme
 
 
 class _AllReduceScheme(BroadcastScheme):
@@ -59,7 +60,11 @@ class _AllReduceScheme(BroadcastScheme):
             env, group, message_bytes, arrival_s
         )
         sink = allgather._shard_sink(handle, counters, needed)
-        phase2_starter = self._phase2_starter(env, group, shard, sink)
+        # One ECMP stream per job, shared by both phases: phase-2 draws
+        # happen at completion events, but only this job's, in an order
+        # fixed by the deterministic simulation.
+        ecmp = env.ecmp_rng()
+        phase2_starter = self._phase2_starter(env, group, shard, sink, ecmp)
 
         # Phase 1: ring reduce-scatter, one relay chain per shard.
         for owner in range(n):
@@ -79,7 +84,7 @@ class _AllReduceScheme(BroadcastScheme):
                     env.next_transfer_name(f"ar-rs-{owner}"),
                     src,
                     shard,
-                    [env.router.path_tree(src, dst)],
+                    [env.router.path_tree(src, dst, ecmp)],
                     start_at=arrival_s,
                     is_relay=previous is not None,
                     on_host_done=on_done,
@@ -91,17 +96,19 @@ class _AllReduceScheme(BroadcastScheme):
                 previous = transfer
         return handle
 
-    def _phase2_starter(self, env, group, shard, sink):
+    def _phase2_starter(self, env, group, shard, sink, ecmp):
         raise NotImplementedError
 
 
+@register_scheme("allreduce-ring", description="ring reduce-scatter + ring allgather")
 class RingAllReduce(_AllReduceScheme):
     """Classic ring allreduce: both phases are rings."""
 
     name = "allreduce-ring"
     allgather_cls = RingAllgather
+    shardable = True  # ECMP draws come from the per-job stream
 
-    def _phase2_starter(self, env: CollectiveEnv, group: Group, shard: int, sink):
+    def _phase2_starter(self, env: CollectiveEnv, group: Group, shard: int, sink, ecmp):
         hosts = group.hosts
         n = len(hosts)
         chunk = nccl_chunk_bytes(shard, env.config.mtu_bytes)
@@ -118,7 +125,7 @@ class RingAllReduce(_AllReduceScheme):
                     env.next_transfer_name(f"ar-ag-{owner}"),
                     src,
                     shard,
-                    [env.router.path_tree(src, dst)],
+                    [env.router.path_tree(src, dst, ecmp)],
                     start_at=now,
                     is_relay=previous is not None,
                     on_host_done=sink,
@@ -132,14 +139,19 @@ class RingAllReduce(_AllReduceScheme):
         return start
 
 
+@register_scheme(
+    "allreduce-peel",
+    description="ring reduce-scatter + PEEL multicast allgather",
+)
 class PeelAllReduce(_AllReduceScheme):
     """Ring reduce-scatter + PEEL multicast allgather (§3 applied to the
     broadcast half of allreduce)."""
 
     name = "allreduce-peel"
     allgather_cls = PeelAllgather
+    shardable = True  # ring phase uses the per-job stream; PEEL is RNG-free
 
-    def _phase2_starter(self, env: CollectiveEnv, group: Group, shard: int, sink):
+    def _phase2_starter(self, env: CollectiveEnv, group: Group, shard: int, sink, ecmp):
         hosts = group.hosts
         peel = env.peel()
 

@@ -160,6 +160,12 @@ class BroadcastScheme(ABC):
     """A way of realizing a Broadcast collective on the fabric."""
 
     name: str = "abstract"
+    #: True when planning and launch draw no shared RNG (router/controller
+    #: draws whose *order* couples jobs): such schemes produce identical
+    #: per-job work regardless of which other jobs run beside them, the
+    #: property ``repro.shard`` needs for pods-as-shards execution.
+    #: Schemes with per-instance behavior override this as a property.
+    shardable: bool = False
 
     @abstractmethod
     def launch(

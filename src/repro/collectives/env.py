@@ -65,6 +65,11 @@ class CollectiveEnv:
         #: Lazily-created :class:`repro.serve.state.FabricState` holding the
         #: fast-failover entries of every protected group (TCAM accounting).
         self.protection_state = None
+        #: Lazily-created :class:`repro.serve.state.FabricState` holding
+        #: *per-group* forwarding entries schemes install (ip-multicast
+        #: subsets, Elmo's s-rule fallback).  Stays ``None`` for schemes
+        #: that keep the fabric stateless — the Fig 3 axis.
+        self.group_state = None
         self.config = config or SimConfig()
         self.network = Network(topo, self.config, sim)
         self.sim: Simulator = self.network.sim
@@ -75,6 +80,11 @@ class CollectiveEnv:
         )
         self._peel_planners: dict[int | None, Peel] = {}
         self._transfer_counter = 0
+        #: Global index of the job currently being launched.  Every
+        #: launcher (``ScenarioRun``, the shard builder, ``ServeRuntime``)
+        #: sets it before ``scheme.launch`` so :meth:`ecmp_rng` streams
+        #: depend only on ``(seed, job)`` — never on launch order.
+        self.job_seq = 0
 
         self.invariants: InvariantChecker | None = None
         if check_invariants:
@@ -119,6 +129,31 @@ class CollectiveEnv:
         if self.plan_cache is not None and max_prefixes_per_fanout is None:
             return self.plan_cache.get(planner, source, receivers)
         return planner.plan(source, receivers)
+
+    def ecmp_rng(self) -> random.Random:
+        """A fresh per-job RNG stream for ECMP tie-breaks.
+
+        Seeded ``f"ecmp:{seed}:{job}"`` (string seeding hashes through
+        SHA-512 — deterministic across processes), so the paths a job draws
+        are identical whether it runs beside 0 or 10,000 other jobs.  This
+        is what makes the ECMP-routed baselines (ring/tree/orca's relays)
+        shardable: the shared router RNG stays untouched.
+        """
+        return random.Random(f"ecmp:{self.config.seed}:{self.job_seq}")
+
+    def account_group_state(self, group_id: str, demand: dict) -> None:
+        """Charge a scheme's *per-group* forwarding entries to the lazily
+        created group-state ledger (plain switch tables, non-strict).
+        Empty demand is free — the ledger is only materialized when a
+        scheme actually installs state, so ``group_state is None`` is the
+        honest zero for source-routed schemes."""
+        if not demand:
+            return
+        from ..serve.state import FabricState
+
+        if self.group_state is None:
+            self.group_state = FabricState(strict=False)
+        self.group_state.install_group(group_id, demand)
 
     def account_protection(self, group_id: str, protection) -> None:
         """Charge a protected group's fast-failover entries to the per-switch

@@ -16,6 +16,7 @@ from ..sim import Transfer
 from ..steiner import MAX_EXACT_TERMINALS, exact_steiner_tree, metric_closure_tree
 from .base import BroadcastScheme, CollectiveHandle, Group
 from .env import CollectiveEnv
+from .registry import SchemeSpec, register_alias, register_scheme
 
 
 def _steiner_tree(env: CollectiveEnv, source: str, receivers: list[str]):
@@ -62,9 +63,14 @@ class PeelReplan:
         return plan.static_trees
 
 
+@register_scheme(
+    "optimal",
+    description="bandwidth-optimal Steiner-tree multicast (idealized)",
+)
 class OptimalBroadcast(BroadcastScheme):
     """Bandwidth-optimal Steiner-tree multicast (idealized baseline)."""
     name = "optimal"
+    shardable = True  # Steiner planning is RNG-free
 
     def launch(
         self,
@@ -95,6 +101,11 @@ class OptimalBroadcast(BroadcastScheme):
         return handle
 
 
+@register_scheme(
+    "peel",
+    params=("programmable_cores", "max_prefixes_per_fanout"),
+    description="PEEL static prefix multicast (optionally + programmable cores)",
+)
 class PeelBroadcast(BroadcastScheme):
     """PEEL multicast; set ``programmable_cores=True`` for §3.3's two-stage
     refinement."""
@@ -107,6 +118,11 @@ class PeelBroadcast(BroadcastScheme):
         self.programmable_cores = programmable_cores
         self.max_prefixes_per_fanout = max_prefixes_per_fanout
         self.name = "peel+cores" if programmable_cores else "peel"
+
+    @property
+    def shardable(self) -> bool:
+        # Refinement readiness draws the shared controller RNG at launch.
+        return not self.programmable_cores
 
     def launch(
         self,
@@ -151,3 +167,6 @@ class PeelBroadcast(BroadcastScheme):
                 env.fault_injector.protect(transfer, plan.protection)
         transfer.start()
         return handle
+
+
+register_alias("peel+cores", SchemeSpec("peel", programmable_cores=True))

@@ -12,8 +12,14 @@ from ..core.multipath import diverse_trees
 from ..sim import Transfer
 from .base import BroadcastScheme, CollectiveHandle, Group
 from .env import CollectiveEnv
+from .registry import register_scheme
 
 
+@register_scheme(
+    "striped",
+    params=("num_trees",),
+    description="segment striping over diverse multicast trees",
+)
 class StripedMulticastBroadcast(BroadcastScheme):
     """Multicast over ``num_trees`` diverse trees with segment striping."""
 

@@ -19,6 +19,7 @@ from ..sim import Transfer
 from ..topology import addressing as addr
 from .base import BroadcastScheme, CollectiveHandle, Group
 from .env import CollectiveEnv
+from .registry import SchemeSpec, register_alias, register_scheme
 
 GPUS_PER_SERVER = 8
 
@@ -84,6 +85,11 @@ class OrcaTrunkReplan:
         return [self.scheme._controller_tree(self.env, self.source, remaining)]
 
 
+@register_scheme(
+    "orca",
+    params=("controller_overhead", "gpus_per_server"),
+    description="Orca: SDN-installed multicast with per-rack host agents",
+)
 class OrcaBroadcast(BroadcastScheme):
     """Orca: SDN-installed multicast with per-rack host agents (§3.1)."""
     def __init__(
@@ -94,6 +100,12 @@ class OrcaBroadcast(BroadcastScheme):
         self.controller_overhead = controller_overhead
         self.gpus_per_server = gpus_per_server
         self.name = "orca" if controller_overhead else "orca-nosetup"
+
+    @property
+    def shardable(self) -> bool:
+        # The setup delay draws the shared controller RNG at launch; its
+        # draw *order* couples jobs, so only the no-setup variant shards.
+        return not self.controller_overhead
 
     def launch(
         self,
@@ -165,6 +177,7 @@ class OrcaBroadcast(BroadcastScheme):
 
         # Per-rack fan-out: the agent unicasts to one representative NIC of
         # every other server in its rack; NVLink covers that server's rest.
+        ecmp = env.ecmp_rng()
         for rack, servers in sorted(racks.items()):
             agent = agents[rack]
             agent_server = server_of(agent, self.gpus_per_server)
@@ -187,7 +200,7 @@ class OrcaBroadcast(BroadcastScheme):
                     env.next_transfer_name(f"orca-agent-{agent}"),
                     agent,
                     message_bytes,
-                    [env.router.path_tree(agent, rep)],
+                    [env.router.path_tree(agent, rep, ecmp)],
                     start_at=start,
                     is_relay=agent != source,
                     on_host_done=NvlinkSpread(env.sim, handle, nvlink_s, rest),
@@ -212,3 +225,6 @@ class OrcaBroadcast(BroadcastScheme):
         if len(agents) + 1 <= MAX_EXACT_TERMINALS:
             return exact_steiner_tree(env.topo.graph, source, agents)
         return metric_closure_tree(env.topo.graph, source, agents)
+
+
+register_alias("orca-nosetup", SchemeSpec("orca", controller_overhead=False))

@@ -13,11 +13,14 @@ from __future__ import annotations
 from ..sim import Transfer
 from .base import BroadcastScheme, CollectiveHandle, Group, nccl_chunk_bytes
 from .env import CollectiveEnv
+from .registry import register_scheme
 
 
+@register_scheme("ring", description="NCCL-style pipelined unicast ring")
 class RingBroadcast(BroadcastScheme):
     """NCCL-style pipelined unicast ring (see module docstring)."""
     name = "ring"
+    shardable = True  # ECMP draws come from the per-job stream
 
     def launch(
         self,
@@ -32,6 +35,7 @@ class RingBroadcast(BroadcastScheme):
             return handle
 
         chunk = nccl_chunk_bytes(message_bytes, env.config.mtu_bytes)
+        ecmp = env.ecmp_rng()
         previous: Transfer | None = None
         for src, dst in zip(chain, chain[1:]):
             transfer = Transfer(
@@ -39,7 +43,7 @@ class RingBroadcast(BroadcastScheme):
                 env.next_transfer_name(f"ring-{src}"),
                 src,
                 message_bytes,
-                [env.router.path_tree(src, dst)],
+                [env.router.path_tree(src, dst, ecmp)],
                 start_at=arrival_s,
                 is_relay=previous is not None,
                 on_host_done=handle.host_done,

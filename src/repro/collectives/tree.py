@@ -12,11 +12,14 @@ from __future__ import annotations
 from ..sim import Transfer
 from .base import BroadcastScheme, CollectiveHandle, Group, nccl_chunk_bytes
 from .env import CollectiveEnv
+from .registry import register_scheme
 
 
+@register_scheme("tree", description="NCCL-style pipelined binary tree")
 class BinaryTreeBroadcast(BroadcastScheme):
     """NCCL-style pipelined binary tree (see module docstring)."""
     name = "tree"
+    shardable = True  # ECMP draws come from the per-job stream
 
     def launch(
         self,
@@ -31,6 +34,7 @@ class BinaryTreeBroadcast(BroadcastScheme):
             return handle
 
         chunk = nccl_chunk_bytes(message_bytes, env.config.mtu_bytes)
+        ecmp = env.ecmp_rng()
         inbound: dict[int, Transfer] = {}
         for parent in range(len(order)):
             for child in (2 * parent + 1, 2 * parent + 2):
@@ -42,7 +46,7 @@ class BinaryTreeBroadcast(BroadcastScheme):
                     env.next_transfer_name(f"tree-{src}"),
                     src,
                     message_bytes,
-                    [env.router.path_tree(src, dst)],
+                    [env.router.path_tree(src, dst, ecmp)],
                     start_at=arrival_s,
                     is_relay=parent != 0,
                     on_host_done=handle.host_done,

@@ -88,7 +88,7 @@ class ControlPlane:
     def __init__(
         self,
         topo: Topology,
-        scheme: str = "peel",
+        scheme="peel",  # str | SchemeSpec | BroadcastScheme (see registry)
         config: SimConfig | None = None,
         admission: AdmissionPolicy | None = None,
         tcam_capacity: int = DEFAULT_CAPACITY,

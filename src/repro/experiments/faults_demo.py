@@ -25,7 +25,10 @@ from .common import MB, sim_config
 #: Schemes that register a replanner with the fault injector.  Orca's
 #: controller re-installs the trunk tree; its rack-local relay legs (like
 #: ring/tree relay chains) are not fault-recoverable.
-RECOVERABLE_SCHEMES = ("peel", "peel+cores", "optimal", "orca")
+RECOVERABLE_SCHEMES = (
+    "peel", "peel+cores", "optimal", "orca",
+    "elmo", "bert", "rsbf", "lipsin", "ip-multicast",
+)
 
 
 @dataclass(frozen=True)
@@ -74,6 +77,12 @@ def pick_loaded_link(topo, scheme_name: str, source: str, receivers: list[str]):
         trees = Peel(topo).plan(source, receivers).static_trees
     elif scheme_name == "orca":
         trees = [_orca_trunk(topo, source, receivers)]
+    elif topo.is_symmetric:
+        # Single-tree schemes (optimal, the source-routed family) plan
+        # the optimal symmetric tree on symmetric fabrics.
+        from ..core import optimal_symmetric_tree
+
+        trees = [optimal_symmetric_tree(topo, source, receivers)]
     else:
         trees = [metric_closure_tree(topo.graph, source, receivers)]
     for tree in trees:

@@ -1,0 +1,213 @@
+"""Figure 3 frontier: header bytes vs switch state across multicast schemes.
+
+The paper's Figure 3 argues multicast dataplanes trade two scarce
+resources against each other: *packet header bytes* (source-routed
+schemes — Elmo bitmaps, Bert label stacks, Bloom filters — carry the tree
+in every packet) and *per-group switch state* (IP multicast and Orca
+install TCAM entries per group; PEEL deploys a fixed prefix-rule budget
+once).  This experiment measures both axes from actual simulated runs:
+every scheme broadcasts the same shaped groups on the same fat-tree, and
+each point reports the total header overhead the fabric carried
+(``ScenarioResult.header_overhead_bytes`` — headers are charged per
+segment, so retransmissions pay too) against the peak per-switch entry
+count the scheme needed (``per_group_tcam_peak``, plus PEEL's static
+prefix budget so deploy-once state is visible on the same axis).
+
+Group shape is swept on two dimensions: ``size`` (hosts per group) and
+``fanout`` (racks the group spans) — Elmo's bitmap cost grows with the
+number of forwarding switches, Bert's label stack with branching, RSBF's
+Bloom filter with tree edges, while PEEL and IP multicast pay nothing in
+headers regardless of shape.  Each point runs two pod-local jobs in
+distinct pods so the scenario is shardable; pass ``shards=2`` and the
+rows are byte-identical to the serial sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api import ScenarioSpec
+from ..api import run as run_scenario
+from ..collectives import Gpu, Group, resolve_scheme
+from ..core.peel import Peel
+from ..topology import FatTree
+from ..workloads import CollectiveJob
+from .common import sim_config
+from .parallel import ProgressFn, SweepPoint, run_sweep
+
+KB = 1024
+
+DEFAULT_SIZES = (2, 4, 8)
+DEFAULT_FANOUTS = (1, 2, 4)
+DEFAULT_SCHEMES = ("peel", "rsbf", "lipsin", "ip-multicast", "elmo", "bert")
+#: The sweep fabric: 8-ary fat-tree, 2 hosts/ToR (light enough that 64 KB
+#: messages never cross the ECN marking ramp, which would make sharded
+#: runs refuse — see the differential battery's workload choices).
+FABRIC_K = 8
+FABRIC_HOSTS_PER_TOR = 2
+
+
+@dataclass(frozen=True)
+class FrontierRow:
+    """One (scheme, group shape) point of the frontier."""
+
+    scheme: str
+    size: int  # hosts per group (source included)
+    fanout: int  # racks the group spans
+    header_bytes: int  # total header overhead carried by the fabric
+    switch_entries: int  # peak per-switch entries (static budget included)
+    mean_cct_ms: float
+
+
+def _frontier_fabric() -> FatTree:
+    return FatTree(FABRIC_K, hosts_per_tor=FABRIC_HOSTS_PER_TOR)
+
+
+def shaped_group(topo: FatTree, pod: int, size: int, fanout: int) -> Group:
+    """A ``size``-host group spanning exactly ``fanout`` racks of one pod.
+
+    Placement is deterministic (first ``fanout`` ToRs of the pod, hosts
+    round-robin across them in sorted order) so every scheme sees the
+    byte-identical workload and the sweep needs no RNG.
+    """
+    from ..shard.partition import zone_of
+
+    by_tor: dict[str, list[str]] = {}
+    for host in sorted(topo.hosts):
+        if zone_of(host) == ("pod", pod):
+            by_tor.setdefault(topo.tor_of(host), []).append(host)
+    pod_tors = sorted(by_tor)
+    if not pod_tors:
+        raise ValueError(f"pod {pod} has no ToRs on {topo!r}")
+    if fanout > len(pod_tors):
+        raise ValueError(
+            f"fanout {fanout} exceeds the pod's {len(pod_tors)} racks"
+        )
+    racks = [by_tor[t] for t in pod_tors[:fanout]]
+    capacity = sum(len(r) for r in racks)
+    if size > capacity:
+        raise ValueError(
+            f"size {size} exceeds {capacity} hosts across {fanout} racks"
+        )
+    hosts: list[str] = []
+    depth = 0
+    while len(hosts) < size:
+        for rack in racks:
+            if depth < len(rack) and len(hosts) < size:
+                hosts.append(rack[depth])
+        depth += 1
+    members = tuple(Gpu(host, 0) for host in hosts)
+    return Group(members[0], members)
+
+
+def feasible(size: int, fanout: int) -> bool:
+    """Whether a (size, fanout) shape fits the sweep fabric's pods."""
+    return fanout <= size and size <= fanout * FABRIC_HOSTS_PER_TOR
+
+
+def _point(
+    size: int,
+    fanout: int,
+    scheme: str,
+    message_bytes: int,
+    seed: int,
+    shards: int,
+    check_invariants: bool,
+) -> FrontierRow:
+    """One (scheme, shape) grid point: two pod-local jobs, fresh fabric."""
+    topo = _frontier_fabric()
+    jobs = tuple(
+        CollectiveJob(0.0, shaped_group(topo, pod, size, fanout), message_bytes)
+        for pod in (0, 1)
+    )
+    result = run_scenario(
+        ScenarioSpec(
+            topology=topo,
+            scheme=scheme,
+            jobs=jobs,
+            config=sim_config(message_bytes, seed=seed),
+            check_invariants=check_invariants,
+            invariant_watchdog=False,
+            shards=shards,
+        )
+    )
+    entries = result.per_group_tcam_peak
+    name = resolve_scheme(scheme).name
+    if name.startswith("peel"):
+        # PEEL's deploy-once prefix budget: one rule per identifier prefix
+        # of every length up to the fabric's identifier width.  Charged
+        # here so "zero per-group entries" is not mistaken for "zero
+        # switch state" on the frontier.
+        width = Peel(topo).identifier_width
+        entries += (1 << (width + 1)) - 1
+    return FrontierRow(
+        scheme=str(scheme),
+        size=size,
+        fanout=fanout,
+        header_bytes=result.header_overhead_bytes,
+        switch_entries=entries,
+        mean_cct_ms=result.stats.mean_s * 1e3,
+    )
+
+
+def grid(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    fanouts: tuple[int, ...] = DEFAULT_FANOUTS,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    message_bytes: int = 64 * KB,
+    seed: int = 7,
+    shards: int = 1,
+    check_invariants: bool = False,
+) -> list[SweepPoint]:
+    return [
+        SweepPoint(
+            _point,
+            dict(
+                size=size, fanout=fanout, scheme=scheme,
+                message_bytes=message_bytes, seed=seed, shards=shards,
+                check_invariants=check_invariants,
+            ),
+            label=f"frontier size={size} fanout={fanout} scheme={scheme}",
+        )
+        for size in sizes
+        for fanout in fanouts
+        if feasible(size, fanout)
+        for scheme in schemes
+    ]
+
+
+def run(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    fanouts: tuple[int, ...] = DEFAULT_FANOUTS,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    message_bytes: int = 64 * KB,
+    seed: int = 7,
+    shards: int = 1,
+    check_invariants: bool = False,
+    jobs: int | None = 1,
+    progress: ProgressFn | None = None,
+) -> list[FrontierRow]:
+    return run_sweep(
+        grid(sizes, fanouts, schemes, message_bytes, seed, shards,
+             check_invariants),
+        jobs=jobs,
+        progress=progress,
+    )
+
+
+def format_table(rows: list[FrontierRow]) -> str:
+    header = (
+        f"{'scheme':<22}{'size':>6}{'fanout':>8}{'header (B)':>12}"
+        f"{'switch entries':>16}{'mean CCT (ms)':>15}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.scheme:<22}{r.size:>6}{r.fanout:>8}{r.header_bytes:>12}"
+            f"{r.switch_entries:>16}{r.mean_cct_ms:>15.3f}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table(run()))

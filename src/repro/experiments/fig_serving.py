@@ -29,7 +29,7 @@ from .runner import segment_bytes_for
 
 KB = 1024
 DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
-DEFAULT_SCHEMES = ("peel", "orca", "ip-multicast")
+DEFAULT_SCHEMES = ("peel", "orca", "ip-multicast", "elmo", "bert")
 
 
 @dataclass(frozen=True)

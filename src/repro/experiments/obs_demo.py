@@ -30,7 +30,7 @@ from .common import sim_config
 
 KB = 1024
 
-SCENARIOS = ("headline", "fault", "serve")
+SCENARIOS = ("headline", "fault", "serve", "elmo", "bert")
 
 
 @dataclass(frozen=True)
@@ -124,6 +124,44 @@ def run_serve(
     return _result("serve", obs)
 
 
+def _run_sourcerouted(
+    scenario: str, scheme: str, sample_interval_s: float, detail: str
+) -> ObsResult:
+    """A source-routed broadcast batch: headers charged per segment show
+    up in the byte counters, per-group switch state stays (near) zero."""
+    topo = LeafSpine(2, 4, 2)
+    message_bytes = 256 * KB
+    cfg = sim_config(message_bytes, seed=3)
+    jobs = generate_jobs(
+        topo, 3, 6, message_bytes, offered_load=0.4, gpus_per_host=1, seed=3
+    )
+    obs = _observability(sample_interval_s, detail)
+    run_scenario(
+        ScenarioSpec(
+            topology=topo, scheme=scheme, jobs=tuple(jobs), config=cfg,
+            obs=obs,
+        )
+    )
+    return _result(scenario, obs)
+
+
+def run_elmo(
+    sample_interval_s: float = 50e-6, detail: str = "segment"
+) -> ObsResult:
+    """Elmo bitmap headers under a budget tight enough that some trees
+    spill into default-to-spine s-rules."""
+    return _run_sourcerouted(
+        "elmo", "elmo:header_bytes=8", sample_interval_s, detail
+    )
+
+
+def run_bert(
+    sample_interval_s: float = 50e-6, detail: str = "segment"
+) -> ObsResult:
+    """Bert label stacks: every hop strips its own label, zero TCAM."""
+    return _run_sourcerouted("bert", "bert", sample_interval_s, detail)
+
+
 def _result(scenario: str, obs: Observability) -> ObsResult:
     obs.finalize()
     return ObsResult(
@@ -135,7 +173,13 @@ def _result(scenario: str, obs: Observability) -> ObsResult:
     )
 
 
-RUNNERS = {"headline": run_headline, "fault": run_fault, "serve": run_serve}
+RUNNERS = {
+    "headline": run_headline,
+    "fault": run_fault,
+    "serve": run_serve,
+    "elmo": run_elmo,
+    "bert": run_bert,
+}
 
 
 def run(scenario: str = "headline", **kwargs) -> ObsResult:

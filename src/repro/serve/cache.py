@@ -40,7 +40,10 @@ class PlanKey:
     set) pins the host-level attachment edges so a hit is byte-identical to
     a fresh plan; ``epoch`` ties the entry to one topology generation;
     ``resilience`` keeps plans with different backup-subtree levels from
-    aliasing when planners of several protection levels share one cache.
+    aliasing when planners of several protection levels share one cache;
+    ``scheme`` is the registry scheme the plan was built for (canonical
+    ``SchemeSpec`` string form), so one cache can hold plans for several
+    schemes without aliasing.
     """
 
     source_tor: str
@@ -48,6 +51,7 @@ class PlanKey:
     hosts: tuple[str, ...]
     epoch: int
     resilience: int = 0
+    scheme: str = "peel"
 
 
 class PlanCache(FabricObserver):
@@ -67,7 +71,13 @@ class PlanCache(FabricObserver):
 
     # -- keying ----------------------------------------------------------------
 
-    def key_for(self, planner: "Peel", source: str, receivers: list[str]) -> PlanKey:
+    def key_for(
+        self,
+        planner: "Peel",
+        source: str,
+        receivers: list[str],
+        scheme: str = "peel",
+    ) -> PlanKey:
         topo = planner.topo
         dests = tuple(sorted(set(receivers) - {source}))
         return PlanKey(
@@ -76,6 +86,7 @@ class PlanCache(FabricObserver):
             hosts=(source, *dests),
             epoch=self.epoch,
             resilience=getattr(planner, "resilience", 0),
+            scheme=scheme,
         )
 
     # -- lookup ----------------------------------------------------------------

@@ -24,7 +24,13 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..collectives import CollectiveEnv, CollectiveHandle, scheme_by_name
+from ..collectives import (
+    BroadcastScheme,
+    CollectiveEnv,
+    CollectiveHandle,
+    SchemeSpec,
+    resolve_scheme,
+)
 from ..metrics import SloSummary, summarize_slo
 from ..sim import SimConfig
 from ..state import DEFAULT_CAPACITY
@@ -35,17 +41,41 @@ from .admission import AdmissionPolicy, Decision, FifoAdmission
 from .cache import PlanCache
 from .state import Demand, FabricState, policy_for, tree_switch_fanouts
 
-#: Serving scheme -> the dataplane realization it launches.  IP multicast
-#: forwards single copies along a per-group tree (same dataplane as the
-#: optimal baseline) but pays per-subset switch state for it.
+#: Serving scheme -> the dataplane realization it launches, as a canonical
+#: registry spec string.  IP multicast forwards single copies along a
+#: per-group tree (same dataplane as the optimal baseline) but pays
+#: per-subset switch state for it — the runtime's state ledger charges the
+#: subsets, so its dataplane must not double-charge them.  The
+#: source-routed schemes (elmo/bert/rsbf/lipsin) launch themselves: their
+#: header bytes and residual state ride the collectives layer.
 DATAPLANE = {
     "peel": "peel",
-    "peel+cores": "peel+cores",
+    "peel+cores": "peel:programmable_cores=true",
     "orca": "orca",
     "ip-multicast": "optimal",
+    "elmo": "elmo",
+    "bert": "bert",
+    "rsbf": "rsbf",
+    "lipsin": "lipsin",
 }
 
 SERVE_SCHEMES = tuple(DATAPLANE)
+
+
+def resolve_serving_scheme(scheme) -> tuple[str, BroadcastScheme]:
+    """Resolve a serving-scheme argument to ``(report_name, dataplane)``.
+
+    Accepts a :data:`SERVE_SCHEMES` name (kept as the report name, so
+    ``"peel+cores"`` and ``"ip-multicast"`` reports read as before), or
+    anything the scheme registry resolves — a :class:`SchemeSpec`, a
+    ``"name:param=value"`` string, or a live scheme instance.
+    """
+    if isinstance(scheme, str) and scheme in DATAPLANE:
+        return scheme, resolve_scheme(SchemeSpec.parse(DATAPLANE[scheme]))
+    if isinstance(scheme, BroadcastScheme):
+        return scheme.name, scheme
+    spec = SchemeSpec.coerce(scheme)  # alias strings warn once here
+    return str(spec), resolve_scheme(spec)
 
 
 @dataclass
@@ -116,7 +146,7 @@ class ServeRuntime:
     def __init__(
         self,
         topo: Topology,
-        scheme: str = "peel",
+        scheme: "str | SchemeSpec | BroadcastScheme" = "peel",
         config: SimConfig | None = None,
         admission: AdmissionPolicy | None = None,
         tcam_capacity: int = DEFAULT_CAPACITY,
@@ -131,15 +161,9 @@ class ServeRuntime:
         sim=None,
         invariant_watchdog: bool = True,
     ) -> None:
-        if scheme not in DATAPLANE:
-            raise ValueError(
-                f"unknown serving scheme {scheme!r}; choose from "
-                f"{sorted(DATAPLANE)}"
-            )
         if max_queue < 0:
             raise ValueError("max_queue must be non-negative")
-        self.scheme_name = scheme
-        self.scheme = scheme_by_name(DATAPLANE[scheme])
+        self.scheme_name, self.scheme = resolve_serving_scheme(scheme)
         #: Resilience level F: peel plans carry pre-installed backup
         #: subtrees whose fast-failover entries join each group's TCAM
         #: demand (and therefore its admission cost).
@@ -164,9 +188,9 @@ class ServeRuntime:
             sim=sim,
             invariant_watchdog=invariant_watchdog,
         )
-        self.state_policy = policy_for(scheme)
+        self.state_policy = policy_for(self.scheme_name)
         self.state = FabricState(capacity=tcam_capacity, strict=False)
-        if not self.state_policy.per_group:
+        if self.state_policy.static_rules:
             self._preinstall_static_rules()
         #: Admitted-but-unfinished message bytes per directed link.
         self.link_outstanding: dict[tuple[str, str], int] = {}
@@ -355,6 +379,8 @@ class ServeRuntime:
         msg = record.job.message_bytes
         for edge in self.route_edges_for(record):
             self.link_outstanding[edge] = self.link_outstanding.get(edge, 0) + msg
+        # Per-job ECMP streams key on the submit index, not launch order.
+        self.env.job_seq = record.index
         handle = self.scheme.launch(self.env, record.job.group, msg, now)
         record.handle = handle
         self.running += 1

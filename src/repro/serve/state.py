@@ -182,11 +182,16 @@ class StatePolicy:
 
     ``per_group`` distinguishes deploy-once schemes (PEEL: empty demand,
     nothing ever installed or removed per group) from per-group state
-    (Orca, IP multicast).
+    (Orca, IP multicast).  ``static_rules`` marks the schemes whose
+    deploy-once rules are PEEL prefix rules the runtime pre-installs at
+    boot; source-routed schemes (Elmo, Bert, the Bloom-filter headers)
+    are also ``per_group=False`` but carry their tree in the packet, so
+    nothing is pre-installed for them.
     """
 
     name: str
     per_group: bool = True
+    static_rules: bool = False
 
     def demand(self, group_id: object, tree_switch_fanouts) -> Demand:
         """Entries for one group given ``(switch, downstream-subset)`` pairs
@@ -202,7 +207,11 @@ class PeelStatePolicy(StatePolicy):
     """
 
     def __init__(self, name: str = "peel") -> None:
-        super().__init__(name=name, per_group=False)
+        # Only actual peel variants pre-install prefix rules; stateless
+        # dataplanes (relays, source routing) have nothing to deploy.
+        super().__init__(
+            name=name, per_group=False, static_rules=name.startswith("peel")
+        )
 
     def demand(self, group_id: object, tree_switch_fanouts) -> Demand:
         return {}
@@ -257,6 +266,9 @@ def policy_for(scheme: str) -> StatePolicy:
         return OrcaStatePolicy()
     if scheme == "ip-multicast":
         return IpMulticastStatePolicy()
-    # Host-relay schemes (ring, tree) and the idealized optimal baseline
-    # keep no in-network group state.
+    # Host-relay schemes (ring, tree), the idealized optimal baseline and
+    # the source-routed schemes (elmo, bert, rsbf, lipsin) keep no
+    # per-group entries in this ledger; source-routed residual state (the
+    # Elmo s-rule fallback) is charged to ``CollectiveEnv.group_state``
+    # by the scheme itself at launch.
     return PeelStatePolicy(name=scheme)

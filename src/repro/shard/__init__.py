@@ -31,6 +31,7 @@ from .runner import (
     SHARDABLE_SCHEMES,
     ShardedScenarioRun,
     run_sharded,
+    shardable_schemes,
     validate_spec,
 )
 from .sequencer import GlobalSequencer
@@ -64,6 +65,7 @@ __all__ = [
     "pod_local_jobs",
     "run_sharded",
     "serve_sharded",
+    "shardable_schemes",
     "validate_spec",
     "zone_of",
 ]

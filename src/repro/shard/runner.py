@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..collectives import CollectiveEnv, scheme_by_name
+from ..collectives import CollectiveEnv, registered_schemes, resolve_scheme
 from ..faults import FaultSchedule
 from .barrier import WindowBarrier
 from .errors import ShardError, ShardPartitionError
@@ -43,13 +43,30 @@ from .sequencer import GlobalSequencer
 if TYPE_CHECKING:  # pragma: no cover
     from ..api import ScenarioResult, ScenarioSpec
 
-__all__ = ["SHARDABLE_SCHEMES", "ShardedScenarioRun", "run_sharded"]
+__all__ = [
+    "SHARDABLE_SCHEMES",
+    "ShardedScenarioRun",
+    "run_sharded",
+    "shardable_schemes",
+]
 
-#: Dataplane schemes whose planning and launch paths are RNG-free.
-#: ECMP-routed schemes (tree/ring/allreduce/...) draw from the shared
-#: router RNG per job, and ``peel+cores`` samples controller setup
-#: latency — both interleave across jobs in ways a shard cannot see.
-SHARDABLE_SCHEMES = ("peel", "optimal")
+
+def shardable_schemes() -> tuple[str, ...]:
+    """Registered scheme names whose default construction declares
+    ``shardable = True`` (planning and launch draw no shared RNG).
+    ECMP-routed baselines qualify since they draw from per-job streams
+    (:meth:`~repro.collectives.CollectiveEnv.ecmp_rng`); ``peel+cores``
+    and ``orca`` do not — they sample controller setup latency from the
+    shared controller RNG, whose draw *order* couples jobs."""
+    return tuple(
+        name for name in registered_schemes() if resolve_scheme(name).shardable
+    )
+
+
+#: Shardable built-ins at import time (informational; the check itself
+#: resolves the spec's scheme and reads its ``shardable`` capability, so
+#: schemes registered later are honored automatically).
+SHARDABLE_SCHEMES = shardable_schemes()
 
 #: Initial barrier-window span in simulated seconds; adapted per round
 #: toward a records-per-window target (pure pacing, never correctness —
@@ -61,10 +78,12 @@ _WINDOW_TARGET_HI = 262_144
 
 def validate_spec(spec: "ScenarioSpec") -> None:
     """Reject specs whose serial behaviour a sharded run cannot reproduce."""
-    if spec.scheme_name not in SHARDABLE_SCHEMES:
+    scheme = resolve_scheme(spec.scheme)
+    if not scheme.shardable:
         raise ShardError(
-            f"scheme {spec.scheme_name!r} is not shardable (RNG-coupled "
-            f"planning); shardable schemes: {SHARDABLE_SCHEMES}"
+            f"scheme {scheme.name!r} is not shardable (its planning or "
+            "launch draws a shared RNG whose order couples jobs); "
+            f"shardable schemes: {shardable_schemes()}"
         )
     if spec.max_events is not None:
         raise ShardError(
@@ -160,9 +179,7 @@ def build_scenario_shard(
     """Construct one shard's environment, mirroring the serial setup order
     (faults at env construction, jobs in spec order, churn install) while
     capturing per-action segments for the sequencer's setup interleave."""
-    scheme = spec.scheme
-    if isinstance(scheme, str):
-        scheme = scheme_by_name(scheme)
+    scheme = resolve_scheme(spec.scheme)
     state = ShardState(shard_index)
     sim = state.sim = RecordingSimulator()
     topo = spec.topology
@@ -208,6 +225,7 @@ def build_scenario_shard(
         if plan.job_shard[g] != shard_index:
             continue
         seq0, lines0, created0 = sim._seq, len(sim.lines), len(transfers)
+        env.job_seq = g  # per-job ECMP streams key on the *global* index
         handle = scheme.launch(env, job.group, job.message_bytes, job.arrival_s)
         names = [t.name for t in transfers[created0:]] or None
         state.segments.append(
@@ -261,6 +279,17 @@ def finalize_scenario_shard(state: ShardState) -> dict:
         )
         backup_peak = env.protection_state.peak_entries_per_switch
     injector = env.fault_injector
+    header_overhead = sum(
+        t.header_bytes * (t.num_segments + t.retransmissions)
+        for h in handles
+        for t in h.transfers
+        if t.header_bytes
+    )
+    group_tcam_peak = (
+        env.group_state.peak_entries_per_switch
+        if env.group_state is not None
+        else 0
+    )
     return {
         "ccts": [(g, handle.cct_s) for g, handle in state.handle_pairs],
         "total_bytes": env.network.total_bytes_sent(),
@@ -275,6 +304,8 @@ def finalize_scenario_shard(state: ShardState) -> dict:
         ),
         "backup_entries": backup_entries,
         "backup_peak": backup_peak,
+        "header_overhead_bytes": header_overhead,
+        "group_tcam_peak": group_tcam_peak,
         "static_rule_budget": (
             env.static_rule_budget() if env.protection else 0
         ),
@@ -641,6 +672,12 @@ class ShardedScenarioRun:
                 (p["static_rule_budget"] for p in payloads), default=0
             ),
             membership=membership,
+            header_overhead_bytes=sum(
+                p["header_overhead_bytes"] for p in payloads
+            ),
+            per_group_tcam_peak=max(
+                (p["group_tcam_peak"] for p in payloads), default=0
+            ),
         )
 
     @property

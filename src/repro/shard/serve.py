@@ -28,8 +28,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..collectives import SchemeSpec, resolve_scheme
 from ..metrics import summarize_slo
-from ..serve.runtime import DATAPLANE, ServeReport, ServeRuntime
+from ..serve.runtime import (
+    DATAPLANE,
+    ServeReport,
+    ServeRuntime,
+    resolve_serving_scheme,
+)
 from .errors import ShardError
 from .partition import ShardPlan, plan_partition
 from .record import RecordingSimulator, ShardTraceRecorder
@@ -44,11 +50,14 @@ __all__ = [
     "serve_sharded",
 ]
 
-#: Serving schemes with RNG-free planning and launch (cf.
-#: ``repro.shard.runner.SHARDABLE_SCHEMES`` for the dataplane rationale;
-#: ip-multicast launches the ``optimal`` dataplane).
+#: Serving schemes whose dataplane declares ``shardable = True`` (RNG-free
+#: planning and launch; cf. ``repro.shard.runner.shardable_schemes`` for
+#: the rationale — ip-multicast launches the ``optimal`` dataplane, and
+#: the source-routed schemes encode their trees without shared RNG draws).
 SHARDABLE_SERVE_SCHEMES = tuple(
-    name for name, dataplane in DATAPLANE.items() if dataplane in ("peel", "optimal")
+    name
+    for name, dataplane in DATAPLANE.items()
+    if resolve_scheme(SchemeSpec.parse(dataplane)).shardable
 )
 
 
@@ -58,7 +67,8 @@ class ServeShardSpec:
     by worker processes; all attached objects must be picklable)."""
 
     topology: object
-    scheme: str
+    #: A SERVE_SCHEMES name, registry spec string, or SchemeSpec.
+    scheme: object
     jobs: tuple
     shards: int
     config: object = None
@@ -264,10 +274,12 @@ class ShardedServe:
     def __init__(self, sspec: ServeShardSpec, processes: bool = False) -> None:
         if sspec.shards < 2:
             raise ShardError(f"sharded serve needs shards >= 2, got {sspec.shards}")
-        if sspec.scheme not in SHARDABLE_SERVE_SCHEMES:
+        self.scheme_name, dataplane = resolve_serving_scheme(sspec.scheme)
+        if not dataplane.shardable:
             raise ShardError(
-                f"serving scheme {sspec.scheme!r} is not shardable; choose "
-                f"from {SHARDABLE_SERVE_SCHEMES}"
+                f"serving scheme {self.scheme_name!r} is not shardable "
+                "(its dataplane draws a shared RNG); shardable serve "
+                f"schemes include {SHARDABLE_SERVE_SCHEMES}"
             )
         self.sspec = sspec
         self.plan = plan_partition(sspec.topology, sspec.jobs, sspec.shards)
@@ -350,7 +362,7 @@ class ShardedServe:
             for tenant, records in sorted(tenants.items())
         ]
         return ServeReport(
-            scheme=self.sspec.scheme,
+            scheme=self.scheme_name,
             tenants=tenant_rows,
             total=summary("TOTAL", done, len(rows) - len(done)),
             queued_jobs=0,  # finalize_serve_shard rejects any queueing

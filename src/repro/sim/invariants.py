@@ -101,6 +101,7 @@ class InvariantChecker(FabricObserver):
         self.delivered_bytes = 0
         self.wasted_bytes = 0
         self.lost_bytes = 0
+        self.stripped_bytes = 0  # header bytes consumed by source-routing hops
         self.in_flight_bytes = 0
         self.in_flight_copies = 0
         # Bytes between a port's serializer and the next hop's receive.
@@ -126,6 +127,9 @@ class InvariantChecker(FabricObserver):
         # Keyed by the transfer object, not id(): identities change across
         # pickle, and this ledger must survive repro.replay checkpoints.
         self._accepted: dict[tuple["Transfer", str], set[int]] = {}
+        # (route, host) -> header bytes stripped along the root→host path,
+        # for the delivered-size check on source-routed trees.
+        self._path_strip: dict = {}
 
         self._watchdog_armed = False
         self._last_progress: tuple[int, ...] | None = None
@@ -151,6 +155,7 @@ class InvariantChecker(FabricObserver):
                 f"{self.created_bytes} B created = "
                 f"{self.delivered_bytes} B delivered + "
                 f"{self.wasted_bytes} B wasted + {self.lost_bytes} B lost + "
+                f"{self.stripped_bytes} B header-stripped + "
                 f"{self.in_flight_bytes} B in flight"
             )
         lines = [f"{len(self.violations)} invariant violation(s):"]
@@ -226,6 +231,22 @@ class InvariantChecker(FabricObserver):
     def on_switch_receive(self, switch: "SwitchNode", segment: "Segment") -> None:
         self._propagating_bytes -= segment.nbytes
 
+    def on_header_strip(
+        self, switch: "SwitchNode", segment: "Segment", nbytes: int
+    ) -> None:
+        # A source-routing switch consumed part of the header: those bytes
+        # leave the fabric here (a fifth lifecycle sink, like a partial
+        # delivery), and every downstream charge uses the smaller frame.
+        self.stripped_bytes += nbytes
+        self.in_flight_bytes -= nbytes
+        self.checks += 1
+        if self.in_flight_bytes < 0:
+            self._violate(
+                "byte-conservation",
+                f"switch {switch.name} stripped {nbytes} B of header, more "
+                f"than was in flight ({self.in_flight_bytes} B remain)",
+            )
+
     # -- per-event checks ------------------------------------------------------
 
     def on_enqueue(self, port: "Port", segment: "Segment") -> None:
@@ -258,11 +279,21 @@ class InvariantChecker(FabricObserver):
                 f"{transfer.name} accepted out-of-range segment #{seq} at {host}",
             )
             return
-        if segment.nbytes != transfer.segment_sizes[seq]:
+        expected = transfer.segment_sizes[seq]
+        route = segment.route
+        if getattr(route, "strip_bytes", None):
+            key = (route, host)
+            taken = self._path_strip.get(key)
+            if taken is None:
+                strip_map = route.strip_bytes
+                taken = sum(strip_map.get(n, 0) for n in route.path_from_root(host))
+                self._path_strip[key] = taken
+            expected -= taken
+        if segment.nbytes != expected:
             self._violate(
                 "segment-shape",
                 f"{transfer.name}#{seq} accepted with {segment.nbytes} B at "
-                f"{host}, expected {transfer.segment_sizes[seq]} B",
+                f"{host}, expected {expected} B",
             )
         accepted = self._accepted.setdefault((transfer, host), set())
         if seq in accepted:
@@ -322,7 +353,8 @@ class InvariantChecker(FabricObserver):
                 f"but the fabric holds {observed} B "
                 f"(created {self.created_bytes} = delivered "
                 f"{self.delivered_bytes} + wasted {self.wasted_bytes} + lost "
-                f"{self.lost_bytes} + in-flight)",
+                f"{self.lost_bytes} + header-stripped {self.stripped_bytes} "
+                f"+ in-flight)",
             )
 
     # -- deadlock watchdog -----------------------------------------------------

@@ -35,7 +35,7 @@ from .packet import Segment
 _HOT_HOOKS = (
     "on_inject", "on_fork", "on_deliver", "on_accept", "on_wasted",
     "on_lost", "on_enqueue", "on_tx_done", "on_switch_receive",
-    "on_pfc_pause", "on_pfc_resume",
+    "on_header_strip", "on_pfc_pause", "on_pfc_resume",
 )
 
 
@@ -296,6 +296,8 @@ class SwitchNode:
         "pause_quota",
         "resume_quota",
         "_route_children",
+        "_route_strip",
+        "_has_strip",
     )
 
     def __init__(self, name: str, network: "Network") -> None:
@@ -311,6 +313,13 @@ class SwitchNode:
         # resolves each (tree, switch) pair once instead of hashing the
         # switch name into the tree's children map on every segment hop.
         self._route_children: dict = {}
+        # Source-routed trees (Elmo/Bert) annotate routes with
+        # ``strip_bytes``: header bytes this switch consumes before
+        # forwarding.  Resolved at the same cache-fill; ``_has_strip``
+        # keeps the steady-state cost for every other scheme at one
+        # falsy attribute test per hop.
+        self._route_strip: dict = {}
+        self._has_strip = False
 
     def finalize(self) -> None:
         """Compute per-ingress PFC quotas once the port fan-in is known."""
@@ -347,6 +356,22 @@ class SwitchNode:
                 ports[name, child] for child in route.children(name)
             )
             cache[route] = out_ports
+            strip_map = getattr(route, "strip_bytes", None)
+            if strip_map:
+                take = strip_map.get(name, 0)
+                if take:
+                    self._route_strip[route] = take
+                    self._has_strip = True
+        if self._has_strip:
+            take = self._route_strip.get(route)
+            if take:
+                # This switch's own p-rule / label leaves the header here;
+                # every downstream copy carries the smaller frame.
+                segment.nbytes -= take
+                strip_obs = network.obs_header_strip
+                if strip_obs:
+                    for fn in strip_obs:
+                        fn(self, segment, take)
         if not out_ports:
             # Over-covered ToR (§3.3): the packet arrived, nobody wants it.
             self.dropped_bytes += segment.nbytes

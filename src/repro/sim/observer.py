@@ -70,6 +70,11 @@ class FabricObserver:
     def on_switch_receive(self, switch: "SwitchNode", segment: "Segment") -> None:
         """A copy arrived at a switch (before replication / discard)."""
 
+    def on_header_strip(self, switch: "SwitchNode", segment: "Segment", nbytes: int) -> None:
+        """A source-routing switch consumed ``nbytes`` of the segment's
+        header (its own p-rule / label) before forwarding — the copy
+        shrinks by ``nbytes`` for every downstream hop."""
+
     # -- flow control -------------------------------------------------------
 
     def on_pfc_pause(self, switch: "SwitchNode", port: "Port") -> None:

@@ -35,13 +35,24 @@ class UnicastRouter:
         """Drop caches after the topology changes (e.g. link failures)."""
         self._dist_to.clear()
 
-    def path(self, src: str, dst: str) -> list[str]:
-        """One shortest path ``src -> dst``; raises if unreachable."""
+    def path(
+        self, src: str, dst: str, rng: random.Random | None = None
+    ) -> list[str]:
+        """One shortest path ``src -> dst``; raises if unreachable.
+
+        ``rng`` overrides the router's shared RNG for the ECMP tie-breaks —
+        collectives pass a per-job stream
+        (:meth:`repro.collectives.env.CollectiveEnv.ecmp_rng`) so path
+        choices depend only on ``(seed, job)``, not on how many other jobs
+        routed first.  That independence is what makes the ECMP-routed
+        baselines shardable.
+        """
         if src == dst:
             return [src]
         dist = self._distances_to(dst)
         if src not in dist:
             raise ValueError(f"{dst!r} unreachable from {src!r}")
+        choice = (rng or self.rng).choice
         path = [src]
         node = src
         while node != dst:
@@ -49,11 +60,13 @@ class UnicastRouter:
             options = [
                 v for v in self.topo.graph.neighbors(node) if dist.get(v, here) == here - 1
             ]
-            node = self.rng.choice(sorted(options))
+            node = choice(sorted(options))
             path.append(node)
         return path
 
-    def path_tree(self, src: str, dst: str) -> MulticastTree:
+    def path_tree(
+        self, src: str, dst: str, rng: random.Random | None = None
+    ) -> MulticastTree:
         """The path as a degenerate multicast tree (what transfers route on)."""
-        path = self.path(src, dst)
+        path = self.path(src, dst, rng)
         return MulticastTree(src, {b: a for a, b in zip(path, path[1:])})

@@ -51,6 +51,7 @@ class Transfer:
         segment_bytes: int | None = None,
         relay_chunk_bytes: int | None = None,
         stripe: bool = False,
+        header_bytes: int = 0,
     ) -> None:
         if not static_trees:
             raise ValueError("transfer needs at least one route tree")
@@ -81,6 +82,14 @@ class Transfer:
                 raise ValueError("segment_bytes must be positive")
             full, rem = divmod(message_bytes, segment_bytes)
             self.segment_sizes = [segment_bytes] * full + ([rem] if rem else [])
+        if header_bytes < 0:
+            raise ValueError("header_bytes must be non-negative")
+        if header_bytes:
+            # Source-routed schemes (Elmo/Bert, Bloom-filter headers) carry
+            # the route in every packet: each segment grows by the encoding,
+            # so pacing, serialization, buffering and CCTs all pay for it.
+            self.segment_sizes = [size + header_bytes for size in self.segment_sizes]
+        self.header_bytes = header_bytes
         self.num_segments = len(self.segment_sizes)
         # Cumulative end byte of each segment; drives relay availability.
         self._seg_end: list[int] = []

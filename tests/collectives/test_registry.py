@@ -1,0 +1,145 @@
+"""Scheme registry: SchemeSpec value semantics, aliases, resolution."""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.collectives import (
+    ElmoBroadcast,
+    PeelBroadcast,
+    SchemeSpec,
+    registered_schemes,
+    reset_alias_warnings,
+    resolve_scheme,
+    scheme_aliases,
+    scheme_by_name,
+)
+
+
+class TestSchemeSpec:
+    def test_frozen(self):
+        spec = SchemeSpec("elmo", header_bytes=64)
+        with pytest.raises(AttributeError):
+            spec.name = "bert"
+        with pytest.raises(AttributeError):
+            del spec.name
+
+    def test_value_semantics(self):
+        a = SchemeSpec("elmo", header_bytes=64)
+        b = SchemeSpec("elmo", header_bytes=64)
+        assert a == b and hash(a) == hash(b)
+        assert a != SchemeSpec("elmo", header_bytes=32)
+        assert a != SchemeSpec("bert", header_bytes=64)
+
+    def test_params_canonically_sorted(self):
+        # Keyword order never matters: equal specs stringify identically.
+        a = SchemeSpec("x", b=2, a=1)
+        b = SchemeSpec("x", a=1, b=2)
+        assert a == b and str(a) == str(b) == "x:a=1,b=2"
+
+    def test_str_parse_round_trip(self):
+        for spec in (
+            SchemeSpec("peel"),
+            SchemeSpec("elmo", header_bytes=64),
+            SchemeSpec("rsbf", fpr=0.01),
+            SchemeSpec("peel", programmable_cores=True),
+        ):
+            assert SchemeSpec.parse(str(spec)) == spec
+
+    def test_parse_value_types(self):
+        spec = SchemeSpec.parse("x:i=3,f=0.5,t=true,n=false,s=abc")
+        assert spec.kwargs == {
+            "i": 3, "f": 0.5, "t": True, "n": False, "s": "abc"
+        }
+
+    def test_parse_rejects_malformed_params(self):
+        with pytest.raises(ValueError, match="param=value"):
+            SchemeSpec.parse("elmo:header_bytes")
+
+    def test_pickle_round_trip(self):
+        spec = SchemeSpec("elmo", header_bytes=64)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec and hash(clone) == hash(spec)
+        assert str(clone) == "elmo:header_bytes=64"
+
+
+class TestResolution:
+    def test_unknown_scheme_names_the_registry(self):
+        with pytest.raises(ValueError, match="scheme registry"):
+            resolve_scheme("carrier-pigeon")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            resolve_scheme(SchemeSpec("elmo", header_bites=64))
+
+    def test_every_registered_scheme_constructs(self):
+        for name in registered_schemes():
+            scheme = resolve_scheme(name)
+            assert scheme.name  # constructed, self-describing
+
+    def test_spec_params_reach_the_constructor(self):
+        scheme = resolve_scheme(SchemeSpec("elmo", header_bytes=16))
+        assert isinstance(scheme, ElmoBroadcast)
+        assert scheme.header_bytes == 16
+
+    def test_instance_passes_through(self):
+        scheme = ElmoBroadcast(header_bytes=8)
+        assert resolve_scheme(scheme) is scheme
+
+    def test_scheme_by_name_is_the_registry(self):
+        assert isinstance(scheme_by_name("peel"), PeelBroadcast)
+        with pytest.raises(ValueError, match="scheme registry"):
+            scheme_by_name("carrier-pigeon")
+
+
+class TestAliases:
+    def test_legacy_spellings_resolve_equivalently(self):
+        aliases = scheme_aliases()
+        assert aliases["peel+cores"] == SchemeSpec(
+            "peel", programmable_cores=True
+        )
+        assert aliases["orca-nosetup"] == SchemeSpec(
+            "orca", controller_overhead=False
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert resolve_scheme("peel+cores").programmable_cores
+            assert not resolve_scheme("orca-nosetup").controller_overhead
+
+    def test_alias_warns_exactly_once_per_process(self):
+        reset_alias_warnings()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                resolve_scheme("peel+cores")
+                resolve_scheme("peel+cores")
+            deprecations = [
+                w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "peel+cores" in str(w.message)
+            ]
+            assert len(deprecations) == 1
+        finally:
+            reset_alias_warnings()
+
+    def test_canonical_names_never_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_scheme("peel")
+            resolve_scheme(SchemeSpec("elmo", header_bytes=64))
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestRegistryContents:
+    def test_source_routed_schemes_registered(self):
+        names = registered_schemes()
+        for name in ("elmo", "bert", "rsbf", "lipsin", "ip-multicast"):
+            assert name in names
+
+    def test_aliases_are_not_registered_names(self):
+        names = registered_schemes()
+        for alias in scheme_aliases():
+            assert alias not in names

@@ -1,0 +1,50 @@
+"""The Figure 3 frontier sweep: shape of the trade-off, plus its
+byte-identity under worker pools and sharded simulation."""
+
+from repro.experiments import fig3_frontier
+
+
+def tiny(**overrides):
+    kwargs = dict(sizes=(2, 4), fanouts=(1, 2), schemes=("peel", "elmo", "bert",
+                  "ip-multicast"))
+    kwargs.update(overrides)
+    return fig3_frontier.run(**kwargs)
+
+
+class TestFrontierShape:
+    def test_frontier_trade_off(self):
+        rows = tiny()
+        by = {(r.scheme, r.size, r.fanout): r for r in rows}
+        for (scheme, _, _), r in by.items():
+            if scheme in ("elmo", "bert"):
+                # Source-routed: pay in headers, not in switch entries.
+                assert r.header_bytes > 0
+                assert r.switch_entries == 0
+            if scheme == "peel":
+                # Deploy-once prefix budget, zero header bytes.
+                assert r.header_bytes == 0
+                assert r.switch_entries > 0
+            if scheme == "ip-multicast":
+                assert r.header_bytes == 0
+                assert r.switch_entries > 0
+
+    def test_every_point_completes(self):
+        for r in tiny():
+            assert r.mean_cct_ms > 0
+
+    def test_infeasible_shapes_are_skipped(self):
+        # size 8 cannot fit one 2-host rack; the grid must not emit it.
+        labels = [p.label for p in fig3_frontier.grid(sizes=(8,), fanouts=(1,))]
+        assert labels == []
+
+    def test_table_renders(self):
+        text = fig3_frontier.format_table(tiny())
+        assert "elmo" in text and "switch entries" in text
+
+
+class TestFrontierDeterminism:
+    def test_worker_pool_is_byte_identical(self):
+        assert tiny() == tiny(jobs=4)
+
+    def test_sharded_points_are_byte_identical(self):
+        assert tiny() == tiny(shards=2)

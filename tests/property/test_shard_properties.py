@@ -57,6 +57,8 @@ def _result_facts(result, obs):
         "failovers": list(result.failovers),
         "membership": dict(result.membership),
         "backup_entries": result.backup_tcam_entries,
+        "header_overhead": result.header_overhead_bytes,
+        "group_tcam_peak": result.per_group_tcam_peak,
         "metrics": obs.metrics_json() if obs is not None else None,
     }
 
@@ -83,9 +85,14 @@ def shard_cases(draw):
     seed = draw(st.integers(min_value=0, max_value=9999))
     variant = draw(st.sampled_from(("plain", "fault", "churn", "protection")))
     # Churn grafting and protection planning are PEEL mechanisms; the
-    # plain and fault variants also exercise the optimal scheme.
+    # plain and fault variants also exercise the optimal scheme, the
+    # per-job-ECMP host relays (ring/tree) and the source-routed schemes
+    # (header bytes + strip-at-hop accounting must merge byte-identically).
     scheme = (
-        draw(st.sampled_from(("peel", "optimal")))
+        draw(st.sampled_from((
+            "peel", "optimal", "ring", "tree",
+            "elmo", "bert", "rsbf", "lipsin", "ip-multicast",
+        )))
         if variant in ("plain", "fault")
         else "peel"
     )

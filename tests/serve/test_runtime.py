@@ -108,10 +108,12 @@ class TestServing:
             runtime.report()
 
     def test_rejects_unknown_scheme_and_bad_queue(self):
-        with pytest.raises(ValueError, match="serving scheme"):
-            ServeRuntime(topo4(), "ring")
+        with pytest.raises(ValueError, match="scheme registry"):
+            ServeRuntime(topo4(), "carrier-pigeon")
         with pytest.raises(ValueError, match="max_queue"):
             ServeRuntime(topo4(), "peel", max_queue=-1)
+        # Any registry scheme can serve now — host relays included.
+        assert ServeRuntime(topo4(), "ring").scheme_name == "ring"
 
     def test_queue_capacity_overflow_rejects(self):
         topo = topo4()

@@ -74,9 +74,16 @@ class TestSnapshotResume:
 class TestRefusals:
     def test_unshardable_scheme(self, golden):
         spec, _, _ = golden
-        bad = dataclasses.replace(spec, scheme="ring")
+        bad = dataclasses.replace(spec, scheme="orca")
         with pytest.raises(ShardError, match="not shardable"):
             validate_spec(bad)
+
+    def test_ecmp_schemes_are_shardable(self, golden):
+        """ring/tree draw per-job ECMP streams now, so the partition
+        accepts them (the old refusal is lifted)."""
+        spec, _, _ = golden
+        for scheme in ("ring", "tree", "allreduce-ring", "allgather-ring"):
+            validate_spec(dataclasses.replace(spec, scheme=scheme))
 
     def test_max_events_budget(self, golden):
         spec, _, _ = golden
@@ -109,7 +116,7 @@ class TestRefusals:
 
     def test_refusal_happens_at_run_time_too(self, golden):
         spec, _, _ = golden
-        bad = dataclasses.replace(spec, scheme="ring")
+        bad = dataclasses.replace(spec, scheme="orca")
         with pytest.raises(ShardError, match="not shardable"):
             run(bad)
 
